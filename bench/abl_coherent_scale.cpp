@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Ablation: correlated-error strength. Sweeps the coherent
+ * (systematic) error scale — the end-to-end analogue of the
+ * buckets-and-balls Qcor — and measures, across device instances,
+ * how often the baseline and EDM infer the correct answer (IST > 1)
+ * and the median EDM IST gain. With IID-only noise (scale 0) both
+ * policies almost always succeed and EDM has nothing to fix; as the
+ * correlated share grows the baseline starts failing and EDM's
+ * advantage appears — the end-to-end counterpart of the paper's
+ * Section 4.4 argument and Appendix-A model.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/edm.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+    bench::banner("Ablation: coherent scale",
+                  "baseline vs EDM inference success as correlated "
+                  "errors grow");
+
+    const auto bv6 = benchmarks::bv6();
+    const int instances = static_cast<int>(bench::rounds(6));
+
+    analysis::Table table({"coherent scale", "base success", "EDM "
+                                                             "success",
+                           "median base IST", "median EDM IST",
+                           "median gain"});
+    for (double scale : {0.0, 0.5, 1.0, 1.5, 2.0}) {
+        hw::NoiseSpec spec;
+        spec.coherentScale = scale;
+        int base_ok = 0, edm_ok = 0;
+        std::vector<double> base_ists, edm_ists, gains;
+        for (int i = 0; i < instances; ++i) {
+            const hw::Device device = hw::Device::melbourne(
+                bench::machineSeed() + 10 * i, spec);
+            core::EdmConfig config;
+            config.totalShots = bench::shots() / 2;
+            const core::EdmPipeline pipeline(device, config);
+            Rng rng(19 + i);
+            const auto result = pipeline.run(bv6.circuit, rng);
+            const auto baseline = pipeline.runSingle(
+                result.members.front().program, rng);
+            const double b = stats::ist(baseline, bv6.expected);
+            const double e = stats::ist(result.edm, bv6.expected);
+            base_ok += b > 1.0 ? 1 : 0;
+            edm_ok += e > 1.0 ? 1 : 0;
+            base_ists.push_back(b);
+            edm_ists.push_back(e);
+            gains.push_back(e / std::max(b, 1e-9));
+        }
+        table.addRow(
+            {analysis::fmt(scale, 2),
+             std::to_string(base_ok) + "/" + std::to_string(instances),
+             std::to_string(edm_ok) + "/" + std::to_string(instances),
+             analysis::fmt(stats::median(base_ists), 2),
+             analysis::fmt(stats::median(edm_ists), 2),
+             analysis::fmt(stats::median(gains), 2) + "x"});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n" << table.toString()
+              << "\nEDM's advantage concentrates where correlated "
+                 "errors make the baseline fail;\nwith IID-only noise "
+                 "(scale 0) there is nothing to diversify against.\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: routing algorithm. Compares the greedy path router
+ * against the SABRE-style lookahead router on SWAP count, ESP, and
+ * end-to-end IST, for the deep workloads and a scattered-placement
+ * stress case.
+ */
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "benchmarks/extra.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/esp.hpp"
+#include "transpile/lookahead_router.hpp"
+#include "transpile/placer.hpp"
+#include "transpile/router.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+    bench::banner("Ablation: routing",
+                  "greedy path router vs SABRE-style lookahead");
+
+    const hw::Device device = bench::paperMachine();
+    const sim::Executor exec(device);
+    const transpile::Placer placer(device);
+
+    analysis::Table table({"Benchmark", "router", "SWAPs", "ESP",
+                           "IST"});
+    std::vector<benchmarks::Benchmark> workloads;
+    workloads.push_back(benchmarks::decoder24());
+    workloads.push_back(benchmarks::adder());
+    workloads.push_back(benchmarks::rippleAdder2(2, 3));
+
+    for (const auto &bench_def : workloads) {
+        const auto initial = placer.place(bench_def.circuit);
+        const transpile::Router path(device);
+        transpile::LookaheadConfig config;
+        const transpile::LookaheadRouter lookahead(device, config);
+
+        for (int which = 0; which < 2; ++which) {
+            const transpile::RouteResult routed =
+                which == 0 ? path.route(bench_def.circuit, initial)
+                           : lookahead.route(bench_def.circuit,
+                                             initial);
+            Rng rng(3);
+            const auto dist = stats::Distribution::fromCounts(
+                exec.run(routed.physical, bench::shots() / 4, rng));
+            table.addRow(
+                {bench_def.name, which == 0 ? "path" : "lookahead",
+                 std::to_string(routed.swapCount),
+                 analysis::fmt(
+                     transpile::esp(routed.physical, device)),
+                 analysis::fmt(stats::ist(dist, bench_def.expected),
+                               2)});
+        }
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n" << table.toString();
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: merge rule. Uniform average (EDM), symmetric-KL weights
+ * (WEDM, Appendix B) and entropy weights, on the same member runs.
+ */
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/edm.hpp"
+#include "stats/metrics.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+    bench::banner("Ablation: merge rules",
+                  "uniform (EDM) vs KL-weighted (WEDM) vs "
+                  "entropy-weighted");
+
+    const hw::Device device = bench::paperMachine();
+    core::EdmConfig config;
+    config.totalShots = bench::shots();
+    const core::EdmPipeline pipeline(device, config);
+
+    analysis::Table table({"Benchmark", "uniform", "KL-weighted",
+                           "entropy-weighted"});
+    for (const char *name : {"bv-6", "bv-7", "qaoa-6", "greycode"}) {
+        const auto bench_def = benchmarks::byName(name);
+        Rng rng(7);
+        const auto result = pipeline.run(bench_def.circuit, rng);
+        auto ist_for = [&](core::MergeRule rule) {
+            return stats::ist(
+                core::EdmPipeline::merge(result.members, rule),
+                bench_def.expected);
+        };
+        table.addRow(
+            {name,
+             analysis::fmt(ist_for(core::MergeRule::Uniform), 2),
+             analysis::fmt(ist_for(core::MergeRule::KlWeighted), 2),
+             analysis::fmt(ist_for(core::MergeRule::EntropyWeighted),
+                           2)});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n" << table.toString();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: router cost metric. Reliability-aware routing (the
+ * paper's [40, 48] heuristic) vs plain SWAP-count minimization, for
+ * the workloads that need SWAPs.
+ */
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/transpiler.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+    bench::banner("Ablation: router cost",
+                  "reliability-aware vs SWAP-minimizing routing");
+
+    const hw::Device device = bench::paperMachine();
+    const sim::Executor exec(device);
+
+    analysis::Table table({"Benchmark", "policy", "SWAPs", "ESP",
+                           "PST", "IST"});
+    for (const char *name : {"bv-6", "bv-7", "decode-24"}) {
+        const auto bench_def = benchmarks::byName(name);
+        for (auto cost : {transpile::RouteCost::Reliability,
+                          transpile::RouteCost::HopCount}) {
+            const transpile::Transpiler compiler(device, cost);
+            const auto program = compiler.compile(bench_def.circuit);
+            Rng rng(3);
+            const auto dist = stats::Distribution::fromCounts(
+                exec.run(program.physical, bench::shots() / 2, rng));
+            table.addRow(
+                {name,
+                 cost == transpile::RouteCost::Reliability
+                     ? "reliability"
+                     : "hop-count",
+                 std::to_string(program.swapCount),
+                 analysis::fmt(program.esp),
+                 analysis::fmt(stats::pst(dist, bench_def.expected), 4),
+                 analysis::fmt(stats::ist(dist, bench_def.expected),
+                               2)});
+        }
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n" << table.toString();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: ensemble selection policy. Compares (i) the paper's
+ * literal top-K by ESP, (ii) overlap-capped top-K (this repo's
+ * default, matching the qubit-set diversity the paper observed on
+ * real hardware), and (iii) random-K candidates. Shows why qubit-set
+ * diversity, not just ESP rank, drives EDM's win.
+ */
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/edm.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+    bench::banner("Ablation: selection",
+                  "plain top-K vs overlap-capped vs random ensembles");
+
+    const hw::Device device = bench::paperMachine();
+    const auto bv6 = benchmarks::bv6();
+    const sim::Executor exec(device);
+
+    analysis::Table table({"Policy", "IST", "PST", "member diversity "
+                                                   "(mean SKL)"});
+
+    auto evaluate = [&](const std::string &label,
+                        const std::vector<transpile::CompiledProgram>
+                            &programs,
+                        Rng &rng) {
+        std::vector<stats::Distribution> outputs;
+        const std::uint64_t per =
+            bench::shots() / programs.size();
+        for (const auto &program : programs) {
+            outputs.push_back(stats::Distribution::fromCounts(
+                exec.run(program.physical, per, rng)));
+        }
+        const auto merged = stats::mergeUniform(outputs);
+        table.addRow(
+            {label, analysis::fmt(stats::ist(merged, bv6.expected), 2),
+             analysis::fmt(stats::pst(merged, bv6.expected), 4),
+             analysis::fmt(stats::meanOffDiagonal(
+                 stats::pairwiseDivergence(outputs)))});
+    };
+
+    Rng rng(1);
+    for (double cap : {1.0, 0.75, 0.5}) {
+        core::EnsembleConfig config;
+        config.size = 4;
+        config.maxOverlap = cap;
+        const core::EnsembleBuilder builder(device, config);
+        evaluate("top-4, overlap cap " + analysis::fmt(cap, 2),
+                 builder.build(bv6.circuit), rng);
+    }
+    {
+        core::EnsembleConfig config;
+        config.size = 4;
+        const core::EnsembleBuilder builder(device, config);
+        Rng pick_rng(5);
+        evaluate("best + random-3",
+                 builder.buildRandom(bv6.circuit, pick_rng), rng);
+    }
+    std::cout << "\n" << table.toString()
+              << "\ncap 1.0 is the paper's literal policy; the capped "
+                 "variants reproduce the qubit-set diversity the "
+                 "paper's machine exhibited naturally\n";
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * Every bench accepts environment overrides so CI can run a fast pass:
+ *   QEDM_SHOTS   total trials per policy (default: paper's 16384)
+ *   QEDM_ROUNDS  experimental rounds (default varies per bench)
+ *   QEDM_SEED    machine seed selecting the modeled device instance
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "hw/device.hpp"
+
+namespace qedm::bench {
+
+inline std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *v = std::getenv(name);
+    if (!v)
+        return def;
+    return std::strtoull(v, nullptr, 10);
+}
+
+inline std::uint64_t
+shots(std::uint64_t def = 16384)
+{
+    return envU64("QEDM_SHOTS", def);
+}
+
+inline int
+rounds(int def)
+{
+    return static_cast<int>(envU64("QEDM_ROUNDS", def));
+}
+
+inline std::uint64_t
+machineSeed(std::uint64_t def = 2)
+{
+    return envU64("QEDM_SEED", def);
+}
+
+/** The modeled IBMQ-14 machine used across all figure benches. */
+inline hw::Device
+paperMachine()
+{
+    return hw::Device::melbourne(machineSeed());
+}
+
+/** Standard bench banner. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::cout << "==================================================="
+                 "=============\n"
+              << id << ": " << what << "\n"
+              << "device seed " << machineSeed() << ", "
+              << shots() << " trials\n"
+              << "==================================================="
+                 "=============\n";
+}
+
+} // namespace qedm::bench

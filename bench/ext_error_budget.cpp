@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Extension study: per-source error budget of the compiled paper
+ * benchmarks. For each workload, shows how much PST each noise
+ * family costs (by re-simulating with that family disabled) — the
+ * quantitative version of the paper's Section 3 characterization of
+ * where correlated mistakes come from.
+ */
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/ensemble.hpp"
+#include "core/error_budget.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+    bench::banner("Extension: error budget",
+                  "PST recovered by disabling each noise family");
+
+    const hw::Device device = bench::paperMachine();
+    const core::EnsembleBuilder builder(device);
+
+    for (const char *name : {"bv-6", "qaoa-6", "greycode"}) {
+        const auto bench_def = benchmarks::byName(name);
+        const auto program =
+            builder.candidates(bench_def.circuit).front();
+        const auto budget = core::errorBudget(
+            device, program.physical, bench_def.expected);
+
+        std::cout << "\n" << name << " (best mapping): base PST "
+                  << analysis::fmt(budget.basePst, 4) << ", base IST "
+                  << analysis::fmt(budget.baseIst, 2)
+                  << ", ideal PST "
+                  << analysis::fmt(budget.idealPst, 3) << "\n";
+        analysis::Table table({"noise family disabled", "PST",
+                               "IST", "PST recovered"});
+        for (const auto &entry : budget.entries) {
+            table.addRow({entry.source,
+                          analysis::fmt(entry.pstWithout, 4),
+                          analysis::fmt(entry.istWithout, 2),
+                          analysis::fmt(entry.pstRecovered, 4)});
+        }
+        std::cout << table.toString();
+    }
+    std::cout << "\nthe coherent family dominates the IST loss — the "
+                 "correlated errors EDM targets\n";
+    return 0;
+}

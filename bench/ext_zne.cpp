@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Extension study: zero-noise extrapolation vs / with EDM. ZNE
+ * extrapolates an observable to the noiseless limit on one mapping;
+ * EDM suppresses mapping-correlated wrong answers across mappings.
+ * This bench measures the PST observable of three workloads under
+ * (1) raw baseline, (2) ZNE on the best mapping, and (3) ZNE applied
+ * to each EDM member then averaged.
+ */
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/ensemble.hpp"
+#include "core/zne.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+    bench::banner("Extension: ZNE",
+                  "zero-noise extrapolation of PST, alone and per "
+                  "EDM member");
+
+    const hw::Device device = bench::paperMachine();
+    const sim::Executor exec(device);
+    const std::vector<int> scales{1, 3, 5};
+
+    analysis::Table table({"Benchmark", "raw PST", "ZNE PST (best "
+                                                   "mapping)",
+                           "ZNE PST (EDM members avg)"});
+    for (const char *name : {"greycode", "bv-6", "adder"}) {
+        const auto bench_def = benchmarks::byName(name);
+        const core::Observable pst_obs =
+            [&](const stats::Distribution &d) {
+                return stats::pst(d, bench_def.expected);
+            };
+        const core::EnsembleBuilder builder(device);
+        const auto members = builder.build(bench_def.circuit);
+        Rng rng(7);
+
+        const auto raw = stats::Distribution::fromCounts(exec.run(
+            members.front().physical, bench::shots() / 2, rng));
+        const auto zne_best = core::zneExpectation(
+            device, members.front().physical, pst_obs, scales,
+            bench::shots() / 2 / scales.size(), rng);
+
+        double zne_members = 0.0;
+        for (const auto &member : members) {
+            zne_members +=
+                core::zneExpectation(
+                    device, member.physical, pst_obs, scales,
+                    bench::shots() / 2 / scales.size() /
+                        members.size(),
+                    rng)
+                    .extrapolated;
+        }
+        zne_members /= static_cast<double>(members.size());
+
+        table.addRow(
+            {name,
+             analysis::fmt(stats::pst(raw, bench_def.expected), 4),
+             analysis::fmt(zne_best.extrapolated, 4),
+             analysis::fmt(zne_members, 4)});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n" << table.toString()
+              << "\nZNE recovers signal lost to *stochastic* noise; "
+                 "purely coherent mapping-specific\nerrors do not "
+                 "scale away cleanly, which is exactly the regime EDM "
+                 "targets\n";
+    return 0;
+}

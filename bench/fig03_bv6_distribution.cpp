@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 3 reproduction: BV-6 output probability distribution on the
+ * modeled IBMQ-14 machine with the single best mapping, outcomes
+ * sorted by frequency. The paper observed PST = 2.8%, all 64 outcomes
+ * present, and a correct-answer relative strength of only 68%
+ * (IST = 0.68).
+ */
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/transpiler.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+    bench::banner("Figure 3", "BV-6 sorted output distribution, "
+                              "single best mapping");
+
+    const auto bench_def = benchmarks::bv6();
+    const hw::Device device = bench::paperMachine();
+    const transpile::Transpiler compiler(device);
+    const auto program = compiler.compile(bench_def.circuit);
+
+    const sim::Executor exec(device);
+    Rng rng(1);
+    const auto counts =
+        exec.run(program.physical, bench::shots(), rng);
+    const auto dist = stats::Distribution::fromCounts(counts);
+
+    std::cout << "\ncompile-time ESP = " << analysis::fmt(program.esp)
+              << ", SWAPs inserted = " << program.swapCount << "\n\n"
+              << "top outcomes (sorted by frequency):\n"
+              << analysis::distributionReport(dist, bench_def.expected,
+                                              16)
+              << "\ndistinct outcomes observed: " << counts.distinct()
+              << " / 64\n"
+              << "paper reference: PST 2.8%, IST 0.68, all 64 outcomes "
+                 "present\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 11 reproduction: IST improvement of EDM and WEDM over the
+ * single-best-mapping baseline for all nine workloads. The paper
+ * reports improvements of up to 1.6x (EDM) and 2.3x (WEDM), with
+ * every workload entering the IST > 1 regime under WEDM.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "bench_util.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/experiment.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+    bench::banner("Figure 11", "EDM and WEDM IST improvement over the "
+                               "single-best baseline, all workloads");
+
+    const hw::Device device = bench::paperMachine();
+    core::ExperimentConfig config;
+    config.rounds = bench::rounds(5);
+    config.totalShots = bench::shots();
+
+    analysis::Table table({"Benchmark", "IST base", "IST EDM",
+                           "IST WEDM", "EDM gain", "WEDM gain"});
+    double best_edm = 0.0, best_wedm = 0.0;
+    for (const auto &bench_def : benchmarks::paperSuite()) {
+        const auto summary =
+            core::runExperiment(device, bench_def, config, 311);
+        const auto &m = summary.median;
+        const double edm_gain = m.edm.ist / m.baselineEst.ist;
+        const double wedm_gain = m.wedm.ist / m.baselineEst.ist;
+        best_edm = std::max(best_edm, edm_gain);
+        best_wedm = std::max(best_wedm, wedm_gain);
+        table.addRow({bench_def.name,
+                      analysis::fmt(m.baselineEst.ist, 2),
+                      analysis::fmt(m.edm.ist, 2),
+                      analysis::fmt(m.wedm.ist, 2),
+                      analysis::fmt(edm_gain, 2) + "x",
+                      analysis::fmt(wedm_gain, 2) + "x"});
+        std::cout << "." << std::flush;
+    }
+    std::cout << "\n\n" << table.toString()
+              << "\nmax gain: EDM " << analysis::fmt(best_edm, 2)
+              << "x, WEDM " << analysis::fmt(best_wedm, 2)
+              << "x  (paper: up to 1.6x EDM, 2.3x WEDM)\n";
+    return 0;
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the performance-critical
+ * substrate paths: state-vector gate application, per-shot noisy
+ * execution, exact density-matrix simulation, VF2 enumeration, and
+ * routing/compilation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/ensemble.hpp"
+#include "hw/device.hpp"
+#include "sim/executor.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/transpiler.hpp"
+#include "transpile/vf2.hpp"
+
+namespace {
+
+using namespace qedm;
+
+void
+BM_StateVectorHadamard(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector sv(n);
+    const auto h = circuit::gateMatrix1q(circuit::OpKind::H, {});
+    for (auto _ : state) {
+        for (int q = 0; q < n; ++q)
+            sv.apply1q(h, q);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StateVectorHadamard)->Arg(8)->Arg(11)->Arg(14);
+
+void
+BM_StateVectorCx(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    sim::StateVector sv(n);
+    const auto cx = circuit::gateMatrix2q(circuit::OpKind::Cx);
+    for (auto _ : state) {
+        for (int q = 0; q + 1 < n; ++q)
+            sv.apply2q(cx, q, q + 1);
+        benchmark::DoNotOptimize(sv.amplitudes().data());
+    }
+    state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_StateVectorCx)->Arg(8)->Arg(11)->Arg(14);
+
+void
+BM_NoisyShotsBv6(benchmark::State &state)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const transpile::Transpiler compiler(device);
+    const auto program =
+        compiler.compile(benchmarks::bv6().circuit);
+    const sim::Executor exec(device);
+    Rng rng(1);
+    const std::uint64_t shots =
+        static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            exec.run(program.physical, shots, rng));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(shots));
+}
+BENCHMARK(BM_NoisyShotsBv6)->Arg(256)->Arg(1024);
+
+void
+BM_ExactDistributionBv6(benchmark::State &state)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const transpile::Transpiler compiler(device);
+    const auto program =
+        compiler.compile(benchmarks::bv6().circuit);
+    const sim::Executor exec(device);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            exec.exactDistribution(program.physical));
+    }
+}
+BENCHMARK(BM_ExactDistributionBv6);
+
+void
+BM_Vf2PathIntoMelbourne(benchmark::State &state)
+{
+    const hw::Topology pattern =
+        hw::Topology::linear(static_cast<int>(state.range(0)));
+    const hw::Topology target = hw::Topology::melbourne();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            transpile::vf2AllEmbeddings(pattern, target));
+    }
+}
+BENCHMARK(BM_Vf2PathIntoMelbourne)->Arg(4)->Arg(7)->Arg(10);
+
+void
+BM_CompileBv6(benchmark::State &state)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const transpile::Transpiler compiler(device);
+    const auto logical = benchmarks::bv6().circuit;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(compiler.compile(logical));
+    }
+}
+BENCHMARK(BM_CompileBv6);
+
+void
+BM_EnsembleBuildBv6(benchmark::State &state)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const core::EnsembleBuilder builder(device);
+    const auto logical = benchmarks::bv6().circuit;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(builder.build(logical));
+    }
+}
+BENCHMARK(BM_EnsembleBuildBv6);
+
+} // namespace
+
+BENCHMARK_MAIN();

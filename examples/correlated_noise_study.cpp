@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Scenario example: why correlated errors break majority-vote
+ * inference, and how mapping diversity restores it.
+ *
+ * Walks through the paper's Section 3 characterization on the device
+ * model: (1) repeated runs of one mapping produce near-identical wrong
+ * answers (low pairwise KL); (2) diverse mappings make *different*
+ * mistakes (high pairwise KL); (3) merging the diverse outputs recovers
+ * the correct answer even when every member individually fails.
+ *
+ * Build & run:  ./build/examples/correlated_noise_study
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/ensemble.hpp"
+#include "hw/device.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+
+    const auto bench = benchmarks::bv6();
+    const hw::Device device = hw::Device::melbourne(2);
+    const sim::Executor exec(device);
+    Rng rng(99);
+
+    core::EnsembleConfig config;
+    config.size = 4;
+    const core::EnsembleBuilder builder(device, config);
+    const auto programs = builder.build(bench.circuit);
+
+    std::cout << "== Step 1: repeated runs of the single best mapping "
+                 "==\n";
+    std::vector<stats::Distribution> repeats;
+    for (int run = 0; run < 4; ++run) {
+        repeats.push_back(stats::Distribution::fromCounts(
+            exec.run(programs.front().physical, 4096, rng)));
+    }
+    const double repeat_kl = stats::meanOffDiagonal(
+        stats::pairwiseDivergence(repeats));
+    for (std::size_t r = 0; r < repeats.size(); ++r) {
+        const auto top = repeats[r].topK(1).front();
+        std::cout << "  run " << r << ": dominant outcome "
+                  << toBitstring(top.first, 6) << " (p="
+                  << analysis::fmt(top.second, 3) << ")"
+                  << (top.first == bench.expected ? "  CORRECT"
+                                                  : "  WRONG")
+                  << "\n";
+    }
+    std::cout << "  mean pairwise divergence: "
+              << analysis::fmt(repeat_kl)
+              << "  -> same mistakes every time\n\n";
+
+    std::cout << "== Step 2: four diverse mappings ==\n";
+    std::vector<stats::Distribution> diverse;
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        diverse.push_back(stats::Distribution::fromCounts(
+            exec.run(programs[i].physical, 4096, rng)));
+        const auto top = diverse.back().topK(1).front();
+        std::cout << "  mapping " << char('A' + i) << " (qubits";
+        for (int q : programs[i].usedQubits())
+            std::cout << " " << q;
+        std::cout << "): dominant " << toBitstring(top.first, 6)
+                  << (top.first == bench.expected ? "  CORRECT"
+                                                  : "  WRONG")
+                  << ", IST "
+                  << analysis::fmt(
+                         stats::ist(diverse.back(), bench.expected), 2)
+                  << "\n";
+    }
+    const double diverse_kl = stats::meanOffDiagonal(
+        stats::pairwiseDivergence(diverse));
+    std::cout << "  mean pairwise divergence: "
+              << analysis::fmt(diverse_kl) << "  ("
+              << analysis::fmt(diverse_kl /
+                               std::max(repeat_kl, 1e-9), 1)
+              << "x the single-mapping value)\n\n";
+
+    std::cout << "== Step 3: merge the diverse outputs ==\n";
+    const auto edm = stats::mergeUniform(diverse);
+    const auto wedm = stats::mergeWeighted(
+        diverse, stats::wedmWeights(diverse));
+    std::cout << analysis::distributionReport(edm, bench.expected, 6)
+              << "\nEDM IST  = "
+              << analysis::fmt(stats::ist(edm, bench.expected), 2)
+              << ", WEDM IST = "
+              << analysis::fmt(stats::ist(wedm, bench.expected), 2)
+              << "\nwrong answers disagree across mappings and "
+                 "average out;\nthe correct answer is reinforced by "
+                 "every member.\n";
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Scenario example: file-based workflow. Serializes a program to
+ * OpenQASM text, parses it back, compiles it variation-aware, prints
+ * the physical QASM, and runs EDM — the round trip an external
+ * toolchain would use to hand circuits to this library.
+ *
+ * Build & run:  ./build/examples/qasm_workflow
+ */
+
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "core/edm.hpp"
+#include "hw/device.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/transpiler.hpp"
+
+int
+main()
+{
+    using namespace qedm;
+
+    // 1. A logical program, as QASM text (as a file would supply it).
+    const auto bench = benchmarks::adder();
+    const std::string qasm_text = bench.circuit.toQasm();
+    std::cout << "== logical program (OpenQASM) ==\n"
+              << qasm_text << "\n";
+
+    // 2. Parse it back into the IR.
+    const circuit::Circuit parsed = circuit::parseQasm(qasm_text);
+    std::cout << "parsed " << parsed.size() << " operations on "
+              << parsed.numQubits() << " qubits\n\n";
+
+    // 3. Compile onto the modeled machine.
+    const hw::Device device = hw::Device::melbourne(2);
+    const transpile::Transpiler compiler(device);
+    const auto program = compiler.compile(parsed);
+    std::cout << "== physical program ==\n"
+              << "ESP " << analysis::fmt(program.esp) << ", "
+              << program.swapCount << " SWAPs, qubits";
+    for (int q : program.usedQubits())
+        std::cout << " " << q;
+    std::cout << "\n\n";
+
+    // 4. Run EDM and report.
+    core::EdmConfig config;
+    config.totalShots = 8192;
+    const core::EdmPipeline pipeline(device, config);
+    Rng rng(5);
+    const auto result = pipeline.run(parsed, rng);
+    std::cout << "== EDM output ==\n"
+              << analysis::distributionReport(result.edm,
+                                              bench.expected, 6);
+    return 0;
+}

@@ -1,0 +1,130 @@
+#include "analysis/buckets_balls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qedm::analysis {
+namespace {
+
+void
+validate(const BucketsModel &model)
+{
+    QEDM_REQUIRE(model.numBuckets >= 2, "need at least two buckets");
+    QEDM_REQUIRE(model.ps >= 0.0 && model.ps <= 1.0,
+                 "ps must be a probability");
+    QEDM_REQUIRE(model.qcor >= 0.0 && model.qcor <= 1.0,
+                 "qcor must be a probability");
+    QEDM_REQUIRE(model.numFavored >= 1 &&
+                     model.numFavored <= model.numBuckets - 1,
+                 "numFavored must be in [1, M-1]");
+}
+
+} // namespace
+
+double
+analyticalIstUncorrelated(double ps, int num_buckets,
+                          std::uint64_t num_balls)
+{
+    QEDM_REQUIRE(num_buckets >= 2, "need at least two buckets");
+    QEDM_REQUIRE(ps >= 0.0 && ps <= 1.0, "ps must be a probability");
+    QEDM_REQUIRE(num_balls > 0, "need at least one ball");
+    const double n = static_cast<double>(num_balls);
+    const double pe = (1.0 - ps) / static_cast<double>(num_buckets - 1);
+    const double green = n * ps;
+    const double red_max =
+        n * pe + 2.0 * std::sqrt(n * pe * (1.0 - pe));
+    if (red_max <= 0.0)
+        return green > 0.0 ? std::numeric_limits<double>::infinity()
+                           : 0.0;
+    return green / red_max;
+}
+
+double
+monteCarloIst(const BucketsModel &model, std::uint64_t num_balls,
+              Rng &rng)
+{
+    validate(model);
+    QEDM_REQUIRE(num_balls > 0, "need at least one ball");
+    const int m = model.numBuckets;
+    const int k = model.numFavored;
+    std::vector<std::uint64_t> buckets(static_cast<std::size_t>(m), 0);
+
+    // Bucket 0 is green; buckets 1..k are purple; the rest are red.
+    for (std::uint64_t ball = 0; ball < num_balls; ++ball) {
+        const double r = rng.uniform();
+        if (r < model.ps) {
+            buckets[0] += 1;
+        } else if (rng.uniform() < model.qcor) {
+            // Demon intercept: uniform over the k purple buckets.
+            buckets[1 + rng.uniformInt(static_cast<std::uint64_t>(k))] +=
+                1;
+        } else {
+            // Uniform over all M - 1 incorrect buckets (the purple
+            // buckets receive the Demon's share *on top of* their
+            // uniform share; this is what reproduces the paper's
+            // frontier values of 1.8% / 3.6% / 8%).
+            buckets[1 + rng.uniformInt(
+                            static_cast<std::uint64_t>(m - 1))] += 1;
+        }
+    }
+    const std::uint64_t green = buckets[0];
+    std::uint64_t worst = 0;
+    for (std::size_t i = 1; i < buckets.size(); ++i)
+        worst = std::max(worst, buckets[i]);
+    if (worst == 0)
+        return green > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+    return static_cast<double>(green) / static_cast<double>(worst);
+}
+
+double
+meanMonteCarloIst(const BucketsModel &model, std::uint64_t num_balls,
+                  int reps, Rng &rng)
+{
+    QEDM_REQUIRE(reps >= 1, "need at least one repetition");
+    double sum = 0.0;
+    for (int i = 0; i < reps; ++i)
+        sum += monteCarloIst(model, num_balls, rng);
+    return sum / static_cast<double>(reps);
+}
+
+std::vector<CurvePoint>
+istVsPstCurve(BucketsModel model, double ps_min, double ps_max,
+              int points, std::uint64_t num_balls, int reps, Rng &rng)
+{
+    QEDM_REQUIRE(points >= 2, "need at least two curve points");
+    QEDM_REQUIRE(ps_min >= 0.0 && ps_max <= 1.0 && ps_min < ps_max,
+                 "invalid ps range");
+    std::vector<CurvePoint> curve;
+    curve.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const double ps =
+            ps_min + (ps_max - ps_min) * i /
+                         static_cast<double>(points - 1);
+        model.ps = ps;
+        curve.push_back(
+            CurvePoint{ps, meanMonteCarloIst(model, num_balls, reps,
+                                             rng)});
+    }
+    return curve;
+}
+
+double
+pstFrontier(BucketsModel model, std::uint64_t num_balls, int reps,
+            Rng &rng)
+{
+    double lo = 0.0, hi = 1.0;
+    for (int iter = 0; iter < 24; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        model.ps = mid;
+        if (meanMonteCarloIst(model, num_balls, reps, rng) >= 1.0)
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+} // namespace qedm::analysis

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The paper's Appendix-A buckets-and-balls analysis.
+ *
+ * Running an m-bit NISQ program for N trials is modeled as throwing N
+ * balls at M = 2^m buckets: one green bucket (correct answer), and —
+ * under correlated errors — a "Demon" that steers a fraction Qcor of
+ * the erroneous balls into k favored (purple) buckets. The model
+ * yields IST-vs-PST curves and the PST frontier (minimum PST at which
+ * the correct answer can still be inferred, IST = 1).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qedm::analysis {
+
+/** Demon-biased buckets-and-balls model parameters. */
+struct BucketsModel
+{
+    /** Number of buckets M = 2^m (e.g. 64 for 6-bit programs). */
+    int numBuckets = 64;
+    /** Probability a ball lands in the green bucket (PST). */
+    double ps = 0.05;
+    /** Correlation factor: fraction of erroneous balls the Demon
+     *  steers into the purple buckets (0 = uncorrelated). */
+    double qcor = 0.0;
+    /** Number of purple buckets; the paper uses k = log2(M). */
+    int numFavored = 6;
+};
+
+/**
+ * Closed-form IST estimate for the *uncorrelated* model: expected
+ * green occupancy over the 95%-confidence maximum red occupancy
+ * (Appendix A.2).
+ */
+double analyticalIstUncorrelated(double ps, int num_buckets,
+                                 std::uint64_t num_balls);
+
+/**
+ * One Monte-Carlo experiment: throw @p num_balls balls per the model
+ * and return the observed IST (green count / max other count).
+ */
+double monteCarloIst(const BucketsModel &model, std::uint64_t num_balls,
+                     Rng &rng);
+
+/** Mean IST over @p reps Monte-Carlo experiments. */
+double meanMonteCarloIst(const BucketsModel &model,
+                         std::uint64_t num_balls, int reps, Rng &rng);
+
+/** One (ps, ist) sample point of the model curve. */
+struct CurvePoint
+{
+    double ps;
+    double ist;
+};
+
+/**
+ * IST-vs-PST curve: sweep ps over [ps_min, ps_max] with @p points
+ * samples, averaging @p reps Monte-Carlo runs per point.
+ */
+std::vector<CurvePoint>
+istVsPstCurve(BucketsModel model, double ps_min, double ps_max,
+              int points, std::uint64_t num_balls, int reps, Rng &rng);
+
+/**
+ * PST frontier: the smallest ps at which the model's mean IST reaches
+ * 1 (bisection over ps; Appendix A.3).
+ */
+double pstFrontier(BucketsModel model, std::uint64_t num_balls, int reps,
+                   Rng &rng);
+
+} // namespace qedm::analysis

@@ -1,0 +1,70 @@
+#include "analysis/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qedm::analysis {
+namespace {
+
+/** Quote a cell when it contains separators, quotes, or newlines. */
+std::string
+escape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    QEDM_REQUIRE(!header_.empty(), "CSV needs at least one column");
+}
+
+void
+CsvWriter::addRow(std::vector<std::string> cells)
+{
+    QEDM_REQUIRE(cells.size() == header_.size(),
+                 "CSV row width must match the header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+CsvWriter::toString() const
+{
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                os << ",";
+            os << escape(cells[i]);
+        }
+        os << "\n";
+    };
+    emit(header_);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    QEDM_REQUIRE(out.good(), "cannot open CSV file: " + path);
+    out << toString();
+    QEDM_REQUIRE(out.good(), "write failed for CSV file: " + path);
+}
+
+} // namespace qedm::analysis

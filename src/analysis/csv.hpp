@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal CSV export for bench series, so figure data can be plotted
+ * outside the terminal (gnuplot/matplotlib).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qedm::analysis {
+
+/** Accumulates rows and writes an RFC-4180-ish CSV file. */
+class CsvWriter
+{
+  public:
+    /** @param header column names (quoted/escaped as needed). */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the full document (header + rows). */
+    std::string toString() const;
+
+    /** Write to @p path; throws qedm::UserError on I/O failure. */
+    void writeFile(const std::string &path) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qedm::analysis

@@ -1,0 +1,130 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "stats/metrics.hpp"
+
+namespace qedm::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    QEDM_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    QEDM_REQUIRE(cells.size() == headers_.size(),
+                 "row width must match the header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(width[c]) + 2)
+               << cells[c];
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : width)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+std::string
+bar(double value, double scale, int width)
+{
+    QEDM_REQUIRE(scale > 0.0 && width > 0, "invalid bar scale/width");
+    const int filled = static_cast<int>(
+        std::round(std::clamp(value / scale, 0.0, 1.0) * width));
+    return std::string(static_cast<std::size_t>(filled), '#') +
+           std::string(static_cast<std::size_t>(width - filled), '.');
+}
+
+std::string
+heatmap(const std::vector<std::vector<double>> &matrix,
+        const std::vector<std::string> &labels)
+{
+    const std::size_t n = matrix.size();
+    QEDM_REQUIRE(labels.size() == n, "one label per matrix row");
+    double max_v = 0.0;
+    for (const auto &row : matrix) {
+        QEDM_REQUIRE(row.size() == n, "heatmap matrix must be square");
+        for (double v : row)
+            max_v = std::max(max_v, v);
+    }
+    // Dark-to-light shades: small divergence renders dark.
+    static const char shades[] = {'@', '#', '+', ':', '.', ' '};
+    constexpr int levels = 6;
+
+    std::ostringstream os;
+    os << "    ";
+    for (const auto &label : labels)
+        os << std::setw(3) << label.substr(0, 2);
+    os << "\n";
+    for (std::size_t i = 0; i < n; ++i) {
+        os << std::left << std::setw(4) << labels[i].substr(0, 3);
+        for (std::size_t j = 0; j < n; ++j) {
+            int level = 0;
+            if (max_v > 0.0) {
+                level = static_cast<int>(matrix[i][j] / max_v *
+                                         (levels - 1));
+                level = std::clamp(level, 0, levels - 1);
+            }
+            os << "  " << shades[level];
+        }
+        os << "\n";
+    }
+    os << "(dark '@' = similar distributions, light ' ' = divergent;"
+          " max SKL = "
+       << fmt(max_v) << ")\n";
+    return os.str();
+}
+
+std::string
+distributionReport(const stats::Distribution &dist, Outcome correct,
+                   std::size_t top_k)
+{
+    const auto top = dist.topK(top_k);
+    double scale = top.empty() ? 1.0 : std::max(top.front().second, 1e-9);
+    std::ostringstream os;
+    for (const auto &[outcome, p] : top) {
+        os << toBitstring(outcome, dist.width()) << "  "
+           << std::setw(7) << fmt(p, 4) << "  " << bar(p, scale, 32)
+           << (outcome == correct ? "  <= correct" : "") << "\n";
+    }
+    os << "PST = " << fmt(stats::pst(dist, correct), 4)
+       << ", IST = " << fmt(stats::ist(dist, correct), 3) << "\n";
+    return os.str();
+}
+
+} // namespace qedm::analysis

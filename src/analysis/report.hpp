@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text reporting helpers shared by the bench binaries: aligned
+ * tables, ASCII bar series, and shaded heat maps (the textual analogue
+ * of the paper's figures).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/distribution.hpp"
+
+namespace qedm::analysis {
+
+/** Column-aligned plain-text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Add one row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string toString() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Fixed-precision number formatting. */
+std::string fmt(double value, int precision = 3);
+
+/** A horizontal ASCII bar: value / scale of @p width characters. */
+std::string bar(double value, double scale, int width = 40);
+
+/**
+ * Render a matrix as a shaded ASCII heat map; darker glyphs mean
+ * *smaller* values, matching the paper's Fig. 4 convention where dark
+ * cells are near-zero divergence.
+ */
+std::string heatmap(const std::vector<std::vector<double>> &matrix,
+                    const std::vector<std::string> &labels);
+
+/**
+ * Sorted output-distribution dump (paper Fig. 3 style): top @p top_k
+ * outcomes by probability with bars; the correct outcome is marked.
+ */
+std::string distributionReport(const stats::Distribution &dist,
+                               Outcome correct, std::size_t top_k = 16);
+
+} // namespace qedm::analysis

@@ -1,0 +1,263 @@
+#include "benchmarks/extra.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qedm::benchmarks {
+
+using circuit::Circuit;
+
+namespace {
+
+/** Controlled-phase CP(lambda) via the standard Rz/CX identity. */
+void
+addControlledPhase(Circuit &c, double lambda, int control, int target)
+{
+    c.rz(lambda / 2.0, control);
+    c.cx(control, target);
+    c.rz(-lambda / 2.0, target);
+    c.cx(control, target);
+    c.rz(lambda / 2.0, target);
+}
+
+/** Controlled-H up to a branch phase: Ry(-pi/4) . CX . Ry(pi/4). */
+void
+addControlledH(Circuit &c, int control, int target)
+{
+    const double q = std::numbers::pi / 4.0;
+    c.ry(q, target);
+    c.cx(control, target);
+    c.ry(-q, target);
+}
+
+/** Forward QFT (no terminal qubit reversal). */
+void
+addQft(Circuit &c, int n, bool inverse)
+{
+    if (!inverse) {
+        for (int i = n - 1; i >= 0; --i) {
+            c.h(i);
+            for (int j = i - 1; j >= 0; --j) {
+                addControlledPhase(
+                    c, std::numbers::pi / double(1 << (i - j)), j, i);
+            }
+        }
+    } else {
+        for (int i = 0; i < n; ++i) {
+            for (int j = 0; j < i; ++j) {
+                addControlledPhase(
+                    c, -std::numbers::pi / double(1 << (i - j)), j, i);
+            }
+            c.h(i);
+        }
+    }
+}
+
+} // namespace
+
+Benchmark
+ghzRoundTrip(int n)
+{
+    QEDM_REQUIRE(n >= 3 && n <= 8, "GHZ size must be in [3, 8]");
+    Circuit c(n, n);
+    c.h(0);
+    for (int q = 0; q + 1 < n; ++q)
+        c.cx(q, q + 1);
+    for (int q = n - 2; q >= 0; --q)
+        c.cx(q, q + 1);
+    c.h(0);
+    c.measureAll();
+    return Benchmark{"ghz-" + std::to_string(n),
+                     "GHZ entangle/disentangle round trip",
+                     std::move(c), 0, n, PaperCounts{}};
+}
+
+Benchmark
+qftRoundTrip(int n, const std::string &input)
+{
+    QEDM_REQUIRE(n >= 2 && n <= 6, "QFT size must be in [2, 6]");
+    QEDM_REQUIRE(static_cast<int>(input.size()) == n,
+                 "input width must match the register");
+    const Outcome prepared = parseBitstring(input);
+    Circuit c(n, n);
+    for (int q = 0; q < n; ++q) {
+        if (getBit(prepared, q))
+            c.x(q);
+    }
+    addQft(c, n, false);
+    addQft(c, n, true);
+    c.measureAll();
+    return Benchmark{"qft-" + std::to_string(n),
+                     "QFT + inverse QFT round trip on |" + input + ">",
+                     std::move(c), prepared, n, PaperCounts{}};
+}
+
+Benchmark
+hiddenShift(const std::string &shift)
+{
+    const int n = static_cast<int>(shift.size());
+    QEDM_REQUIRE(n >= 2 && n <= 8 && n % 2 == 0,
+                 "hidden shift needs an even width in [2, 8]");
+    const Outcome s = parseBitstring(shift);
+
+    // Bent function f(x) = XOR of x_{2i} x_{2i+1}; its phase oracle is
+    // a CZ on each pair, and f is its own dual, so the single-query
+    // hidden-shift circuit is H / shifted-oracle / H / oracle / H.
+    Circuit c(n, n);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int q = 0; q < n; ++q) {
+        if (getBit(s, q))
+            c.x(q);
+    }
+    for (int q = 0; q + 1 < n; q += 2)
+        c.cz(q, q + 1);
+    for (int q = 0; q < n; ++q) {
+        if (getBit(s, q))
+            c.x(q);
+    }
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int q = 0; q + 1 < n; q += 2)
+        c.cz(q, q + 1);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    c.measureAll();
+    return Benchmark{"hs-" + std::to_string(n),
+                     "hidden shift, bent-function oracle, shift " +
+                         shift,
+                     std::move(c), s, n, PaperCounts{}};
+}
+
+Benchmark
+rippleAdder2(int a, int b)
+{
+    QEDM_REQUIRE(a >= 0 && a <= 3 && b >= 0 && b <= 3,
+                 "operands must be 2-bit values");
+    // Cuccaro ripple-carry adder: qubits c0, b0, a0, b1, a1, cout.
+    const int c0 = 0, b0 = 1, a0 = 2, b1 = 3, a1 = 4, cout = 5;
+    Circuit c(6, 3);
+    if (a & 1)
+        c.x(a0);
+    if (a & 2)
+        c.x(a1);
+    if (b & 1)
+        c.x(b0);
+    if (b & 2)
+        c.x(b1);
+    auto maj = [&](int x, int y, int z) {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.ccx(x, y, z);
+    };
+    auto uma = [&](int x, int y, int z) {
+        c.ccx(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+    maj(c0, b0, a0);
+    maj(a0, b1, a1);
+    c.cx(a1, cout);
+    uma(a0, b1, a1);
+    uma(c0, b0, a0);
+    // Sum lands in (b0, b1, cout).
+    c.measure(b0, 0);
+    c.measure(b1, 1);
+    c.measure(cout, 2);
+    return Benchmark{"radd2",
+                     "2-bit ripple-carry adder, " + std::to_string(a) +
+                         "+" + std::to_string(b),
+                     std::move(c), static_cast<Outcome>(a + b), 3,
+                     PaperCounts{}};
+}
+
+Benchmark
+wState()
+{
+    const double theta = 2.0 * std::acos(1.0 / std::sqrt(3.0));
+    Circuit c(3, 3);
+    c.ry(theta, 0);
+    addControlledH(c, 0, 1);
+    c.cx(1, 2);
+    c.cx(0, 1);
+    c.x(0);
+    c.measureAll();
+    return Benchmark{"w-state", "3-qubit W state (3-way tied output)",
+                     std::move(c), parseBitstring("001"), 3,
+                     PaperCounts{}};
+}
+
+Benchmark
+peres()
+{
+    // a = 1, b = 1, c = 0.
+    Circuit c(3, 3);
+    c.x(0).x(1);
+    c.ccx(0, 1, 2);
+    c.cx(0, 1);
+    c.measure(0, 0).measure(1, 1).measure(2, 2);
+    // Output (c', b', a') = (c^ab, a^b, a) = (1, 0, 1).
+    return Benchmark{"peres", "Peres gate on |110>", std::move(c),
+                     parseBitstring("101"), 3, PaperCounts{}};
+}
+
+Benchmark
+majority3(int a, int b, int c)
+{
+    QEDM_REQUIRE((a == 0 || a == 1) && (b == 0 || b == 1) &&
+                     (c == 0 || c == 1),
+                 "majority inputs must be bits");
+    Circuit circ(4, 4);
+    if (a)
+        circ.x(0);
+    if (b)
+        circ.x(1);
+    if (c)
+        circ.x(2);
+    circ.ccx(0, 1, 3);
+    circ.ccx(0, 2, 3);
+    circ.ccx(1, 2, 3);
+    circ.measureAll();
+    const int maj = (a + b + c) >= 2 ? 1 : 0;
+    const Outcome expected = static_cast<Outcome>(
+        (maj << 3) | (c << 2) | (b << 1) | a);
+    return Benchmark{"maj3",
+                     "3-voter majority of (" + std::to_string(a) +
+                         ", " + std::to_string(b) + ", " +
+                         std::to_string(c) + ")",
+                     std::move(circ), expected, 4, PaperCounts{}};
+}
+
+Benchmark
+toffoliChain(int n)
+{
+    QEDM_REQUIRE(n >= 2 && n <= 4, "chain depth must be in [2, 4]");
+    Circuit c(n + 2, n + 2);
+    c.x(0).x(1);
+    for (int i = 0; i < n; ++i)
+        c.ccx(i, i + 1, i + 2);
+    c.measureAll();
+    const Outcome expected = (Outcome(1) << (n + 2)) - 1;
+    return Benchmark{"tof-" + std::to_string(n),
+                     "Toffoli cascade of depth " + std::to_string(n),
+                     std::move(c), expected, n + 2, PaperCounts{}};
+}
+
+std::vector<Benchmark>
+extraSuite()
+{
+    std::vector<Benchmark> suite;
+    suite.push_back(ghzRoundTrip(5));
+    suite.push_back(qftRoundTrip(4, "1011"));
+    suite.push_back(hiddenShift("101101"));
+    suite.push_back(rippleAdder2(2, 3));
+    suite.push_back(wState());
+    suite.push_back(peres());
+    suite.push_back(majority3(1, 0, 1));
+    suite.push_back(toffoliChain(3));
+    return suite;
+}
+
+} // namespace qedm::benchmarks

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Additional NISQ workloads beyond the paper's Table 1.
+ *
+ * These cover the circuit families the paper's introduction and
+ * future-work sections motivate: entanglement witnesses (GHZ, W),
+ * Fourier-basis programs (QFT round-trip), oracle problems
+ * (hidden shift), and deeper arithmetic (ripple-carry adder). Each
+ * has a deterministic ideal output so PST/IST are well defined.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+
+namespace qedm::benchmarks {
+
+/**
+ * GHZ state preparation and parity check on n qubits (3..8): prepares
+ * (|0..0> + |1..1>)/sqrt(2), then uncomputes the entanglement with a
+ * mirrored CX ladder and measures. Expected output: all zeros.
+ */
+Benchmark ghzRoundTrip(int n);
+
+/**
+ * QFT round-trip on n qubits (2..6): prepares a computational basis
+ * state, applies QFT then inverse QFT, and measures. Expected output:
+ * the prepared state. Exercises fine-grained Rz phases.
+ */
+Benchmark qftRoundTrip(int n, const std::string &input);
+
+/**
+ * Boolean hidden-shift for a bent-function oracle on n qubits (even n,
+ * 2..8): single-query algorithm whose output is the hidden shift
+ * string. Structure resembles BV but with a different oracle family.
+ */
+Benchmark hiddenShift(const std::string &shift);
+
+/**
+ * Two-bit ripple-carry adder computing a + b for 2-bit operands.
+ * Output: 3-bit sum (MSB first). Deeper than the paper's 1-bit adder.
+ */
+Benchmark rippleAdder2(int a, int b);
+
+/**
+ * W-state preparation on 3 qubits followed by a permutation-invariance
+ * check. Measures in the computational basis; the ideal distribution
+ * is uniform over {001, 010, 100}. The *expected* outcome is defined
+ * as 001 for PST purposes; the ideal machine gives IST = 1 (three-way
+ * tie), so this workload probes how noise breaks symmetric outputs.
+ */
+Benchmark wState();
+
+/**
+ * Peres gate on |abc>: computes (a, a XOR b, c XOR ab) — a common
+ * RevLib primitive (Toffoli followed by CNOT). With inputs a = 1,
+ * b = 1, c = 0 the output string (c', b', a') is "101".
+ */
+Benchmark peres();
+
+/**
+ * 3-voter majority: an ancilla accumulates MAJ(a, b, c) via three
+ * Toffolis. Output string is (maj, c, b, a), MSB first.
+ */
+Benchmark majority3(int a, int b, int c);
+
+/**
+ * Toffoli chain of depth @p n (2..4): n CCX gates cascading through
+ * n+2 qubits with all controls set; a deep non-Clifford stressor.
+ */
+Benchmark toffoliChain(int n);
+
+/** All extra benchmarks with default parameters. */
+std::vector<Benchmark> extraSuite();
+
+} // namespace qedm::benchmarks

@@ -1,0 +1,299 @@
+#include "circuit/circuit.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qedm::circuit {
+
+Circuit::Circuit(int num_qubits, int num_clbits)
+    : numQubits_(num_qubits),
+      numClbits_(num_clbits < 0 ? num_qubits : num_clbits)
+{
+    QEDM_REQUIRE(num_qubits >= 1 && num_qubits <= 64,
+                 "circuit qubit count must be in [1, 64]");
+    QEDM_REQUIRE(numClbits_ >= 0 && numClbits_ <= 20,
+                 "circuit clbit count must be in [0, 20]");
+}
+
+void
+Circuit::checkQubit(int q) const
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+}
+
+void
+Circuit::checkClbit(int c) const
+{
+    QEDM_REQUIRE(c >= 0 && c < numClbits_, "clbit index out of range");
+}
+
+Circuit &
+Circuit::append(Gate gate)
+{
+    if (gate.kind != OpKind::Barrier) {
+        QEDM_REQUIRE(static_cast<int>(gate.qubits.size()) ==
+                         opArity(gate.kind),
+                     "wrong operand count for " + opName(gate.kind));
+    }
+    QEDM_REQUIRE(static_cast<int>(gate.params.size()) ==
+                     opParamCount(gate.kind),
+                 "wrong parameter count for " + opName(gate.kind));
+    std::set<int> seen;
+    for (int q : gate.qubits) {
+        checkQubit(q);
+        QEDM_REQUIRE(seen.insert(q).second,
+                     "gate operands must be distinct qubits");
+    }
+    if (gate.kind == OpKind::Measure) {
+        checkClbit(gate.clbit);
+    } else {
+        QEDM_REQUIRE(gate.clbit == -1,
+                     "only Measure writes a classical bit");
+    }
+    gates_.push_back(std::move(gate));
+    return *this;
+}
+
+Circuit &
+Circuit::add1q(OpKind kind, int q)
+{
+    return append(Gate{kind, {q}, {}, -1});
+}
+
+Circuit &
+Circuit::rx(double theta, int q)
+{
+    return append(Gate{OpKind::Rx, {q}, {theta}, -1});
+}
+
+Circuit &
+Circuit::ry(double theta, int q)
+{
+    return append(Gate{OpKind::Ry, {q}, {theta}, -1});
+}
+
+Circuit &
+Circuit::rz(double theta, int q)
+{
+    return append(Gate{OpKind::Rz, {q}, {theta}, -1});
+}
+
+Circuit &
+Circuit::cx(int control, int target)
+{
+    return append(Gate{OpKind::Cx, {control, target}, {}, -1});
+}
+
+Circuit &
+Circuit::cz(int a, int b)
+{
+    return append(Gate{OpKind::Cz, {a, b}, {}, -1});
+}
+
+Circuit &
+Circuit::swap(int a, int b)
+{
+    return append(Gate{OpKind::Swap, {a, b}, {}, -1});
+}
+
+Circuit &
+Circuit::ccx(int c0, int c1, int target)
+{
+    return append(Gate{OpKind::Ccx, {c0, c1, target}, {}, -1});
+}
+
+Circuit &
+Circuit::cswap(int control, int a, int b)
+{
+    return append(Gate{OpKind::Cswap, {control, a, b}, {}, -1});
+}
+
+Circuit &
+Circuit::measure(int q, int c)
+{
+    Gate g{OpKind::Measure, {q}, {}, c};
+    return append(std::move(g));
+}
+
+Circuit &
+Circuit::measureAll()
+{
+    QEDM_REQUIRE(numClbits_ <= numQubits_,
+                 "measureAll needs clbits <= qubits");
+    for (int i = 0; i < numClbits_; ++i)
+        measure(i, i);
+    return *this;
+}
+
+Circuit &
+Circuit::barrier()
+{
+    return append(Gate{OpKind::Barrier, {}, {}, -1});
+}
+
+GateCounts
+Circuit::countGates() const
+{
+    GateCounts c;
+    for (const auto &g : gates_) {
+        switch (g.kind) {
+          case OpKind::Measure:
+            c.measure += 1;
+            break;
+          case OpKind::Barrier:
+            break;
+          case OpKind::Swap:
+            c.twoQubit += 3; // decomposes to 3 CX on hardware
+            break;
+          case OpKind::Ccx:
+            // Standard decomposition: 6 CX + 9 single-qubit gates.
+            c.twoQubit += 6;
+            c.singleQubit += 9;
+            break;
+          case OpKind::Cswap:
+            // cswap = cx + ccx + cx.
+            c.twoQubit += 8;
+            c.singleQubit += 9;
+            break;
+          default:
+            if (opArity(g.kind) == 1)
+                c.singleQubit += 1;
+            else
+                c.twoQubit += 1;
+        }
+    }
+    return c;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> busy_until(numQubits_, 0);
+    int depth = 0;
+    for (const auto &g : gates_) {
+        if (g.kind == OpKind::Barrier)
+            continue;
+        int start = 0;
+        for (int q : g.qubits)
+            start = std::max(start, busy_until[q]);
+        const int end = start + 1;
+        for (int q : g.qubits)
+            busy_until[q] = end;
+        depth = std::max(depth, end);
+    }
+    return depth;
+}
+
+int
+Circuit::activeQubitCount() const
+{
+    std::set<int> used;
+    for (const auto &g : gates_)
+        used.insert(g.qubits.begin(), g.qubits.end());
+    return static_cast<int>(used.size());
+}
+
+Circuit
+Circuit::remapQubits(const std::vector<int> &qubit_map,
+                     int new_num_qubits) const
+{
+    QEDM_REQUIRE(static_cast<int>(qubit_map.size()) == numQubits_,
+                 "qubit map must cover every register qubit");
+    std::set<int> targets;
+    for (int t : qubit_map) {
+        QEDM_REQUIRE(t >= 0 && t < new_num_qubits,
+                     "qubit map target out of range");
+        QEDM_REQUIRE(targets.insert(t).second,
+                     "qubit map targets must be distinct");
+    }
+    Circuit out(new_num_qubits, numClbits_);
+    for (Gate g : gates_) {
+        for (int &q : g.qubits)
+            q = qubit_map[q];
+        out.append(std::move(g));
+    }
+    return out;
+}
+
+Circuit
+Circuit::decomposed() const
+{
+    Circuit out(numQubits_, numClbits_);
+    for (const Gate &g : gates_) {
+        switch (g.kind) {
+          case OpKind::Swap: {
+            const int a = g.qubits[0], b = g.qubits[1];
+            out.cx(a, b).cx(b, a).cx(a, b);
+            break;
+          }
+          case OpKind::Ccx: {
+            const int a = g.qubits[0], b = g.qubits[1], c = g.qubits[2];
+            out.h(c)
+                .cx(b, c).tdg(c).cx(a, c).t(c)
+                .cx(b, c).tdg(c).cx(a, c).t(b).t(c)
+                .h(c).cx(a, b).t(a).tdg(b).cx(a, b);
+            break;
+          }
+          case OpKind::Cswap: {
+            const int c = g.qubits[0], a = g.qubits[1], b = g.qubits[2];
+            // cswap(c; a, b) = cx(b, a) . ccx(c, a, b) . cx(b, a)
+            out.cx(b, a);
+            Circuit inner(numQubits_, numClbits_);
+            inner.ccx(c, a, b);
+            const Circuit inner_flat = inner.decomposed();
+            for (const Gate &ig : inner_flat.gates())
+                out.append(ig);
+            out.cx(b, a);
+            break;
+          }
+          default:
+            out.append(g);
+        }
+    }
+    return out;
+}
+
+std::string
+Circuit::toQasm() const
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n"
+       << "include \"qelib1.inc\";\n"
+       << "qreg q[" << numQubits_ << "];\n";
+    if (numClbits_ > 0)
+        os << "creg c[" << numClbits_ << "];\n";
+    for (const auto &g : gates_) {
+        if (g.kind == OpKind::Barrier) {
+            os << "barrier q;\n";
+            continue;
+        }
+        if (g.kind == OpKind::Measure) {
+            os << "measure q[" << g.qubits[0] << "] -> c[" << g.clbit
+               << "];\n";
+            continue;
+        }
+        os << opName(g.kind);
+        if (!g.params.empty()) {
+            os << "(";
+            for (std::size_t i = 0; i < g.params.size(); ++i) {
+                if (i)
+                    os << ",";
+                os << g.params[i];
+            }
+            os << ")";
+        }
+        os << " ";
+        for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+            if (i)
+                os << ",";
+            os << "q[" << g.qubits[i] << "]";
+        }
+        os << ";\n";
+    }
+    return os.str();
+}
+
+} // namespace qedm::circuit

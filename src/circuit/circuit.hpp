@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Quantum circuit intermediate representation.
+ *
+ * A Circuit is an ordered list of Gate records over a qubit register and
+ * a classical register. Benchmarks build *logical* circuits; the
+ * transpiler rewrites them into *physical* circuits whose qubit indices
+ * refer to device qubits and whose two-qubit gates respect the coupling
+ * graph.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/op.hpp"
+
+namespace qedm::circuit {
+
+/** One operation instance in a circuit. */
+struct Gate
+{
+    OpKind kind;
+    /** Qubit operands; size must equal opArity(kind) (Barrier: any). */
+    std::vector<int> qubits;
+    /** Rotation parameters; size must equal opParamCount(kind). */
+    std::vector<double> params;
+    /** Destination classical bit for Measure; -1 otherwise. */
+    int clbit = -1;
+};
+
+/** SG / CX / M totals in the style of the paper's Table 1. */
+struct GateCounts
+{
+    int singleQubit = 0; ///< 1-qubit unitaries ("SG")
+    int twoQubit = 0;    ///< 2-qubit unitaries ("CX"); SWAP counts as 3
+    int measure = 0;     ///< measurement operations ("M")
+};
+
+/**
+ * An ordered quantum circuit with builder-style mutators.
+ *
+ * All mutators validate operand indices and return *this so circuits
+ * can be built fluently.
+ */
+class Circuit
+{
+  public:
+    /**
+     * @param num_qubits size of the quantum register (1..64)
+     * @param num_clbits size of the classical register (0..20);
+     *        defaults to num_qubits when negative
+     */
+    explicit Circuit(int num_qubits, int num_clbits = -1);
+
+    int numQubits() const { return numQubits_; }
+    int numClbits() const { return numClbits_; }
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+
+    /** Append a fully-specified gate (validated). */
+    Circuit &append(Gate gate);
+
+    /** @name Single-qubit builders */
+    /** @{ */
+    Circuit &i(int q) { return add1q(OpKind::I, q); }
+    Circuit &x(int q) { return add1q(OpKind::X, q); }
+    Circuit &y(int q) { return add1q(OpKind::Y, q); }
+    Circuit &z(int q) { return add1q(OpKind::Z, q); }
+    Circuit &h(int q) { return add1q(OpKind::H, q); }
+    Circuit &s(int q) { return add1q(OpKind::S, q); }
+    Circuit &sdg(int q) { return add1q(OpKind::Sdg, q); }
+    Circuit &t(int q) { return add1q(OpKind::T, q); }
+    Circuit &tdg(int q) { return add1q(OpKind::Tdg, q); }
+    Circuit &rx(double theta, int q);
+    Circuit &ry(double theta, int q);
+    Circuit &rz(double theta, int q);
+    /** @} */
+
+    /** @name Multi-qubit builders */
+    /** @{ */
+    Circuit &cx(int control, int target);
+    Circuit &cz(int a, int b);
+    Circuit &swap(int a, int b);
+    Circuit &ccx(int c0, int c1, int target);
+    Circuit &cswap(int control, int a, int b);
+    /** @} */
+
+    /** Measure qubit @p q into classical bit @p c. */
+    Circuit &measure(int q, int c);
+
+    /** Measure qubit i into clbit i for all i < numClbits(). */
+    Circuit &measureAll();
+
+    /** Insert a barrier (scheduling fence; a no-op for simulation). */
+    Circuit &barrier();
+
+    /** Gate totals in Table-1 style. SWAP contributes 3 to twoQubit. */
+    GateCounts countGates() const;
+
+    /** Circuit depth counting every non-barrier gate as one time step. */
+    int depth() const;
+
+    /** Number of distinct qubits referenced by any gate. */
+    int activeQubitCount() const;
+
+    /** True if every 2-qubit unitary's operands are adjacent per
+     *  @p adjacent (used to validate physical circuits). */
+    template <typename AdjacencyFn>
+    bool
+    respectsCoupling(AdjacencyFn &&adjacent) const
+    {
+        for (const auto &g : gates_) {
+            if (opIsTwoQubit(g.kind) &&
+                !adjacent(g.qubits[0], g.qubits[1])) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /**
+     * Relabel qubits through @p qubit_map (logical index -> new index).
+     * @param new_num_qubits register size of the result.
+     * Classical bits are unchanged. Every referenced qubit must map to
+     * a distinct index inside the new register.
+     */
+    Circuit remapQubits(const std::vector<int> &qubit_map,
+                        int new_num_qubits) const;
+
+    /**
+     * Rewrite Ccx/Cswap into the standard {H, T, Tdg, Cx} network and
+     * Swap into 3 Cx. Other gates pass through.
+     */
+    Circuit decomposed() const;
+
+    /** OpenQASM-2-style textual form. */
+    std::string toQasm() const;
+
+  private:
+    Circuit &add1q(OpKind kind, int q);
+    void checkQubit(int q) const;
+    void checkClbit(int c) const;
+
+    int numQubits_;
+    int numClbits_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace qedm::circuit

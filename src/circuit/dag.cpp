@@ -1,0 +1,89 @@
+#include "circuit/dag.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qedm::circuit {
+
+CircuitDag::CircuitDag(const Circuit &circuit)
+{
+    const auto &gates = circuit.gates();
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        if (gates[gi].kind != OpKind::Barrier)
+            nodeGateIndex_.push_back(gi);
+    }
+    const std::size_t n = nodeGateIndex_.size();
+    preds_.assign(n, {});
+    succs_.assign(n, {});
+
+    // last_writer[q] = most recent node touching qubit q;
+    // last_measure[c] = most recent node writing clbit c.
+    std::vector<int> last_qubit(circuit.numQubits(), -1);
+    std::vector<int> last_clbit(std::max(circuit.numClbits(), 1), -1);
+
+    for (std::size_t node = 0; node < n; ++node) {
+        const Gate &g = gates[nodeGateIndex_[node]];
+        auto link = [&](int prev) {
+            if (prev >= 0) {
+                auto &s = succs_[prev];
+                if (std::find(s.begin(), s.end(), node) == s.end()) {
+                    s.push_back(node);
+                    preds_[node].push_back(
+                        static_cast<std::size_t>(prev));
+                }
+            }
+        };
+        for (int q : g.qubits) {
+            link(last_qubit[q]);
+            last_qubit[q] = static_cast<int>(node);
+        }
+        if (g.kind == OpKind::Measure) {
+            link(last_clbit[g.clbit]);
+            last_clbit[g.clbit] = static_cast<int>(node);
+        }
+    }
+
+    // ASAP layering.
+    std::vector<int> layer_of(n, 0);
+    int max_layer = -1;
+    for (std::size_t node = 0; node < n; ++node) {
+        int layer = 0;
+        for (std::size_t p : preds_[node])
+            layer = std::max(layer, layer_of[p] + 1);
+        layer_of[node] = layer;
+        max_layer = std::max(max_layer, layer);
+    }
+    layers_.assign(static_cast<std::size_t>(max_layer + 1), {});
+    for (std::size_t node = 0; node < n; ++node)
+        layers_[layer_of[node]].push_back(node);
+}
+
+std::size_t
+CircuitDag::gateIndex(std::size_t node) const
+{
+    QEDM_REQUIRE(node < nodeGateIndex_.size(), "DAG node out of range");
+    return nodeGateIndex_[node];
+}
+
+const std::vector<std::size_t> &
+CircuitDag::predecessors(std::size_t node) const
+{
+    QEDM_REQUIRE(node < preds_.size(), "DAG node out of range");
+    return preds_[node];
+}
+
+const std::vector<std::size_t> &
+CircuitDag::successors(std::size_t node) const
+{
+    QEDM_REQUIRE(node < succs_.size(), "DAG node out of range");
+    return succs_[node];
+}
+
+std::vector<std::size_t>
+CircuitDag::frontLayer() const
+{
+    return layers_.empty() ? std::vector<std::size_t>{} : layers_.front();
+}
+
+} // namespace qedm::circuit

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Dependency analysis over a Circuit's gate list.
+ *
+ * Two gates conflict when they share a qubit (or, for Measure, the same
+ * classical bit). The DAG exposes ASAP layers, which back the depth
+ * metric, scheduling visualizations, and transpiler look-ahead.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qedm::circuit {
+
+/** Immutable dependency DAG built from a Circuit. */
+class CircuitDag
+{
+  public:
+    explicit CircuitDag(const Circuit &circuit);
+
+    /** Number of non-barrier gates (DAG nodes). */
+    std::size_t size() const { return nodeGateIndex_.size(); }
+
+    /** Gate index (into circuit.gates()) of DAG node @p node. */
+    std::size_t gateIndex(std::size_t node) const;
+
+    /** Direct predecessors of @p node. */
+    const std::vector<std::size_t> &predecessors(std::size_t node) const;
+
+    /** Direct successors of @p node. */
+    const std::vector<std::size_t> &successors(std::size_t node) const;
+
+    /**
+     * ASAP layers: layer L contains nodes whose predecessors are all in
+     * layers < L. Layer count equals the circuit depth.
+     */
+    const std::vector<std::vector<std::size_t>> &layers() const
+    {
+        return layers_;
+    }
+
+    /** Nodes with no predecessors (the initial front layer). */
+    std::vector<std::size_t> frontLayer() const;
+
+    /** Length of the longest dependency chain (== circuit depth). */
+    int criticalPathLength() const
+    {
+        return static_cast<int>(layers_.size());
+    }
+
+  private:
+    std::vector<std::size_t> nodeGateIndex_;
+    std::vector<std::vector<std::size_t>> preds_;
+    std::vector<std::vector<std::size_t>> succs_;
+    std::vector<std::vector<std::size_t>> layers_;
+};
+
+} // namespace qedm::circuit

@@ -1,0 +1,169 @@
+#include "circuit/op.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qedm::circuit {
+namespace {
+
+constexpr Complex kI(0.0, 1.0);
+
+} // namespace
+
+std::string
+opName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::I: return "id";
+      case OpKind::X: return "x";
+      case OpKind::Y: return "y";
+      case OpKind::Z: return "z";
+      case OpKind::H: return "h";
+      case OpKind::S: return "s";
+      case OpKind::Sdg: return "sdg";
+      case OpKind::T: return "t";
+      case OpKind::Tdg: return "tdg";
+      case OpKind::Rx: return "rx";
+      case OpKind::Ry: return "ry";
+      case OpKind::Rz: return "rz";
+      case OpKind::Cx: return "cx";
+      case OpKind::Cz: return "cz";
+      case OpKind::Swap: return "swap";
+      case OpKind::Ccx: return "ccx";
+      case OpKind::Cswap: return "cswap";
+      case OpKind::Measure: return "measure";
+      case OpKind::Barrier: return "barrier";
+    }
+    throw InternalError("opName: unknown OpKind");
+}
+
+int
+opArity(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::I:
+      case OpKind::X:
+      case OpKind::Y:
+      case OpKind::Z:
+      case OpKind::H:
+      case OpKind::S:
+      case OpKind::Sdg:
+      case OpKind::T:
+      case OpKind::Tdg:
+      case OpKind::Rx:
+      case OpKind::Ry:
+      case OpKind::Rz:
+      case OpKind::Measure:
+        return 1;
+      case OpKind::Cx:
+      case OpKind::Cz:
+      case OpKind::Swap:
+        return 2;
+      case OpKind::Ccx:
+      case OpKind::Cswap:
+        return 3;
+      case OpKind::Barrier:
+        return 0;
+    }
+    throw InternalError("opArity: unknown OpKind");
+}
+
+int
+opParamCount(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Rx:
+      case OpKind::Ry:
+      case OpKind::Rz:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+bool
+opIsUnitary(OpKind kind)
+{
+    return kind != OpKind::Measure && kind != OpKind::Barrier;
+}
+
+bool
+opIsTwoQubit(OpKind kind)
+{
+    return opIsUnitary(kind) && opArity(kind) == 2;
+}
+
+std::array<Complex, 4>
+gateMatrix1q(OpKind kind, const std::vector<double> &params)
+{
+    QEDM_REQUIRE(static_cast<int>(params.size()) == opParamCount(kind),
+                 "wrong number of gate parameters");
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    switch (kind) {
+      case OpKind::I:
+        return {1, 0, 0, 1};
+      case OpKind::X:
+        return {0, 1, 1, 0};
+      case OpKind::Y:
+        return {0, -kI, kI, 0};
+      case OpKind::Z:
+        return {1, 0, 0, -1};
+      case OpKind::H:
+        return {inv_sqrt2, inv_sqrt2, inv_sqrt2, -inv_sqrt2};
+      case OpKind::S:
+        return {1, 0, 0, kI};
+      case OpKind::Sdg:
+        return {1, 0, 0, -kI};
+      case OpKind::T:
+        return {1, 0, 0, std::exp(kI * (std::numbers::pi / 4.0))};
+      case OpKind::Tdg:
+        return {1, 0, 0, std::exp(-kI * (std::numbers::pi / 4.0))};
+      case OpKind::Rx: {
+        const double t = params[0] / 2.0;
+        return {std::cos(t), -kI * std::sin(t),
+                -kI * std::sin(t), std::cos(t)};
+      }
+      case OpKind::Ry: {
+        const double t = params[0] / 2.0;
+        return {Complex(std::cos(t)), Complex(-std::sin(t)),
+                Complex(std::sin(t)), Complex(std::cos(t))};
+      }
+      case OpKind::Rz: {
+        const double t = params[0] / 2.0;
+        return {std::exp(-kI * t), 0, 0, std::exp(kI * t)};
+      }
+      default:
+        throw UserError("gateMatrix1q: `" + opName(kind) +
+                        "` is not a single-qubit unitary");
+    }
+}
+
+std::array<Complex, 16>
+gateMatrix2q(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::Cx:
+        // Operand 0 (control) is the most-significant factor.
+        return {1, 0, 0, 0,
+                0, 1, 0, 0,
+                0, 0, 0, 1,
+                0, 0, 1, 0};
+      case OpKind::Cz:
+        return {1, 0, 0, 0,
+                0, 1, 0, 0,
+                0, 0, 1, 0,
+                0, 0, 0, -1};
+      case OpKind::Swap:
+        return {1, 0, 0, 0,
+                0, 0, 1, 0,
+                0, 1, 0, 0,
+                0, 0, 0, 1};
+      default:
+        throw UserError("gateMatrix2q: `" + opName(kind) +
+                        "` is not a two-qubit unitary");
+    }
+}
+
+} // namespace qedm::circuit

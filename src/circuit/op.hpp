@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Gate vocabulary: operation kinds, their metadata, and their matrices.
+ *
+ * The gate set covers what the paper's benchmarks need (Clifford+T
+ * single-qubit gates, rotations for QAOA, CX/CZ/SWAP two-qubit gates)
+ * plus measurement and barriers.
+ */
+
+#pragma once
+
+#include <array>
+#include <complex>
+#include <string>
+#include <vector>
+
+namespace qedm::circuit {
+
+using Complex = std::complex<double>;
+
+/** Operation kinds supported by the IR. */
+enum class OpKind
+{
+    // Single-qubit unitaries.
+    I,
+    X,
+    Y,
+    Z,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    Rx,
+    Ry,
+    Rz,
+    // Two-qubit unitaries.
+    Cx,
+    Cz,
+    Swap,
+    // Three-qubit unitaries (decomposable; kept for benchmark sources).
+    Ccx,
+    Cswap,
+    // Non-unitary / structural.
+    Measure,
+    Barrier,
+};
+
+/** Short mnemonic ("cx", "rz", ...). */
+std::string opName(OpKind kind);
+
+/** Number of qubit operands (0 for Barrier). */
+int opArity(OpKind kind);
+
+/** Number of rotation-angle parameters. */
+int opParamCount(OpKind kind);
+
+/** True for unitary gates (everything except Measure/Barrier). */
+bool opIsUnitary(OpKind kind);
+
+/** True for unitary gates on exactly two qubits. */
+bool opIsTwoQubit(OpKind kind);
+
+/**
+ * 2x2 matrix of a single-qubit gate, row-major.
+ * @param params rotation angles when the gate is parametric.
+ */
+std::array<Complex, 4> gateMatrix1q(OpKind kind,
+                                    const std::vector<double> &params);
+
+/**
+ * 4x4 matrix of a two-qubit gate, row-major, with operand 0 as the
+ * most-significant (leftmost) tensor factor: basis order
+ * |q0 q1> = |00>, |01>, |10>, |11>.
+ */
+std::array<Complex, 16> gateMatrix2q(OpKind kind);
+
+} // namespace qedm::circuit

@@ -1,0 +1,197 @@
+#include "circuit/qasm_parser.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qedm::circuit {
+namespace {
+
+/** Throw a UserError pointing at the offending line. */
+[[noreturn]] void
+fail(const std::string &line, const std::string &why)
+{
+    throw UserError("QASM parse error: " + why + " in line: `" + line +
+                    "`");
+}
+
+std::string
+strip(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Parse "q[<idx>]" and return idx. */
+int
+parseIndexedRef(const std::string &line, const std::string &token,
+                char reg)
+{
+    const std::string t = strip(token);
+    if (t.size() < 4 || t[0] != reg || t[1] != '[' || t.back() != ']')
+        fail(line, "expected " + std::string(1, reg) + "[<index>]");
+    try {
+        return std::stoi(t.substr(2, t.size() - 3));
+    } catch (const std::exception &) {
+        fail(line, "bad register index");
+    }
+}
+
+std::vector<std::string>
+splitOn(const std::string &s, char sep)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char ch : s) {
+        if (ch == sep) {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += ch;
+        }
+    }
+    parts.push_back(cur);
+    return parts;
+}
+
+const std::map<std::string, OpKind> &
+mnemonics()
+{
+    static const std::map<std::string, OpKind> table{
+        {"id", OpKind::I},    {"x", OpKind::X},
+        {"y", OpKind::Y},     {"z", OpKind::Z},
+        {"h", OpKind::H},     {"s", OpKind::S},
+        {"sdg", OpKind::Sdg}, {"t", OpKind::T},
+        {"tdg", OpKind::Tdg}, {"rx", OpKind::Rx},
+        {"ry", OpKind::Ry},   {"rz", OpKind::Rz},
+        {"cx", OpKind::Cx},   {"cz", OpKind::Cz},
+        {"swap", OpKind::Swap}, {"ccx", OpKind::Ccx},
+        {"cswap", OpKind::Cswap},
+    };
+    return table;
+}
+
+} // namespace
+
+Circuit
+parseQasm(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string raw;
+    std::optional<Circuit> circuit;
+    int num_qubits = -1;
+    int num_clbits = 0;
+    std::vector<Gate> pending;
+
+    auto ensureRegisters = [&]() {
+        if (!circuit) {
+            QEDM_REQUIRE(num_qubits > 0,
+                         "QASM parse error: qreg must precede gates");
+            circuit.emplace(num_qubits, num_clbits);
+        }
+    };
+
+    while (std::getline(in, raw)) {
+        std::string line = raw;
+        const auto comment = line.find("//");
+        if (comment != std::string::npos)
+            line = line.substr(0, comment);
+        line = strip(line);
+        if (line.empty())
+            continue;
+        if (line.rfind("OPENQASM", 0) == 0 ||
+            line.rfind("include", 0) == 0) {
+            continue;
+        }
+        if (line.back() != ';')
+            fail(raw, "missing `;`");
+        line.pop_back();
+        line = strip(line);
+
+        if (line.rfind("qreg", 0) == 0) {
+            if (num_qubits >= 0)
+                fail(raw, "duplicate qreg");
+            num_qubits = parseIndexedRef(raw, strip(line.substr(4)),
+                                         'q');
+            continue;
+        }
+        if (line.rfind("creg", 0) == 0) {
+            if (circuit)
+                fail(raw, "creg must precede gates");
+            num_clbits = parseIndexedRef(raw, strip(line.substr(4)),
+                                         'c');
+            continue;
+        }
+        if (line.rfind("barrier", 0) == 0) {
+            ensureRegisters();
+            circuit->barrier();
+            continue;
+        }
+        if (line.rfind("measure", 0) == 0) {
+            ensureRegisters();
+            const auto arrow = line.find("->");
+            if (arrow == std::string::npos)
+                fail(raw, "measure needs `->`");
+            const int q = parseIndexedRef(
+                raw, strip(line.substr(7, arrow - 7)), 'q');
+            const int c = parseIndexedRef(
+                raw, strip(line.substr(arrow + 2)), 'c');
+            circuit->measure(q, c);
+            continue;
+        }
+
+        // Gate line: mnemonic[(params)] q[a][,q[b]...]
+        std::size_t name_end = 0;
+        while (name_end < line.size() &&
+               (std::isalnum(static_cast<unsigned char>(
+                    line[name_end])) ||
+                line[name_end] == '_')) {
+            ++name_end;
+        }
+        const std::string name = line.substr(0, name_end);
+        const auto it = mnemonics().find(name);
+        if (it == mnemonics().end())
+            fail(raw, "unknown gate `" + name + "`");
+
+        std::string rest = strip(line.substr(name_end));
+        std::vector<double> params;
+        if (!rest.empty() && rest.front() == '(') {
+            const auto close = rest.find(')');
+            if (close == std::string::npos)
+                fail(raw, "unterminated parameter list");
+            for (const std::string &p :
+                 splitOn(rest.substr(1, close - 1), ',')) {
+                try {
+                    params.push_back(std::stod(strip(p)));
+                } catch (const std::exception &) {
+                    fail(raw, "bad gate parameter");
+                }
+            }
+            rest = strip(rest.substr(close + 1));
+        }
+        std::vector<int> qubits;
+        for (const std::string &operand : splitOn(rest, ','))
+            qubits.push_back(parseIndexedRef(raw, operand, 'q'));
+
+        ensureRegisters();
+        Gate gate{it->second, std::move(qubits), std::move(params), -1};
+        try {
+            circuit->append(std::move(gate));
+        } catch (const UserError &e) {
+            fail(raw, e.what());
+        }
+    }
+    QEDM_REQUIRE(circuit.has_value(),
+                 "QASM parse error: no qreg declaration found");
+    return *circuit;
+}
+
+} // namespace qedm::circuit

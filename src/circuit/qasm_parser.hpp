@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Parser for the OpenQASM-2 subset emitted by Circuit::toQasm().
+ *
+ * Supports: the OPENQASM/include headers, one `qreg q[...]` and one
+ * optional `creg c[...]`, all gate mnemonics of the qedm gate set
+ * (with parenthesized parameters for rotations), `measure q[i] ->
+ * c[j];`, and `barrier`. Whitespace-insensitive; `//` comments are
+ * ignored. Circuit::toQasm() followed by parseQasm() is an exact
+ * round trip.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace qedm::circuit {
+
+/**
+ * Parse @p text into a Circuit.
+ * @throws qedm::UserError on any syntax or semantic error, with the
+ *         offending line in the message.
+ */
+Circuit parseQasm(const std::string &text);
+
+} // namespace qedm::circuit

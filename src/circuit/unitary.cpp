@@ -1,0 +1,140 @@
+#include "circuit/unitary.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qedm::circuit {
+
+Unitary::Unitary(int num_qubits)
+    : numQubits_(num_qubits), dim_(std::size_t(1) << num_qubits)
+{
+    QEDM_REQUIRE(num_qubits >= 1 && num_qubits <= 10,
+                 "dense unitaries are limited to 10 qubits");
+    m_.assign(dim_ * dim_, Complex(0.0));
+    for (std::size_t i = 0; i < dim_; ++i)
+        m_[i * dim_ + i] = Complex(1.0);
+}
+
+Complex
+Unitary::at(std::size_t row, std::size_t col) const
+{
+    QEDM_REQUIRE(row < dim_ && col < dim_, "unitary index out of range");
+    return m_[row * dim_ + col];
+}
+
+void
+Unitary::set(std::size_t row, std::size_t col, Complex v)
+{
+    QEDM_REQUIRE(row < dim_ && col < dim_, "unitary index out of range");
+    m_[row * dim_ + col] = v;
+}
+
+void
+Unitary::applyGate1q(const std::array<Complex, 4> &g, int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    const std::size_t mask = std::size_t(1) << q;
+    for (std::size_t col = 0; col < dim_; ++col) {
+        for (std::size_t row = 0; row < dim_; ++row) {
+            if (row & mask)
+                continue;
+            const std::size_t r0 = row;
+            const std::size_t r1 = row | mask;
+            const Complex a = m_[r0 * dim_ + col];
+            const Complex b = m_[r1 * dim_ + col];
+            m_[r0 * dim_ + col] = g[0] * a + g[1] * b;
+            m_[r1 * dim_ + col] = g[2] * a + g[3] * b;
+        }
+    }
+}
+
+void
+Unitary::applyGate2q(const std::array<Complex, 16> &g, int q0, int q1)
+{
+    QEDM_REQUIRE(q0 >= 0 && q0 < numQubits_ && q1 >= 0 &&
+                     q1 < numQubits_ && q0 != q1,
+                 "invalid two-qubit operands");
+    const std::size_t m0 = std::size_t(1) << q0;
+    const std::size_t m1 = std::size_t(1) << q1;
+    for (std::size_t col = 0; col < dim_; ++col) {
+        for (std::size_t row = 0; row < dim_; ++row) {
+            if (row & (m0 | m1))
+                continue;
+            // rows of the 4-dim subspace, indexed |q0 q1>.
+            const std::size_t r[4] = {row, row | m1, row | m0,
+                                      row | m0 | m1};
+            Complex v[4];
+            for (int i = 0; i < 4; ++i)
+                v[i] = m_[r[i] * dim_ + col];
+            for (int i = 0; i < 4; ++i) {
+                Complex acc(0.0);
+                for (int j = 0; j < 4; ++j)
+                    acc += g[i * 4 + j] * v[j];
+                m_[r[i] * dim_ + col] = acc;
+            }
+        }
+    }
+}
+
+double
+Unitary::distanceUpToGlobalPhase(const Unitary &other) const
+{
+    QEDM_REQUIRE(other.dim_ == dim_, "unitary dimensions differ");
+    // Find the phase that aligns the largest-magnitude entry.
+    std::size_t best = 0;
+    double best_mag = 0.0;
+    for (std::size_t i = 0; i < m_.size(); ++i) {
+        const double mag = std::abs(m_[i]);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best = i;
+        }
+    }
+    Complex phase(1.0);
+    if (best_mag > 1e-12 && std::abs(other.m_[best]) > 1e-12)
+        phase = (m_[best] / std::abs(m_[best])) /
+                (other.m_[best] / std::abs(other.m_[best]));
+    double dist = 0.0;
+    for (std::size_t i = 0; i < m_.size(); ++i)
+        dist = std::max(dist, std::abs(m_[i] - phase * other.m_[i]));
+    return dist;
+}
+
+bool
+Unitary::isUnitary(double tol) const
+{
+    for (std::size_t i = 0; i < dim_; ++i) {
+        for (std::size_t j = 0; j < dim_; ++j) {
+            Complex acc(0.0);
+            for (std::size_t k = 0; k < dim_; ++k)
+                acc += m_[k * dim_ + i] * std::conj(m_[k * dim_ + j]);
+            const Complex expect = i == j ? Complex(1.0) : Complex(0.0);
+            if (std::abs(acc - expect) > tol)
+                return false;
+        }
+    }
+    return true;
+}
+
+Unitary
+circuitUnitary(const Circuit &circuit)
+{
+    const Circuit flat = circuit.decomposed();
+    Unitary u(flat.numQubits());
+    for (const auto &g : flat.gates()) {
+        if (g.kind == OpKind::Barrier)
+            continue;
+        QEDM_REQUIRE(g.kind != OpKind::Measure,
+                     "circuitUnitary requires a measurement-free circuit");
+        if (opArity(g.kind) == 1) {
+            u.applyGate1q(gateMatrix1q(g.kind, g.params), g.qubits[0]);
+        } else {
+            u.applyGate2q(gateMatrix2q(g.kind), g.qubits[0],
+                          g.qubits[1]);
+        }
+    }
+    return u;
+}
+
+} // namespace qedm::circuit

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Dense unitary composition for small circuits.
+ *
+ * Used by tests and by the ideal-machine reference: composing a
+ * circuit's unitary lets us check that decompositions (SWAP -> 3 CX,
+ * Toffoli network) and the simulators preserve semantics exactly.
+ */
+
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+
+namespace qedm::circuit {
+
+/**
+ * Dense 2^n x 2^n complex matrix, row-major, with qubit 0 as the least
+ * significant bit of the basis index.
+ */
+class Unitary
+{
+  public:
+    /** Identity on @p num_qubits qubits (1..10). */
+    explicit Unitary(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t dim() const { return dim_; }
+
+    Complex at(std::size_t row, std::size_t col) const;
+    void set(std::size_t row, std::size_t col, Complex v);
+
+    /** Left-multiply by the given 1-qubit gate on qubit @p q. */
+    void applyGate1q(const std::array<Complex, 4> &m, int q);
+
+    /** Left-multiply by the given 2-qubit gate on (q0, q1); q0 is the
+     *  most-significant operand, matching gateMatrix2q(). */
+    void applyGate2q(const std::array<Complex, 16> &m, int q0, int q1);
+
+    /** Max |this[i][j] - other[i][j]| ignoring a global phase. */
+    double distanceUpToGlobalPhase(const Unitary &other) const;
+
+    /** True when this is unitary within @p tol (U U^dagger = I). */
+    bool isUnitary(double tol = 1e-9) const;
+
+  private:
+    int numQubits_;
+    std::size_t dim_;
+    std::vector<Complex> m_;
+};
+
+/**
+ * Compose the unitary of @p circuit. The circuit must contain only
+ * unitary gates (no Measure); Barriers are skipped. Ccx/Cswap are
+ * decomposed first.
+ */
+Unitary circuitUnitary(const Circuit &circuit);
+
+} // namespace qedm::circuit

@@ -1,0 +1,61 @@
+#include "common/bits.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace qedm {
+
+int
+popcount(Outcome v)
+{
+    return std::popcount(v);
+}
+
+int
+hammingDistance(Outcome a, Outcome b)
+{
+    return std::popcount(a ^ b);
+}
+
+std::string
+toBitstring(Outcome v, int width)
+{
+    QEDM_REQUIRE(width > 0 && width <= 64, "bitstring width out of range");
+    std::string s(width, '0');
+    for (int i = 0; i < width; ++i) {
+        if (getBit(v, i))
+            s[width - 1 - i] = '1';
+    }
+    return s;
+}
+
+Outcome
+parseBitstring(const std::string &s)
+{
+    QEDM_REQUIRE(!s.empty() && s.size() <= 64,
+                 "bitstring must have 1..64 characters");
+    Outcome v = 0;
+    const int width = static_cast<int>(s.size());
+    for (int i = 0; i < width; ++i) {
+        const char c = s[width - 1 - i];
+        QEDM_REQUIRE(c == '0' || c == '1',
+                     "bitstring may only contain '0' and '1'");
+        if (c == '1')
+            v = setBit(v, i, 1);
+    }
+    return v;
+}
+
+std::vector<Outcome>
+allOutcomes(int width)
+{
+    QEDM_REQUIRE(width > 0 && width <= 20,
+                 "enumerating outcomes is limited to 20 bits");
+    std::vector<Outcome> all(std::size_t(1) << width);
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    return all;
+}
+
+} // namespace qedm

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Bitstring helpers shared across qedm.
+ *
+ * Measurement outcomes of an m-bit program are encoded as the integer
+ * value of the bitstring, with classical bit 0 as the least significant
+ * bit. String renderings put bit (m-1) first, matching the paper's
+ * "key: 110011" notation.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qedm {
+
+/** Measurement outcome, encoded LSB-first (bit 0 = clbit 0). */
+using Outcome = std::uint64_t;
+
+/** Get bit @p i of @p v. */
+constexpr int
+getBit(Outcome v, int i)
+{
+    return static_cast<int>((v >> i) & 1u);
+}
+
+/** Return @p v with bit @p i set to @p b. */
+constexpr Outcome
+setBit(Outcome v, int i, int b)
+{
+    return b ? (v | (Outcome(1) << i)) : (v & ~(Outcome(1) << i));
+}
+
+/** Return @p v with bit @p i flipped. */
+constexpr Outcome
+flipBit(Outcome v, int i)
+{
+    return v ^ (Outcome(1) << i);
+}
+
+/** Number of set bits (Hamming weight). */
+int popcount(Outcome v);
+
+/** Hamming distance between two outcomes. */
+int hammingDistance(Outcome a, Outcome b);
+
+/** Render @p v as an @p width-character binary string, MSB first. */
+std::string toBitstring(Outcome v, int width);
+
+/**
+ * Parse an MSB-first binary string ("110011") into an Outcome.
+ * Throws qedm::UserError on characters other than '0'/'1' or on
+ * strings longer than 64 bits.
+ */
+Outcome parseBitstring(const std::string &s);
+
+/** All outcomes of a given width, in numeric order (width <= 20). */
+std::vector<Outcome> allOutcomes(int width);
+
+} // namespace qedm

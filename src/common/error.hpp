@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Error handling primitives for qedm.
+ *
+ * Two categories, following the gem5 fatal/panic convention:
+ *   - QEDM_REQUIRE: user-facing precondition (bad configuration or
+ *     arguments). Throws qedm::UserError.
+ *   - QEDM_ASSERT: internal invariant that should never fail regardless
+ *     of input. Throws qedm::InternalError.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qedm {
+
+/** Base class for all qedm exceptions. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Raised when the caller supplied invalid configuration or arguments. */
+class UserError : public Error
+{
+  public:
+    explicit UserError(const std::string &msg) : Error(msg) {}
+};
+
+/** Raised when an internal invariant is violated (a qedm bug). */
+class InternalError : public Error
+{
+  public:
+    explicit InternalError(const std::string &msg) : Error(msg) {}
+};
+
+namespace detail {
+
+/** Builds the "file:line: condition: message" diagnostic string. */
+inline std::string
+formatDiag(const char *file, int line, const char *cond,
+           const std::string &msg)
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": `" << cond << "` failed";
+    if (!msg.empty())
+        os << ": " << msg;
+    return os.str();
+}
+
+} // namespace detail
+} // namespace qedm
+
+/** Validate a user-controllable precondition; throws qedm::UserError. */
+#define QEDM_REQUIRE(cond, msg)                                             \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::qedm::UserError(                                        \
+                ::qedm::detail::formatDiag(__FILE__, __LINE__, #cond,       \
+                                           (msg)));                         \
+        }                                                                   \
+    } while (0)
+
+/** Validate an internal invariant; throws qedm::InternalError. */
+#define QEDM_ASSERT(cond, msg)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            throw ::qedm::InternalError(                                    \
+                ::qedm::detail::formatDiag(__FILE__, __LINE__, #cond,       \
+                                           (msg)));                         \
+        }                                                                   \
+    } while (0)

@@ -1,0 +1,137 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qedm {
+namespace {
+
+/** splitmix64 step, used to expand the seed into xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return ((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    QEDM_ASSERT(n > 0, "uniformInt(0) is undefined");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % n;
+    std::uint64_t v;
+    do {
+        v = (*this)();
+    } while (v >= limit);
+    return v % n;
+}
+
+double
+Rng::normal()
+{
+    if (hasCachedNormal_) {
+        hasCachedNormal_ = false;
+        return cachedNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    cachedNormal_ = r * std::sin(theta);
+    hasCachedNormal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        QEDM_REQUIRE(w >= 0.0, "discrete() weights must be non-negative");
+        total += w;
+    }
+    QEDM_REQUIRE(total > 0.0, "discrete() needs a positive total weight");
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r < 0.0)
+            return i;
+    }
+    // Floating-point slack: fall back to the last positive weight.
+    for (std::size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng((*this)());
+}
+
+} // namespace qedm

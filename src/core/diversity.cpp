@@ -1,0 +1,54 @@
+#include "core/diversity.hpp"
+
+#include "common/error.hpp"
+#include "sim/executor.hpp"
+#include "transpile/twirl.hpp"
+
+namespace qedm::core {
+
+TransformEnsembleResult
+runTwirlEnsemble(const hw::Device &device,
+                 const transpile::CompiledProgram &program, int copies,
+                 std::uint64_t total_shots, Rng &rng)
+{
+    QEDM_REQUIRE(copies >= 1, "need at least one twirled copy");
+    QEDM_REQUIRE(total_shots >= static_cast<std::uint64_t>(copies),
+                 "need at least one shot per copy");
+    const sim::Executor exec(device);
+    const std::uint64_t per =
+        total_shots / static_cast<std::uint64_t>(copies);
+
+    TransformEnsembleResult result;
+    for (int i = 0; i < copies; ++i) {
+        const circuit::Circuit twirled =
+            transpile::pauliTwirl(program.physical, rng);
+        result.members.push_back(stats::Distribution::fromCounts(
+            exec.run(twirled, per, rng)));
+    }
+    result.merged = stats::mergeUniform(result.members);
+    return result;
+}
+
+TransformEnsembleResult
+runTwirledEdm(const hw::Device &device,
+              const std::vector<transpile::CompiledProgram> &members,
+              std::uint64_t total_shots, Rng &rng)
+{
+    QEDM_REQUIRE(!members.empty(), "empty mapping ensemble");
+    QEDM_REQUIRE(total_shots >= members.size(),
+                 "need at least one shot per member");
+    const sim::Executor exec(device);
+    const std::uint64_t per = total_shots / members.size();
+
+    TransformEnsembleResult result;
+    for (const auto &member : members) {
+        const circuit::Circuit twirled =
+            transpile::pauliTwirl(member.physical, rng);
+        result.members.push_back(stats::Distribution::fromCounts(
+            exec.run(twirled, per, rng)));
+    }
+    result.merged = stats::mergeUniform(result.members);
+    return result;
+}
+
+} // namespace qedm::core

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Alternative diversity sources (the paper's future-work direction):
+ * ensembles built from program *transformations* rather than — or in
+ * addition to — mapping changes.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/device.hpp"
+#include "stats/distribution.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qedm::core {
+
+/** Output of a transformation-ensemble run. */
+struct TransformEnsembleResult
+{
+    std::vector<stats::Distribution> members;
+    stats::Distribution merged{1};
+};
+
+/**
+ * Ensemble-of-twirls: run @p copies independently Pauli-twirled
+ * versions of one executable, splitting @p total_shots evenly, and
+ * merge uniformly. Diversity comes from randomized compiling on a
+ * single mapping.
+ */
+TransformEnsembleResult
+runTwirlEnsemble(const hw::Device &device,
+                 const transpile::CompiledProgram &program, int copies,
+                 std::uint64_t total_shots, Rng &rng);
+
+/**
+ * EDM x twirling: each mapping member additionally gets an
+ * independent random twirl, composing both diversity sources.
+ */
+TransformEnsembleResult
+runTwirledEdm(const hw::Device &device,
+              const std::vector<transpile::CompiledProgram> &members,
+              std::uint64_t total_shots, Rng &rng);
+
+} // namespace qedm::core

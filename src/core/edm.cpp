@@ -1,0 +1,136 @@
+#include "core/edm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/executor.hpp"
+
+namespace qedm::core {
+
+std::size_t
+EdmResult::bestMemberByPst(Outcome correct) const
+{
+    QEDM_REQUIRE(!members.empty(), "empty ensemble result");
+    std::size_t best = 0;
+    double best_pst = -1.0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        const double p = stats::pst(members[i].output, correct);
+        if (p > best_pst) {
+            best_pst = p;
+            best = i;
+        }
+    }
+    return best;
+}
+
+EdmPipeline::EdmPipeline(const hw::Device &device, EdmConfig config)
+    : device_(device), config_(config)
+{
+    QEDM_REQUIRE(config_.totalShots > 0, "totalShots must be positive");
+}
+
+EdmResult
+EdmPipeline::run(const circuit::Circuit &logical, Rng &rng) const
+{
+    const EnsembleBuilder builder(device_, config_.ensemble);
+    std::vector<transpile::CompiledProgram> programs =
+        builder.build(logical);
+    QEDM_ASSERT(!programs.empty(), "ensemble builder returned nothing");
+
+    const sim::Executor executor(device_);
+    const std::uint64_t shots_per_member =
+        std::max<std::uint64_t>(config_.totalShots / programs.size(), 1);
+
+    EdmResult result;
+    result.members.reserve(programs.size());
+    for (auto &program : programs) {
+        MemberResult member;
+        member.shots = shots_per_member;
+        member.output = stats::Distribution::fromCounts(
+            executor.run(program.physical, shots_per_member, rng));
+        member.program = std::move(program);
+        result.members.push_back(std::move(member));
+    }
+
+    // Uniformity guard (footnote 2): drop signal-free members.
+    std::vector<MemberResult> kept;
+    if (config_.uniformityGuard) {
+        for (std::size_t i = 0; i < result.members.size(); ++i) {
+            if (stats::isNearUniform(result.members[i].output,
+                                     config_.uniformityMargin)) {
+                result.discarded.push_back(i);
+            } else {
+                kept.push_back(result.members[i]);
+            }
+        }
+        if (kept.empty()) {
+            kept = result.members; // nothing usable: keep everything
+            result.discarded.clear();
+        }
+    } else {
+        kept = result.members;
+    }
+
+    result.edm = merge(kept, MergeRule::Uniform, config_.klSmoothing);
+    result.wedm = merge(kept, MergeRule::KlWeighted, config_.klSmoothing);
+
+    // Expose WEDM weights aligned with the full member list.
+    std::vector<stats::Distribution> kept_outputs;
+    kept_outputs.reserve(kept.size());
+    for (const auto &m : kept)
+        kept_outputs.push_back(m.output);
+    const std::vector<double> kept_weights =
+        stats::wedmWeights(kept_outputs, config_.klSmoothing);
+    result.wedmWeights.assign(result.members.size(), 0.0);
+    std::size_t kept_idx = 0;
+    for (std::size_t i = 0; i < result.members.size(); ++i) {
+        if (std::find(result.discarded.begin(), result.discarded.end(),
+                      i) == result.discarded.end()) {
+            result.wedmWeights[i] = kept_weights[kept_idx++];
+        }
+    }
+    return result;
+}
+
+stats::Distribution
+EdmPipeline::runSingle(const transpile::CompiledProgram &program,
+                       Rng &rng) const
+{
+    const sim::Executor executor(device_);
+    return stats::Distribution::fromCounts(
+        executor.run(program.physical, config_.totalShots, rng));
+}
+
+stats::Distribution
+EdmPipeline::merge(const std::vector<MemberResult> &members,
+                   MergeRule rule, double kl_smoothing)
+{
+    QEDM_REQUIRE(!members.empty(), "cannot merge an empty ensemble");
+    std::vector<stats::Distribution> outputs;
+    outputs.reserve(members.size());
+    for (const auto &m : members)
+        outputs.push_back(m.output);
+
+    switch (rule) {
+      case MergeRule::Uniform:
+        return stats::mergeUniform(outputs);
+      case MergeRule::KlWeighted:
+        return stats::mergeWeighted(
+            outputs, stats::wedmWeights(outputs, kl_smoothing));
+      case MergeRule::EntropyWeighted: {
+        std::vector<double> weights;
+        weights.reserve(outputs.size());
+        for (const auto &o : outputs)
+            weights.push_back(o.entropy());
+        double sum = 0.0;
+        for (double w : weights)
+            sum += w;
+        if (sum <= 0.0)
+            return stats::mergeUniform(outputs);
+        return stats::mergeWeighted(outputs, weights);
+      }
+    }
+    throw InternalError("unknown merge rule");
+}
+
+} // namespace qedm::core

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The EDM / WEDM pipelines (paper Sections 5-6).
+ *
+ * EDM: split the shot budget evenly across the top-K mappings, run
+ * each, and average the K output distributions. WEDM: same runs, but
+ * merge with weights proportional to each member's cumulative
+ * symmetric-KL divergence from the others (Appendix B).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "core/ensemble.hpp"
+#include "hw/device.hpp"
+#include "stats/distribution.hpp"
+#include "stats/metrics.hpp"
+
+namespace qedm::core {
+
+/** How member distributions are combined. */
+enum class MergeRule
+{
+    Uniform,         ///< plain average (EDM)
+    KlWeighted,      ///< symmetric-KL diversity weights (WEDM)
+    EntropyWeighted, ///< weight by member output entropy (ablation)
+};
+
+/** Pipeline configuration. */
+struct EdmConfig
+{
+    EnsembleConfig ensemble;
+    /** Total trials, split evenly across members (paper: 16384). */
+    std::uint64_t totalShots = 16384;
+    /** Smoothing used inside KL computations. */
+    double klSmoothing = 1e-6;
+    /**
+     * Paper footnote 2: drop members whose output is statistically
+     * indistinguishable from uniform noise before merging (unless all
+     * members are, in which case everything is kept).
+     */
+    bool uniformityGuard = false;
+    double uniformityMargin = 0.25;
+};
+
+/** One executed ensemble member. */
+struct MemberResult
+{
+    transpile::CompiledProgram program;
+    std::uint64_t shots = 0;
+    stats::Distribution output{1};
+};
+
+/** Output of one EDM pipeline execution. */
+struct EdmResult
+{
+    std::vector<MemberResult> members;
+    /** EDM merge (uniform weights) over the kept members. */
+    stats::Distribution edm{1};
+    /** WEDM merge (diversity weights) over the kept members. */
+    stats::Distribution wedm{1};
+    /** WEDM weights, parallel to members (0 for discarded members). */
+    std::vector<double> wedmWeights;
+    /** Member indices discarded by the uniformity guard. */
+    std::vector<std::size_t> discarded;
+
+    /** Member with the highest observed PST for @p correct. */
+    std::size_t bestMemberByPst(Outcome correct) const;
+};
+
+/** Runs the full EDM/WEDM flow against one device. */
+class EdmPipeline
+{
+  public:
+    EdmPipeline(const hw::Device &device, EdmConfig config = EdmConfig{});
+
+    /**
+     * Compile the ensemble, run each member for totalShots / K trials,
+     * and build the merged distributions.
+     */
+    EdmResult run(const circuit::Circuit &logical, Rng &rng) const;
+
+    /**
+     * Run @p program for all totalShots trials (the single-mapping
+     * baselines).
+     */
+    stats::Distribution
+    runSingle(const transpile::CompiledProgram &program, Rng &rng) const;
+
+    /** Merge explicitly with a chosen rule (ablation hook). */
+    static stats::Distribution
+    merge(const std::vector<MemberResult> &members, MergeRule rule,
+          double kl_smoothing = 1e-6);
+
+    const hw::Device &device() const { return device_; }
+    const EdmConfig &config() const { return config_; }
+
+  private:
+    const hw::Device &device_;
+    EdmConfig config_;
+};
+
+} // namespace qedm::core

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ensemble construction: the top-K diverse mappings (paper Section 5.2,
+ * steps 1-2).
+ *
+ * Starting from the variation-aware compiler's best executable, the
+ * builder enumerates every subgraph of the device isomorphic to the
+ * used region (VF2), transfers the compiled program onto each via the
+ * isomorphism (so all members execute an identical gate sequence), and
+ * ranks the candidates by ESP. The top K become the ensemble.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "hw/device.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qedm::core {
+
+/** Configuration for ensemble construction. */
+struct EnsembleConfig
+{
+    /** Ensemble size K (paper default: 4). */
+    int size = 4;
+    /** Cap on VF2 embedding enumeration. */
+    std::size_t vf2Limit = 200000;
+    /**
+     * Diversity cap: a candidate is skipped if it shares more than
+     * this fraction of its qubits with an already-selected member;
+     * 1.0 disables the cap (the paper's literal plain top-K). If the
+     * cap starves the ensemble below K, it is relaxed progressively.
+     *
+     * The default 0.5 reproduces the paper's *observed* ensembles
+     * (top-8 mappings sharing only 2-3 of ~7 qubits, Section 6): on
+     * our synthetic calibration a literal top-K collapses onto
+     * one-qubit variations of the best mapping, which the real
+     * machine's calibration geometry did not do. The ablation bench
+     * abl_selection quantifies the difference.
+     */
+    double maxOverlap = 0.5;
+    /** Routing cost metric for the seed compilation. */
+    transpile::RouteCost routeCost = transpile::RouteCost::Reliability;
+};
+
+/** Builds mapping ensembles for one device. */
+class EnsembleBuilder
+{
+  public:
+    explicit EnsembleBuilder(const hw::Device &device,
+                             EnsembleConfig config = EnsembleConfig{});
+
+    /**
+     * All candidate programs: isomorphic transfers of the compiled
+     * seed, sorted by descending ESP. The first entry is the
+     * compile-time best mapping (the paper's baseline).
+     */
+    std::vector<transpile::CompiledProgram>
+    candidates(const circuit::Circuit &logical) const;
+
+    /**
+     * The top-K ensemble (paper policy). Fewer than K members are
+     * returned when the device does not admit K distinct placements.
+     */
+    std::vector<transpile::CompiledProgram>
+    build(const circuit::Circuit &logical) const;
+
+    /**
+     * Ablation policy: the compile-time best mapping plus K-1
+     * candidates drawn uniformly at random from the rest, ignoring
+     * ESP rank.
+     */
+    std::vector<transpile::CompiledProgram>
+    buildRandom(const circuit::Circuit &logical, Rng &rng) const;
+
+    /**
+     * Predictive selection (the alternative the paper sketches in
+     * Section 5.3: "we could form an ensemble of mappings that is
+     * estimated to produce the highest IST"). Simulates the top
+     * @p pool_size candidates exactly at compile time and greedily
+     * picks K members maximizing predicted pairwise output
+     * divergence, subject to the ESP floor of the pool. Much more
+     * expensive than top-K; quantified in bench/abl_selection.
+     */
+    std::vector<transpile::CompiledProgram>
+    buildPredictive(const circuit::Circuit &logical,
+                    std::size_t pool_size = 12) const;
+
+    /**
+     * Adaptive sizing (Section 5.5): grow the ensemble while every
+     * member's ESP stays within @p min_esp_ratio of the best
+     * candidate's (the paper observed its usable mappings sat within
+     * 10% of the best ESP, i.e. ratio 0.9), up to config().size
+     * members. Always returns at least one member.
+     */
+    std::vector<transpile::CompiledProgram>
+    buildAdaptive(const circuit::Circuit &logical,
+                  double min_esp_ratio = 0.9) const;
+
+    const EnsembleConfig &config() const { return config_; }
+
+  private:
+    const hw::Device &device_;
+    EnsembleConfig config_;
+};
+
+} // namespace qedm::core

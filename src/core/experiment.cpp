@@ -1,0 +1,109 @@
+#include "core/experiment.hpp"
+
+#include "common/error.hpp"
+#include "stats/metrics.hpp"
+
+namespace qedm::core {
+namespace {
+
+PolicyOutcome
+score(const stats::Distribution &dist, Outcome correct)
+{
+    return PolicyOutcome{stats::ist(dist, correct),
+                         stats::pst(dist, correct)};
+}
+
+/** Median of one policy field across rounds. */
+PolicyOutcome
+medianPolicy(const std::vector<RoundOutcome> &rounds,
+             PolicyOutcome RoundOutcome::*field)
+{
+    std::vector<double> ists, psts;
+    ists.reserve(rounds.size());
+    psts.reserve(rounds.size());
+    for (const auto &r : rounds) {
+        ists.push_back((r.*field).ist);
+        psts.push_back((r.*field).pst);
+    }
+    return PolicyOutcome{stats::median(ists), stats::median(psts)};
+}
+
+} // namespace
+
+double
+ExperimentSummary::edmIstGain() const
+{
+    QEDM_REQUIRE(median.baselineEst.ist > 0.0,
+                 "baseline IST is zero; gain undefined");
+    return median.edm.ist / median.baselineEst.ist;
+}
+
+double
+ExperimentSummary::wedmIstGain() const
+{
+    QEDM_REQUIRE(median.baselineEst.ist > 0.0,
+                 "baseline IST is zero; gain undefined");
+    return median.wedm.ist / median.baselineEst.ist;
+}
+
+ExperimentSummary
+runExperiment(const hw::Device &device,
+              const benchmarks::Benchmark &benchmark,
+              const ExperimentConfig &config, std::uint64_t seed)
+{
+    QEDM_REQUIRE(config.rounds >= 1, "need at least one round");
+    Rng rng(seed);
+
+    EdmConfig edm_config;
+    edm_config.ensemble.size = config.ensembleSize;
+    edm_config.totalShots = config.totalShots;
+    edm_config.uniformityGuard = config.uniformityGuard;
+
+    ExperimentSummary summary;
+    summary.benchmark = benchmark.name;
+    summary.rounds.reserve(static_cast<std::size_t>(config.rounds));
+
+    const Outcome correct = benchmark.expected;
+    for (int round = 0; round < config.rounds; ++round) {
+        const hw::Device round_device =
+            round == 0 ? device
+                       : device.driftedRound(rng,
+                                             config.calibrationDrift);
+        const EdmPipeline pipeline(round_device, edm_config);
+
+        const EdmResult result = pipeline.run(benchmark.circuit, rng);
+
+        RoundOutcome out;
+        out.edm = score(result.edm, correct);
+        out.wedm = score(result.wedm, correct);
+
+        // Baseline-est: all trials on the compile-time best mapping
+        // (ensemble member 0 by construction).
+        out.baselineEst = score(
+            pipeline.runSingle(result.members.front().program, rng),
+            correct);
+
+        // Baseline-post: all trials on the member that showed the best
+        // PST at runtime.
+        const std::size_t best = result.bestMemberByPst(correct);
+        if (best == 0) {
+            out.baselinePost = out.baselineEst;
+        } else {
+            out.baselinePost = score(
+                pipeline.runSingle(result.members[best].program, rng),
+                correct);
+        }
+        summary.rounds.push_back(out);
+    }
+
+    summary.median.baselineEst =
+        medianPolicy(summary.rounds, &RoundOutcome::baselineEst);
+    summary.median.baselinePost =
+        medianPolicy(summary.rounds, &RoundOutcome::baselinePost);
+    summary.median.edm = medianPolicy(summary.rounds, &RoundOutcome::edm);
+    summary.median.wedm =
+        medianPolicy(summary.rounds, &RoundOutcome::wedm);
+    return summary;
+}
+
+} // namespace qedm::core

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Experiment driver reproducing the paper's methodology (Section 4.2):
+ * run baseline and proposed policies back-to-back within each round,
+ * repeat over rounds with drifted calibration, and report the median
+ * round.
+ *
+ * Policies evaluated per round:
+ *  - baseline-est:  all trials on the single best compile-time mapping
+ *                   (highest ESP) — the variation-aware baseline;
+ *  - baseline-post: all trials on the mapping that turned out to have
+ *                   the highest PST at runtime (oracle baseline of
+ *                   Fig. 7);
+ *  - EDM:           uniform merge of the top-K ensemble;
+ *  - WEDM:          diversity-weighted merge of the same runs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "core/edm.hpp"
+#include "hw/device.hpp"
+
+namespace qedm::core {
+
+/** IST/PST pair for one policy in one round. */
+struct PolicyOutcome
+{
+    double ist = 0.0;
+    double pst = 0.0;
+};
+
+/** All policies for one round. */
+struct RoundOutcome
+{
+    PolicyOutcome baselineEst;
+    PolicyOutcome baselinePost;
+    PolicyOutcome edm;
+    PolicyOutcome wedm;
+};
+
+/** Aggregate over rounds (medians, as in the paper). */
+struct ExperimentSummary
+{
+    std::string benchmark;
+    std::vector<RoundOutcome> rounds;
+    RoundOutcome median;
+
+    /** IST improvement ratios over baseline-est. */
+    double edmIstGain() const;
+    double wedmIstGain() const;
+};
+
+/** Experiment configuration. */
+struct ExperimentConfig
+{
+    int rounds = 10;
+    std::uint64_t totalShots = 16384;
+    int ensembleSize = 4;
+    /** Calibration drift between rounds (0 = frozen machine). */
+    double calibrationDrift = 0.10;
+    bool uniformityGuard = false;
+};
+
+/**
+ * Run the full EDM experiment for one benchmark on @p device.
+ * @param seed drives shot noise and calibration drift.
+ */
+ExperimentSummary runExperiment(const hw::Device &device,
+                                const benchmarks::Benchmark &benchmark,
+                                const ExperimentConfig &config,
+                                std::uint64_t seed);
+
+} // namespace qedm::core

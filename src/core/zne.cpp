@@ -1,0 +1,63 @@
+#include "core/zne.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "sim/executor.hpp"
+#include "transpile/folding.hpp"
+
+namespace qedm::core {
+
+double
+richardsonExtrapolate(
+    const std::vector<std::pair<double, double>> &points)
+{
+    QEDM_REQUIRE(points.size() >= 2,
+                 "extrapolation needs at least two points");
+    std::set<double> xs;
+    for (const auto &[x, y] : points) {
+        QEDM_REQUIRE(xs.insert(x).second,
+                     "extrapolation points must have distinct x");
+        (void)y;
+    }
+    // Lagrange interpolation evaluated at x = 0.
+    double value = 0.0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        double weight = 1.0;
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            if (i == j)
+                continue;
+            weight *= (0.0 - points[j].first) /
+                      (points[i].first - points[j].first);
+        }
+        value += weight * points[i].second;
+    }
+    return value;
+}
+
+ZneResult
+zneExpectation(const hw::Device &device,
+               const circuit::Circuit &physical,
+               const Observable &observable,
+               const std::vector<int> &scales,
+               std::uint64_t shots_per_scale, Rng &rng)
+{
+    QEDM_REQUIRE(scales.size() >= 2, "ZNE needs at least two scales");
+    QEDM_REQUIRE(shots_per_scale > 0, "shots must be positive");
+    const sim::Executor exec(device);
+
+    ZneResult result;
+    for (int scale : scales) {
+        const circuit::Circuit folded =
+            transpile::foldTwoQubitGates(physical, scale);
+        const auto dist = stats::Distribution::fromCounts(
+            exec.run(folded, shots_per_scale, rng));
+        result.points.emplace_back(static_cast<double>(scale),
+                                   observable(dist));
+    }
+    result.extrapolated = richardsonExtrapolate(result.points);
+    return result;
+}
+
+} // namespace qedm::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Zero-noise extrapolation (ZNE) over the noisy executor.
+ *
+ * Runs an executable at noise scales {1, 3, 5, ...} via two-qubit
+ * gate folding, evaluates a scalar observable of the output
+ * distribution at each scale, and Richardson-extrapolates to the
+ * zero-noise limit. Composable with EDM: extrapolate the merged
+ * ensemble observable instead of a single mapping's.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/device.hpp"
+#include "stats/distribution.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qedm::core {
+
+/** Scalar observable of a measured distribution (e.g. expected cut,
+ *  PST of a known answer). */
+using Observable = std::function<double(const stats::Distribution &)>;
+
+/** One ZNE evaluation. */
+struct ZneResult
+{
+    /** (noise scale, observable value) measurements. */
+    std::vector<std::pair<double, double>> points;
+    /** Richardson extrapolation to scale 0. */
+    double extrapolated = 0.0;
+};
+
+/**
+ * Lagrange/Richardson extrapolation of @p points to x = 0. Requires
+ * at least two points with distinct x values.
+ */
+double
+richardsonExtrapolate(const std::vector<std::pair<double, double>> &points);
+
+/**
+ * Evaluate @p observable on @p program at each fold scale (odd,
+ * ascending) with @p shots_per_scale trials, then extrapolate.
+ */
+ZneResult zneExpectation(const hw::Device &device,
+                         const circuit::Circuit &physical,
+                         const Observable &observable,
+                         const std::vector<int> &scales,
+                         std::uint64_t shots_per_scale, Rng &rng);
+
+} // namespace qedm::core

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A complete NISQ device model: topology + calibration + noise model.
+ *
+ * The Device is what the transpiler plans against and what the
+ * simulator executes on. Presets provide the paper's IBMQ-14
+ * (melbourne) target and generic research topologies.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "hw/calibration.hpp"
+#include "hw/noise_model.hpp"
+#include "hw/topology.hpp"
+
+namespace qedm::hw {
+
+/** Bundled device model. */
+class Device
+{
+  public:
+    Device(std::string name, Topology topology, Calibration calibration,
+           NoiseModel noise);
+
+    const std::string &name() const { return name_; }
+    const Topology &topology() const { return topology_; }
+    const Calibration &calibration() const { return calibration_; }
+    const NoiseModel &noise() const { return noise_; }
+
+    int numQubits() const { return topology_.numQubits(); }
+
+    /**
+     * A copy of this device with drifted calibration, modeling the
+     * machine on a different experimental round. The systematic noise
+     * terms stay fixed (they are device physics, not calibration), so
+     * correlated errors persist across rounds as on the real machine.
+     */
+    Device driftedRound(Rng &rng, double drift = 0.15) const;
+
+    /** Replace the noise model (used by ablation studies). */
+    Device withNoise(NoiseModel noise) const;
+
+    /** Replace the calibration (keeping topology and noise). */
+    Device withCalibration(Calibration cal) const;
+
+    /**
+     * The paper's evaluation platform: melbourne topology and
+     * calibration with a correlated noise model sampled from
+     * @p noise_seed. Identical seeds give identical device physics.
+     */
+    static Device melbourne(std::uint64_t noise_seed = 7,
+                            const NoiseSpec &spec = NoiseSpec{});
+
+    /** Ideal (noiseless) device on the melbourne topology. */
+    static Device idealMelbourne();
+
+    /** Ideal (noiseless) device on an arbitrary topology. */
+    static Device ideal(std::string name, Topology topology);
+
+    /** Generic noisy device on any topology. */
+    static Device synthetic(std::string name, Topology topology,
+                            const CalibrationSpec &cal_spec,
+                            const NoiseSpec &noise_spec,
+                            std::uint64_t seed);
+
+  private:
+    std::string name_;
+    Topology topology_;
+    Calibration calibration_;
+    NoiseModel noise_;
+};
+
+} // namespace qedm::hw

@@ -1,0 +1,140 @@
+#include "hw/noise_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qedm::hw {
+
+NoiseModel
+NoiseModel::sample(const Topology &topology, const Calibration &cal,
+                   const NoiseSpec &spec, Rng &rng)
+{
+    QEDM_REQUIRE(cal.numQubits() ==
+                     static_cast<std::size_t>(topology.numQubits()),
+                 "calibration does not match topology");
+    QEDM_REQUIRE(cal.numEdges() == topology.numEdges(),
+                 "calibration does not match topology");
+
+    NoiseModel nm;
+    nm.spec_ = spec;
+
+    nm.overRotation1q_.resize(topology.numQubits());
+    for (int q = 0; q < topology.numQubits(); ++q) {
+        nm.overRotation1q_[q] = spec.coherentScale *
+                                spec.overRotation1qSigma * rng.normal();
+    }
+
+    // Noisier links get proportionally larger systematic terms, so
+    // the spatial variation in the calibration also shows up
+    // coherently. The linear scaling keeps compile-time ESP a useful
+    // (if imperfect) predictor of runtime PST, as the paper observed
+    // (Fig. 8).
+    const double mean_cx = std::max(cal.meanCxError(), 1e-9);
+    nm.overRotationEdge_.resize(topology.numEdges());
+    nm.controlPhaseEdge_.resize(topology.numEdges());
+    nm.crosstalk_.resize(topology.numEdges());
+    for (std::size_t e = 0; e < topology.numEdges(); ++e) {
+        const double severity = cal.edge(e).cxError / mean_cx;
+        nm.overRotationEdge_[e] = spec.coherentScale *
+                                  spec.overRotationSigma * severity *
+                                  rng.normal();
+        nm.controlPhaseEdge_[e] = spec.coherentScale *
+                                  spec.overRotationSigma * severity *
+                                  rng.normal();
+        const Edge edge = topology.edges()[e];
+        for (int endpoint : {edge.a, edge.b}) {
+            for (int nbr : topology.neighbors(endpoint)) {
+                if (nbr == edge.a || nbr == edge.b)
+                    continue;
+                const double angle = spec.coherentScale *
+                                     spec.zzCrosstalkSigma *
+                                     rng.normal();
+                if (angle != 0.0)
+                    nm.crosstalk_[e].push_back(
+                        CrosstalkTerm{nbr, angle});
+            }
+        }
+    }
+
+    for (const Edge &edge : topology.edges()) {
+        const double p = spec.correlatedReadoutScale *
+                         spec.correlatedReadoutMax * rng.uniform();
+        if (p > 0.0)
+            nm.correlatedReadout_.push_back(
+                CorrelatedReadout{edge.a, edge.b, p});
+    }
+    return nm;
+}
+
+NoiseModel
+NoiseModel::ideal(const Topology &topology)
+{
+    NoiseModel nm;
+    nm.spec_ = NoiseSpec{};
+    nm.spec_.coherentScale = 0.0;
+    nm.spec_.correlatedReadoutScale = 0.0;
+    nm.spec_.stochasticScale = 0.0;
+    nm.spec_.enableDecoherence = false;
+    nm.overRotation1q_.assign(topology.numQubits(), 0.0);
+    nm.overRotationEdge_.assign(topology.numEdges(), 0.0);
+    nm.controlPhaseEdge_.assign(topology.numEdges(), 0.0);
+    nm.crosstalk_.resize(topology.numEdges());
+    return nm;
+}
+
+NoiseModel
+NoiseModel::fromParts(NoiseSpec spec,
+                      std::vector<double> over_rotation_1q,
+                      std::vector<double> over_rotation_edge,
+                      std::vector<double> control_phase_edge,
+                      std::vector<std::vector<CrosstalkTerm>> crosstalk,
+                      std::vector<CorrelatedReadout> correlated_readout)
+{
+    QEDM_REQUIRE(over_rotation_edge.size() ==
+                         control_phase_edge.size() &&
+                     crosstalk.size() == over_rotation_edge.size(),
+                 "noise model edge components must align");
+    NoiseModel nm;
+    nm.spec_ = spec;
+    nm.overRotation1q_ = std::move(over_rotation_1q);
+    nm.overRotationEdge_ = std::move(over_rotation_edge);
+    nm.controlPhaseEdge_ = std::move(control_phase_edge);
+    nm.crosstalk_ = std::move(crosstalk);
+    nm.correlatedReadout_ = std::move(correlated_readout);
+    return nm;
+}
+
+double
+NoiseModel::overRotation(std::size_t edge_idx) const
+{
+    QEDM_REQUIRE(edge_idx < overRotationEdge_.size(),
+                 "edge index out of range");
+    return overRotationEdge_[edge_idx];
+}
+
+double
+NoiseModel::overRotation1q(int q) const
+{
+    QEDM_REQUIRE(q >= 0 &&
+                     q < static_cast<int>(overRotation1q_.size()),
+                 "qubit index out of range");
+    return overRotation1q_[q];
+}
+
+double
+NoiseModel::controlPhase(std::size_t edge_idx) const
+{
+    QEDM_REQUIRE(edge_idx < controlPhaseEdge_.size(),
+                 "edge index out of range");
+    return controlPhaseEdge_[edge_idx];
+}
+
+const std::vector<CrosstalkTerm> &
+NoiseModel::crosstalk(std::size_t edge_idx) const
+{
+    QEDM_REQUIRE(edge_idx < crosstalk_.size(), "edge index out of range");
+    return crosstalk_[edge_idx];
+}
+
+} // namespace qedm::hw

@@ -1,0 +1,264 @@
+#include "hw/serialization.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace qedm::hw {
+namespace {
+
+/** Exact round-trip double encoding (hex float). */
+std::string
+enc(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    return buf;
+}
+
+double
+dec(const std::string &token, const std::string &line)
+{
+    char *end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    QEDM_REQUIRE(end && *end == '\0',
+                 "device parse error: bad number in line: " + line);
+    return v;
+}
+
+std::vector<std::string>
+tokens(const std::string &line)
+{
+    std::istringstream in(line);
+    std::vector<std::string> out;
+    std::string t;
+    while (in >> t)
+        out.push_back(t);
+    return out;
+}
+
+} // namespace
+
+std::string
+serializeDevice(const Device &device)
+{
+    const auto &topo = device.topology();
+    const auto &cal = device.calibration();
+    const auto &noise = device.noise();
+    const auto &spec = noise.spec();
+
+    std::ostringstream os;
+    os << "qedm-device v1\n";
+    os << "name " << device.name() << "\n";
+    os << "qubits " << topo.numQubits() << "\n";
+    for (const auto &edge : topo.edges())
+        os << "edge " << edge.a << " " << edge.b << "\n";
+    for (int q = 0; q < topo.numQubits(); ++q) {
+        const auto &qc = cal.qubit(q);
+        os << "qubitcal " << q << " " << enc(qc.error1q) << " "
+           << enc(qc.readoutP01) << " " << enc(qc.readoutP10) << " "
+           << enc(qc.t1Us) << " " << enc(qc.t2Us) << "\n";
+    }
+    for (std::size_t e = 0; e < topo.numEdges(); ++e)
+        os << "edgecal " << e << " " << enc(cal.edge(e).cxError)
+           << "\n";
+    os << "spec " << enc(spec.coherentScale) << " "
+       << enc(spec.overRotationSigma) << " "
+       << enc(spec.zzCrosstalkSigma) << " "
+       << enc(spec.overRotation1qSigma) << " "
+       << enc(spec.correlatedReadoutScale) << " "
+       << enc(spec.correlatedReadoutMax) << " "
+       << enc(spec.stochasticScale) << " "
+       << (spec.enableDecoherence ? 1 : 0) << " "
+       << (spec.idleDecoherence ? 1 : 0) << " " << enc(spec.gate1qNs)
+       << " " << enc(spec.gate2qNs) << " " << enc(spec.measureNs)
+       << "\n";
+    for (int q = 0; q < topo.numQubits(); ++q)
+        os << "rot1q " << q << " " << enc(noise.overRotation1q(q))
+           << "\n";
+    for (std::size_t e = 0; e < topo.numEdges(); ++e) {
+        os << "rotedge " << e << " " << enc(noise.overRotation(e))
+           << " " << enc(noise.controlPhase(e)) << "\n";
+        for (const auto &xt : noise.crosstalk(e)) {
+            os << "crosstalk " << e << " " << xt.spectator << " "
+               << enc(xt.angleRad) << "\n";
+        }
+    }
+    for (const auto &cr : noise.correlatedReadout()) {
+        os << "corrread " << cr.qubitA << " " << cr.qubitB << " "
+           << enc(cr.jointFlipProb) << "\n";
+    }
+    return os.str();
+}
+
+Device
+parseDevice(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    QEDM_REQUIRE(std::getline(in, line) && line == "qedm-device v1",
+                 "device parse error: missing `qedm-device v1` header");
+
+    std::string name = "unnamed";
+    int num_qubits = -1;
+    std::vector<std::pair<int, int>> edges;
+    struct QubitRow { double e1q, p01, p10, t1, t2; };
+    std::vector<std::pair<int, QubitRow>> qubit_rows;
+    std::vector<std::pair<std::size_t, double>> edge_rows;
+    NoiseSpec spec;
+    bool have_spec = false;
+    std::vector<std::pair<int, double>> rot1q;
+    struct EdgeRot { std::size_t e; double rot, phase; };
+    std::vector<EdgeRot> rotedges;
+    struct XtRow { std::size_t e; CrosstalkTerm term; };
+    std::vector<XtRow> xts;
+    std::vector<CorrelatedReadout> corr;
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        const auto t = tokens(line);
+        const std::string &kind = t.front();
+        auto need = [&](std::size_t n) {
+            QEDM_REQUIRE(t.size() == n,
+                         "device parse error: wrong field count in "
+                         "line: " + line);
+        };
+        if (kind == "name") {
+            need(2);
+            name = t[1];
+        } else if (kind == "qubits") {
+            need(2);
+            num_qubits = static_cast<int>(dec(t[1], line));
+        } else if (kind == "edge") {
+            need(3);
+            edges.emplace_back(static_cast<int>(dec(t[1], line)),
+                               static_cast<int>(dec(t[2], line)));
+        } else if (kind == "qubitcal") {
+            need(7);
+            qubit_rows.push_back(
+                {static_cast<int>(dec(t[1], line)),
+                 QubitRow{dec(t[2], line), dec(t[3], line),
+                          dec(t[4], line), dec(t[5], line),
+                          dec(t[6], line)}});
+        } else if (kind == "edgecal") {
+            need(3);
+            edge_rows.emplace_back(
+                static_cast<std::size_t>(dec(t[1], line)),
+                dec(t[2], line));
+        } else if (kind == "spec") {
+            need(13);
+            spec.coherentScale = dec(t[1], line);
+            spec.overRotationSigma = dec(t[2], line);
+            spec.zzCrosstalkSigma = dec(t[3], line);
+            spec.overRotation1qSigma = dec(t[4], line);
+            spec.correlatedReadoutScale = dec(t[5], line);
+            spec.correlatedReadoutMax = dec(t[6], line);
+            spec.stochasticScale = dec(t[7], line);
+            spec.enableDecoherence = dec(t[8], line) != 0.0;
+            spec.idleDecoherence = dec(t[9], line) != 0.0;
+            spec.gate1qNs = dec(t[10], line);
+            spec.gate2qNs = dec(t[11], line);
+            spec.measureNs = dec(t[12], line);
+            have_spec = true;
+        } else if (kind == "rot1q") {
+            need(3);
+            rot1q.emplace_back(static_cast<int>(dec(t[1], line)),
+                               dec(t[2], line));
+        } else if (kind == "rotedge") {
+            need(4);
+            rotedges.push_back(
+                EdgeRot{static_cast<std::size_t>(dec(t[1], line)),
+                        dec(t[2], line), dec(t[3], line)});
+        } else if (kind == "crosstalk") {
+            need(4);
+            xts.push_back(
+                XtRow{static_cast<std::size_t>(dec(t[1], line)),
+                      CrosstalkTerm{static_cast<int>(dec(t[2], line)),
+                                    dec(t[3], line)}});
+        } else if (kind == "corrread") {
+            need(4);
+            corr.push_back(CorrelatedReadout{
+                static_cast<int>(dec(t[1], line)),
+                static_cast<int>(dec(t[2], line)), dec(t[3], line)});
+        } else {
+            throw UserError("device parse error: unknown record `" +
+                            kind + "`");
+        }
+    }
+    QEDM_REQUIRE(num_qubits > 0,
+                 "device parse error: missing qubits record");
+    QEDM_REQUIRE(have_spec, "device parse error: missing spec record");
+
+    Topology topo(num_qubits, edges);
+    Calibration cal(topo);
+    QEDM_REQUIRE(qubit_rows.size() ==
+                     static_cast<std::size_t>(num_qubits),
+                 "device parse error: qubitcal rows must cover every "
+                 "qubit");
+    for (const auto &[q, row] : qubit_rows) {
+        auto &qc = cal.qubit(q);
+        qc.error1q = row.e1q;
+        qc.readoutP01 = row.p01;
+        qc.readoutP10 = row.p10;
+        qc.t1Us = row.t1;
+        qc.t2Us = row.t2;
+    }
+    QEDM_REQUIRE(edge_rows.size() == topo.numEdges(),
+                 "device parse error: edgecal rows must cover every "
+                 "edge");
+    for (const auto &[e, err] : edge_rows)
+        cal.edge(e).cxError = err;
+
+    std::vector<double> over1q(static_cast<std::size_t>(num_qubits),
+                               0.0);
+    for (const auto &[q, angle] : rot1q) {
+        QEDM_REQUIRE(q >= 0 && q < num_qubits,
+                     "device parse error: rot1q index out of range");
+        over1q[static_cast<std::size_t>(q)] = angle;
+    }
+    std::vector<double> overedge(topo.numEdges(), 0.0);
+    std::vector<double> phase(topo.numEdges(), 0.0);
+    std::vector<std::vector<CrosstalkTerm>> crosstalk(topo.numEdges());
+    for (const auto &er : rotedges) {
+        QEDM_REQUIRE(er.e < topo.numEdges(),
+                     "device parse error: rotedge index out of range");
+        overedge[er.e] = er.rot;
+        phase[er.e] = er.phase;
+    }
+    for (const auto &xt : xts) {
+        QEDM_REQUIRE(xt.e < topo.numEdges(),
+                     "device parse error: crosstalk index out of "
+                     "range");
+        crosstalk[xt.e].push_back(xt.term);
+    }
+    NoiseModel noise = NoiseModel::fromParts(
+        spec, std::move(over1q), std::move(overedge), std::move(phase),
+        std::move(crosstalk), std::move(corr));
+    return Device(name, std::move(topo), std::move(cal),
+                  std::move(noise));
+}
+
+void
+saveDevice(const Device &device, const std::string &path)
+{
+    std::ofstream out(path);
+    QEDM_REQUIRE(out.good(), "cannot open device file: " + path);
+    out << serializeDevice(device);
+    QEDM_REQUIRE(out.good(), "write failed for device file: " + path);
+}
+
+Device
+loadDevice(const std::string &path)
+{
+    std::ifstream in(path);
+    QEDM_REQUIRE(in.good(), "cannot read device file: " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parseDevice(buffer.str());
+}
+
+} // namespace qedm::hw

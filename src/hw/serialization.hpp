@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Text serialization of complete device models.
+ *
+ * A Device (topology + calibration + sampled noise model) is the unit
+ * of reproducibility for every experiment in this repo; serializing
+ * it lets a characterized "machine" be stored, shared, and reloaded
+ * exactly. The format is a line-oriented plain-text document
+ * (`qedm-device v1`), stable across platforms (hex-float encoding for
+ * exact round trips).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "hw/device.hpp"
+
+namespace qedm::hw {
+
+/** Serialize @p device into the qedm-device v1 text format. */
+std::string serializeDevice(const Device &device);
+
+/**
+ * Parse a qedm-device v1 document.
+ * @throws qedm::UserError on malformed input.
+ */
+Device parseDevice(const std::string &text);
+
+/** Convenience: serializeDevice to a file. */
+void saveDevice(const Device &device, const std::string &path);
+
+/** Convenience: parseDevice from a file. */
+Device loadDevice(const std::string &path);
+
+} // namespace qedm::hw

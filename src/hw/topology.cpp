@@ -1,0 +1,251 @@
+#include "hw/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qedm::hw {
+
+Topology::Topology(int num_qubits,
+                   const std::vector<std::pair<int, int>> &edges)
+    : numQubits_(num_qubits)
+{
+    QEDM_REQUIRE(num_qubits >= 1 && num_qubits <= 64,
+                 "topology qubit count must be in [1, 64]");
+    adj_.assign(num_qubits, {});
+    std::set<std::pair<int, int>> seen;
+    for (auto [a, b] : edges) {
+        QEDM_REQUIRE(a >= 0 && a < num_qubits && b >= 0 &&
+                         b < num_qubits && a != b,
+                     "invalid coupling edge");
+        if (a > b)
+            std::swap(a, b);
+        if (!seen.insert({a, b}).second)
+            continue;
+        edges_.push_back(Edge{a, b});
+        adj_[a].push_back(b);
+        adj_[b].push_back(a);
+    }
+    for (auto &nbrs : adj_)
+        std::sort(nbrs.begin(), nbrs.end());
+    std::sort(edges_.begin(), edges_.end(), [](const Edge &x,
+                                               const Edge &y) {
+        return std::pair(x.a, x.b) < std::pair(y.a, y.b);
+    });
+    computeDistances();
+}
+
+void
+Topology::computeDistances()
+{
+    dist_.assign(numQubits_, std::vector<int>(numQubits_, -1));
+    for (int src = 0; src < numQubits_; ++src) {
+        std::queue<int> q;
+        dist_[src][src] = 0;
+        q.push(src);
+        while (!q.empty()) {
+            const int u = q.front();
+            q.pop();
+            for (int v : adj_[u]) {
+                if (dist_[src][v] < 0) {
+                    dist_[src][v] = dist_[src][u] + 1;
+                    q.push(v);
+                }
+            }
+        }
+    }
+}
+
+bool
+Topology::adjacent(int a, int b) const
+{
+    return edgeIndex(a, b) >= 0;
+}
+
+const std::vector<int> &
+Topology::neighbors(int q) const
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    return adj_[q];
+}
+
+int
+Topology::degree(int q) const
+{
+    return static_cast<int>(neighbors(q).size());
+}
+
+int
+Topology::distance(int a, int b) const
+{
+    QEDM_REQUIRE(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_,
+                 "qubit index out of range");
+    return dist_[a][b];
+}
+
+std::vector<int>
+Topology::shortestPath(int a, int b) const
+{
+    if (distance(a, b) < 0)
+        return {};
+    std::vector<int> path{a};
+    int cur = a;
+    while (cur != b) {
+        for (int v : adj_[cur]) {
+            if (dist_[v][b] == dist_[cur][b] - 1) {
+                cur = v;
+                path.push_back(v);
+                break;
+            }
+        }
+    }
+    return path;
+}
+
+bool
+Topology::isConnected() const
+{
+    for (int q = 1; q < numQubits_; ++q) {
+        if (dist_[0][q] < 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+Topology::isConnectedSubset(const std::vector<int> &qubits) const
+{
+    if (qubits.empty())
+        return true;
+    const std::set<int> subset(qubits.begin(), qubits.end());
+    for (int q : subset)
+        QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    std::set<int> visited;
+    std::queue<int> bfs;
+    bfs.push(*subset.begin());
+    visited.insert(*subset.begin());
+    while (!bfs.empty()) {
+        const int u = bfs.front();
+        bfs.pop();
+        for (int v : adj_[u]) {
+            if (subset.count(v) && !visited.count(v)) {
+                visited.insert(v);
+                bfs.push(v);
+            }
+        }
+    }
+    return visited.size() == subset.size();
+}
+
+int
+Topology::edgeIndex(int a, int b) const
+{
+    QEDM_REQUIRE(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_,
+                 "qubit index out of range");
+    if (a > b)
+        std::swap(a, b);
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        if (edges_[i].a == a && edges_[i].b == b)
+            return static_cast<int>(i);
+    }
+    return -1;
+}
+
+Topology
+Topology::linear(int n)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i + 1 < n; ++i)
+        edges.emplace_back(i, i + 1);
+    return Topology(n, edges);
+}
+
+Topology
+Topology::ring(int n)
+{
+    QEDM_REQUIRE(n >= 3, "a ring needs at least 3 qubits");
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i)
+        edges.emplace_back(i, (i + 1) % n);
+    return Topology(n, edges);
+}
+
+Topology
+Topology::grid(int rows, int cols)
+{
+    QEDM_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be >= 1");
+    std::vector<std::pair<int, int>> edges;
+    auto id = [cols](int r, int c) { return r * cols + c; };
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (c + 1 < cols)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < rows)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    return Topology(rows * cols, edges);
+}
+
+Topology
+Topology::fullyConnected(int n)
+{
+    std::vector<std::pair<int, int>> edges;
+    for (int i = 0; i < n; ++i) {
+        for (int j = i + 1; j < n; ++j)
+            edges.emplace_back(i, j);
+    }
+    return Topology(n, edges);
+}
+
+Topology
+Topology::melbourne()
+{
+    // ibmq-16-melbourne: top row 0..6, bottom row 13..7, six rungs.
+    //
+    //   0 - 1 - 2 - 3 - 4 - 5 - 6
+    //       |   |   |   |   |   |
+    //  13 -12 -11 -10 - 9 - 8 - 7   (bottom row runs 13..7)
+    return Topology(14, {
+        {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6},   // top row
+        {13, 12}, {12, 11}, {11, 10}, {10, 9}, {9, 8}, {8, 7}, // bottom
+        {1, 13}, {2, 12}, {3, 11}, {4, 10}, {5, 9}, {6, 8},    // rungs
+    });
+}
+
+Topology
+Topology::tokyo()
+{
+    // IBM Q20 Tokyo: a 4x5 grid with diagonal couplers inside most
+    // plaquettes (the machine used by several mapping papers).
+    return Topology(20, {
+        {0, 1},   {1, 2},   {2, 3},   {3, 4},               // row 0
+        {5, 6},   {6, 7},   {7, 8},   {8, 9},               // row 1
+        {10, 11}, {11, 12}, {12, 13}, {13, 14},             // row 2
+        {15, 16}, {16, 17}, {17, 18}, {18, 19},             // row 3
+        {0, 5},   {1, 6},   {2, 7},   {3, 8},   {4, 9},     // verticals
+        {5, 10},  {6, 11},  {7, 12},  {8, 13},  {9, 14},
+        {10, 15}, {11, 16}, {12, 17}, {13, 18}, {14, 19},
+        {1, 7},   {2, 6},   {3, 9},   {4, 8},               // diagonals
+        {5, 11},  {6, 10},  {7, 13},  {8, 12},
+        {11, 17}, {12, 16}, {13, 19}, {14, 18},
+    });
+}
+
+Topology
+Topology::heavyHex27()
+{
+    // 27-qubit IBM Falcon (ibmq-montreal) heavy-hex coupling map.
+    return Topology(27, {
+        {0, 1},   {1, 2},   {1, 4},   {2, 3},   {3, 5},
+        {4, 7},   {5, 8},   {6, 7},   {7, 10},  {8, 9},
+        {8, 11},  {10, 12}, {11, 14}, {12, 13}, {12, 15},
+        {13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18},
+        {18, 21}, {19, 20}, {19, 22}, {21, 23}, {22, 25},
+        {23, 24}, {24, 25}, {25, 26},
+    });
+}
+
+} // namespace qedm::hw

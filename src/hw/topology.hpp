@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Device coupling graphs.
+ *
+ * A Topology is the undirected coupling graph of a superconducting
+ * device: vertices are physical qubits, edges are coupling resonators
+ * over which a CX can be executed directly. Includes the
+ * ibmq-16-melbourne (14-qubit) graph used throughout the paper.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qedm::hw {
+
+/** Undirected edge between two physical qubits (normalized a < b). */
+struct Edge
+{
+    int a;
+    int b;
+
+    bool operator==(const Edge &other) const = default;
+};
+
+/** Undirected coupling graph of a quantum device. */
+class Topology
+{
+  public:
+    /**
+     * @param num_qubits number of physical qubits (1..64)
+     * @param edges undirected couplings (validated, deduplicated)
+     */
+    Topology(int num_qubits, const std::vector<std::pair<int, int>> &edges);
+
+    int numQubits() const { return numQubits_; }
+    const std::vector<Edge> &edges() const { return edges_; }
+    std::size_t numEdges() const { return edges_.size(); }
+
+    /** True when (a, b) is a coupled pair. */
+    bool adjacent(int a, int b) const;
+
+    /** Neighbors of qubit @p q, ascending. */
+    const std::vector<int> &neighbors(int q) const;
+
+    /** Vertex degree. */
+    int degree(int q) const;
+
+    /** Hop distance between qubits (BFS); -1 if disconnected. */
+    int distance(int a, int b) const;
+
+    /** One shortest path from @p a to @p b inclusive; empty if none. */
+    std::vector<int> shortestPath(int a, int b) const;
+
+    /** True when the whole graph is connected. */
+    bool isConnected() const;
+
+    /** True when the induced subgraph on @p qubits is connected. */
+    bool isConnectedSubset(const std::vector<int> &qubits) const;
+
+    /** Canonical index of edge (a, b); -1 when not an edge. */
+    int edgeIndex(int a, int b) const;
+
+    /** @name Standard graph factories */
+    /** @{ */
+    static Topology linear(int n);
+    static Topology ring(int n);
+    static Topology grid(int rows, int cols);
+    static Topology fullyConnected(int n);
+    /** The 14-qubit ibmq-16-melbourne ladder (2x7 with rungs). */
+    static Topology melbourne();
+    /** The 20-qubit IBM Q20 Tokyo graph (4x5 grid with diagonals). */
+    static Topology tokyo();
+    /** The 27-qubit IBM Falcon heavy-hex graph (ibmq-montreal). */
+    static Topology heavyHex27();
+    /** @} */
+
+  private:
+    void computeDistances();
+
+    int numQubits_;
+    std::vector<Edge> edges_;
+    std::vector<std::vector<int>> adj_;
+    std::vector<std::vector<int>> dist_;
+};
+
+} // namespace qedm::hw

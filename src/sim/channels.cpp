@@ -1,0 +1,128 @@
+#include "sim/channels.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qedm::sim {
+namespace {
+
+constexpr Complex kI(0.0, 1.0);
+
+std::array<Complex, 4>
+scaled(const std::array<Complex, 4> &m, double s)
+{
+    return {m[0] * s, m[1] * s, m[2] * s, m[3] * s};
+}
+
+const std::array<Complex, 4> kIdentity{1, 0, 0, 1};
+const std::array<Complex, 4> kPauliX{0, 1, 1, 0};
+const std::array<Complex, 4> kPauliY{0, -kI, kI, 0};
+const std::array<Complex, 4> kPauliZ{1, 0, 0, -1};
+
+} // namespace
+
+Kraus1q
+depolarizing1q(double p)
+{
+    QEDM_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    return {
+        scaled(kIdentity, std::sqrt(1.0 - p)),
+        scaled(kPauliX, std::sqrt(p / 3.0)),
+        scaled(kPauliY, std::sqrt(p / 3.0)),
+        scaled(kPauliZ, std::sqrt(p / 3.0)),
+    };
+}
+
+Kraus1q
+bitFlip(double p)
+{
+    QEDM_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    return {
+        scaled(kIdentity, std::sqrt(1.0 - p)),
+        scaled(kPauliX, std::sqrt(p)),
+    };
+}
+
+Kraus1q
+phaseFlip(double p)
+{
+    QEDM_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    return {
+        scaled(kIdentity, std::sqrt(1.0 - p)),
+        scaled(kPauliZ, std::sqrt(p)),
+    };
+}
+
+Kraus1q
+amplitudeDamping(double gamma)
+{
+    QEDM_REQUIRE(gamma >= 0.0 && gamma <= 1.0,
+                 "damping probability out of range");
+    return {
+        {1, 0, 0, std::sqrt(1.0 - gamma)},
+        {0, std::sqrt(gamma), 0, 0},
+    };
+}
+
+Kraus1q
+phaseDamping(double lambda)
+{
+    QEDM_REQUIRE(lambda >= 0.0 && lambda <= 1.0,
+                 "dephasing probability out of range");
+    return {
+        {1, 0, 0, std::sqrt(1.0 - lambda)},
+        {0, 0, 0, std::sqrt(lambda)},
+    };
+}
+
+std::vector<Kraus1q>
+thermalRelaxation(double t_ns, double t1_us, double t2_us)
+{
+    QEDM_REQUIRE(t_ns >= 0.0 && t1_us > 0.0 && t2_us > 0.0,
+                 "invalid relaxation parameters");
+    const double t_us = t_ns * 1e-3;
+    const double gamma = 1.0 - std::exp(-t_us / t1_us);
+    // Pure dephasing rate: 1/T_phi = 1/T2 - 1/(2 T1); clamp when the
+    // calibration violates T2 <= 2 T1.
+    const double t2_eff = std::min(t2_us, 2.0 * t1_us);
+    const double phi_rate =
+        std::max(1.0 / t2_eff - 0.5 / t1_us, 0.0);
+    const double lambda = 1.0 - std::exp(-2.0 * t_us * phi_rate);
+    std::vector<Kraus1q> out;
+    if (gamma > 0.0)
+        out.push_back(amplitudeDamping(gamma));
+    if (lambda > 0.0)
+        out.push_back(phaseDamping(lambda));
+    return out;
+}
+
+bool
+isTracePreserving(const Kraus1q &kraus, double tol)
+{
+    Complex sum[4] = {0, 0, 0, 0};
+    for (const auto &k : kraus) {
+        // K^dagger K for a 2x2 matrix.
+        sum[0] += std::conj(k[0]) * k[0] + std::conj(k[2]) * k[2];
+        sum[1] += std::conj(k[0]) * k[1] + std::conj(k[2]) * k[3];
+        sum[2] += std::conj(k[1]) * k[0] + std::conj(k[3]) * k[2];
+        sum[3] += std::conj(k[1]) * k[1] + std::conj(k[3]) * k[3];
+    }
+    return std::abs(sum[0] - Complex(1.0)) < tol &&
+           std::abs(sum[1]) < tol && std::abs(sum[2]) < tol &&
+           std::abs(sum[3] - Complex(1.0)) < tol;
+}
+
+std::pair<std::array<Complex, 4>, std::array<Complex, 4>>
+twoQubitPauli(int which)
+{
+    QEDM_REQUIRE(which >= 0 && which < 15,
+                 "two-qubit Pauli index must be in [0, 15)");
+    const std::array<Complex, 4> paulis[4] = {kIdentity, kPauliX,
+                                              kPauliY, kPauliZ};
+    // Enumerate (a, b) in row-major order skipping (I, I).
+    const int idx = which + 1;
+    return {paulis[idx / 4], paulis[idx % 4]};
+}
+
+} // namespace qedm::sim

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Standard quantum noise channels as Kraus-operator sets.
+ *
+ * Used in two modes:
+ *  - trajectory simulation: StateVector::applyKraus1q samples one
+ *    operator per shot;
+ *  - exact simulation: DensityMatrix::applyKraus1q applies the full
+ *    channel sum.
+ */
+
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "circuit/op.hpp"
+
+namespace qedm::sim {
+
+using circuit::Complex;
+
+/** A single-qubit channel: a set of 2x2 Kraus operators. */
+using Kraus1q = std::vector<std::array<Complex, 4>>;
+
+/** Depolarizing channel with error probability @p p in [0, 1]. */
+Kraus1q depolarizing1q(double p);
+
+/** Bit-flip channel: X with probability @p p. */
+Kraus1q bitFlip(double p);
+
+/** Phase-flip channel: Z with probability @p p. */
+Kraus1q phaseFlip(double p);
+
+/** Amplitude damping with decay probability @p gamma in [0, 1]. */
+Kraus1q amplitudeDamping(double gamma);
+
+/** Pure phase damping with dephasing probability @p lambda. */
+Kraus1q phaseDamping(double lambda);
+
+/**
+ * Combined thermal relaxation for an idle period.
+ * @param t_ns duration (ns)
+ * @param t1_us relaxation time (us)
+ * @param t2_us dephasing time (us); clamped to 2*T1
+ * @returns amplitude damping then pure dephasing Kraus sets to apply
+ *          in sequence.
+ */
+std::vector<Kraus1q> thermalRelaxation(double t_ns, double t1_us,
+                                       double t2_us);
+
+/**
+ * Verify the completeness relation sum_k K_k^dagger K_k = I within
+ * @p tol. Used by tests and debug assertions.
+ */
+bool isTracePreserving(const Kraus1q &kraus, double tol = 1e-9);
+
+/**
+ * Sample one of the 15 non-identity two-qubit Paulis (uniformly) as a
+ * pair of 1-qubit Pauli matrices to apply to the two operands; entry
+ * may be identity on one operand but not both.
+ * @param which index in [0, 15).
+ */
+std::pair<std::array<Complex, 4>, std::array<Complex, 4>>
+twoQubitPauli(int which);
+
+} // namespace qedm::sim

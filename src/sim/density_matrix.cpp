@@ -1,0 +1,189 @@
+#include "sim/density_matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qedm::sim {
+
+DensityMatrix::DensityMatrix(int num_qubits)
+    : numQubits_(num_qubits), dim_(std::size_t(1) << num_qubits)
+{
+    QEDM_REQUIRE(num_qubits >= 1 && num_qubits <= 10,
+                 "density matrices are limited to 10 qubits");
+    rho_.assign(dim_ * dim_, Complex(0.0));
+    rho_[0] = Complex(1.0);
+}
+
+Complex
+DensityMatrix::at(std::size_t row, std::size_t col) const
+{
+    QEDM_REQUIRE(row < dim_ && col < dim_, "index out of range");
+    return rho_[row * dim_ + col];
+}
+
+void
+DensityMatrix::apply1q(const std::array<Complex, 4> &m, int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    const std::size_t mask = std::size_t(1) << q;
+    // Left-multiply columns by m.
+    for (std::size_t col = 0; col < dim_; ++col) {
+        for (std::size_t row = 0; row < dim_; ++row) {
+            if (row & mask)
+                continue;
+            const std::size_t r0 = row, r1 = row | mask;
+            const Complex a = rho_[r0 * dim_ + col];
+            const Complex b = rho_[r1 * dim_ + col];
+            rho_[r0 * dim_ + col] = m[0] * a + m[1] * b;
+            rho_[r1 * dim_ + col] = m[2] * a + m[3] * b;
+        }
+    }
+    // Right-multiply rows by m^dagger.
+    for (std::size_t row = 0; row < dim_; ++row) {
+        for (std::size_t col = 0; col < dim_; ++col) {
+            if (col & mask)
+                continue;
+            const std::size_t c0 = col, c1 = col | mask;
+            const Complex a = rho_[row * dim_ + c0];
+            const Complex b = rho_[row * dim_ + c1];
+            rho_[row * dim_ + c0] =
+                a * std::conj(m[0]) + b * std::conj(m[1]);
+            rho_[row * dim_ + c1] =
+                a * std::conj(m[2]) + b * std::conj(m[3]);
+        }
+    }
+}
+
+void
+DensityMatrix::apply2q(const std::array<Complex, 16> &m, int q0, int q1)
+{
+    QEDM_REQUIRE(q0 >= 0 && q0 < numQubits_ && q1 >= 0 &&
+                     q1 < numQubits_ && q0 != q1,
+                 "invalid two-qubit operands");
+    const std::size_t m0 = std::size_t(1) << q0;
+    const std::size_t m1 = std::size_t(1) << q1;
+    // Left-multiply columns.
+    for (std::size_t col = 0; col < dim_; ++col) {
+        for (std::size_t row = 0; row < dim_; ++row) {
+            if (row & (m0 | m1))
+                continue;
+            const std::size_t idx[4] = {row, row | m1, row | m0,
+                                        row | m0 | m1};
+            Complex v[4];
+            for (int k = 0; k < 4; ++k)
+                v[k] = rho_[idx[k] * dim_ + col];
+            for (int r = 0; r < 4; ++r) {
+                Complex acc(0.0);
+                for (int c = 0; c < 4; ++c)
+                    acc += m[r * 4 + c] * v[c];
+                rho_[idx[r] * dim_ + col] = acc;
+            }
+        }
+    }
+    // Right-multiply rows by m^dagger.
+    for (std::size_t row = 0; row < dim_; ++row) {
+        for (std::size_t col = 0; col < dim_; ++col) {
+            if (col & (m0 | m1))
+                continue;
+            const std::size_t idx[4] = {col, col | m1, col | m0,
+                                        col | m0 | m1};
+            Complex v[4];
+            for (int k = 0; k < 4; ++k)
+                v[k] = rho_[row * dim_ + idx[k]];
+            for (int c = 0; c < 4; ++c) {
+                Complex acc(0.0);
+                for (int k = 0; k < 4; ++k)
+                    acc += v[k] * std::conj(m[c * 4 + k]);
+                rho_[row * dim_ + idx[c]] = acc;
+            }
+        }
+    }
+}
+
+void
+DensityMatrix::applyGate(circuit::OpKind kind,
+                         const std::vector<int> &qubits,
+                         const std::vector<double> &params)
+{
+    using circuit::OpKind;
+    QEDM_REQUIRE(circuit::opIsUnitary(kind) && kind != OpKind::Barrier,
+                 "applyGate expects a unitary gate");
+    const int arity = circuit::opArity(kind);
+    if (arity == 1) {
+        apply1q(circuit::gateMatrix1q(kind, params), qubits[0]);
+    } else if (arity == 2) {
+        apply2q(circuit::gateMatrix2q(kind), qubits[0], qubits[1]);
+    } else {
+        throw UserError("applyGate: decompose 3-qubit gates first");
+    }
+}
+
+void
+DensityMatrix::applyKraus1q(const Kraus1q &kraus, int q)
+{
+    QEDM_REQUIRE(!kraus.empty(), "empty Kraus set");
+    std::vector<Complex> acc(dim_ * dim_, Complex(0.0));
+    const std::vector<Complex> original = rho_;
+    for (const auto &k : kraus) {
+        rho_ = original;
+        apply1q(k, q);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += rho_[i];
+    }
+    rho_ = std::move(acc);
+}
+
+void
+DensityMatrix::applyDepolarizing2q(double p, int q0, int q1)
+{
+    QEDM_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+    if (p == 0.0)
+        return;
+    std::vector<Complex> acc(dim_ * dim_, Complex(0.0));
+    const std::vector<Complex> original = rho_;
+    // (1 - p) * rho
+    for (std::size_t i = 0; i < acc.size(); ++i)
+        acc[i] = (1.0 - p) * original[i];
+    // + p/15 * sum over non-identity Pauli pairs
+    for (int w = 0; w < 15; ++w) {
+        rho_ = original;
+        const auto [pa, pb] = twoQubitPauli(w);
+        apply1q(pa, q0);
+        apply1q(pb, q1);
+        for (std::size_t i = 0; i < acc.size(); ++i)
+            acc[i] += (p / 15.0) * rho_[i];
+    }
+    rho_ = std::move(acc);
+}
+
+std::vector<double>
+DensityMatrix::probabilities() const
+{
+    std::vector<double> p(dim_);
+    for (std::size_t i = 0; i < dim_; ++i)
+        p[i] = std::max(rho_[i * dim_ + i].real(), 0.0);
+    return p;
+}
+
+double
+DensityMatrix::trace() const
+{
+    double t = 0.0;
+    for (std::size_t i = 0; i < dim_; ++i)
+        t += rho_[i * dim_ + i].real();
+    return t;
+}
+
+double
+DensityMatrix::purity() const
+{
+    // Tr(rho^2) = sum_ij rho_ij * rho_ji = sum_ij |rho_ij|^2 for
+    // Hermitian rho.
+    double p = 0.0;
+    for (const Complex &v : rho_)
+        p += std::norm(v);
+    return p;
+}
+
+} // namespace qedm::sim

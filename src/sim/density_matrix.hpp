@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Exact mixed-state simulation engine.
+ *
+ * The density matrix evolves through the same gate/noise sequence as
+ * the trajectory simulator but applies every channel exactly, yielding
+ * the exact output distribution. Used as the reference implementation
+ * in tests and for sampling-free benchmarking of small circuits.
+ */
+
+#pragma once
+
+#include <array>
+#include <complex>
+#include <vector>
+
+#include "circuit/op.hpp"
+#include "sim/channels.hpp"
+
+namespace qedm::sim {
+
+/** Density matrix over n qubits (n <= 10); qubit 0 is the LSB. */
+class DensityMatrix
+{
+  public:
+    /** |0..0><0..0| on @p num_qubits qubits. */
+    explicit DensityMatrix(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t dim() const { return dim_; }
+
+    Complex at(std::size_t row, std::size_t col) const;
+
+    /** rho -> U rho U^dagger for a 1-qubit unitary on @p q. */
+    void apply1q(const std::array<Complex, 4> &m, int q);
+
+    /** rho -> U rho U^dagger for a 2-qubit unitary on (q0, q1);
+     *  operand 0 is the most-significant factor. */
+    void apply2q(const std::array<Complex, 16> &m, int q0, int q1);
+
+    /** Apply a named unitary gate. */
+    void applyGate(circuit::OpKind kind, const std::vector<int> &qubits,
+                   const std::vector<double> &params);
+
+    /** rho -> sum_k K_k rho K_k^dagger for a 1-qubit Kraus set. */
+    void applyKraus1q(const Kraus1q &kraus, int q);
+
+    /** Two-qubit depolarizing channel with probability @p p. */
+    void applyDepolarizing2q(double p, int q0, int q1);
+
+    /** Diagonal (basis-state probabilities). */
+    std::vector<double> probabilities() const;
+
+    /** Trace (should stay 1 within rounding). */
+    double trace() const;
+
+    /** Purity Tr(rho^2); 1 for pure states. */
+    double purity() const;
+
+  private:
+    int numQubits_;
+    std::size_t dim_;
+    std::vector<Complex> rho_;
+};
+
+} // namespace qedm::sim

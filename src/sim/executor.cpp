@@ -1,0 +1,451 @@
+#include "sim/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "sim/channels.hpp"
+#include "sim/density_matrix.hpp"
+#include "sim/statevector.hpp"
+
+namespace qedm::sim {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::OpKind;
+
+namespace {
+
+/** Apply per-bit readout confusion to a classical distribution. */
+void
+applyBitConfusion(stats::Distribution &dist, int bit, double p01,
+                  double p10)
+{
+    stats::Distribution next(dist.width());
+    const auto &p = dist.probabilities();
+    for (std::size_t o = 0; o < p.size(); ++o) {
+        if (p[o] <= 0.0)
+            continue;
+        const bool one = getBit(o, bit);
+        const double flip = one ? p10 : p01;
+        next.addProb(o, p[o] * (1.0 - flip));
+        next.addProb(flipBit(o, bit), p[o] * flip);
+    }
+    dist = std::move(next);
+}
+
+/** Apply a joint two-bit flip channel to a classical distribution. */
+void
+applyJointFlip(stats::Distribution &dist, int bit_a, int bit_b, double p)
+{
+    if (p <= 0.0)
+        return;
+    stats::Distribution next(dist.width());
+    const auto &probs = dist.probabilities();
+    for (std::size_t o = 0; o < probs.size(); ++o) {
+        if (probs[o] <= 0.0)
+            continue;
+        next.addProb(o, probs[o] * (1.0 - p));
+        next.addProb(flipBit(flipBit(o, bit_a), bit_b), probs[o] * p);
+    }
+    dist = std::move(next);
+}
+
+/** Rx(theta) as an explicit matrix (coherent over-rotation). */
+std::array<Complex, 4>
+rxMatrix(double theta)
+{
+    return circuit::gateMatrix1q(OpKind::Rx, {theta});
+}
+
+std::array<Complex, 4>
+rzMatrix(double theta)
+{
+    return circuit::gateMatrix1q(OpKind::Rz, {theta});
+}
+
+} // namespace
+
+Executor::Executor(hw::Device device) : device_(std::move(device)) {}
+
+Executor::Tape
+Executor::buildTape(const Circuit &physical) const
+{
+    const auto &topo = device_.topology();
+    const auto &cal = device_.calibration();
+    const auto &noise = device_.noise();
+    const auto &spec = noise.spec();
+
+    QEDM_REQUIRE(physical.numQubits() == topo.numQubits(),
+                 "physical circuit register must match the device");
+    const Circuit flat = physical.decomposed();
+
+    // Collect active qubits and build the local compaction map.
+    std::map<int, int> physToLocal;
+    for (const Gate &g : flat.gates()) {
+        for (int q : g.qubits) {
+            if (!physToLocal.count(q)) {
+                const int local = static_cast<int>(physToLocal.size());
+                physToLocal[q] = local;
+            }
+        }
+    }
+    // Renumber in physical order for determinism.
+    {
+        int next = 0;
+        for (auto &[phys, local] : physToLocal)
+            local = next++;
+    }
+
+    Tape tape;
+    tape.numLocal = static_cast<int>(physToLocal.size());
+    tape.numClbits = flat.numClbits();
+    tape.localToPhys.resize(tape.numLocal);
+    for (const auto &[phys, local] : physToLocal)
+        tape.localToPhys[local] = phys;
+    QEDM_REQUIRE(tape.numLocal >= 1, "circuit has no active qubits");
+
+    std::vector<bool> measured(topo.numQubits(), false);
+    std::vector<bool> clbitWritten(std::max(flat.numClbits(), 1), false);
+    // ASAP schedule clock per local qubit, for idle-window damping.
+    std::vector<double> ready_ns(
+        static_cast<std::size_t>(tape.numLocal), 0.0);
+
+    for (const Gate &g : flat.gates()) {
+        if (g.kind == OpKind::Barrier)
+            continue;
+        for (int q : g.qubits) {
+            QEDM_REQUIRE(!measured[q],
+                         "gate after measurement is not supported");
+        }
+        if (g.kind == OpKind::Measure) {
+            const int q = g.qubits[0];
+            measured[q] = true;
+            QEDM_REQUIRE(!clbitWritten[g.clbit],
+                         "clbit measured more than once");
+            clbitWritten[g.clbit] = true;
+            tape.measures.push_back(
+                MeasureOp{physToLocal.at(q), q, g.clbit});
+            continue;
+        }
+        TapeOp op;
+        op.kind = g.kind;
+        op.params = g.params;
+        op.p0 = g.qubits[0];
+        op.l0 = physToLocal.at(op.p0);
+        auto addRelaxation = [&](int local, int phys, double dur_ns) {
+            if (!spec.enableDecoherence)
+                return;
+            for (auto &kraus : thermalRelaxation(
+                     dur_ns, cal.qubit(phys).t1Us,
+                     cal.qubit(phys).t2Us)) {
+                op.relaxation.emplace_back(local, std::move(kraus));
+            }
+        };
+        const double duration = circuit::opArity(g.kind) == 1
+                                    ? spec.gate1qNs
+                                    : spec.gate2qNs;
+        double start_ns = 0.0;
+        for (int q : g.qubits) {
+            start_ns = std::max(
+                start_ns,
+                ready_ns[static_cast<std::size_t>(physToLocal.at(q))]);
+        }
+        // Idle-window damping for operands that waited.
+        if (spec.enableDecoherence && spec.idleDecoherence) {
+            for (int q : g.qubits) {
+                const int local = physToLocal.at(q);
+                const double gap =
+                    start_ns - ready_ns[static_cast<std::size_t>(local)];
+                if (gap > 0.0) {
+                    for (auto &kraus : thermalRelaxation(
+                             gap, cal.qubit(q).t1Us,
+                             cal.qubit(q).t2Us)) {
+                        op.preRelaxation.emplace_back(
+                            local, std::move(kraus));
+                    }
+                }
+            }
+        }
+        for (int q : g.qubits) {
+            ready_ns[static_cast<std::size_t>(physToLocal.at(q))] =
+                start_ns + duration;
+        }
+        if (circuit::opArity(g.kind) == 1) {
+            op.overRotation = noise.overRotation1q(op.p0);
+            op.depolProb = std::min(
+                cal.qubit(op.p0).error1q * spec.stochasticScale, 1.0);
+            addRelaxation(op.l0, op.p0, spec.gate1qNs);
+        } else {
+            op.p1 = g.qubits[1];
+            op.l1 = physToLocal.at(op.p1);
+            const int edge = topo.edgeIndex(op.p0, op.p1);
+            QEDM_REQUIRE(edge >= 0,
+                         "two-qubit gate on uncoupled physical qubits");
+            op.overRotation =
+                noise.overRotation(static_cast<std::size_t>(edge));
+            op.controlPhase =
+                noise.controlPhase(static_cast<std::size_t>(edge));
+            op.depolProb = std::min(
+                cal.edge(static_cast<std::size_t>(edge)).cxError *
+                    spec.stochasticScale,
+                1.0);
+            for (const auto &xt :
+                 noise.crosstalk(static_cast<std::size_t>(edge))) {
+                auto it = physToLocal.find(xt.spectator);
+                if (it != physToLocal.end())
+                    op.crosstalk.emplace_back(it->second, xt.angleRad);
+            }
+            addRelaxation(op.l0, op.p0, spec.gate2qNs);
+            addRelaxation(op.l1, op.p1, spec.gate2qNs);
+        }
+        if (op.depolProb > 0.0 || !op.relaxation.empty() ||
+            !op.preRelaxation.empty()) {
+            tape.stochastic = true;
+        }
+        tape.ops.push_back(std::move(op));
+    }
+    QEDM_REQUIRE(!tape.measures.empty(),
+                 "circuit must measure at least one qubit");
+    if (spec.enableDecoherence) {
+        // Measurement fires simultaneously at circuit end; qubits that
+        // finished early idle until then.
+        double end_ns = 0.0;
+        for (double t : ready_ns)
+            end_ns = std::max(end_ns, t);
+        for (auto &m : tape.measures) {
+            if (spec.idleDecoherence) {
+                const double gap =
+                    end_ns - ready_ns[static_cast<std::size_t>(m.local)];
+                if (gap > 0.0) {
+                    m.relaxation = thermalRelaxation(
+                        gap, cal.qubit(m.phys).t1Us,
+                        cal.qubit(m.phys).t2Us);
+                }
+            }
+            for (auto &kraus : thermalRelaxation(
+                     spec.measureNs, cal.qubit(m.phys).t1Us,
+                     cal.qubit(m.phys).t2Us)) {
+                m.relaxation.push_back(std::move(kraus));
+            }
+            if (!m.relaxation.empty())
+                tape.stochastic = true;
+        }
+    }
+
+    // Correlated readout channels between pairs of *measured* qubits.
+    std::map<int, int> physToClbit;
+    for (const auto &m : tape.measures)
+        physToClbit[m.phys] = m.clbit;
+    for (const auto &cr : noise.correlatedReadout()) {
+        auto a = physToClbit.find(cr.qubitA);
+        auto b = physToClbit.find(cr.qubitB);
+        if (a != physToClbit.end() && b != physToClbit.end()) {
+            tape.pairReadout.push_back(PairReadout{
+                a->second, b->second, cr.jointFlipProb});
+        }
+    }
+    return tape;
+}
+
+stats::Counts
+Executor::run(const Circuit &physical, std::uint64_t shots,
+              Rng &rng) const
+{
+    QEDM_REQUIRE(shots > 0, "shots must be positive");
+    const Tape tape = buildTape(physical);
+    const auto &cal = device_.calibration();
+
+    stats::Counts counts(tape.numClbits);
+    StateVector sv(tape.numLocal);
+
+    // Deterministic fast path: with no per-shot randomness before
+    // readout, evolve once and only sample measurement + readout noise.
+    const bool deterministic = !tape.stochastic;
+
+    auto applyTrajectoryNoise = [&](StateVector &state) {
+        for (const TapeOp &op : tape.ops) {
+            for (const auto &[local, kraus] : op.preRelaxation)
+                state.applyKraus1q(kraus, local, rng);
+            if (op.l1 < 0) {
+                state.apply1q(circuit::gateMatrix1q(op.kind, op.params),
+                              op.l0);
+                if (op.overRotation != 0.0)
+                    state.apply1q(rxMatrix(op.overRotation), op.l0);
+                if (op.depolProb > 0.0 &&
+                    rng.bernoulli(op.depolProb)) {
+                    // Uniform X/Y/Z error.
+                    static const OpKind paulis[3] = {OpKind::X, OpKind::Y,
+                                                     OpKind::Z};
+                    state.apply1q(
+                        circuit::gateMatrix1q(
+                            paulis[rng.uniformInt(3)], {}),
+                        op.l0);
+                }
+            } else {
+                state.apply2q(circuit::gateMatrix2q(op.kind), op.l0,
+                              op.l1);
+                if (op.overRotation != 0.0)
+                    state.apply1q(rxMatrix(op.overRotation), op.l1);
+                if (op.controlPhase != 0.0)
+                    state.apply1q(rzMatrix(op.controlPhase), op.l0);
+                for (const auto &[spectator, angle] : op.crosstalk)
+                    state.apply1q(rzMatrix(angle), spectator);
+                if (op.depolProb > 0.0 &&
+                    rng.bernoulli(op.depolProb)) {
+                    const auto [pa, pb] = twoQubitPauli(
+                        static_cast<int>(rng.uniformInt(15)));
+                    state.apply1q(pa, op.l0);
+                    state.apply1q(pb, op.l1);
+                }
+            }
+            for (const auto &[local, kraus] : op.relaxation)
+                state.applyKraus1q(kraus, local, rng);
+        }
+        // Decoherence during the measurement window.
+        for (const auto &m : tape.measures) {
+            for (const auto &kraus : m.relaxation)
+                state.applyKraus1q(kraus, m.local, rng);
+        }
+    };
+
+    StateVector precomputed(tape.numLocal);
+    if (deterministic) {
+        applyTrajectoryNoise(precomputed); // no randomness is consumed
+    }
+
+    for (std::uint64_t shot = 0; shot < shots; ++shot) {
+        const StateVector *state = &precomputed;
+        if (!deterministic) {
+            sv.reset();
+            applyTrajectoryNoise(sv);
+            state = &sv;
+        }
+        const std::size_t basis = state->sampleMeasurement(rng);
+
+        Outcome outcome = 0;
+        for (const auto &m : tape.measures) {
+            int bit = getBit(basis, m.local);
+            const auto &qc = cal.qubit(m.phys);
+            const double flip = bit ? qc.readoutP10 : qc.readoutP01;
+            if (flip > 0.0 && rng.bernoulli(flip))
+                bit ^= 1;
+            outcome = setBit(outcome, m.clbit, bit);
+        }
+        for (const auto &pr : tape.pairReadout) {
+            if (rng.bernoulli(pr.jointFlipProb)) {
+                outcome = flipBit(outcome, pr.clbitA);
+                outcome = flipBit(outcome, pr.clbitB);
+            }
+        }
+        counts.add(outcome);
+    }
+    return counts;
+}
+
+stats::Distribution
+Executor::exactDistribution(const Circuit &physical) const
+{
+    const Tape tape = buildTape(physical);
+    QEDM_REQUIRE(tape.numLocal <= 10,
+                 "exact simulation is limited to 10 active qubits");
+    const auto &cal = device_.calibration();
+
+    DensityMatrix rho(tape.numLocal);
+    for (const TapeOp &op : tape.ops) {
+        for (const auto &[local, kraus] : op.preRelaxation)
+            rho.applyKraus1q(kraus, local);
+        if (op.l1 < 0) {
+            rho.apply1q(circuit::gateMatrix1q(op.kind, op.params),
+                        op.l0);
+            if (op.overRotation != 0.0)
+                rho.apply1q(rxMatrix(op.overRotation), op.l0);
+            if (op.depolProb > 0.0)
+                rho.applyKraus1q(depolarizing1q(op.depolProb), op.l0);
+        } else {
+            rho.apply2q(circuit::gateMatrix2q(op.kind), op.l0, op.l1);
+            if (op.overRotation != 0.0)
+                rho.apply1q(rxMatrix(op.overRotation), op.l1);
+            if (op.controlPhase != 0.0)
+                rho.apply1q(rzMatrix(op.controlPhase), op.l0);
+            for (const auto &[spectator, angle] : op.crosstalk)
+                rho.apply1q(rzMatrix(angle), spectator);
+            if (op.depolProb > 0.0)
+                rho.applyDepolarizing2q(op.depolProb, op.l0, op.l1);
+        }
+        for (const auto &[local, kraus] : op.relaxation)
+            rho.applyKraus1q(kraus, local);
+    }
+    for (const auto &m : tape.measures) {
+        for (const auto &kraus : m.relaxation)
+            rho.applyKraus1q(kraus, m.local);
+    }
+
+    // Project the basis-state probabilities onto the classical register.
+    stats::Distribution dist(tape.numClbits);
+    const std::vector<double> probs = rho.probabilities();
+    for (std::size_t basis = 0; basis < probs.size(); ++basis) {
+        if (probs[basis] <= 0.0)
+            continue;
+        Outcome outcome = 0;
+        for (const auto &m : tape.measures)
+            outcome = setBit(outcome, m.clbit, getBit(basis, m.local));
+        dist.addProb(outcome, probs[basis]);
+    }
+
+    // Classical readout channels.
+    for (const auto &m : tape.measures) {
+        const auto &qc = cal.qubit(m.phys);
+        if (qc.readoutP01 > 0.0 || qc.readoutP10 > 0.0)
+            applyBitConfusion(dist, m.clbit, qc.readoutP01,
+                              qc.readoutP10);
+    }
+    for (const auto &pr : tape.pairReadout)
+        applyJointFlip(dist, pr.clbitA, pr.clbitB, pr.jointFlipProb);
+
+    dist.normalize();
+    return dist;
+}
+
+stats::Distribution
+idealDistribution(const Circuit &logical)
+{
+    const Circuit flat = logical.decomposed();
+    QEDM_REQUIRE(flat.numQubits() <= 24, "circuit too large");
+
+    StateVector sv(flat.numQubits());
+    std::vector<std::pair<int, int>> measures; // (qubit, clbit)
+    std::vector<bool> measured(flat.numQubits(), false);
+    for (const Gate &g : flat.gates()) {
+        if (g.kind == OpKind::Barrier)
+            continue;
+        for (int q : g.qubits)
+            QEDM_REQUIRE(!measured[q],
+                         "gate after measurement is not supported");
+        if (g.kind == OpKind::Measure) {
+            measured[g.qubits[0]] = true;
+            measures.emplace_back(g.qubits[0], g.clbit);
+            continue;
+        }
+        sv.applyGate(g.kind, g.qubits, g.params);
+    }
+    QEDM_REQUIRE(!measures.empty(),
+                 "circuit must measure at least one qubit");
+
+    stats::Distribution dist(flat.numClbits());
+    const std::vector<double> probs = sv.probabilities();
+    for (std::size_t basis = 0; basis < probs.size(); ++basis) {
+        if (probs[basis] <= 0.0)
+            continue;
+        Outcome outcome = 0;
+        for (const auto &[q, c] : measures)
+            outcome = setBit(outcome, c, getBit(basis, q));
+        dist.addProb(outcome, probs[basis]);
+    }
+    dist.normalize();
+    return dist;
+}
+
+} // namespace qedm::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Noisy execution of physical circuits on a Device model.
+ *
+ * The Executor is the stand-in for submitting a compiled program to
+ * the real machine: it takes a *physical* circuit (qubit indices are
+ * device qubits; every 2-qubit gate sits on a coupling edge), applies
+ * the device's systematic and stochastic noise, and returns shot
+ * counts exactly as the IBMQ job API would.
+ *
+ * Two engines share one preprocessing pass ("tape"):
+ *  - trajectory: per-shot state-vector evolution with sampled noise;
+ *  - exact: density-matrix evolution applying every channel fully.
+ *
+ * Only the qubits the circuit touches are simulated; the tape compacts
+ * physical indices into a dense local register while retaining the
+ * physical identities for calibration/noise lookups.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "hw/device.hpp"
+#include "sim/channels.hpp"
+#include "stats/counts.hpp"
+#include "stats/distribution.hpp"
+
+namespace qedm::sim {
+
+/** Runs physical circuits against one device model. */
+class Executor
+{
+  public:
+    /** @param device device model (copied; the Executor owns its own). */
+    explicit Executor(hw::Device device);
+
+    const hw::Device &device() const { return device_; }
+
+    /**
+     * Execute @p physical for @p shots trials with per-shot noise
+     * trajectories and return the outcome histogram.
+     */
+    stats::Counts run(const circuit::Circuit &physical,
+                      std::uint64_t shots, Rng &rng) const;
+
+    /**
+     * Exact output distribution over the classical register via
+     * density-matrix simulation (active qubit count <= 10).
+     */
+    stats::Distribution
+    exactDistribution(const circuit::Circuit &physical) const;
+
+  private:
+    struct TapeOp
+    {
+        circuit::OpKind kind;
+        std::vector<double> params;
+        int l0 = -1, l1 = -1; ///< local operands
+        int p0 = -1, p1 = -1; ///< physical operands
+        double overRotation = 0.0; ///< coherent extra on target (rad)
+        double controlPhase = 0.0; ///< coherent Rz on control (rad)
+        /** (local spectator, RZ angle) crosstalk kicks. */
+        std::vector<std::pair<int, double>> crosstalk;
+        double depolProb = 0.0; ///< stochastic depolarizing strength
+        /** Thermal relaxation applied *before* the gate, covering each
+         *  operand's idle window since its previous gate. */
+        std::vector<std::pair<int, Kraus1q>> preRelaxation;
+        /** Thermal-relaxation Kraus sets per operand (local qubit,
+         *  channel), precomputed from gate duration and T1/T2. */
+        std::vector<std::pair<int, Kraus1q>> relaxation;
+    };
+
+    struct MeasureOp
+    {
+        int local;
+        int phys;
+        int clbit;
+        /** Relaxation during the measurement window. */
+        std::vector<Kraus1q> relaxation;
+    };
+
+    struct PairReadout
+    {
+        int clbitA;
+        int clbitB;
+        double jointFlipProb;
+    };
+
+    struct Tape
+    {
+        int numLocal = 0;
+        int numClbits = 0;
+        std::vector<int> localToPhys;
+        std::vector<TapeOp> ops;
+        std::vector<MeasureOp> measures;
+        std::vector<PairReadout> pairReadout;
+        bool stochastic = false; ///< any per-shot randomness pre-readout
+    };
+
+    Tape buildTape(const circuit::Circuit &physical) const;
+
+    hw::Device device_;
+};
+
+/**
+ * Exact output distribution of @p circuit on an ideal machine,
+ * ignoring any device (no mapping required). Barriers are skipped;
+ * Ccx/Cswap/Swap are decomposed. Qubits without a Measure are
+ * marginalized out.
+ */
+stats::Distribution idealDistribution(const circuit::Circuit &circuit);
+
+} // namespace qedm::sim

@@ -1,0 +1,76 @@
+#include "sim/mitigation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qedm::sim {
+
+ReadoutMitigator::ReadoutMitigator(
+    const hw::Device &device, const std::vector<int> &clbit_to_phys)
+{
+    QEDM_REQUIRE(!clbit_to_phys.empty(),
+                 "mitigator needs at least one measured bit");
+    inverse_.reserve(clbit_to_phys.size());
+    for (int phys : clbit_to_phys) {
+        const auto &qc = device.calibration().qubit(phys);
+        // Confusion matrix M (column = true state):
+        //   [ P(read 0|0)  P(read 0|1) ]   [ 1-p01  p10   ]
+        //   [ P(read 1|0)  P(read 1|1) ] = [ p01    1-p10 ]
+        const double a = 1.0 - qc.readoutP01;
+        const double b = qc.readoutP10;
+        const double c = qc.readoutP01;
+        const double d = 1.0 - qc.readoutP10;
+        const double det = a * d - b * c;
+        QEDM_REQUIRE(std::abs(det) > 1e-9,
+                     "readout confusion matrix is singular "
+                     "(error rate ~50%)");
+        inverse_.push_back({d / det, -b / det, -c / det, a / det});
+    }
+}
+
+stats::Distribution
+ReadoutMitigator::mitigate(const stats::Distribution &measured) const
+{
+    QEDM_REQUIRE(static_cast<std::size_t>(measured.width()) ==
+                     inverse_.size(),
+                 "distribution width must match the mitigator");
+    std::vector<double> p = measured.probabilities();
+    // Apply the inverse confusion bit by bit (tensor structure).
+    for (std::size_t bit = 0; bit < inverse_.size(); ++bit) {
+        const auto &m = inverse_[bit];
+        const Outcome mask = Outcome(1) << bit;
+        for (std::size_t o = 0; o < p.size(); ++o) {
+            if (o & mask)
+                continue;
+            const double p0 = p[o];
+            const double p1 = p[o | mask];
+            p[o] = m[0] * p0 + m[1] * p1;
+            p[o | mask] = m[2] * p0 + m[3] * p1;
+        }
+    }
+    // Clip quasi-probabilities and renormalize.
+    stats::Distribution out(measured.width());
+    for (std::size_t o = 0; o < p.size(); ++o) {
+        if (p[o] > 0.0)
+            out.setProb(o, p[o]);
+    }
+    out.normalize();
+    return out;
+}
+
+stats::Distribution
+flipOutcomeBits(const stats::Distribution &dist, Outcome mask)
+{
+    QEDM_REQUIRE(mask < (Outcome(1) << dist.width()),
+                 "flip mask exceeds the register width");
+    stats::Distribution out(dist.width());
+    const auto &p = dist.probabilities();
+    for (std::size_t o = 0; o < p.size(); ++o) {
+        if (p[o] > 0.0)
+            out.setProb(o ^ mask, p[o]);
+    }
+    return out;
+}
+
+} // namespace qedm::sim

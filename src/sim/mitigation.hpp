@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Classical readout-error mitigation.
+ *
+ * The paper's companion work (Tannu & Qureshi [41]) shows measurement
+ * errors are state-dependent and a major IST killer. This module
+ * provides the two standard counters, both composable with EDM:
+ *
+ *  - ReadoutMitigator: tensor-product confusion-matrix inversion
+ *    built from the device calibration (each measured bit's 2x2
+ *    confusion matrix is inverted analytically and applied to the
+ *    measured distribution);
+ *  - invert-and-measure support: the transpile-side transform lives
+ *    in transpile/invert_measure.hpp; here, flipOutcomeBits() undoes
+ *    the logical inversion on a measured distribution.
+ */
+
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "stats/distribution.hpp"
+
+namespace qedm::sim {
+
+/** Inverts per-qubit readout confusion on measured distributions. */
+class ReadoutMitigator
+{
+  public:
+    /**
+     * @param device device whose calibration supplies the confusion
+     *        matrices
+     * @param clbit_to_phys physical qubit measured into each clbit
+     *        (index = clbit); entries must be valid device qubits
+     */
+    ReadoutMitigator(const hw::Device &device,
+                     const std::vector<int> &clbit_to_phys);
+
+    /**
+     * Apply the inverse confusion to @p measured. Inversion can
+     * produce small negative quasi-probabilities; they are clipped to
+     * zero and the result renormalized.
+     */
+    stats::Distribution
+    mitigate(const stats::Distribution &measured) const;
+
+  private:
+    /** Row-major inverse 2x2 confusion per clbit. */
+    std::vector<std::array<double, 4>> inverse_;
+};
+
+/** Flip the given outcome bits of a distribution (XOR with mask). */
+stats::Distribution flipOutcomeBits(const stats::Distribution &dist,
+                                    Outcome mask);
+
+} // namespace qedm::sim

@@ -1,0 +1,303 @@
+#include "sim/stabilizer.hpp"
+
+#include "common/error.hpp"
+
+namespace qedm::sim {
+
+using circuit::OpKind;
+
+StabilizerState::StabilizerState(int num_qubits)
+    : numQubits_(num_qubits)
+{
+    QEDM_REQUIRE(num_qubits >= 1 && num_qubits <= 64,
+                 "stabilizer register must be in [1, 64] qubits");
+    reset();
+}
+
+void
+StabilizerState::reset()
+{
+    const std::size_t n = static_cast<std::size_t>(numQubits_);
+    const std::size_t rows = 2 * n + 1;
+    x_.assign(rows, std::vector<std::uint8_t>(n, 0));
+    z_.assign(rows, std::vector<std::uint8_t>(n, 0));
+    r_.assign(rows, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        x_[i][i] = 1;     // destabilizer X_i
+        z_[i + n][i] = 1; // stabilizer Z_i
+    }
+}
+
+void
+StabilizerState::h(int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+        r_[i] ^= x_[i][q] & z_[i][q];
+        std::swap(x_[i][q], z_[i][q]);
+    }
+}
+
+void
+StabilizerState::s(int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+        r_[i] ^= x_[i][q] & z_[i][q];
+        z_[i][q] ^= x_[i][q];
+    }
+}
+
+void
+StabilizerState::sdg(int q)
+{
+    s(q);
+    z(q);
+}
+
+void
+StabilizerState::x(int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    for (std::size_t i = 0; i < x_.size(); ++i)
+        r_[i] ^= z_[i][q];
+}
+
+void
+StabilizerState::y(int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    for (std::size_t i = 0; i < x_.size(); ++i)
+        r_[i] ^= x_[i][q] ^ z_[i][q];
+}
+
+void
+StabilizerState::z(int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    for (std::size_t i = 0; i < x_.size(); ++i)
+        r_[i] ^= x_[i][q];
+}
+
+void
+StabilizerState::cx(int control, int target)
+{
+    QEDM_REQUIRE(control >= 0 && control < numQubits_ && target >= 0 &&
+                     target < numQubits_ && control != target,
+                 "invalid CX operands");
+    for (std::size_t i = 0; i < x_.size(); ++i) {
+        r_[i] ^= x_[i][control] & z_[i][target] &
+                 (x_[i][target] ^ z_[i][control] ^ 1);
+        x_[i][target] ^= x_[i][control];
+        z_[i][control] ^= z_[i][target];
+    }
+}
+
+void
+StabilizerState::cz(int a, int b)
+{
+    h(b);
+    cx(a, b);
+    h(b);
+}
+
+void
+StabilizerState::swap(int a, int b)
+{
+    cx(a, b);
+    cx(b, a);
+    cx(a, b);
+}
+
+bool
+StabilizerState::isClifford(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::I:
+      case OpKind::X:
+      case OpKind::Y:
+      case OpKind::Z:
+      case OpKind::H:
+      case OpKind::S:
+      case OpKind::Sdg:
+      case OpKind::Cx:
+      case OpKind::Cz:
+      case OpKind::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+void
+StabilizerState::applyGate(OpKind kind, const std::vector<int> &qubits)
+{
+    QEDM_REQUIRE(isClifford(kind),
+                 "`" + circuit::opName(kind) +
+                     "` is not a Clifford gate");
+    switch (kind) {
+      case OpKind::I:
+        break;
+      case OpKind::X:
+        x(qubits.at(0));
+        break;
+      case OpKind::Y:
+        y(qubits.at(0));
+        break;
+      case OpKind::Z:
+        z(qubits.at(0));
+        break;
+      case OpKind::H:
+        h(qubits.at(0));
+        break;
+      case OpKind::S:
+        s(qubits.at(0));
+        break;
+      case OpKind::Sdg:
+        sdg(qubits.at(0));
+        break;
+      case OpKind::Cx:
+        cx(qubits.at(0), qubits.at(1));
+        break;
+      case OpKind::Cz:
+        cz(qubits.at(0), qubits.at(1));
+        break;
+      case OpKind::Swap:
+        swap(qubits.at(0), qubits.at(1));
+        break;
+      default:
+        throw InternalError("unreachable Clifford dispatch");
+    }
+}
+
+namespace {
+
+/** Phase exponent of multiplying Pauli (x1,z1) by (x2,z2), mod 4. */
+int
+gExponent(int x1, int z1, int x2, int z2)
+{
+    if (!x1 && !z1)
+        return 0;
+    if (x1 && z1)
+        return z2 - x2;
+    if (x1 && !z1)
+        return z2 * (2 * x2 - 1);
+    return x2 * (1 - 2 * z2);
+}
+
+} // namespace
+
+void
+StabilizerState::rowMult(std::size_t i, std::size_t k)
+{
+    // row i := row k * row i (Aaronson-Gottesman "rowsum(i, k)").
+    int phase = 2 * r_[i] + 2 * r_[k];
+    const std::size_t n = static_cast<std::size_t>(numQubits_);
+    for (std::size_t j = 0; j < n; ++j) {
+        phase += gExponent(x_[k][j], z_[k][j], x_[i][j], z_[i][j]);
+        x_[i][j] ^= x_[k][j];
+        z_[i][j] ^= z_[k][j];
+    }
+    phase %= 4;
+    if (phase < 0)
+        phase += 4;
+    QEDM_ASSERT(phase == 0 || phase == 2,
+                "stabilizer phase must stay real");
+    r_[i] = phase == 2 ? 1 : 0;
+}
+
+bool
+StabilizerState::isDeterministic(int q) const
+{
+    const std::size_t n = static_cast<std::size_t>(numQubits_);
+    for (std::size_t p = n; p < 2 * n; ++p) {
+        if (x_[p][q])
+            return false;
+    }
+    return true;
+}
+
+int
+StabilizerState::measure(int q, Rng &rng)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    const std::size_t n = static_cast<std::size_t>(numQubits_);
+
+    std::size_t p = 2 * n;
+    for (std::size_t i = n; i < 2 * n; ++i) {
+        if (x_[i][q]) {
+            p = i;
+            break;
+        }
+    }
+    if (p < 2 * n) {
+        // Random outcome.
+        for (std::size_t i = 0; i < 2 * n; ++i) {
+            if (i != p && x_[i][q])
+                rowMult(i, p);
+        }
+        x_[p - n] = x_[p];
+        z_[p - n] = z_[p];
+        r_[p - n] = r_[p];
+        std::fill(x_[p].begin(), x_[p].end(), 0);
+        std::fill(z_[p].begin(), z_[p].end(), 0);
+        z_[p][q] = 1;
+        r_[p] = rng.bernoulli(0.5) ? 1 : 0;
+        return r_[p];
+    }
+    // Deterministic outcome: accumulate into the scratch row.
+    std::fill(x_[2 * n].begin(), x_[2 * n].end(), 0);
+    std::fill(z_[2 * n].begin(), z_[2 * n].end(), 0);
+    r_[2 * n] = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (x_[i][q])
+            rowMult(2 * n, i + n);
+    }
+    return r_[2 * n];
+}
+
+stats::Counts
+runStabilizer(const circuit::Circuit &circuit, std::uint64_t shots,
+              Rng &rng)
+{
+    QEDM_REQUIRE(shots > 0, "shots must be positive");
+    const circuit::Circuit flat = circuit.decomposed();
+    QEDM_REQUIRE(isCliffordCircuit(flat),
+                 "circuit contains non-Clifford gates");
+    QEDM_REQUIRE(flat.numClbits() >= 1,
+                 "circuit must measure at least one qubit");
+
+    stats::Counts counts(flat.numClbits());
+    StabilizerState state(flat.numQubits());
+    for (std::uint64_t shot = 0; shot < shots; ++shot) {
+        state.reset();
+        Outcome outcome = 0;
+        for (const auto &g : flat.gates()) {
+            if (g.kind == OpKind::Barrier)
+                continue;
+            if (g.kind == OpKind::Measure) {
+                outcome = setBit(outcome, g.clbit,
+                                 state.measure(g.qubits[0], rng));
+            } else {
+                state.applyGate(g.kind, g.qubits);
+            }
+        }
+        counts.add(outcome);
+    }
+    return counts;
+}
+
+bool
+isCliffordCircuit(const circuit::Circuit &circuit)
+{
+    const circuit::Circuit flat = circuit.decomposed();
+    for (const auto &g : flat.gates()) {
+        if (g.kind == OpKind::Barrier || g.kind == OpKind::Measure)
+            continue;
+        if (!StabilizerState::isClifford(g.kind))
+            return false;
+    }
+    return true;
+}
+
+} // namespace qedm::sim

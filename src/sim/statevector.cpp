@@ -1,0 +1,173 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace qedm::sim {
+
+StateVector::StateVector(int num_qubits) : numQubits_(num_qubits)
+{
+    QEDM_REQUIRE(num_qubits >= 1 && num_qubits <= 24,
+                 "state vector qubit count must be in [1, 24]");
+    amps_.assign(std::size_t(1) << num_qubits, Complex(0.0));
+    amps_[0] = Complex(1.0);
+}
+
+Complex
+StateVector::amplitude(std::size_t basis) const
+{
+    QEDM_REQUIRE(basis < amps_.size(), "basis index out of range");
+    return amps_[basis];
+}
+
+void
+StateVector::reset()
+{
+    std::fill(amps_.begin(), amps_.end(), Complex(0.0));
+    amps_[0] = Complex(1.0);
+}
+
+void
+StateVector::apply1q(const std::array<Complex, 4> &m, int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    const std::size_t mask = std::size_t(1) << q;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        if (i & mask)
+            continue;
+        const Complex a = amps_[i];
+        const Complex b = amps_[i | mask];
+        amps_[i] = m[0] * a + m[1] * b;
+        amps_[i | mask] = m[2] * a + m[3] * b;
+    }
+}
+
+void
+StateVector::apply2q(const std::array<Complex, 16> &m, int q0, int q1)
+{
+    QEDM_REQUIRE(q0 >= 0 && q0 < numQubits_ && q1 >= 0 &&
+                     q1 < numQubits_ && q0 != q1,
+                 "invalid two-qubit operands");
+    const std::size_t m0 = std::size_t(1) << q0;
+    const std::size_t m1 = std::size_t(1) << q1;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        if (i & (m0 | m1))
+            continue;
+        const std::size_t idx[4] = {i, i | m1, i | m0, i | m0 | m1};
+        Complex v[4];
+        for (int k = 0; k < 4; ++k)
+            v[k] = amps_[idx[k]];
+        for (int r = 0; r < 4; ++r) {
+            Complex acc(0.0);
+            for (int c = 0; c < 4; ++c)
+                acc += m[r * 4 + c] * v[c];
+            amps_[idx[r]] = acc;
+        }
+    }
+}
+
+void
+StateVector::applyGate(circuit::OpKind kind, const std::vector<int> &qubits,
+                       const std::vector<double> &params)
+{
+    using circuit::OpKind;
+    QEDM_REQUIRE(circuit::opIsUnitary(kind) && kind != OpKind::Barrier,
+                 "applyGate expects a unitary gate");
+    const int arity = circuit::opArity(kind);
+    QEDM_REQUIRE(static_cast<int>(qubits.size()) == arity,
+                 "wrong operand count");
+    if (arity == 1) {
+        apply1q(circuit::gateMatrix1q(kind, params), qubits[0]);
+    } else if (arity == 2) {
+        apply2q(circuit::gateMatrix2q(kind), qubits[0], qubits[1]);
+    } else {
+        throw UserError("applyGate: decompose 3-qubit gates first");
+    }
+}
+
+std::size_t
+StateVector::applyKraus1q(
+    const std::vector<std::array<Complex, 4>> &kraus, int q, Rng &rng)
+{
+    QEDM_REQUIRE(!kraus.empty(), "empty Kraus set");
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    // Incremental Born sampling: p_k = || K_k |psi> ||^2 and the p_k
+    // sum to the state norm (completeness), so draw r once and stop at
+    // the first operator whose cumulative probability exceeds it. The
+    // dominant no-event operator usually wins after one sweep.
+    const std::size_t mask = std::size_t(1) << q;
+    const double r = rng.uniform() * norm();
+    double acc = 0.0;
+    std::size_t pick = kraus.size() - 1;
+    for (std::size_t k = 0; k + 1 < kraus.size(); ++k) {
+        const auto &m = kraus[k];
+        double p = 0.0;
+        for (std::size_t i = 0; i < amps_.size(); ++i) {
+            if (i & mask)
+                continue;
+            const Complex a = amps_[i];
+            const Complex b = amps_[i | mask];
+            p += std::norm(m[0] * a + m[1] * b);
+            p += std::norm(m[2] * a + m[3] * b);
+        }
+        acc += p;
+        if (r < acc) {
+            pick = k;
+            break;
+        }
+    }
+    apply1q(kraus[pick], q);
+    normalize();
+    return pick;
+}
+
+std::vector<double>
+StateVector::probabilities() const
+{
+    std::vector<double> p(amps_.size());
+    for (std::size_t i = 0; i < amps_.size(); ++i)
+        p[i] = std::norm(amps_[i]);
+    return p;
+}
+
+double
+StateVector::probability(std::size_t basis) const
+{
+    QEDM_REQUIRE(basis < amps_.size(), "basis index out of range");
+    return std::norm(amps_[basis]);
+}
+
+std::size_t
+StateVector::sampleMeasurement(Rng &rng) const
+{
+    const double r = rng.uniform() * norm();
+    double acc = 0.0;
+    for (std::size_t i = 0; i < amps_.size(); ++i) {
+        acc += std::norm(amps_[i]);
+        if (r < acc)
+            return i;
+    }
+    return amps_.size() - 1;
+}
+
+double
+StateVector::norm() const
+{
+    double n = 0.0;
+    for (const Complex &a : amps_)
+        n += std::norm(a);
+    return n;
+}
+
+void
+StateVector::normalize()
+{
+    const double n = norm();
+    QEDM_REQUIRE(n > 0.0, "cannot normalize a zero state");
+    const double inv = 1.0 / std::sqrt(n);
+    for (Complex &a : amps_)
+        a *= inv;
+}
+
+} // namespace qedm::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Pure-state simulation engine.
+ *
+ * Backs the per-shot trajectory simulator: unitary gates evolve the
+ * state exactly, stochastic noise is injected by the caller as sampled
+ * Pauli/Kraus operators, and measurement samples the Born distribution.
+ */
+
+#pragma once
+
+#include <array>
+#include <complex>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "circuit/op.hpp"
+
+namespace qedm::sim {
+
+using circuit::Complex;
+
+/** State vector over n qubits; qubit 0 is the least-significant bit. */
+class StateVector
+{
+  public:
+    /** |0...0> on @p num_qubits qubits (1..24). */
+    explicit StateVector(int num_qubits);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t dim() const { return amps_.size(); }
+
+    const std::vector<Complex> &amplitudes() const { return amps_; }
+    Complex amplitude(std::size_t basis) const;
+
+    /** Reset to |0...0>. */
+    void reset();
+
+    /** Apply a 1-qubit unitary (row-major 2x2) to qubit @p q. */
+    void apply1q(const std::array<Complex, 4> &m, int q);
+
+    /** Apply a 2-qubit unitary (row-major 4x4, operand 0 = MSB) to
+     *  qubits (q0, q1). */
+    void apply2q(const std::array<Complex, 16> &m, int q0, int q1);
+
+    /** Apply a named gate. */
+    void applyGate(circuit::OpKind kind, const std::vector<int> &qubits,
+                   const std::vector<double> &params);
+
+    /**
+     * Apply one operator from a 1-qubit Kraus set by Born-rule
+     * sampling, then renormalize (quantum-trajectory step).
+     * @returns the sampled Kraus index.
+     */
+    std::size_t
+    applyKraus1q(const std::vector<std::array<Complex, 4>> &kraus, int q,
+                 Rng &rng);
+
+    /** Probability of each computational basis state. */
+    std::vector<double> probabilities() const;
+
+    /** Probability that measuring all qubits yields @p basis. */
+    double probability(std::size_t basis) const;
+
+    /** Sample a full-register measurement outcome (no collapse). */
+    std::size_t sampleMeasurement(Rng &rng) const;
+
+    /** Squared norm (should stay 1 within rounding). */
+    double norm() const;
+
+    /** Scale so the squared norm is 1. */
+    void normalize();
+
+  private:
+    int numQubits_;
+    std::vector<Complex> amps_;
+};
+
+} // namespace qedm::sim

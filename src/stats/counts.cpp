@@ -1,0 +1,63 @@
+#include "stats/counts.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qedm::stats {
+
+Counts::Counts(int width) : width_(width)
+{
+    QEDM_REQUIRE(width >= 1 && width <= 20,
+                 "Counts width must be in [1, 20]");
+}
+
+void
+Counts::add(Outcome outcome, std::uint64_t n)
+{
+    QEDM_REQUIRE(outcome < (Outcome(1) << width_),
+                 "outcome exceeds register width");
+    counts_[outcome] += n;
+    total_ += n;
+}
+
+std::uint64_t
+Counts::count(Outcome outcome) const
+{
+    auto it = counts_.find(outcome);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+void
+Counts::merge(const Counts &other)
+{
+    QEDM_REQUIRE(other.width_ == width_,
+                 "cannot merge Counts of different widths");
+    for (const auto &[outcome, n] : other.counts_)
+        add(outcome, n);
+}
+
+std::vector<std::pair<Outcome, std::uint64_t>>
+Counts::sortedByCount() const
+{
+    std::vector<std::pair<Outcome, std::uint64_t>> v(counts_.begin(),
+                                                     counts_.end());
+    std::stable_sort(v.begin(), v.end(), [](const auto &a, const auto &b) {
+        if (a.second != b.second)
+            return a.second > b.second;
+        return a.first < b.first;
+    });
+    return v;
+}
+
+std::string
+Counts::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[outcome, n] : counts_)
+        os << toBitstring(outcome, width_) << ": " << n << "\n";
+    return os.str();
+}
+
+} // namespace qedm::stats

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shot-count accumulation (the "output log" of a NISQ run).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+
+namespace qedm::stats {
+
+/**
+ * Histogram of measured outcomes for a fixed-width register.
+ *
+ * Mirrors the per-trial output log a NISQ machine produces: each shot
+ * appends one outcome. Outcomes are ordered (std::map) so iteration and
+ * textual dumps are deterministic.
+ */
+class Counts
+{
+  public:
+    /** @param width number of classical bits per outcome (1..20). */
+    explicit Counts(int width);
+
+    /** Record @p n occurrences of @p outcome. */
+    void add(Outcome outcome, std::uint64_t n = 1);
+
+    /** Number of classical bits per outcome. */
+    int width() const { return width_; }
+
+    /** Total number of recorded shots. */
+    std::uint64_t total() const { return total_; }
+
+    /** Shots recorded for @p outcome (0 if never seen). */
+    std::uint64_t count(Outcome outcome) const;
+
+    /** Number of distinct outcomes observed. */
+    std::size_t distinct() const { return counts_.size(); }
+
+    /** Merge another Counts of the same width into this one. */
+    void merge(const Counts &other);
+
+    /** Ordered (outcome, count) view. */
+    const std::map<Outcome, std::uint64_t> &entries() const
+    {
+        return counts_;
+    }
+
+    /** Outcomes sorted by count, descending (ties by outcome value). */
+    std::vector<std::pair<Outcome, std::uint64_t>> sortedByCount() const;
+
+    /** Human-readable multi-line dump ("110011: 457"). */
+    std::string toString() const;
+
+  private:
+    int width_;
+    std::uint64_t total_ = 0;
+    std::map<Outcome, std::uint64_t> counts_;
+};
+
+} // namespace qedm::stats

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Dense probability distribution over the outcomes of an m-bit register.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "stats/counts.hpp"
+
+namespace qedm::stats {
+
+/**
+ * A probability distribution over all 2^width outcomes.
+ *
+ * This is the object EDM merges: the normalized output histogram of one
+ * ensemble member. Stored densely, which is fine for the paper's regime
+ * (m <= 20 classical bits, typically m <= 8).
+ */
+class Distribution
+{
+  public:
+    /** All-zero distribution (not normalized) over 2^width outcomes. */
+    explicit Distribution(int width);
+
+    /** Normalized distribution from shot counts. Requires total > 0. */
+    static Distribution fromCounts(const Counts &counts);
+
+    /** Uniform distribution. */
+    static Distribution uniform(int width);
+
+    /** Point mass on @p outcome. */
+    static Distribution pointMass(int width, Outcome outcome);
+
+    /** From explicit probabilities (size must be a power of two). */
+    static Distribution fromProbabilities(std::vector<double> probs);
+
+    int width() const { return width_; }
+    std::size_t size() const { return p_.size(); }
+
+    double prob(Outcome outcome) const;
+    void setProb(Outcome outcome, double p);
+    void addProb(Outcome outcome, double p);
+
+    const std::vector<double> &probabilities() const { return p_; }
+
+    /** Sum of all probabilities. */
+    double total() const;
+
+    /** Scale so probabilities sum to 1. Requires a positive total. */
+    void normalize();
+
+    /** True if total() is within @p tol of 1. */
+    bool isNormalized(double tol = 1e-9) const;
+
+    /** Most probable outcome (lowest value wins ties). */
+    Outcome mode() const;
+
+    /** Top-k (outcome, probability) pairs by probability, descending. */
+    std::vector<std::pair<Outcome, double>> topK(std::size_t k) const;
+
+    /** Shannon entropy in nats. */
+    double entropy() const;
+
+    /** Relative standard deviation sigma/mu of the probability vector. */
+    double relativeStdDev() const;
+
+    /** Draw @p shots multinomial samples. */
+    Counts sample(Rng &rng, std::uint64_t shots) const;
+
+    /** Elementwise scale by @p factor. */
+    void scale(double factor);
+
+    /** Elementwise accumulate @p factor * other. Widths must match. */
+    void accumulate(const Distribution &other, double factor = 1.0);
+
+    /** Human-readable dump of outcomes with p > threshold. */
+    std::string toString(double threshold = 1e-4) const;
+
+  private:
+    int width_;
+    std::vector<double> p_;
+};
+
+/** Average of member distributions with equal weights (EDM merge). */
+Distribution mergeUniform(const std::vector<Distribution> &members);
+
+/**
+ * Weighted merge: sum_i w[i] * members[i], then normalized (WEDM merge,
+ * Appendix-B Eq. 5). Weights must be non-negative with a positive sum.
+ */
+Distribution mergeWeighted(const std::vector<Distribution> &members,
+                           const std::vector<double> &weights);
+
+} // namespace qedm::stats

@@ -1,0 +1,235 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace qedm::stats {
+namespace {
+
+/** Mix @p d with the uniform distribution: (1-eps)*d + eps*U. */
+std::vector<double>
+smoothed(const Distribution &d, double eps)
+{
+    std::vector<double> p = d.probabilities();
+    const double u = 1.0 / static_cast<double>(p.size());
+    for (double &x : p)
+        x = (1.0 - eps) * x + eps * u;
+    return p;
+}
+
+double
+klRaw(const std::vector<double> &p, const std::vector<double> &q)
+{
+    double d = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p[i] > 0.0) {
+            QEDM_REQUIRE(q[i] > 0.0,
+                         "KL divergence undefined: q has a zero where p "
+                         "is positive (use smoothing > 0)");
+            d += p[i] * std::log(p[i] / q[i]);
+        }
+    }
+    return d;
+}
+
+} // namespace
+
+double
+pst(const Distribution &dist, Outcome correct)
+{
+    return dist.prob(correct);
+}
+
+double
+ist(const Distribution &dist, Outcome correct)
+{
+    const auto &p = dist.probabilities();
+    QEDM_REQUIRE(correct < p.size(), "correct outcome exceeds width");
+    double worst = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        if (i != correct)
+            worst = std::max(worst, p[i]);
+    }
+    if (worst <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return p[correct] / worst;
+}
+
+double
+klDivergence(const Distribution &p, const Distribution &q, double smoothing)
+{
+    QEDM_REQUIRE(p.width() == q.width(),
+                 "KL divergence requires equal widths");
+    QEDM_REQUIRE(smoothing >= 0.0 && smoothing < 1.0,
+                 "smoothing must be in [0, 1)");
+    if (smoothing == 0.0)
+        return klRaw(p.probabilities(), q.probabilities());
+    return klRaw(smoothed(p, smoothing), smoothed(q, smoothing));
+}
+
+double
+symmetricKl(const Distribution &p, const Distribution &q, double smoothing)
+{
+    return klDivergence(p, q, smoothing) + klDivergence(q, p, smoothing);
+}
+
+double
+jensenShannon(const Distribution &p, const Distribution &q)
+{
+    QEDM_REQUIRE(p.width() == q.width(),
+                 "JS divergence requires equal widths");
+    Distribution m(p.width());
+    m.accumulate(p, 0.5);
+    m.accumulate(q, 0.5);
+    // p and q are absolutely continuous w.r.t. m, so no smoothing needed.
+    const auto &pp = p.probabilities();
+    const auto &qq = q.probabilities();
+    const auto &mm = m.probabilities();
+    double d = 0.0;
+    for (std::size_t i = 0; i < pp.size(); ++i) {
+        if (pp[i] > 0.0)
+            d += 0.5 * pp[i] * std::log(pp[i] / mm[i]);
+        if (qq[i] > 0.0)
+            d += 0.5 * qq[i] * std::log(qq[i] / mm[i]);
+    }
+    return d;
+}
+
+double
+totalVariation(const Distribution &p, const Distribution &q)
+{
+    QEDM_REQUIRE(p.width() == q.width(),
+                 "total variation requires equal widths");
+    const auto &pp = p.probabilities();
+    const auto &qq = q.probabilities();
+    double d = 0.0;
+    for (std::size_t i = 0; i < pp.size(); ++i)
+        d += std::abs(pp[i] - qq[i]);
+    return 0.5 * d;
+}
+
+double
+hellinger(const Distribution &p, const Distribution &q)
+{
+    QEDM_REQUIRE(p.width() == q.width(),
+                 "Hellinger distance requires equal widths");
+    const auto &pp = p.probabilities();
+    const auto &qq = q.probabilities();
+    double bc = 0.0;
+    for (std::size_t i = 0; i < pp.size(); ++i)
+        bc += std::sqrt(pp[i] * qq[i]);
+    return std::sqrt(std::max(1.0 - bc, 0.0));
+}
+
+std::vector<double>
+wedmWeights(const std::vector<Distribution> &members, double smoothing)
+{
+    QEDM_REQUIRE(!members.empty(), "wedmWeights needs at least one member");
+    const std::size_t n = members.size();
+    std::vector<double> w(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i != j)
+                w[i] += symmetricKl(members[i], members[j], smoothing);
+        }
+    }
+    double sum = 0.0;
+    for (double x : w)
+        sum += x;
+    if (sum <= 0.0) {
+        // All members identical: fall back to uniform weights.
+        std::fill(w.begin(), w.end(), 1.0 / static_cast<double>(n));
+        return w;
+    }
+    for (double &x : w)
+        x /= sum;
+    return w;
+}
+
+std::vector<std::vector<double>>
+pairwiseDivergence(const std::vector<Distribution> &members,
+                   double smoothing)
+{
+    const std::size_t n = members.size();
+    std::vector<std::vector<double>> m(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const double d = symmetricKl(members[i], members[j], smoothing);
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    return m;
+}
+
+double
+meanOffDiagonal(const std::vector<std::vector<double>> &matrix)
+{
+    const std::size_t n = matrix.size();
+    if (n < 2)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        QEDM_REQUIRE(matrix[i].size() == n,
+                     "divergence matrix must be square");
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i != j)
+                sum += matrix[i][j];
+        }
+    }
+    return sum / static_cast<double>(n * (n - 1));
+}
+
+ConfidenceInterval
+istConfidenceInterval(const Counts &counts, Outcome correct, Rng &rng,
+                      int resamples, double confidence)
+{
+    QEDM_REQUIRE(counts.total() > 0, "empty shot log");
+    QEDM_REQUIRE(resamples >= 10, "need at least 10 resamples");
+    QEDM_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0, 1)");
+    const Distribution empirical = Distribution::fromCounts(counts);
+
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(resamples));
+    for (int i = 0; i < resamples; ++i) {
+        const Counts resampled =
+            empirical.sample(rng, counts.total());
+        samples.push_back(
+            ist(Distribution::fromCounts(resampled), correct));
+    }
+    std::sort(samples.begin(), samples.end());
+    const double alpha = (1.0 - confidence) / 2.0;
+    const auto index = [&](double quantile) {
+        const double pos =
+            quantile * static_cast<double>(samples.size() - 1);
+        return samples[static_cast<std::size_t>(pos + 0.5)];
+    };
+    return ConfidenceInterval{index(alpha), index(1.0 - alpha),
+                              ist(empirical, correct)};
+}
+
+double
+median(std::vector<double> values)
+{
+    QEDM_REQUIRE(!values.empty(), "median of an empty set is undefined");
+    std::sort(values.begin(), values.end());
+    const std::size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+bool
+isNearUniform(const Distribution &dist, double margin)
+{
+    QEDM_REQUIRE(margin >= 0.0, "margin must be non-negative");
+    // A uniform distribution has relative std dev 0; small values mean
+    // the output is indistinguishable from noise.
+    return dist.relativeStdDev() <= margin;
+}
+
+} // namespace qedm::stats

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Reliability and divergence metrics from the EDM paper.
+ *
+ * - PST: Probability of a Successful Trial (Section 4.3).
+ * - IST: Inference Strength, P(correct) / P(strongest wrong answer)
+ *   (Section 4.3). IST > 1 means the machine infers the right answer.
+ * - KL divergence and its symmetrized form (Appendix B), used both to
+ *   characterize output diversity (Fig. 4) and to compute WEDM weights.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "stats/distribution.hpp"
+
+namespace qedm::stats {
+
+/** PST: probability assigned to the correct outcome. */
+double pst(const Distribution &dist, Outcome correct);
+
+/**
+ * IST: P(correct) / max over incorrect outcomes of P(outcome).
+ *
+ * If no incorrect outcome has positive probability the strength is
+ * unbounded; we return +infinity in that case (ideal machine).
+ */
+double ist(const Distribution &dist, Outcome correct);
+
+/**
+ * Kullback-Leibler divergence D(P || Q) in nats (Appendix-B Eq. 1).
+ *
+ * Empirical distributions routinely contain zeros, where KL is
+ * undefined; both arguments are smoothed by mixing in @p smoothing of
+ * the uniform distribution before evaluation. @p smoothing must be in
+ * (0, 1) unless both distributions are strictly positive, in which case
+ * 0 is accepted.
+ */
+double klDivergence(const Distribution &p, const Distribution &q,
+                    double smoothing = 1e-6);
+
+/** Symmetric KL: D(P||Q) + D(Q||P) (Appendix-B Eq. 4). */
+double symmetricKl(const Distribution &p, const Distribution &q,
+                   double smoothing = 1e-6);
+
+/** Jensen-Shannon divergence (bounded, symmetric; used in tests). */
+double jensenShannon(const Distribution &p, const Distribution &q);
+
+/** Total-variation distance: (1/2) sum |p_i - q_i|, in [0, 1]. */
+double totalVariation(const Distribution &p, const Distribution &q);
+
+/** Hellinger distance: sqrt(1 - sum sqrt(p_i q_i)), in [0, 1]. */
+double hellinger(const Distribution &p, const Distribution &q);
+
+/**
+ * WEDM weights (Appendix-B Eq. 6): W_i = sum_j SKL(O_i, O_j),
+ * normalized to sum to 1. With a single member the weight is 1. When
+ * all members are identical (all SKL = 0) the weights degrade
+ * gracefully to uniform.
+ */
+std::vector<double> wedmWeights(const std::vector<Distribution> &members,
+                                double smoothing = 1e-6);
+
+/**
+ * Pairwise symmetric-KL matrix between members (Fig. 4 heat maps).
+ * Entry [i][j] = SKL(members[i], members[j]); diagonal is zero.
+ */
+std::vector<std::vector<double>>
+pairwiseDivergence(const std::vector<Distribution> &members,
+                   double smoothing = 1e-6);
+
+/** Mean of the off-diagonal entries of a pairwise divergence matrix. */
+double meanOffDiagonal(const std::vector<std::vector<double>> &matrix);
+
+/** Median of @p values (by copy; empty input is an error). */
+double median(std::vector<double> values);
+
+/** A two-sided confidence interval. */
+struct ConfidenceInterval
+{
+    double lower = 0.0;
+    double upper = 0.0;
+    double pointEstimate = 0.0;
+};
+
+/**
+ * Bootstrap confidence interval for the IST of a measured histogram:
+ * resample the shot log @p resamples times (multinomial over the
+ * empirical distribution) and take the percentile interval at
+ * @p confidence (e.g. 0.95). Answers the practical question the paper
+ * raises: given finitely many trials, how sure are we the correct
+ * answer really is the strongest one?
+ */
+ConfidenceInterval
+istConfidenceInterval(const Counts &counts, Outcome correct, Rng &rng,
+                      int resamples = 200, double confidence = 0.95);
+
+/**
+ * Uniformity guard from the paper's footnote 2: true when the
+ * distribution's relative standard deviation is within @p margin of a
+ * uniform distribution's (i.e. close to 0), indicating the output
+ * carries no signal and should be discarded.
+ */
+bool isNearUniform(const Distribution &dist, double margin = 0.25);
+
+} // namespace qedm::stats

@@ -1,0 +1,40 @@
+#include "transpile/crosstalk.hpp"
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qedm::transpile {
+
+CrosstalkExposure
+crosstalkExposure(const circuit::Circuit &physical,
+                  const hw::Device &device)
+{
+    const auto &topo = device.topology();
+    QEDM_REQUIRE(physical.numQubits() == topo.numQubits(),
+                 "physical circuit register must match the device");
+    const circuit::Circuit flat = physical.decomposed();
+
+    std::set<int> active;
+    for (const auto &g : flat.gates())
+        active.insert(g.qubits.begin(), g.qubits.end());
+
+    CrosstalkExposure exposure;
+    for (const auto &g : flat.gates()) {
+        if (!circuit::opIsTwoQubit(g.kind))
+            continue;
+        const int e = topo.edgeIndex(g.qubits[0], g.qubits[1]);
+        QEDM_REQUIRE(e >= 0, "two-qubit gate on uncoupled qubits");
+        for (const auto &xt :
+             device.noise().crosstalk(static_cast<std::size_t>(e))) {
+            if (active.count(xt.spectator)) {
+                exposure.spectatorEvents += 1;
+                exposure.totalKickRad += std::abs(xt.angleRad);
+            }
+        }
+    }
+    return exposure;
+}
+
+} // namespace qedm::transpile

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Crosstalk-exposure analysis of physical circuits.
+ *
+ * ZZ crosstalk fires when a CX runs next to other active qubits; how
+ * exposed a compiled program is depends on where it was placed. This
+ * metric counts, per compiled circuit, the spectator kicks its CXs
+ * will trigger (weighted by the device's sampled crosstalk angles),
+ * letting mapping policies and ablations reason about crosstalk
+ * without running the simulator.
+ */
+
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "hw/device.hpp"
+
+namespace qedm::transpile {
+
+/** Crosstalk exposure summary for one physical circuit. */
+struct CrosstalkExposure
+{
+    /** Number of (CX, spectator-in-circuit) incidences. */
+    int spectatorEvents = 0;
+    /** Sum of |angle| over those incidences (radians). */
+    double totalKickRad = 0.0;
+};
+
+/**
+ * Analyze @p physical on @p device: for every two-qubit gate, count
+ * the crosstalk terms whose spectator is a qubit the circuit actually
+ * uses (kicks on idle, unused qubits cannot affect the output).
+ */
+CrosstalkExposure crosstalkExposure(const circuit::Circuit &physical,
+                                    const hw::Device &device);
+
+} // namespace qedm::transpile

@@ -1,0 +1,52 @@
+#include "transpile/distances.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace qedm::transpile {
+
+std::vector<std::vector<double>>
+distanceMatrix(const hw::Device &device, RouteCost cost)
+{
+    const auto &topo = device.topology();
+    const int n = topo.numQubits();
+    constexpr double kUnreachable = 1e18;
+
+    std::vector<double> edge_cost(topo.numEdges());
+    for (std::size_t e = 0; e < topo.numEdges(); ++e) {
+        if (cost == RouteCost::HopCount) {
+            edge_cost[e] = 1.0;
+        } else {
+            const double err = device.calibration().edge(e).cxError;
+            edge_cost[e] = -std::log(std::max(1.0 - err, 1e-12));
+        }
+    }
+
+    std::vector<std::vector<double>> dist(
+        n, std::vector<double>(n, kUnreachable));
+    for (int src = 0; src < n; ++src) {
+        using Item = std::pair<double, int>;
+        std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+        dist[src][src] = 0.0;
+        pq.emplace(0.0, src);
+        while (!pq.empty()) {
+            const auto [d, u] = pq.top();
+            pq.pop();
+            if (d > dist[src][u])
+                continue;
+            for (int v : topo.neighbors(u)) {
+                const int e = topo.edgeIndex(u, v);
+                const double nd =
+                    d + edge_cost[static_cast<std::size_t>(e)];
+                if (nd < dist[src][v]) {
+                    dist[src][v] = nd;
+                    pq.emplace(nd, v);
+                }
+            }
+        }
+    }
+    return dist;
+}
+
+} // namespace qedm::transpile

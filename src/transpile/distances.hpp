@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Shared distance matrices over the device coupling graph, used by
+ * placement and routing heuristics.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "hw/device.hpp"
+#include "transpile/router.hpp"
+
+namespace qedm::transpile {
+
+/**
+ * All-pairs shortest-path distances where each edge costs
+ * -log(1 - cxError) (reliability metric) or 1 (hop metric).
+ * Disconnected pairs get a large finite sentinel.
+ */
+std::vector<std::vector<double>>
+distanceMatrix(const hw::Device &device, RouteCost cost);
+
+} // namespace qedm::transpile

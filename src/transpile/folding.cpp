@@ -1,0 +1,71 @@
+#include "transpile/folding.hpp"
+
+#include "common/error.hpp"
+
+namespace qedm::transpile {
+
+using circuit::Gate;
+using circuit::OpKind;
+
+Gate
+inverseGate(const Gate &gate)
+{
+    Gate inverse = gate;
+    switch (gate.kind) {
+      case OpKind::I:
+      case OpKind::X:
+      case OpKind::Y:
+      case OpKind::Z:
+      case OpKind::H:
+      case OpKind::Cx:
+      case OpKind::Cz:
+      case OpKind::Swap:
+        return inverse; // self-inverse
+      case OpKind::S:
+        inverse.kind = OpKind::Sdg;
+        return inverse;
+      case OpKind::Sdg:
+        inverse.kind = OpKind::S;
+        return inverse;
+      case OpKind::T:
+        inverse.kind = OpKind::Tdg;
+        return inverse;
+      case OpKind::Tdg:
+        inverse.kind = OpKind::T;
+        return inverse;
+      case OpKind::Rx:
+      case OpKind::Ry:
+      case OpKind::Rz:
+        inverse.params[0] = -gate.params[0];
+        return inverse;
+      case OpKind::Ccx:
+      case OpKind::Cswap:
+        return inverse; // self-inverse
+      case OpKind::Measure:
+      case OpKind::Barrier:
+        break;
+    }
+    throw UserError("`" + circuit::opName(gate.kind) +
+                    "` has no unitary inverse");
+}
+
+circuit::Circuit
+foldTwoQubitGates(const circuit::Circuit &circuit, int scale)
+{
+    QEDM_REQUIRE(scale >= 1 && scale % 2 == 1,
+                 "fold scale must be an odd positive integer");
+    const circuit::Circuit flat = circuit.decomposed();
+    circuit::Circuit out(flat.numQubits(), flat.numClbits());
+    for (const auto &g : flat.gates()) {
+        out.append(g);
+        if (!circuit::opIsTwoQubit(g.kind))
+            continue;
+        for (int fold = 0; fold < (scale - 1) / 2; ++fold) {
+            out.append(inverseGate(g));
+            out.append(g);
+        }
+    }
+    return out;
+}
+
+} // namespace qedm::transpile

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Unitary gate folding for zero-noise extrapolation (Temme et al.
+ * [43] family of error-mitigation techniques).
+ *
+ * Folding replaces a gate G by G (G^-1 G)^k, which is logically the
+ * identity transformation but multiplies the gate's noise exposure by
+ * scale = 2k + 1. Two-qubit gates dominate NISQ error budgets, so
+ * this module folds exactly those.
+ */
+
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace qedm::transpile {
+
+/** The exact inverse of a single gate (parametric gates negate their
+ *  angles; Measure/Barrier are rejected). */
+circuit::Gate inverseGate(const circuit::Gate &gate);
+
+/**
+ * Fold every two-qubit unitary of @p circuit by odd @p scale: each
+ * such gate G becomes G (G^-1 G)^((scale-1)/2). Other operations pass
+ * through. scale = 1 returns the circuit unchanged (modulo Ccx/Swap
+ * decomposition).
+ */
+circuit::Circuit foldTwoQubitGates(const circuit::Circuit &circuit,
+                                   int scale);
+
+} // namespace qedm::transpile

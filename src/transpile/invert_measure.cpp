@@ -1,0 +1,29 @@
+#include "transpile/invert_measure.hpp"
+
+#include "common/error.hpp"
+
+namespace qedm::transpile {
+
+InvertedProgram
+invertMeasurements(const circuit::Circuit &program)
+{
+    InvertedProgram out;
+    out.circuit =
+        circuit::Circuit(program.numQubits(), program.numClbits());
+    bool has_measure = false;
+    for (const auto &g : program.gates()) {
+        if (g.kind == circuit::OpKind::Measure) {
+            has_measure = true;
+            out.circuit.x(g.qubits[0]);
+            out.circuit.append(g);
+            out.flipMask = setBit(out.flipMask, g.clbit, 1);
+        } else {
+            out.circuit.append(g);
+        }
+    }
+    QEDM_REQUIRE(has_measure,
+                 "invert-and-measure needs at least one measurement");
+    return out;
+}
+
+} // namespace qedm::transpile

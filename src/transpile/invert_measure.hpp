@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Invert-and-Measure program transform (Tannu & Qureshi [41],
+ * discussed in the paper's Section 7).
+ *
+ * Readout errors are state-dependent: reading a |1> is far more
+ * error-prone than reading a |0| on IBM machines. Invert-and-Measure
+ * transforms a program so weak states are measured as strong ones: an
+ * X is inserted before every measurement, and the classical outcome
+ * bits are flipped back in post-processing. Like EDM, splitting the
+ * trials between the original and inverted executables diversifies
+ * the (readout) mistakes.
+ */
+
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "common/bits.hpp"
+
+namespace qedm::transpile {
+
+/** An inverted executable plus its post-processing mask. */
+struct InvertedProgram
+{
+    /** The transformed circuit (X before every Measure). */
+    circuit::Circuit circuit{1};
+    /** Clbits to flip back after measurement (always all of them). */
+    Outcome flipMask = 0;
+};
+
+/**
+ * Insert an X immediately before every Measure of @p program and
+ * report the clbit flip mask to undo the inversion classically.
+ */
+InvertedProgram invertMeasurements(const circuit::Circuit &program);
+
+} // namespace qedm::transpile

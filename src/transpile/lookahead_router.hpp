@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SABRE-style lookahead router (Li, Ding & Xie [22]).
+ *
+ * Unlike the path Router, which resolves each two-qubit gate in
+ * program order along one best path, the lookahead router works on
+ * the dependency front: it executes every currently-satisfiable gate,
+ * and when the front is blocked it scores all candidate SWAPs by how
+ * much they shorten the (reliability-weighted) distance of the front
+ * layer plus a discounted extended lookahead window, picking the best.
+ * Typically saves SWAPs on circuits with interleaved dependencies.
+ */
+
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "hw/device.hpp"
+#include "transpile/router.hpp"
+
+namespace qedm::transpile {
+
+/** Lookahead routing parameters. */
+struct LookaheadConfig
+{
+    /** Path metric used in the score. */
+    RouteCost cost = RouteCost::Reliability;
+    /** Gates of lookahead beyond the front layer. */
+    std::size_t window = 20;
+    /** Discount applied to the lookahead term. */
+    double windowWeight = 0.5;
+};
+
+/** Front-layer router with lookahead scoring. */
+class LookaheadRouter
+{
+  public:
+    explicit LookaheadRouter(const hw::Device &device,
+                             LookaheadConfig config = LookaheadConfig{});
+
+    /** Route @p logical from @p initial_map (same contract as
+     *  Router::route). */
+    RouteResult route(const circuit::Circuit &logical,
+                      const std::vector<int> &initial_map) const;
+
+  private:
+    const hw::Device &device_;
+    LookaheadConfig config_;
+};
+
+} // namespace qedm::transpile

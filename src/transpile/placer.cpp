@@ -1,0 +1,180 @@
+#include "transpile/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+#include "transpile/distances.hpp"
+#include "transpile/esp.hpp"
+#include "transpile/interaction_graph.hpp"
+#include "transpile/vf2.hpp"
+
+namespace qedm::transpile {
+namespace {
+
+/** Readout success probability of a physical qubit. */
+double
+readoutSuccess(const hw::Device &device, int q)
+{
+    return 1.0 - device.calibration().qubit(q).readoutError();
+}
+
+/** Assign isolated logical qubits to the best remaining readout
+ *  qubits, completing @p map in place. */
+void
+placeIsolated(const hw::Device &device, const std::vector<int> &isolated,
+              std::vector<int> &map)
+{
+    std::vector<bool> used(device.numQubits(), false);
+    for (int p : map) {
+        if (p >= 0)
+            used[p] = true;
+    }
+    for (int l : isolated) {
+        int best = -1;
+        double best_score = -1.0;
+        for (int p = 0; p < device.numQubits(); ++p) {
+            if (used[p])
+                continue;
+            const double score = readoutSuccess(device, p);
+            if (score > best_score) {
+                best_score = score;
+                best = p;
+            }
+        }
+        QEDM_REQUIRE(best >= 0,
+                     "device has fewer qubits than the program needs");
+        map[l] = best;
+        used[best] = true;
+    }
+}
+
+} // namespace
+
+Placer::Placer(const hw::Device &device) : device_(device) {}
+
+std::vector<ScoredPlacement>
+Placer::rankedEmbeddings(const circuit::Circuit &logical,
+                         std::size_t limit) const
+{
+    const InteractionGraph ig = interactionGraph(logical);
+    QEDM_REQUIRE(ig.numQubits <= device_.numQubits(),
+                 "program needs more qubits than the device has");
+
+    // Pattern graph over the interacting (non-isolated) qubits only.
+    std::vector<int> active; // pattern index -> logical qubit
+    std::vector<int> patternIndex(ig.numQubits, -1);
+    for (int q = 0; q < ig.numQubits; ++q) {
+        if (ig.degree(q) > 0) {
+            patternIndex[q] = static_cast<int>(active.size());
+            active.push_back(q);
+        }
+    }
+    std::vector<ScoredPlacement> out;
+    if (active.empty())
+        return out;
+
+    std::vector<std::pair<int, int>> pattern_edges;
+    for (const auto &[a, b] : ig.edges)
+        pattern_edges.emplace_back(patternIndex[a], patternIndex[b]);
+    const hw::Topology pattern(static_cast<int>(active.size()),
+                               pattern_edges);
+
+    const auto embeddings =
+        vf2AllEmbeddings(pattern, device_.topology(), limit);
+    out.reserve(embeddings.size());
+    for (const auto &embedding : embeddings) {
+        std::vector<int> map(ig.numQubits, -1);
+        for (std::size_t i = 0; i < active.size(); ++i)
+            map[active[i]] = embedding[i];
+        placeIsolated(device_, ig.isolatedQubits(), map);
+        const circuit::Circuit physical =
+            logical.remapQubits(map, device_.numQubits());
+        out.push_back(ScoredPlacement{map, esp(physical, device_)});
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const ScoredPlacement &a,
+                        const ScoredPlacement &b) {
+                         return a.esp > b.esp;
+                     });
+    return out;
+}
+
+std::vector<int>
+Placer::greedyPlace(const circuit::Circuit &logical) const
+{
+    const InteractionGraph ig = interactionGraph(logical);
+    QEDM_REQUIRE(ig.numQubits <= device_.numQubits(),
+                 "program needs more qubits than the device has");
+    const auto dist = distanceMatrix(device_, RouteCost::Reliability);
+    const auto &topo = device_.topology();
+
+    // Interacting qubits in order of decreasing degree.
+    std::vector<int> order;
+    for (int q = 0; q < ig.numQubits; ++q) {
+        if (ig.degree(q) > 0)
+            order.push_back(q);
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return ig.degree(a) > ig.degree(b);
+    });
+
+    std::vector<int> map(ig.numQubits, -1);
+    std::vector<bool> used(device_.numQubits(), false);
+
+    for (int l : order) {
+        // Placed interaction partners of l, with weights.
+        std::vector<std::pair<int, int>> partners; // (physical, weight)
+        for (std::size_t e = 0; e < ig.edges.size(); ++e) {
+            const auto &[a, b] = ig.edges[e];
+            const int other = a == l ? b : (b == l ? a : -1);
+            if (other >= 0 && map[other] >= 0)
+                partners.emplace_back(map[other], ig.weights[e]);
+        }
+        int best = -1;
+        double best_cost = std::numeric_limits<double>::max();
+        for (int p = 0; p < device_.numQubits(); ++p) {
+            if (used[p])
+                continue;
+            double cost = 0.0;
+            if (partners.empty()) {
+                // Seed vertex: prefer well-connected, reliable regions.
+                double link_quality = 0.0;
+                for (int nbr : topo.neighbors(p)) {
+                    const int e = topo.edgeIndex(p, nbr);
+                    link_quality += 1.0 - device_.calibration()
+                                              .edge(std::size_t(e))
+                                              .cxError;
+                }
+                cost = -(link_quality + readoutSuccess(device_, p));
+            } else {
+                for (const auto &[phys, w] : partners)
+                    cost += w * dist[p][phys];
+                cost -= 0.01 * readoutSuccess(device_, p);
+            }
+            if (cost < best_cost) {
+                best_cost = cost;
+                best = p;
+            }
+        }
+        QEDM_REQUIRE(best >= 0,
+                     "device has fewer qubits than the program needs");
+        map[l] = best;
+        used[best] = true;
+    }
+    placeIsolated(device_, ig.isolatedQubits(), map);
+    return map;
+}
+
+std::vector<int>
+Placer::place(const circuit::Circuit &logical) const
+{
+    const auto ranked = rankedEmbeddings(logical);
+    if (!ranked.empty())
+        return ranked.front().map;
+    return greedyPlace(logical);
+}
+
+} // namespace qedm::transpile

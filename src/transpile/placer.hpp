@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Variation-aware initial qubit placement.
+ *
+ * Implements the paper's baseline policy (Sections 2.4, 5.2): find an
+ * initial logical-to-physical assignment that maximizes the Estimated
+ * Success Probability. When the circuit's interaction graph embeds
+ * into the coupling graph (true for the paper's BV/QAOA after their
+ * heuristics), the placer enumerates embeddings with VF2 and ranks
+ * them by ESP, so the produced mapping needs no SWAPs and is optimal
+ * under the ESP model. Otherwise a greedy reliability-aware placement
+ * seeds the router.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "hw/device.hpp"
+
+namespace qedm::transpile {
+
+/** A logical-to-physical assignment with its compile-time score. */
+struct ScoredPlacement
+{
+    /** Entry l is the physical qubit hosting logical qubit l. */
+    std::vector<int> map;
+    /** ESP estimate for the circuit under this placement. */
+    double esp = 0.0;
+};
+
+/** Variation-aware placement engine for one device. */
+class Placer
+{
+  public:
+    explicit Placer(const hw::Device &device);
+
+    /**
+     * Best initial placement for @p logical: the highest-ESP VF2
+     * embedding when one exists, else a greedy reliability-aware
+     * assignment.
+     */
+    std::vector<int> place(const circuit::Circuit &logical) const;
+
+    /**
+     * All VF2 embeddings of the circuit's interaction graph, scored
+     * and sorted by descending ESP. Empty when the interaction graph
+     * does not embed (the router must then insert SWAPs).
+     *
+     * Isolated logical qubits (no 2-qubit gate) are assigned greedily
+     * to the best remaining readout qubits in every returned map.
+     */
+    std::vector<ScoredPlacement>
+    rankedEmbeddings(const circuit::Circuit &logical,
+                     std::size_t limit = 20000) const;
+
+    /** Greedy reliability-aware placement (always succeeds). */
+    std::vector<int>
+    greedyPlace(const circuit::Circuit &logical) const;
+
+  private:
+    const hw::Device &device_;
+};
+
+} // namespace qedm::transpile

@@ -1,0 +1,176 @@
+#include "transpile/router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace qedm::transpile {
+namespace {
+
+/** Per-edge SWAP cost under the chosen metric. */
+double
+swapEdgeCost(const hw::Device &device, int edge_idx, RouteCost cost)
+{
+    if (cost == RouteCost::HopCount)
+        return 1.0;
+    const double err =
+        device.calibration().edge(static_cast<std::size_t>(edge_idx))
+            .cxError;
+    // One SWAP decomposes into 3 CX on the link.
+    return -3.0 * std::log(std::max(1.0 - err, 1e-12));
+}
+
+/** CX cost of executing the gate on the final edge. */
+double
+cxEdgeCost(const hw::Device &device, int edge_idx, RouteCost cost)
+{
+    if (cost == RouteCost::HopCount)
+        return 0.0;
+    const double err =
+        device.calibration().edge(static_cast<std::size_t>(edge_idx))
+            .cxError;
+    return -std::log(std::max(1.0 - err, 1e-12));
+}
+
+} // namespace
+
+Router::Router(const hw::Device &device, RouteCost cost)
+    : device_(device), cost_(cost)
+{
+}
+
+RouteResult
+Router::route(const circuit::Circuit &logical,
+              const std::vector<int> &initial_map) const
+{
+    const auto &topo = device_.topology();
+    QEDM_REQUIRE(static_cast<int>(initial_map.size()) ==
+                     logical.numQubits(),
+                 "initial map must cover every logical qubit");
+    std::set<int> distinct;
+    for (int p : initial_map) {
+        QEDM_REQUIRE(p >= 0 && p < topo.numQubits(),
+                     "initial map target out of range");
+        QEDM_REQUIRE(distinct.insert(p).second,
+                     "initial map targets must be distinct");
+    }
+
+    const circuit::Circuit flat = logical.decomposed();
+    std::vector<int> map = initial_map; // logical -> physical
+    std::vector<int> occupant(topo.numQubits(), -1); // physical->logical
+    for (int l = 0; l < static_cast<int>(map.size()); ++l)
+        occupant[map[l]] = l;
+
+    RouteResult result{circuit::Circuit(topo.numQubits(),
+                                        flat.numClbits()),
+                       {}, 0};
+
+    auto emitSwap = [&](int pa, int pb) {
+        QEDM_ASSERT(topo.adjacent(pa, pb), "SWAP on uncoupled qubits");
+        result.physical.swap(pa, pb);
+        result.swapCount += 1;
+        const int la = occupant[pa];
+        const int lb = occupant[pb];
+        occupant[pa] = lb;
+        occupant[pb] = la;
+        if (la >= 0)
+            map[la] = pb;
+        if (lb >= 0)
+            map[lb] = pa;
+    };
+
+    // Measures are deferred to the end of routing: they are terminal
+    // per qubit (the executor enforces this), and emitting them early
+    // would forbid later SWAP chains from crossing their qubits.
+    std::vector<std::pair<int, int>> deferred_measures; // (logical, cl)
+    for (const auto &g : flat.gates()) {
+        if (g.kind == circuit::OpKind::Barrier) {
+            result.physical.barrier();
+            continue;
+        }
+        if (g.kind == circuit::OpKind::Measure) {
+            deferred_measures.emplace_back(g.qubits[0], g.clbit);
+            continue;
+        }
+        if (circuit::opArity(g.kind) == 1) {
+            circuit::Gate pg = g;
+            pg.qubits[0] = map[g.qubits[0]];
+            result.physical.append(std::move(pg));
+            continue;
+        }
+        // Two-qubit gate.
+        const int la = g.qubits[0], lb = g.qubits[1];
+        if (!topo.adjacent(map[la], map[lb])) {
+            // Dijkstra over SWAP costs from the current home of la.
+            const int src = map[la];
+            const int dst = map[lb];
+            const int n = topo.numQubits();
+            std::vector<double> dist(
+                n, std::numeric_limits<double>::max());
+            std::vector<int> prev(n, -1);
+            using Item = std::pair<double, int>;
+            std::priority_queue<Item, std::vector<Item>,
+                                std::greater<>> pq;
+            dist[src] = 0.0;
+            pq.emplace(0.0, src);
+            while (!pq.empty()) {
+                const auto [d, u] = pq.top();
+                pq.pop();
+                if (d > dist[u])
+                    continue;
+                for (int v : topo.neighbors(u)) {
+                    if (v == dst)
+                        continue; // la never moves onto lb's qubit
+                    const int e = topo.edgeIndex(u, v);
+                    const double nd =
+                        d + swapEdgeCost(device_, e, cost_);
+                    if (nd < dist[v]) {
+                        dist[v] = nd;
+                        prev[v] = u;
+                        pq.emplace(nd, v);
+                    }
+                }
+            }
+            // Best neighbor of dst to finish on, including the CX cost
+            // of the final link.
+            int target = -1;
+            double best = std::numeric_limits<double>::max();
+            for (int u : topo.neighbors(dst)) {
+                if (dist[u] == std::numeric_limits<double>::max())
+                    continue;
+                const int e = topo.edgeIndex(u, dst);
+                const double total =
+                    dist[u] + cxEdgeCost(device_, e, cost_);
+                if (total < best) {
+                    best = total;
+                    target = u;
+                }
+            }
+            QEDM_REQUIRE(target >= 0,
+                         "device coupling graph is disconnected");
+            // Reconstruct src -> target and swap la along it.
+            std::vector<int> path;
+            for (int v = target; v != -1; v = prev[v])
+                path.push_back(v);
+            std::reverse(path.begin(), path.end());
+            QEDM_ASSERT(!path.empty() && path.front() == src,
+                        "router path reconstruction failed");
+            for (std::size_t i = 0; i + 1 < path.size(); ++i)
+                emitSwap(path[i], path[i + 1]);
+        }
+        circuit::Gate pg = g;
+        pg.qubits[0] = map[la];
+        pg.qubits[1] = map[lb];
+        result.physical.append(std::move(pg));
+    }
+    for (const auto &[logical_q, clbit] : deferred_measures)
+        result.physical.measure(map[logical_q], clbit);
+    result.finalMap = map;
+    return result;
+}
+
+} // namespace qedm::transpile

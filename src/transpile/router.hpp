@@ -1,0 +1,59 @@
+/**
+ * @file
+ * SWAP-inserting qubit router.
+ *
+ * Rewrites a logical circuit into a physical one given an initial
+ * placement: two-qubit gates between non-adjacent qubits trigger SWAP
+ * chains along the most reliable path (Dijkstra search over link
+ * unreliability, the reliability-aware heuristic of [40, 48]); a
+ * hop-count mode provides the SWAP-minimizing baseline for ablations.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "hw/device.hpp"
+
+namespace qedm::transpile {
+
+/** Path-cost metric used when choosing SWAP routes. */
+enum class RouteCost
+{
+    Reliability, ///< minimize accumulated link error (variation-aware)
+    HopCount,    ///< minimize SWAP count only
+};
+
+/** Output of routing one circuit. */
+struct RouteResult
+{
+    /** Physical circuit over the full device register. */
+    circuit::Circuit physical;
+    /** Final logical-to-physical map after all inserted SWAPs. */
+    std::vector<int> finalMap;
+    /** Number of SWAP gates inserted. */
+    int swapCount = 0;
+};
+
+/** Router for one device. */
+class Router
+{
+  public:
+    explicit Router(const hw::Device &device,
+                    RouteCost cost = RouteCost::Reliability);
+
+    /**
+     * Route @p logical starting from @p initial_map (logical ->
+     * physical, all distinct). Measures and 1-qubit gates follow the
+     * mapping current at their position in the gate list.
+     */
+    RouteResult route(const circuit::Circuit &logical,
+                      const std::vector<int> &initial_map) const;
+
+  private:
+    const hw::Device &device_;
+    RouteCost cost_;
+};
+
+} // namespace qedm::transpile

@@ -1,0 +1,47 @@
+#include "transpile/transpiler.hpp"
+
+#include <set>
+
+#include "transpile/esp.hpp"
+#include "transpile/placer.hpp"
+
+namespace qedm::transpile {
+
+std::vector<int>
+CompiledProgram::usedQubits() const
+{
+    std::set<int> used;
+    for (const auto &g : physical.gates())
+        used.insert(g.qubits.begin(), g.qubits.end());
+    return {used.begin(), used.end()};
+}
+
+Transpiler::Transpiler(const hw::Device &device, RouteCost cost)
+    : device_(device), cost_(cost)
+{
+}
+
+CompiledProgram
+Transpiler::compile(const circuit::Circuit &logical) const
+{
+    Placer placer(device_);
+    return compileWithPlacement(logical, placer.place(logical));
+}
+
+CompiledProgram
+Transpiler::compileWithPlacement(
+    const circuit::Circuit &logical,
+    const std::vector<int> &initial_map) const
+{
+    Router router(device_, cost_);
+    RouteResult routed = router.route(logical, initial_map);
+    CompiledProgram out;
+    out.initialMap = initial_map;
+    out.finalMap = std::move(routed.finalMap);
+    out.swapCount = routed.swapCount;
+    out.esp = esp(routed.physical, device_);
+    out.physical = std::move(routed.physical);
+    return out;
+}
+
+} // namespace qedm::transpile

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * End-to-end compilation facade: placement + routing + scoring.
+ *
+ * This is the "variation-aware quantum compiler" of the EDM pipeline's
+ * step 1 (Section 5.2): from a logical circuit it produces a physical
+ * executable plus the compile-time ESP estimate.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "hw/device.hpp"
+#include "transpile/router.hpp"
+
+namespace qedm::transpile {
+
+/** A compiled executable and its compile-time metadata. */
+struct CompiledProgram
+{
+    /** Physical circuit over the device register. */
+    circuit::Circuit physical{1};
+    /** Initial logical-to-physical placement used. */
+    std::vector<int> initialMap;
+    /** Logical-to-physical map at circuit end (after SWAPs). */
+    std::vector<int> finalMap;
+    /** Number of inserted SWAP gates. */
+    int swapCount = 0;
+    /** Compile-time Estimated Success Probability. */
+    double esp = 0.0;
+
+    /** Physical qubits actually used (sorted). */
+    std::vector<int> usedQubits() const;
+};
+
+/** Variation-aware compiler for one device. */
+class Transpiler
+{
+  public:
+    explicit Transpiler(const hw::Device &device,
+                        RouteCost cost = RouteCost::Reliability);
+
+    /** Compile with the variation-aware placer's best placement. */
+    CompiledProgram compile(const circuit::Circuit &logical) const;
+
+    /** Compile with a caller-supplied initial placement. */
+    CompiledProgram
+    compileWithPlacement(const circuit::Circuit &logical,
+                         const std::vector<int> &initial_map) const;
+
+    const hw::Device &device() const { return device_; }
+
+  private:
+    const hw::Device &device_;
+    RouteCost cost_;
+};
+
+} // namespace qedm::transpile

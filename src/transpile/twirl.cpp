@@ -1,0 +1,72 @@
+#include "transpile/twirl.hpp"
+
+#include "common/error.hpp"
+
+namespace qedm::transpile {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::OpKind;
+
+namespace {
+
+/** Single-qubit Pauli in symplectic (x, z) form. */
+struct PauliBits
+{
+    int x = 0;
+    int z = 0;
+};
+
+/** Emit the Pauli (if non-identity) on @p q. */
+void
+emitPauli(Circuit &out, PauliBits p, int q)
+{
+    if (p.x && p.z)
+        out.y(q);
+    else if (p.x)
+        out.x(q);
+    else if (p.z)
+        out.z(q);
+}
+
+} // namespace
+
+Circuit
+pauliTwirl(const Circuit &circuit, Rng &rng)
+{
+    const Circuit flat = circuit.decomposed();
+    Circuit out(flat.numQubits(), flat.numClbits());
+    for (const Gate &g : flat.gates()) {
+        if (g.kind != OpKind::Cx && g.kind != OpKind::Cz) {
+            out.append(g);
+            continue;
+        }
+        const int a = g.qubits[0];
+        const int b = g.qubits[1];
+        // Random input frame.
+        PauliBits pa{static_cast<int>(rng.uniformInt(2)),
+                     static_cast<int>(rng.uniformInt(2))};
+        PauliBits pb{static_cast<int>(rng.uniformInt(2)),
+                     static_cast<int>(rng.uniformInt(2))};
+        // Conjugate through the gate (symplectic action, so that
+        // after . gate . before == gate up to global phase).
+        PauliBits qa = pa, qb = pb;
+        if (g.kind == OpKind::Cx) {
+            // CX(c=a, t=b): Xc -> Xc Xt, Zt -> Zc Zt.
+            qa.z = pa.z ^ pb.z;
+            qb.x = pb.x ^ pa.x;
+        } else {
+            // CZ: Xa -> Xa Zb, Xb -> Za Xb.
+            qa.z = pa.z ^ pb.x;
+            qb.z = pb.z ^ pa.x;
+        }
+        emitPauli(out, pa, a);
+        emitPauli(out, pb, b);
+        out.append(g);
+        emitPauli(out, qa, a);
+        emitPauli(out, qb, b);
+    }
+    return out;
+}
+
+} // namespace qedm::transpile

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Pauli twirling (randomized compiling) of two-qubit gates.
+ *
+ * The paper's conclusion points at "other program transformations
+ * that can provide diversity" beyond mapping. Twirling is the obvious
+ * candidate: each CX/CZ is wrapped in a uniformly random two-qubit
+ * Pauli frame that composes to the identity, so every twirled copy is
+ * logically equivalent but experiences the device's *systematic*
+ * errors in a different (Pauli-conjugated) direction. An ensemble of
+ * twirled copies therefore diversifies mistakes on a *single*
+ * mapping, and composes with EDM's mapping diversity.
+ */
+
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+
+namespace qedm::transpile {
+
+/**
+ * Return a logically-equivalent copy of @p circuit with every
+ * two-qubit unitary (Cx/Cz) wrapped in a random Pauli frame.
+ * Swap/Ccx/Cswap are decomposed first; 1-qubit gates, barriers and
+ * measures pass through unchanged. The result is exactly equivalent
+ * up to global phase.
+ */
+circuit::Circuit pauliTwirl(const circuit::Circuit &circuit, Rng &rng);
+
+} // namespace qedm::transpile

@@ -1,0 +1,139 @@
+#include "transpile/vf2.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qedm::transpile {
+namespace {
+
+/** Recursive VF2-style state. */
+class Matcher
+{
+  public:
+    Matcher(const hw::Topology &pattern, const hw::Topology &target,
+            std::size_t limit)
+        : pattern_(pattern), target_(target), limit_(limit)
+    {
+        // Match high-degree pattern vertices first, preferring vertices
+        // connected to already-matched ones (VF2 candidate ordering).
+        order_.reserve(pattern_.numQubits());
+        std::vector<bool> placed(pattern_.numQubits(), false);
+        for (int step = 0; step < pattern_.numQubits(); ++step) {
+            int best = -1;
+            int best_connected = -1;
+            int best_degree = -1;
+            for (int v = 0; v < pattern_.numQubits(); ++v) {
+                if (placed[v])
+                    continue;
+                int connected = 0;
+                for (int u : pattern_.neighbors(v)) {
+                    if (placed[u])
+                        ++connected;
+                }
+                const int degree = pattern_.degree(v);
+                if (connected > best_connected ||
+                    (connected == best_connected &&
+                     degree > best_degree)) {
+                    best = v;
+                    best_connected = connected;
+                    best_degree = degree;
+                }
+            }
+            placed[best] = true;
+            order_.push_back(best);
+        }
+        map_.assign(pattern_.numQubits(), -1);
+        used_.assign(target_.numQubits(), false);
+    }
+
+    std::vector<std::vector<int>>
+    run()
+    {
+        recurse(0);
+        return std::move(results_);
+    }
+
+  private:
+    void
+    recurse(std::size_t depth)
+    {
+        if (results_.size() >= limit_)
+            return;
+        if (depth == order_.size()) {
+            results_.push_back(map_);
+            return;
+        }
+        const int v = order_[depth];
+        // Candidates: neighbors of already-mapped pattern neighbors,
+        // or any unused target vertex when v has none mapped yet.
+        std::vector<int> candidates;
+        int mapped_neighbor = -1;
+        for (int u : pattern_.neighbors(v)) {
+            if (map_[u] >= 0) {
+                mapped_neighbor = u;
+                break;
+            }
+        }
+        if (mapped_neighbor >= 0) {
+            candidates = target_.neighbors(map_[mapped_neighbor]);
+        } else {
+            candidates.resize(target_.numQubits());
+            for (int t = 0; t < target_.numQubits(); ++t)
+                candidates[t] = t;
+        }
+        for (int t : candidates) {
+            if (used_[t])
+                continue;
+            if (target_.degree(t) < pattern_.degree(v))
+                continue;
+            bool feasible = true;
+            for (int u : pattern_.neighbors(v)) {
+                if (map_[u] >= 0 && !target_.adjacent(map_[u], t)) {
+                    feasible = false;
+                    break;
+                }
+            }
+            if (!feasible)
+                continue;
+            map_[v] = t;
+            used_[t] = true;
+            recurse(depth + 1);
+            map_[v] = -1;
+            used_[t] = false;
+            if (results_.size() >= limit_)
+                return;
+        }
+    }
+
+    const hw::Topology &pattern_;
+    const hw::Topology &target_;
+    std::size_t limit_;
+    std::vector<int> order_;
+    std::vector<int> map_;
+    std::vector<bool> used_;
+    std::vector<std::vector<int>> results_;
+};
+
+} // namespace
+
+std::vector<std::vector<int>>
+vf2AllEmbeddings(const hw::Topology &pattern, const hw::Topology &target,
+                 std::size_t limit)
+{
+    QEDM_REQUIRE(pattern.numQubits() <= target.numQubits(),
+                 "pattern is larger than the target graph");
+    QEDM_REQUIRE(limit > 0, "limit must be positive");
+    Matcher matcher(pattern, target, limit);
+    return matcher.run();
+}
+
+bool
+vf2Embeds(const hw::Topology &pattern, const hw::Topology &target)
+{
+    if (pattern.numQubits() > target.numQubits())
+        return false;
+    return !vf2AllEmbeddings(pattern, target, 1).empty();
+}
+
+} // namespace qedm::transpile

@@ -1,0 +1,68 @@
+#include "variational/maxcut.hpp"
+
+#include "common/error.hpp"
+
+namespace qedm::variational {
+
+int
+cutValue(const hw::Topology &graph, Outcome assignment)
+{
+    QEDM_REQUIRE(assignment < (Outcome(1) << graph.numQubits()),
+                 "assignment exceeds the vertex count");
+    int cut = 0;
+    for (const auto &edge : graph.edges()) {
+        if (getBit(assignment, edge.a) != getBit(assignment, edge.b))
+            ++cut;
+    }
+    return cut;
+}
+
+double
+expectedCut(const hw::Topology &graph, const stats::Distribution &dist)
+{
+    QEDM_REQUIRE(dist.width() == graph.numQubits(),
+                 "distribution width must match the vertex count");
+    double expectation = 0.0;
+    const auto &p = dist.probabilities();
+    for (std::size_t o = 0; o < p.size(); ++o) {
+        if (p[o] > 0.0)
+            expectation += p[o] * cutValue(graph, o);
+    }
+    return expectation;
+}
+
+int
+maxCutValue(const hw::Topology &graph)
+{
+    QEDM_REQUIRE(graph.numQubits() <= 20,
+                 "brute-force max-cut is limited to 20 vertices");
+    int best = 0;
+    const Outcome limit = Outcome(1) << graph.numQubits();
+    for (Outcome o = 0; o < limit; ++o)
+        best = std::max(best, cutValue(graph, o));
+    return best;
+}
+
+std::vector<Outcome>
+optimalCuts(const hw::Topology &graph)
+{
+    const int best = maxCutValue(graph);
+    std::vector<Outcome> cuts;
+    const Outcome limit = Outcome(1) << graph.numQubits();
+    for (Outcome o = 0; o < limit; ++o) {
+        if (cutValue(graph, o) == best)
+            cuts.push_back(o);
+    }
+    return cuts;
+}
+
+double
+approximationRatio(const hw::Topology &graph,
+                   const stats::Distribution &dist)
+{
+    const int best = maxCutValue(graph);
+    QEDM_REQUIRE(best > 0, "graph has no edges to cut");
+    return expectedCut(graph, dist) / static_cast<double>(best);
+}
+
+} // namespace qedm::variational

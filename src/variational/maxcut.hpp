@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Max-cut instances and cut-value accounting.
+ *
+ * QAOA (the paper's qaoa-5/6/7 workloads) optimizes max-cut; this
+ * module supplies the classical side: cut values of assignments,
+ * expected cut of a measured distribution, and brute-force optima for
+ * verification on small graphs. Graphs reuse hw::Topology as a
+ * general undirected-graph container.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "hw/topology.hpp"
+#include "stats/distribution.hpp"
+
+namespace qedm::variational {
+
+/** Number of edges cut by @p assignment (bit q = partition of q). */
+int cutValue(const hw::Topology &graph, Outcome assignment);
+
+/** Expectation of cutValue under @p dist (widths must match). */
+double expectedCut(const hw::Topology &graph,
+                   const stats::Distribution &dist);
+
+/** Maximum cut value (brute force; graph must have <= 20 vertices). */
+int maxCutValue(const hw::Topology &graph);
+
+/** All assignments achieving the maximum cut. */
+std::vector<Outcome> optimalCuts(const hw::Topology &graph);
+
+/**
+ * Approximation ratio of @p dist: expectedCut / maxCutValue.
+ * The standard QAOA quality metric, in [0, 1] for non-trivial graphs.
+ */
+double approximationRatio(const hw::Topology &graph,
+                          const stats::Distribution &dist);
+
+} // namespace qedm::variational

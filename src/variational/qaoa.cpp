@@ -1,0 +1,101 @@
+#include "variational/qaoa.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qedm::variational {
+
+circuit::Circuit
+qaoaCircuit(const hw::Topology &graph, const QaoaAngles &angles,
+            double symmetry_field)
+{
+    QEDM_REQUIRE(angles.gammas.size() == angles.betas.size(),
+                 "QAOA needs one (gamma, beta) pair per layer");
+    QEDM_REQUIRE(angles.layers() >= 1, "QAOA needs at least one layer");
+    const int n = graph.numQubits();
+    circuit::Circuit c(n, n);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    for (int layer = 0; layer < angles.layers(); ++layer) {
+        const double gamma = angles.gammas[layer];
+        const double beta = angles.betas[layer];
+        for (const auto &edge : graph.edges()) {
+            c.cx(edge.a, edge.b);
+            c.rz(2.0 * gamma, edge.b);
+            c.cx(edge.a, edge.b);
+        }
+        if (symmetry_field != 0.0)
+            c.rz(symmetry_field * gamma, n - 1);
+        for (int q = 0; q < n; ++q)
+            c.rx(2.0 * beta, q);
+    }
+    c.measureAll();
+    return c;
+}
+
+OptimizerResult
+optimizeQaoa(const hw::Topology &graph, int layers,
+             const QaoaObjective &objective,
+             const OptimizerConfig &config, Rng &rng,
+             double symmetry_field)
+{
+    QEDM_REQUIRE(layers >= 1 && layers <= 8,
+                 "layer count must be in [1, 8]");
+    QEDM_REQUIRE(config.maxEvaluations >= 1 &&
+                     config.initialStep > 0.0 &&
+                     config.minStep > 0.0 &&
+                     config.minStep <= config.initialStep,
+                 "invalid optimizer configuration");
+
+    // Random starting point in the canonical angle ranges.
+    QaoaAngles angles;
+    for (int l = 0; l < layers; ++l) {
+        angles.gammas.push_back(
+            rng.uniform(0.1, std::numbers::pi - 0.1));
+        angles.betas.push_back(
+            rng.uniform(0.1, std::numbers::pi / 2.0 - 0.1));
+    }
+
+    OptimizerResult result;
+    result.evaluations = 0;
+    auto evaluate = [&](const QaoaAngles &a) {
+        ++result.evaluations;
+        return objective(qaoaCircuit(graph, a, symmetry_field));
+    };
+    double best = evaluate(angles);
+    result.trace.push_back(best);
+
+    double step = config.initialStep;
+    while (step >= config.minStep &&
+           result.evaluations < config.maxEvaluations) {
+        bool improved = false;
+        for (int param = 0; param < 2 * layers; ++param) {
+            double &value = param < layers
+                                ? angles.gammas[param]
+                                : angles.betas[param - layers];
+            for (double direction : {+1.0, -1.0}) {
+                if (result.evaluations >= config.maxEvaluations)
+                    break;
+                const double saved = value;
+                value = saved + direction * step;
+                const double candidate = evaluate(angles);
+                if (candidate > best) {
+                    best = candidate;
+                    result.trace.push_back(best);
+                    improved = true;
+                    break; // keep the move
+                }
+                value = saved;
+            }
+        }
+        if (!improved)
+            step *= 0.5;
+    }
+    result.angles = angles;
+    result.bestObjective = best;
+    return result;
+}
+
+} // namespace qedm::variational

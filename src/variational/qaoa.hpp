@@ -1,0 +1,80 @@
+/**
+ * @file
+ * General p-layer QAOA circuit construction and a derivative-free
+ * angle optimizer.
+ *
+ * The benchmark module ships fixed-angle path-graph instances; this
+ * module provides the full variational loop for arbitrary graphs: the
+ * circuit family, an objective evaluated through any executor (ideal,
+ * noisy single-mapping, or EDM-merged), and a coordinate pattern
+ * search over the 2p angles.
+ */
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "common/rng.hpp"
+#include "hw/topology.hpp"
+
+namespace qedm::variational {
+
+/** QAOA angle set: one (gamma, beta) pair per layer. */
+struct QaoaAngles
+{
+    std::vector<double> gammas;
+    std::vector<double> betas;
+
+    int layers() const { return static_cast<int>(gammas.size()); }
+};
+
+/**
+ * Build the p-layer QAOA max-cut circuit for @p graph: H on all
+ * vertices, then per layer the ZZ cost unitary (CX-RZ-CX per edge)
+ * followed by the RX mixer; measures every vertex.
+ * @param symmetry_field optional RZ field on the top vertex after
+ *        each cost layer, breaking the Z2 cut symmetry.
+ */
+circuit::Circuit qaoaCircuit(const hw::Topology &graph,
+                             const QaoaAngles &angles,
+                             double symmetry_field = 0.0);
+
+/** Pattern-search optimizer configuration. */
+struct OptimizerConfig
+{
+    int maxEvaluations = 400;
+    double initialStep = 0.4;
+    double minStep = 0.01;
+};
+
+/** Optimization outcome. */
+struct OptimizerResult
+{
+    QaoaAngles angles;
+    double bestObjective = 0.0;
+    int evaluations = 0;
+    /** Best objective after each accepted improvement. */
+    std::vector<double> trace;
+};
+
+/**
+ * Objective callback: given the QAOA circuit for a candidate angle
+ * set, return the quantity to MAXIMIZE (e.g. expected cut under some
+ * execution backend).
+ */
+using QaoaObjective =
+    std::function<double(const circuit::Circuit &)>;
+
+/**
+ * Maximize @p objective over 2 * layers angles by coordinate pattern
+ * search with random restart-free multistart seeding from @p rng.
+ * Deterministic given the rng state.
+ */
+OptimizerResult optimizeQaoa(const hw::Topology &graph, int layers,
+                             const QaoaObjective &objective,
+                             const OptimizerConfig &config, Rng &rng,
+                             double symmetry_field = 0.0);
+
+} // namespace qedm::variational

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Unit tests for qedm_analysis: the buckets-and-balls model (Appendix
+ * A) and the report formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/buckets_balls.hpp"
+#include "analysis/report.hpp"
+#include "common/error.hpp"
+#include "stats/distribution.hpp"
+
+namespace qedm::analysis {
+namespace {
+
+TEST(BucketsBalls, AnalyticalMatchesPaperExample)
+{
+    // Appendix A: for M = 64, uncorrelated errors, even ps = 2% gives
+    // IST > 1 at N = 8192 balls.
+    EXPECT_GT(analyticalIstUncorrelated(0.02, 64, 8192), 1.0);
+    // And vanishing ps does not.
+    EXPECT_LT(analyticalIstUncorrelated(0.005, 64, 8192), 1.0);
+}
+
+TEST(BucketsBalls, AnalyticalMonotoneInPs)
+{
+    double prev = 0.0;
+    for (double ps : {0.01, 0.02, 0.05, 0.10, 0.20}) {
+        const double ist = analyticalIstUncorrelated(ps, 64, 8192);
+        EXPECT_GT(ist, prev);
+        prev = ist;
+    }
+}
+
+TEST(BucketsBalls, AnalyticalValidates)
+{
+    EXPECT_THROW(analyticalIstUncorrelated(-0.1, 64, 100), UserError);
+    EXPECT_THROW(analyticalIstUncorrelated(0.5, 1, 100), UserError);
+    EXPECT_THROW(analyticalIstUncorrelated(0.5, 64, 0), UserError);
+}
+
+TEST(BucketsBalls, MonteCarloAgreesWithAnalyticalWhenUncorrelated)
+{
+    BucketsModel model;
+    model.numBuckets = 64;
+    model.ps = 0.05;
+    model.qcor = 0.0;
+    Rng rng(3);
+    const double mc = meanMonteCarloIst(model, 8192, 40, rng);
+    const double an = analyticalIstUncorrelated(0.05, 64, 8192);
+    EXPECT_NEAR(mc, an, 0.35 * an);
+}
+
+TEST(BucketsBalls, CorrelationDepressesIst)
+{
+    // Fig. 13: at fixed ps, stronger correlation means lower IST.
+    BucketsModel model;
+    model.numBuckets = 64;
+    model.ps = 0.05;
+    model.numFavored = 6;
+    Rng rng(5);
+    model.qcor = 0.0;
+    const double ist0 = meanMonteCarloIst(model, 8192, 30, rng);
+    model.qcor = 0.10;
+    const double ist10 = meanMonteCarloIst(model, 8192, 30, rng);
+    model.qcor = 0.50;
+    const double ist50 = meanMonteCarloIst(model, 8192, 30, rng);
+    EXPECT_GT(ist0, ist10);
+    EXPECT_GT(ist10, ist50);
+}
+
+TEST(BucketsBalls, FrontierShiftsRightWithCorrelation)
+{
+    // Appendix A.3: frontier ~1.8% uncorrelated, ~3.6% at Qcor = 10%,
+    // ~8% at Qcor = 50%. Check ordering and rough bands.
+    BucketsModel model;
+    model.numBuckets = 64;
+    model.numFavored = 6;
+    Rng rng(7);
+    model.qcor = 0.0;
+    const double f0 = pstFrontier(model, 8192, 12, rng);
+    model.qcor = 0.10;
+    const double f10 = pstFrontier(model, 8192, 12, rng);
+    model.qcor = 0.50;
+    const double f50 = pstFrontier(model, 8192, 12, rng);
+    EXPECT_LT(f0, f10);
+    EXPECT_LT(f10, f50);
+    EXPECT_NEAR(f0, 0.018, 0.012);
+    EXPECT_NEAR(f10, 0.036, 0.02);
+    EXPECT_NEAR(f50, 0.08, 0.04);
+}
+
+TEST(BucketsBalls, CurveIsSampledAcrossRange)
+{
+    BucketsModel model;
+    Rng rng(9);
+    const auto curve =
+        istVsPstCurve(model, 0.01, 0.2, 5, 2048, 5, rng);
+    ASSERT_EQ(curve.size(), 5u);
+    EXPECT_DOUBLE_EQ(curve.front().ps, 0.01);
+    EXPECT_DOUBLE_EQ(curve.back().ps, 0.2);
+    EXPECT_GT(curve.back().ist, curve.front().ist);
+}
+
+TEST(BucketsBalls, ModelValidation)
+{
+    BucketsModel model;
+    model.numFavored = 64;
+    Rng rng(1);
+    EXPECT_THROW(monteCarloIst(model, 100, rng), UserError);
+    model.numFavored = 6;
+    model.qcor = 1.5;
+    EXPECT_THROW(monteCarloIst(model, 100, rng), UserError);
+    model.qcor = 0.5;
+    EXPECT_THROW(monteCarloIst(model, 0, rng), UserError);
+}
+
+TEST(BucketsBalls, AllErrorsIntoFavoredWhenSpanZero)
+{
+    // M - 1 == k: every erroneous ball must land in a purple bucket.
+    BucketsModel model;
+    model.numBuckets = 4;
+    model.numFavored = 3;
+    model.ps = 0.5;
+    model.qcor = 0.0;
+    Rng rng(11);
+    EXPECT_NO_THROW(monteCarloIst(model, 1000, rng));
+}
+
+TEST(Report, TableAlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("----"), std::string::npos);
+    EXPECT_THROW(t.addRow({"only-one"}), UserError);
+    EXPECT_THROW(Table({}), UserError);
+}
+
+TEST(Report, FmtPrecision)
+{
+    EXPECT_EQ(fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmt(0.5), "0.500");
+}
+
+TEST(Report, BarScalesAndClamps)
+{
+    EXPECT_EQ(bar(1.0, 1.0, 4), "####");
+    EXPECT_EQ(bar(0.0, 1.0, 4), "....");
+    EXPECT_EQ(bar(0.5, 1.0, 4), "##..");
+    EXPECT_EQ(bar(7.0, 1.0, 4), "####"); // clamped
+    EXPECT_THROW(bar(1.0, 0.0, 4), UserError);
+}
+
+TEST(Report, HeatmapRendersSquareMatrix)
+{
+    const std::vector<std::vector<double>> m{{0.0, 1.0}, {1.0, 0.0}};
+    const std::string s = heatmap(m, {"A", "B"});
+    EXPECT_NE(s.find('@'), std::string::npos); // dark = small
+    EXPECT_THROW(heatmap(m, {"A"}), UserError);
+    EXPECT_THROW(heatmap({{0.0, 1.0}}, {"A"}), UserError);
+}
+
+TEST(Report, DistributionReportMarksCorrect)
+{
+    const auto d = stats::Distribution::fromProbabilities(
+        {0.1, 0.6, 0.2, 0.1});
+    const std::string s = distributionReport(d, 1, 4);
+    EXPECT_NE(s.find("<= correct"), std::string::npos);
+    EXPECT_NE(s.find("PST = 0.6"), std::string::npos);
+    EXPECT_NE(s.find("IST = 3.0"), std::string::npos);
+}
+
+} // namespace
+} // namespace qedm::analysis

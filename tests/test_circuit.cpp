@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit tests for qedm_circuit: IR validation, gate counting, DAG,
+ * decomposition correctness (checked against composed unitaries), and
+ * QASM output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.hpp"
+#include "circuit/dag.hpp"
+#include "circuit/op.hpp"
+#include "circuit/unitary.hpp"
+#include "common/error.hpp"
+
+namespace qedm::circuit {
+namespace {
+
+TEST(Op, NamesAndArity)
+{
+    EXPECT_EQ(opName(OpKind::Cx), "cx");
+    EXPECT_EQ(opName(OpKind::Rz), "rz");
+    EXPECT_EQ(opArity(OpKind::H), 1);
+    EXPECT_EQ(opArity(OpKind::Cx), 2);
+    EXPECT_EQ(opArity(OpKind::Ccx), 3);
+    EXPECT_EQ(opParamCount(OpKind::Rx), 1);
+    EXPECT_EQ(opParamCount(OpKind::X), 0);
+    EXPECT_TRUE(opIsUnitary(OpKind::Swap));
+    EXPECT_FALSE(opIsUnitary(OpKind::Measure));
+    EXPECT_TRUE(opIsTwoQubit(OpKind::Cz));
+    EXPECT_FALSE(opIsTwoQubit(OpKind::H));
+}
+
+TEST(Op, MatrixShapesAndUnitarity)
+{
+    // H^2 = I.
+    const auto h = gateMatrix1q(OpKind::H, {});
+    const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(h[0].real(), inv_sqrt2, 1e-12);
+    EXPECT_THROW(gateMatrix1q(OpKind::Cx, {}), UserError);
+    EXPECT_THROW(gateMatrix1q(OpKind::Rz, {}), UserError);
+    EXPECT_THROW(gateMatrix2q(OpKind::H), UserError);
+}
+
+TEST(Circuit, BuilderValidatesOperands)
+{
+    Circuit c(3);
+    EXPECT_THROW(c.h(3), UserError);
+    EXPECT_THROW(c.cx(0, 0), UserError);
+    EXPECT_THROW(c.cx(0, 5), UserError);
+    EXPECT_THROW(c.measure(0, 9), UserError);
+    EXPECT_NO_THROW(c.h(0).cx(0, 1).measure(0, 0));
+}
+
+TEST(Circuit, RegisterBounds)
+{
+    EXPECT_THROW(Circuit(0), UserError);
+    EXPECT_THROW(Circuit(65), UserError);
+    EXPECT_THROW(Circuit(4, 21), UserError);
+    const Circuit c(4, 2);
+    EXPECT_EQ(c.numQubits(), 4);
+    EXPECT_EQ(c.numClbits(), 2);
+    const Circuit d(4);
+    EXPECT_EQ(d.numClbits(), 4);
+}
+
+TEST(Circuit, GateCountsTableOneStyle)
+{
+    Circuit c(4);
+    c.h(0).x(1).cx(0, 1).swap(1, 2).measure(0, 0).measure(1, 1);
+    const GateCounts counts = c.countGates();
+    EXPECT_EQ(counts.singleQubit, 2);
+    EXPECT_EQ(counts.twoQubit, 1 + 3); // cx + swap-as-3-cx
+    EXPECT_EQ(counts.measure, 2);
+}
+
+TEST(Circuit, GateCountsCcx)
+{
+    Circuit c(3);
+    c.ccx(0, 1, 2);
+    const GateCounts counts = c.countGates();
+    EXPECT_EQ(counts.twoQubit, 6);
+    EXPECT_EQ(counts.singleQubit, 9);
+}
+
+TEST(Circuit, DepthSequentialVsParallel)
+{
+    Circuit parallel(3);
+    parallel.h(0).h(1).h(2);
+    EXPECT_EQ(parallel.depth(), 1);
+
+    Circuit serial(1, 1);
+    serial.h(0).x(0).h(0);
+    EXPECT_EQ(serial.depth(), 3);
+
+    Circuit mixed(3);
+    mixed.h(0).cx(0, 1).cx(1, 2);
+    EXPECT_EQ(mixed.depth(), 3);
+}
+
+TEST(Circuit, ActiveQubitCount)
+{
+    Circuit c(5);
+    c.h(0).cx(0, 2);
+    EXPECT_EQ(c.activeQubitCount(), 2);
+}
+
+TEST(Circuit, RemapQubitsRelabels)
+{
+    Circuit c(2, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    const Circuit r = c.remapQubits({3, 1}, 5);
+    EXPECT_EQ(r.numQubits(), 5);
+    EXPECT_EQ(r.gates()[0].qubits[0], 3);
+    EXPECT_EQ(r.gates()[1].qubits[0], 3);
+    EXPECT_EQ(r.gates()[1].qubits[1], 1);
+    // Clbits unchanged.
+    EXPECT_EQ(r.gates()[2].clbit, 0);
+}
+
+TEST(Circuit, RemapQubitsValidates)
+{
+    Circuit c(2);
+    EXPECT_THROW(c.remapQubits({0}, 4), UserError);      // wrong size
+    EXPECT_THROW(c.remapQubits({0, 0}, 4), UserError);   // duplicate
+    EXPECT_THROW(c.remapQubits({0, 9}, 4), UserError);   // out of range
+}
+
+TEST(Circuit, RespectsCoupling)
+{
+    Circuit c(3);
+    c.cx(0, 2);
+    EXPECT_TRUE(c.respectsCoupling([](int, int) { return true; }));
+    EXPECT_FALSE(c.respectsCoupling(
+        [](int a, int b) { return std::abs(a - b) == 1; }));
+}
+
+TEST(Circuit, QasmContainsExpectedLines)
+{
+    Circuit c(2, 2);
+    c.h(0).rz(0.5, 1).cx(0, 1).measure(1, 0);
+    const std::string qasm = c.toQasm();
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[2];"), std::string::npos);
+    EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("rz(0.5) q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("measure q[1] -> c[0];"), std::string::npos);
+}
+
+TEST(Unitary, IdentityByDefault)
+{
+    const Unitary u(2);
+    EXPECT_EQ(u.dim(), 4u);
+    EXPECT_TRUE(u.isUnitary());
+    EXPECT_NEAR(std::abs(u.at(0, 0) - Complex(1.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u.at(1, 0)), 0.0, 1e-12);
+}
+
+TEST(Unitary, HSquaredIsIdentity)
+{
+    Circuit c(1, 0);
+    c.h(0).h(0);
+    const Unitary u = circuitUnitary(c);
+    EXPECT_NEAR(u.distanceUpToGlobalPhase(Unitary(1)), 0.0, 1e-12);
+}
+
+TEST(Unitary, CxActsAsPermutation)
+{
+    Circuit c(2, 0);
+    c.cx(0, 1); // control qubit 0, target qubit 1
+    const Unitary u = circuitUnitary(c);
+    // Basis index bit0 = qubit 0. |01> (idx 1, control on) -> |11>.
+    EXPECT_NEAR(std::abs(u.at(3, 1) - Complex(1.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u.at(1, 3) - Complex(1.0)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(u.at(0, 0) - Complex(1.0)), 0.0, 1e-12);
+    EXPECT_TRUE(u.isUnitary());
+}
+
+TEST(Unitary, SwapDecompositionMatchesSwap)
+{
+    Circuit direct(2, 0);
+    direct.swap(0, 1);
+    Circuit threecx(2, 0);
+    threecx.cx(0, 1).cx(1, 0).cx(0, 1);
+    EXPECT_NEAR(circuitUnitary(direct).distanceUpToGlobalPhase(
+                    circuitUnitary(threecx)),
+                0.0, 1e-12);
+}
+
+TEST(Unitary, CcxDecompositionMatchesToffoli)
+{
+    // Compare the Toffoli network against the exact permutation.
+    Circuit c(3, 0);
+    c.ccx(0, 1, 2);
+    const Unitary u = circuitUnitary(c); // decomposed internally
+    Unitary expect(3);
+    // |110>? qubit0,1 controls: basis idx bits 0,1 set -> flip bit 2.
+    expect.set(3, 3, Complex(0.0));
+    expect.set(7, 7, Complex(0.0));
+    expect.set(7, 3, Complex(1.0));
+    expect.set(3, 7, Complex(1.0));
+    EXPECT_NEAR(u.distanceUpToGlobalPhase(expect), 0.0, 1e-9);
+}
+
+TEST(Unitary, CswapDecompositionMatchesFredkin)
+{
+    Circuit c(3, 0);
+    c.cswap(0, 1, 2);
+    const Unitary u = circuitUnitary(c);
+    Unitary expect(3);
+    // Control = qubit 0 set: swap bits 1, 2: |011>(3) <-> |101>(5).
+    expect.set(3, 3, Complex(0.0));
+    expect.set(5, 5, Complex(0.0));
+    expect.set(5, 3, Complex(1.0));
+    expect.set(3, 5, Complex(1.0));
+    EXPECT_NEAR(u.distanceUpToGlobalPhase(expect), 0.0, 1e-9);
+}
+
+TEST(Unitary, RejectsMeasurement)
+{
+    Circuit c(1, 1);
+    c.h(0).measure(0, 0);
+    EXPECT_THROW(circuitUnitary(c), UserError);
+}
+
+TEST(Dag, LinearChainHasSerialLayers)
+{
+    Circuit c(1, 1);
+    c.h(0).x(0).h(0);
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.size(), 3u);
+    EXPECT_EQ(dag.criticalPathLength(), 3);
+    EXPECT_EQ(dag.frontLayer().size(), 1u);
+}
+
+TEST(Dag, ParallelGatesShareLayer)
+{
+    Circuit c(3);
+    c.h(0).h(1).h(2).cx(0, 1);
+    const CircuitDag dag(c);
+    ASSERT_EQ(dag.layers().size(), 2u);
+    EXPECT_EQ(dag.layers()[0].size(), 3u);
+    EXPECT_EQ(dag.layers()[1].size(), 1u);
+}
+
+TEST(Dag, DependenciesFollowQubits)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).x(1);
+    const CircuitDag dag(c);
+    EXPECT_TRUE(dag.predecessors(0).empty());
+    ASSERT_EQ(dag.predecessors(1).size(), 1u);
+    EXPECT_EQ(dag.predecessors(1)[0], 0u);
+    ASSERT_EQ(dag.successors(1).size(), 1u);
+    EXPECT_EQ(dag.successors(1)[0], 2u);
+}
+
+TEST(Dag, BarriersAreSkipped)
+{
+    Circuit c(2);
+    c.h(0).barrier().h(1);
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.size(), 2u);
+    // No qubit shared: both in layer 0.
+    EXPECT_EQ(dag.layers()[0].size(), 2u);
+}
+
+TEST(Dag, DepthMatchesCircuitDepth)
+{
+    Circuit c(4);
+    c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).h(3);
+    const CircuitDag dag(c);
+    EXPECT_EQ(dag.criticalPathLength(), c.depth());
+}
+
+// Parameterized: rotation gates compose additively:
+// R(theta1) R(theta2) == R(theta1 + theta2).
+class RotationCompositionTest
+    : public ::testing::TestWithParam<std::tuple<OpKind, double, double>>
+{
+};
+
+TEST_P(RotationCompositionTest, AnglesAdd)
+{
+    const auto [kind, t1, t2] = GetParam();
+    Circuit two(1, 0);
+    two.append(Gate{kind, {0}, {t1}, -1});
+    two.append(Gate{kind, {0}, {t2}, -1});
+    Circuit one(1, 0);
+    one.append(Gate{kind, {0}, {t1 + t2}, -1});
+    EXPECT_NEAR(circuitUnitary(two).distanceUpToGlobalPhase(
+                    circuitUnitary(one)),
+                0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rotations, RotationCompositionTest,
+    ::testing::Combine(::testing::Values(OpKind::Rx, OpKind::Ry,
+                                         OpKind::Rz),
+                       ::testing::Values(0.0, 0.3, 1.7, -2.2),
+                       ::testing::Values(0.5, -0.9, 3.1)));
+
+} // namespace
+} // namespace qedm::circuit

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Unit tests for qedm_common: bit utilities, RNG, error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qedm {
+namespace {
+
+TEST(Bits, GetSetFlip)
+{
+    Outcome v = 0;
+    v = setBit(v, 3, 1);
+    EXPECT_EQ(v, 8u);
+    EXPECT_EQ(getBit(v, 3), 1);
+    EXPECT_EQ(getBit(v, 2), 0);
+    v = flipBit(v, 3);
+    EXPECT_EQ(v, 0u);
+    v = setBit(v, 0, 1);
+    v = setBit(v, 0, 0);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(Bits, PopcountAndHamming)
+{
+    EXPECT_EQ(popcount(0), 0);
+    EXPECT_EQ(popcount(0b110011), 4);
+    EXPECT_EQ(hammingDistance(0b110011, 0b110011), 0);
+    EXPECT_EQ(hammingDistance(0b110011, 0b010011), 1);
+    EXPECT_EQ(hammingDistance(0, 0b1111), 4);
+}
+
+TEST(Bits, ToBitstringMsbFirst)
+{
+    EXPECT_EQ(toBitstring(0b110011, 6), "110011");
+    EXPECT_EQ(toBitstring(1, 4), "0001");
+    EXPECT_EQ(toBitstring(8, 4), "1000");
+    EXPECT_EQ(toBitstring(0, 3), "000");
+}
+
+TEST(Bits, ParseBitstringRoundTrip)
+{
+    for (Outcome v : {0u, 1u, 5u, 63u, 37u}) {
+        EXPECT_EQ(parseBitstring(toBitstring(v, 6)), v);
+    }
+    EXPECT_EQ(parseBitstring("1101011"), 0b1101011u);
+}
+
+TEST(Bits, ParseBitstringRejectsBadInput)
+{
+    EXPECT_THROW(parseBitstring(""), UserError);
+    EXPECT_THROW(parseBitstring("10201"), UserError);
+    EXPECT_THROW(parseBitstring(std::string(65, '1')), UserError);
+}
+
+TEST(Bits, ToBitstringRejectsBadWidth)
+{
+    EXPECT_THROW(toBitstring(0, 0), UserError);
+    EXPECT_THROW(toBitstring(0, 65), UserError);
+}
+
+TEST(Bits, AllOutcomes)
+{
+    const auto all = allOutcomes(3);
+    ASSERT_EQ(all.size(), 8u);
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i], i);
+    EXPECT_THROW(allOutcomes(21), UserError);
+}
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double min_v = 1.0, max_v = 0.0, sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        min_v = std::min(min_v, u);
+        max_v = std::max(max_v, u);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+    EXPECT_LT(min_v, 0.01);
+    EXPECT_GT(max_v, 0.99);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-2.0, 3.0);
+        ASSERT_GE(u, -2.0);
+        ASSERT_LT(u, 3.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias)
+{
+    Rng rng(11);
+    std::vector<int> hits(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits[rng.uniformInt(10)] += 1;
+    for (int h : hits)
+        EXPECT_NEAR(h, n / 10, 5 * std::sqrt(n / 10.0));
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    const int n = 100000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled)
+{
+    Rng rng(13);
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.normal(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / double(n), 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteFollowsWeights)
+{
+    Rng rng(19);
+    const std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+    std::vector<int> hits(4, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits[rng.discrete(w)] += 1;
+    EXPECT_EQ(hits[2], 0);
+    EXPECT_NEAR(hits[0] / double(n), 0.1, 0.01);
+    EXPECT_NEAR(hits[1] / double(n), 0.3, 0.01);
+    EXPECT_NEAR(hits[3] / double(n), 0.6, 0.01);
+}
+
+TEST(Rng, DiscreteRejectsInvalidWeights)
+{
+    Rng rng(1);
+    EXPECT_THROW(rng.discrete({0.0, 0.0}), UserError);
+    EXPECT_THROW(rng.discrete({1.0, -0.5}), UserError);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(42);
+    Rng b = a.split();
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a() == b())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Error, RequireThrowsUserError)
+{
+    EXPECT_THROW(QEDM_REQUIRE(false, "boom"), UserError);
+    EXPECT_NO_THROW(QEDM_REQUIRE(true, "fine"));
+}
+
+TEST(Error, AssertThrowsInternalError)
+{
+    EXPECT_THROW(QEDM_ASSERT(false, "bug"), InternalError);
+    EXPECT_NO_THROW(QEDM_ASSERT(true, "fine"));
+}
+
+TEST(Error, MessageContainsContext)
+{
+    try {
+        QEDM_REQUIRE(1 == 2, "the message");
+        FAIL() << "expected throw";
+    } catch (const UserError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("the message"), std::string::npos);
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace qedm

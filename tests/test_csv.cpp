@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the CSV export helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/csv.hpp"
+#include "common/error.hpp"
+
+namespace qedm::analysis {
+namespace {
+
+TEST(Csv, BasicDocument)
+{
+    CsvWriter csv({"a", "b"});
+    csv.addRow({"1", "2"});
+    csv.addRow({"3", "4"});
+    EXPECT_EQ(csv.toString(), "a,b\n1,2\n3,4\n");
+    EXPECT_EQ(csv.rowCount(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    CsvWriter csv({"name", "note"});
+    csv.addRow({"comma,cell", "quote\"cell"});
+    csv.addRow({"newline\ncell", "plain"});
+    const std::string doc = csv.toString();
+    EXPECT_NE(doc.find("\"comma,cell\""), std::string::npos);
+    EXPECT_NE(doc.find("\"quote\"\"cell\""), std::string::npos);
+    EXPECT_NE(doc.find("\"newline\ncell\""), std::string::npos);
+}
+
+TEST(Csv, Validation)
+{
+    EXPECT_THROW(CsvWriter({}), UserError);
+    CsvWriter csv({"x"});
+    EXPECT_THROW(csv.addRow({"1", "2"}), UserError);
+}
+
+TEST(Csv, WriteFileRoundTrip)
+{
+    CsvWriter csv({"k", "v"});
+    csv.addRow({"alpha", "1"});
+    const std::string path = "/tmp/qedm_csv_test.csv";
+    csv.writeFile(path);
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, csv.toString());
+    std::remove(path.c_str());
+    EXPECT_THROW(csv.writeFile("/nonexistent-dir/x.csv"), UserError);
+}
+
+} // namespace
+} // namespace qedm::analysis

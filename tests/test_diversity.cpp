@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Unit tests for diversity-by-transformation: Pauli twirling, the
+ * twirl/EDM composition pipelines, adaptive ensemble sizing, and the
+ * extra distance metrics backing them.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "circuit/unitary.hpp"
+#include "common/error.hpp"
+#include "core/diversity.hpp"
+#include "core/ensemble.hpp"
+#include "hw/device.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/twirl.hpp"
+
+namespace qedm {
+namespace {
+
+TEST(PauliTwirl, PreservesUnitarySemantics)
+{
+    // Twirled copies must equal the original up to global phase.
+    circuit::Circuit c(3, 0);
+    c.h(0).cx(0, 1).rz(0.3, 1).cz(1, 2).cx(2, 0).ry(0.7, 2);
+    const auto original = circuit::circuitUnitary(c);
+    Rng rng(11);
+    for (int copy = 0; copy < 10; ++copy) {
+        const auto twirled = transpile::pauliTwirl(c, rng);
+        EXPECT_NEAR(circuit::circuitUnitary(twirled)
+                        .distanceUpToGlobalPhase(original),
+                    0.0, 1e-9)
+            << "copy " << copy;
+    }
+}
+
+TEST(PauliTwirl, PreservesMeasuredDistribution)
+{
+    const auto bench = benchmarks::bv6();
+    Rng rng(13);
+    const auto twirled = transpile::pauliTwirl(bench.circuit, rng);
+    const auto dist = sim::idealDistribution(twirled);
+    EXPECT_NEAR(dist.prob(bench.expected), 1.0, 1e-9);
+}
+
+TEST(PauliTwirl, InsertsFramesAroundTwoQubitGates)
+{
+    circuit::Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    Rng rng(17);
+    bool saw_extra_gates = false;
+    for (int copy = 0; copy < 20; ++copy) {
+        const auto twirled = transpile::pauliTwirl(c, rng);
+        if (twirled.size() > c.size())
+            saw_extra_gates = true;
+        // Only Paulis are added.
+        int cx_count = 0;
+        for (const auto &g : twirled.gates()) {
+            if (g.kind == circuit::OpKind::Cx)
+                ++cx_count;
+        }
+        EXPECT_EQ(cx_count, 1);
+    }
+    EXPECT_TRUE(saw_extra_gates);
+}
+
+TEST(PauliTwirl, DifferentDrawsDiffer)
+{
+    circuit::Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    Rng rng(19);
+    std::set<std::string> variants;
+    for (int copy = 0; copy < 30; ++copy)
+        variants.insert(transpile::pauliTwirl(c, rng).toQasm());
+    EXPECT_GT(variants.size(), 5u); // 16 frames exist for one CX
+}
+
+TEST(TwirlEnsemble, RunsAndMerges)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const core::EnsembleBuilder builder(device);
+    const auto bench = benchmarks::bv6();
+    const auto program = builder.candidates(bench.circuit).front();
+    Rng rng(3);
+    const auto result =
+        core::runTwirlEnsemble(device, program, 4, 4000, rng);
+    ASSERT_EQ(result.members.size(), 4u);
+    EXPECT_TRUE(result.merged.isNormalized(1e-9));
+    for (const auto &m : result.members)
+        EXPECT_TRUE(m.isNormalized(1e-9));
+}
+
+TEST(TwirlEnsemble, Validates)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const core::EnsembleBuilder builder(device);
+    const auto program =
+        builder.candidates(benchmarks::bv6().circuit).front();
+    Rng rng(3);
+    EXPECT_THROW(core::runTwirlEnsemble(device, program, 0, 100, rng),
+                 UserError);
+    EXPECT_THROW(core::runTwirlEnsemble(device, program, 8, 4, rng),
+                 UserError);
+    EXPECT_THROW(core::runTwirledEdm(device, {}, 100, rng), UserError);
+}
+
+TEST(TwirledEdm, ComposesBothDiversitySources)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const core::EnsembleBuilder builder(device);
+    const auto bench = benchmarks::bv6();
+    const auto members = builder.build(bench.circuit);
+    Rng rng(5);
+    const auto result =
+        core::runTwirledEdm(device, members, 8000, rng);
+    EXPECT_EQ(result.members.size(), members.size());
+    EXPECT_TRUE(result.merged.isNormalized(1e-9));
+}
+
+TEST(AdaptiveEnsemble, RespectsEspFloor)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    core::EnsembleConfig config;
+    config.size = 8;
+    const core::EnsembleBuilder builder(device, config);
+    const auto bench = benchmarks::bv6();
+    const auto members = builder.buildAdaptive(bench.circuit, 0.9);
+    ASSERT_GE(members.size(), 1u);
+    const double best = members.front().esp;
+    for (const auto &m : members)
+        EXPECT_GE(m.esp, 0.9 * best);
+    // A permissive floor keeps more members than a strict one.
+    const auto loose = builder.buildAdaptive(bench.circuit, 0.2);
+    EXPECT_GE(loose.size(), members.size());
+    EXPECT_THROW(builder.buildAdaptive(bench.circuit, 0.0), UserError);
+    EXPECT_THROW(builder.buildAdaptive(bench.circuit, 1.5), UserError);
+}
+
+TEST(Metrics, TotalVariationProperties)
+{
+    const auto p = stats::Distribution::pointMass(2, 0);
+    const auto q = stats::Distribution::pointMass(2, 3);
+    EXPECT_DOUBLE_EQ(stats::totalVariation(p, q), 1.0);
+    EXPECT_DOUBLE_EQ(stats::totalVariation(p, p), 0.0);
+    const auto u = stats::Distribution::uniform(2);
+    EXPECT_DOUBLE_EQ(stats::totalVariation(p, u), 0.75);
+    EXPECT_DOUBLE_EQ(stats::totalVariation(u, p),
+                     stats::totalVariation(p, u));
+}
+
+TEST(Metrics, HellingerProperties)
+{
+    const auto p = stats::Distribution::pointMass(2, 0);
+    const auto q = stats::Distribution::pointMass(2, 3);
+    EXPECT_DOUBLE_EQ(stats::hellinger(p, q), 1.0);
+    EXPECT_NEAR(stats::hellinger(p, p), 0.0, 1e-9);
+    const auto u = stats::Distribution::uniform(2);
+    const double h = stats::hellinger(p, u);
+    EXPECT_GT(h, 0.0);
+    EXPECT_LT(h, 1.0);
+    EXPECT_DOUBLE_EQ(stats::hellinger(u, p), h);
+}
+
+TEST(IdleDecoherence, LongIdleGapDegradesState)
+{
+    // A qubit idling while another works must decohere when the idle
+    // flag is on: prepare |1> on q0, busy-loop q1, then measure q0.
+    hw::NoiseSpec quiet;
+    quiet.coherentScale = 0.0;
+    quiet.stochasticScale = 0.0;
+    quiet.correlatedReadoutScale = 0.0;
+    quiet.enableDecoherence = true;
+    quiet.idleDecoherence = true;
+
+    hw::Device device = hw::Device::melbourne(3, quiet);
+    // Remove readout error so only decoherence shows.
+    hw::Calibration cal = device.calibration();
+    for (int q = 0; q < 14; ++q) {
+        cal.qubit(q).readoutP01 = 0.0;
+        cal.qubit(q).readoutP10 = 0.0;
+        cal.qubit(q).error1q = 0.0;
+    }
+    device = device.withCalibration(cal);
+
+    circuit::Circuit c(14, 1);
+    c.x(0);
+    for (int i = 0; i < 60; ++i)
+        c.x(1).x(1); // keep qubit 1 busy ~12us while qubit 0 idles
+    c.measure(0, 0);
+    const sim::Executor exec(device);
+    const auto with_idle = exec.exactDistribution(c);
+
+    hw::NoiseSpec no_idle = quiet;
+    no_idle.idleDecoherence = false;
+    Rng noise_rng(3);
+    const hw::Device device2 = device.withNoise(hw::NoiseModel::sample(
+        device.topology(), device.calibration(), no_idle, noise_rng));
+    const sim::Executor exec2(device2);
+    const auto without_idle = exec2.exactDistribution(c);
+
+    // Idle decoherence relaxes |1> -> |0| during the wait.
+    EXPECT_LT(with_idle.prob(1), without_idle.prob(1) - 0.05);
+}
+
+} // namespace
+} // namespace qedm

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Failure-injection and boundary tests across modules: the error
+ * paths a robust library must reject loudly, plus degenerate inputs
+ * that must degrade gracefully.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "common/error.hpp"
+#include "core/edm.hpp"
+#include "hw/device.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/lookahead_router.hpp"
+#include "transpile/twirl.hpp"
+
+namespace qedm {
+namespace {
+
+using circuit::Circuit;
+
+TEST(ExecutorEdge, MeasurelessCircuitRejected)
+{
+    const hw::Device device = hw::Device::idealMelbourne();
+    const sim::Executor exec(device);
+    Circuit c(14, 1);
+    c.h(0);
+    Rng rng(1);
+    EXPECT_THROW(exec.run(c, 10, rng), UserError);
+    EXPECT_THROW(exec.exactDistribution(c), UserError);
+}
+
+TEST(ExecutorEdge, DuplicateClbitRejected)
+{
+    const hw::Device device = hw::Device::idealMelbourne();
+    const sim::Executor exec(device);
+    Circuit c(14, 1);
+    c.measure(0, 0);
+    c.measure(1, 0);
+    Rng rng(1);
+    EXPECT_THROW(exec.run(c, 10, rng), UserError);
+}
+
+TEST(ExecutorEdge, ExactSimulationBoundedByActiveQubits)
+{
+    const hw::Device device = hw::Device::idealMelbourne();
+    const sim::Executor exec(device);
+    // 11 active qubits: too many for the density matrix.
+    Circuit c(14, 11);
+    for (int q = 0; q < 11; ++q)
+        c.h(q).measure(q, q);
+    EXPECT_THROW(exec.exactDistribution(c), UserError);
+    // But trajectory execution handles it fine.
+    Rng rng(1);
+    EXPECT_NO_THROW(exec.run(c, 10, rng));
+}
+
+TEST(ExecutorEdge, ZeroShotsRejected)
+{
+    const hw::Device device = hw::Device::idealMelbourne();
+    const sim::Executor exec(device);
+    Circuit c(14, 1);
+    c.measure(0, 0);
+    Rng rng(1);
+    EXPECT_THROW(exec.run(c, 0, rng), UserError);
+}
+
+TEST(EdmEdge, EntropyMergeOfPointMassesFallsBackToUniform)
+{
+    core::MemberResult a, b;
+    a.output = stats::Distribution::pointMass(2, 1);
+    b.output = stats::Distribution::pointMass(2, 2);
+    // Both entropies are zero; the rule must not divide by zero.
+    const auto merged = core::EdmPipeline::merge(
+        {a, b}, core::MergeRule::EntropyWeighted);
+    EXPECT_NEAR(merged.prob(1), 0.5, 1e-12);
+    EXPECT_NEAR(merged.prob(2), 0.5, 1e-12);
+}
+
+TEST(EdmEdge, SingleMemberEnsembleWorks)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    core::EdmConfig config;
+    config.ensemble.size = 1;
+    config.totalShots = 500;
+    const core::EdmPipeline pipeline(device, config);
+    Rng rng(3);
+    const auto result =
+        pipeline.run(benchmarks::greycode().circuit, rng);
+    EXPECT_EQ(result.members.size(), 1u);
+    // EDM of one member is that member.
+    EXPECT_NEAR(stats::totalVariation(result.edm,
+                                      result.members[0].output),
+                0.0, 1e-12);
+    EXPECT_DOUBLE_EQ(result.wedmWeights[0], 1.0);
+}
+
+TEST(EdmEdge, MoreMembersRequestedThanShots)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    core::EdmConfig config;
+    config.ensemble.size = 4;
+    config.totalShots = 2; // fewer shots than members
+    const core::EdmPipeline pipeline(device, config);
+    Rng rng(3);
+    // Every member still gets at least one shot.
+    const auto result =
+        pipeline.run(benchmarks::greycode().circuit, rng);
+    for (const auto &m : result.members)
+        EXPECT_GE(m.shots, 1u);
+}
+
+TEST(TwirlEdge, CircuitWithoutTwoQubitGatesUnchanged)
+{
+    Circuit c(2, 2);
+    c.h(0).x(1).measureAll();
+    Rng rng(5);
+    const auto twirled = transpile::pauliTwirl(c, rng);
+    EXPECT_EQ(twirled.size(), c.size());
+    EXPECT_EQ(twirled.toQasm(), c.toQasm());
+}
+
+TEST(LookaheadEdge, ZeroWindowWeightStillRoutes)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    transpile::LookaheadConfig config;
+    config.windowWeight = 0.0;
+    const transpile::LookaheadRouter router(device, config);
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    const auto result = router.route(c, {0, 9});
+    EXPECT_TRUE(result.physical.respectsCoupling(
+        [&](int a, int b) { return device.topology().adjacent(a, b); }));
+}
+
+TEST(QasmEdge, BarrierWithOperandListAccepted)
+{
+    const auto c = circuit::parseQasm(
+        "qreg q[3];\nbarrier q[0],q[1];\nh q[2];\n");
+    EXPECT_EQ(c.gates()[0].kind, circuit::OpKind::Barrier);
+}
+
+TEST(BitsEdge, SingleBitOutcomes)
+{
+    const auto all = allOutcomes(1);
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(toBitstring(all[1], 1), "1");
+}
+
+TEST(DistributionEdge, ToStringHonorsThreshold)
+{
+    auto d = stats::Distribution(2);
+    d.setProb(0, 0.999);
+    d.setProb(3, 0.001);
+    d.normalize();
+    EXPECT_EQ(d.toString(0.01).find("11"), std::string::npos);
+    EXPECT_NE(d.toString(0.0001).find("11"), std::string::npos);
+}
+
+TEST(DeviceEdge, DriftValidation)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    Rng rng(1);
+    EXPECT_THROW(device.calibration().drifted(rng, -0.1), UserError);
+}
+
+TEST(TopologyEdge, SingleQubitTopology)
+{
+    const hw::Topology t(1, {});
+    EXPECT_TRUE(t.isConnected());
+    EXPECT_EQ(t.numEdges(), 0u);
+    EXPECT_EQ(t.distance(0, 0), 0);
+}
+
+TEST(CountsEdge, MergePreservesWidthValidation)
+{
+    stats::Counts wide(4), narrow(3);
+    narrow.add(7);
+    EXPECT_THROW(narrow.add(8), UserError);
+    wide.add(8);
+    EXPECT_THROW(wide.merge(narrow), UserError);
+}
+
+TEST(BenchmarkEdge, ExpectedOutputsWithinWidth)
+{
+    for (const auto &b : benchmarks::paperSuite()) {
+        EXPECT_LT(b.expected, Outcome(1) << b.outputWidth) << b.name;
+    }
+}
+
+} // namespace
+} // namespace qedm

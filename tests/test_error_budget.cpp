@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for the error-budget analyzer and predictive ensemble
+ * selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "common/error.hpp"
+#include "core/ensemble.hpp"
+#include "core/error_budget.hpp"
+#include "hw/device.hpp"
+#include "stats/metrics.hpp"
+
+namespace qedm::core {
+namespace {
+
+TEST(ErrorBudget, CoversAllFamiliesAndIdealBound)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const EnsembleBuilder builder(device);
+    const auto bench = benchmarks::bv6();
+    const auto program = builder.candidates(bench.circuit).front();
+    const auto budget =
+        errorBudget(device, program.physical, bench.expected);
+
+    ASSERT_EQ(budget.entries.size(), 5u);
+    EXPECT_GT(budget.basePst, 0.0);
+    EXPECT_LT(budget.basePst, budget.idealPst);
+    // BV is deterministic: ideal PST is 1.
+    EXPECT_NEAR(budget.idealPst, 1.0, 1e-6);
+    // Every single-family removal stays at or below the ideal bound.
+    for (const auto &entry : budget.entries) {
+        EXPECT_LE(entry.pstWithout, budget.idealPst + 1e-9)
+            << entry.source;
+        EXPECT_NEAR(entry.pstRecovered,
+                    entry.pstWithout - budget.basePst, 1e-12);
+    }
+}
+
+TEST(ErrorBudget, CoherentFamilyDominatesOnThisModel)
+{
+    // The device model is built so mapping-pinned coherent errors are
+    // the primary IST killer; the budget must reflect that.
+    const hw::Device device = hw::Device::melbourne(2);
+    const EnsembleBuilder builder(device);
+    const auto bench = benchmarks::bv6();
+    const auto program = builder.candidates(bench.circuit).front();
+    const auto budget =
+        errorBudget(device, program.physical, bench.expected);
+    double coherent_gain = 0.0, max_other = 0.0;
+    for (const auto &entry : budget.entries) {
+        if (entry.source.rfind("coherent", 0) == 0)
+            coherent_gain = entry.pstRecovered;
+        else
+            max_other = std::max(max_other, entry.pstRecovered);
+    }
+    EXPECT_GT(coherent_gain, max_other);
+}
+
+TEST(PredictiveEnsemble, SelectsDiverseMembers)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    EnsembleConfig config;
+    config.size = 4;
+    const EnsembleBuilder builder(device, config);
+    const auto bench = benchmarks::greycode();
+    const auto predictive =
+        builder.buildPredictive(bench.circuit, 10);
+    ASSERT_EQ(predictive.size(), 4u);
+    // Best-ESP member is always kept first.
+    const auto top = builder.candidates(bench.circuit).front();
+    EXPECT_EQ(predictive.front().initialMap, top.initialMap);
+    // All members distinct.
+    for (std::size_t i = 0; i < predictive.size(); ++i) {
+        for (std::size_t j = i + 1; j < predictive.size(); ++j) {
+            EXPECT_NE(predictive[i].initialMap,
+                      predictive[j].initialMap);
+        }
+    }
+}
+
+TEST(PredictiveEnsemble, Validates)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const EnsembleBuilder builder(device);
+    EXPECT_THROW(
+        builder.buildPredictive(benchmarks::greycode().circuit, 1),
+        UserError);
+}
+
+} // namespace
+} // namespace qedm::core

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit tests for the extended benchmark suite (GHZ/QFT/hidden-shift/
+ * ripple adder/W-state) and the decoherence-aware ESP metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/extra.hpp"
+#include "common/error.hpp"
+#include "hw/device.hpp"
+#include "sim/executor.hpp"
+#include "transpile/esp.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qedm::benchmarks {
+namespace {
+
+class GhzTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GhzTest, RoundTripReturnsAllZeros)
+{
+    const Benchmark b = ghzRoundTrip(GetParam());
+    const auto dist = sim::idealDistribution(b.circuit);
+    EXPECT_NEAR(dist.prob(0), 1.0, 1e-9);
+    EXPECT_EQ(b.expected, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GhzTest, ::testing::Range(3, 9));
+
+TEST(GhzTest, RejectsBadSizes)
+{
+    EXPECT_THROW(ghzRoundTrip(2), UserError);
+    EXPECT_THROW(ghzRoundTrip(9), UserError);
+}
+
+class QftTest
+    : public ::testing::TestWithParam<std::pair<int, std::string>>
+{
+};
+
+TEST_P(QftTest, RoundTripReturnsInput)
+{
+    const auto [n, input] = GetParam();
+    const Benchmark b = qftRoundTrip(n, input);
+    const auto dist = sim::idealDistribution(b.circuit);
+    EXPECT_NEAR(dist.prob(b.expected), 1.0, 1e-9)
+        << dist.toString(0.01);
+    EXPECT_EQ(b.expected, parseBitstring(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Inputs, QftTest,
+    ::testing::Values(std::pair{2, std::string("10")},
+                      std::pair{3, std::string("101")},
+                      std::pair{4, std::string("1011")},
+                      std::pair{5, std::string("01101")},
+                      std::pair{6, std::string("110101")}));
+
+TEST(QftTest, Validates)
+{
+    EXPECT_THROW(qftRoundTrip(1, "1"), UserError);
+    EXPECT_THROW(qftRoundTrip(3, "10"), UserError);
+}
+
+class HiddenShiftTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(HiddenShiftTest, RecoversShiftDeterministically)
+{
+    const Benchmark b = hiddenShift(GetParam());
+    const auto dist = sim::idealDistribution(b.circuit);
+    EXPECT_NEAR(dist.prob(b.expected), 1.0, 1e-9)
+        << "shift " << GetParam() << "\n" << dist.toString(0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, HiddenShiftTest,
+                         ::testing::Values("00", "11", "1010", "0110",
+                                           "101101", "111111",
+                                           "10110100"));
+
+TEST(HiddenShiftTest, RejectsOddWidth)
+{
+    EXPECT_THROW(hiddenShift("101"), UserError);
+    EXPECT_THROW(hiddenShift(""), UserError);
+}
+
+class RippleAdderTest
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(RippleAdderTest, AddsCorrectly)
+{
+    const auto [a, b] = GetParam();
+    const Benchmark bench = rippleAdder2(a, b);
+    const auto dist = sim::idealDistribution(bench.circuit);
+    EXPECT_NEAR(dist.prob(static_cast<Outcome>(a + b)), 1.0, 1e-9)
+        << a << " + " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperandPairs, RippleAdderTest,
+    ::testing::Values(std::pair{0, 0}, std::pair{0, 3},
+                      std::pair{1, 1}, std::pair{1, 2},
+                      std::pair{2, 2}, std::pair{2, 3},
+                      std::pair{3, 1}, std::pair{3, 3}));
+
+TEST(RippleAdderTest, RejectsWideOperands)
+{
+    EXPECT_THROW(rippleAdder2(4, 0), UserError);
+    EXPECT_THROW(rippleAdder2(0, -1), UserError);
+}
+
+TEST(WState, UniformOverWeightOneStrings)
+{
+    const Benchmark b = wState();
+    const auto dist = sim::idealDistribution(b.circuit);
+    EXPECT_NEAR(dist.prob(0b001), 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(dist.prob(0b010), 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(dist.prob(0b100), 1.0 / 3.0, 1e-9);
+    EXPECT_NEAR(dist.prob(0b000), 0.0, 1e-9);
+    EXPECT_NEAR(dist.prob(0b111), 0.0, 1e-9);
+}
+
+TEST(Peres, ComputesToffoliPlusCnot)
+{
+    const Benchmark b = peres();
+    const auto dist = sim::idealDistribution(b.circuit);
+    EXPECT_NEAR(dist.prob(b.expected), 1.0, 1e-9);
+    EXPECT_EQ(b.expected, parseBitstring("101"));
+}
+
+class MajorityTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MajorityTest, VotesCorrectly)
+{
+    const auto [a, b, c] = GetParam();
+    const Benchmark bench = majority3(a, b, c);
+    const auto dist = sim::idealDistribution(bench.circuit);
+    EXPECT_NEAR(dist.prob(bench.expected), 1.0, 1e-9)
+        << a << b << c;
+    // The majority bit is the MSB of the output.
+    EXPECT_EQ(getBit(bench.expected, 3), (a + b + c) >= 2 ? 1 : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInputs, MajorityTest,
+    ::testing::Combine(::testing::Values(0, 1), ::testing::Values(0, 1),
+                       ::testing::Values(0, 1)));
+
+TEST(MajorityTest2, RejectsNonBits)
+{
+    EXPECT_THROW(majority3(2, 0, 0), UserError);
+}
+
+class ToffoliChainTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ToffoliChainTest, CascadesToAllOnes)
+{
+    const Benchmark b = toffoliChain(GetParam());
+    const auto dist = sim::idealDistribution(b.circuit);
+    EXPECT_NEAR(dist.prob(b.expected), 1.0, 1e-9);
+    EXPECT_EQ(popcount(b.expected), GetParam() + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ToffoliChainTest,
+                         ::testing::Values(2, 3, 4));
+
+TEST(ToffoliChainTest2, RejectsBadDepths)
+{
+    EXPECT_THROW(toffoliChain(1), UserError);
+    EXPECT_THROW(toffoliChain(5), UserError);
+}
+
+TEST(ExtraSuite, AllCompileOntoMelbourne)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const transpile::Transpiler compiler(device);
+    for (const auto &b : extraSuite()) {
+        const auto program = compiler.compile(b.circuit);
+        EXPECT_TRUE(program.physical.respectsCoupling(
+            [&](int x, int y) {
+                return device.topology().adjacent(x, y);
+            }))
+            << b.name;
+        EXPECT_GT(program.esp, 0.0) << b.name;
+    }
+}
+
+TEST(EspWithDecoherence, PenalizesDeepCircuits)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    circuit::Circuit shallow(14, 1);
+    shallow.h(0).measure(0, 0);
+    circuit::Circuit deep(14, 1);
+    for (int i = 0; i < 40; ++i)
+        deep.h(0);
+    deep.measure(0, 0);
+    const double shallow_ratio =
+        transpile::espWithDecoherence(shallow, device) /
+        transpile::esp(shallow, device);
+    const double deep_ratio =
+        transpile::espWithDecoherence(deep, device) /
+        transpile::esp(deep, device);
+    EXPECT_LT(deep_ratio, shallow_ratio);
+    EXPECT_LE(shallow_ratio, 1.0);
+    EXPECT_GT(deep_ratio, 0.0);
+}
+
+TEST(EspWithDecoherence, IdleQubitsDoNotDecay)
+{
+    // Only qubits the circuit touches contribute to the survival
+    // factor (idle qubits carry no program state).
+    const hw::Device device = hw::Device::melbourne(7);
+    circuit::Circuit c(14, 1);
+    c.x(3).measure(3, 0);
+    const double with = transpile::espWithDecoherence(c, device);
+    EXPECT_GT(with, 0.5 * transpile::esp(c, device));
+}
+
+} // namespace
+} // namespace qedm::benchmarks

@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Unit tests for qedm_hw: topology graphs, calibration tables, drift,
+ * and the correlated noise model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "hw/calibration.hpp"
+#include "hw/device.hpp"
+#include "hw/noise_model.hpp"
+#include "hw/topology.hpp"
+
+namespace qedm::hw {
+namespace {
+
+TEST(Topology, LinearChain)
+{
+    const Topology t = Topology::linear(5);
+    EXPECT_EQ(t.numQubits(), 5);
+    EXPECT_EQ(t.numEdges(), 4u);
+    EXPECT_TRUE(t.adjacent(0, 1));
+    EXPECT_TRUE(t.adjacent(1, 0));
+    EXPECT_FALSE(t.adjacent(0, 2));
+    EXPECT_EQ(t.degree(0), 1);
+    EXPECT_EQ(t.degree(2), 2);
+    EXPECT_TRUE(t.isConnected());
+}
+
+TEST(Topology, Ring)
+{
+    const Topology t = Topology::ring(6);
+    EXPECT_EQ(t.numEdges(), 6u);
+    EXPECT_TRUE(t.adjacent(0, 5));
+    for (int q = 0; q < 6; ++q)
+        EXPECT_EQ(t.degree(q), 2);
+    EXPECT_THROW(Topology::ring(2), UserError);
+}
+
+TEST(Topology, Grid)
+{
+    const Topology t = Topology::grid(2, 3);
+    EXPECT_EQ(t.numQubits(), 6);
+    EXPECT_EQ(t.numEdges(), 7u); // 4 horizontal + 3 vertical
+    EXPECT_TRUE(t.adjacent(0, 3));
+    EXPECT_TRUE(t.adjacent(0, 1));
+    EXPECT_FALSE(t.adjacent(0, 4));
+}
+
+TEST(Topology, FullyConnected)
+{
+    const Topology t = Topology::fullyConnected(5);
+    EXPECT_EQ(t.numEdges(), 10u);
+    for (int a = 0; a < 5; ++a) {
+        for (int b = a + 1; b < 5; ++b)
+            EXPECT_TRUE(t.adjacent(a, b));
+    }
+}
+
+TEST(Topology, MelbourneShape)
+{
+    const Topology t = Topology::melbourne();
+    EXPECT_EQ(t.numQubits(), 14);
+    EXPECT_EQ(t.numEdges(), 18u);
+    EXPECT_TRUE(t.isConnected());
+    // End qubits of the ladder have degree 1 or 2; interior up to 3.
+    for (int q = 0; q < 14; ++q)
+        EXPECT_LE(t.degree(q), 3);
+    EXPECT_TRUE(t.adjacent(0, 1));
+    EXPECT_TRUE(t.adjacent(1, 13));
+    EXPECT_TRUE(t.adjacent(6, 8));
+    EXPECT_FALSE(t.adjacent(0, 13));
+    EXPECT_FALSE(t.adjacent(6, 7)); // 7 only couples to 8
+}
+
+TEST(Topology, MelbourneIsBipartite)
+{
+    // The ladder has only even cycles; 2-color it via BFS parity.
+    const Topology t = Topology::melbourne();
+    std::vector<int> color(14, -1);
+    color[0] = 0;
+    std::vector<int> stack{0};
+    while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (int v : t.neighbors(u)) {
+            if (color[v] < 0) {
+                color[v] = 1 - color[u];
+                stack.push_back(v);
+            } else {
+                EXPECT_NE(color[v], color[u])
+                    << "odd cycle through edge " << u << "-" << v;
+            }
+        }
+    }
+}
+
+TEST(Topology, TokyoShape)
+{
+    const Topology t = Topology::tokyo();
+    EXPECT_EQ(t.numQubits(), 20);
+    EXPECT_TRUE(t.isConnected());
+    // Diagonals give interior qubits degree up to 6 and create odd
+    // cycles (unlike the bipartite melbourne ladder).
+    int max_degree = 0;
+    for (int q = 0; q < 20; ++q)
+        max_degree = std::max(max_degree, t.degree(q));
+    EXPECT_GE(max_degree, 5);
+    EXPECT_TRUE(t.adjacent(1, 7)); // a diagonal
+    EXPECT_TRUE(t.adjacent(0, 5));
+    EXPECT_FALSE(t.adjacent(0, 19));
+}
+
+TEST(Topology, HeavyHexShape)
+{
+    const Topology t = Topology::heavyHex27();
+    EXPECT_EQ(t.numQubits(), 27);
+    EXPECT_EQ(t.numEdges(), 28u);
+    EXPECT_TRUE(t.isConnected());
+    // Heavy-hex qubits have degree at most 3.
+    for (int q = 0; q < 27; ++q)
+        EXPECT_LE(t.degree(q), 3);
+}
+
+TEST(Topology, DistanceAndPath)
+{
+    const Topology t = Topology::melbourne();
+    EXPECT_EQ(t.distance(0, 0), 0);
+    EXPECT_EQ(t.distance(0, 1), 1);
+    EXPECT_EQ(t.distance(0, 7), 8); // opposite corners of the ladder
+    const auto path = t.shortestPath(0, 3);
+    ASSERT_EQ(path.size(), 4u);
+    EXPECT_EQ(path.front(), 0);
+    EXPECT_EQ(path.back(), 3);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i)
+        EXPECT_TRUE(t.adjacent(path[i], path[i + 1]));
+}
+
+TEST(Topology, DisconnectedDistance)
+{
+    const Topology t(4, {{0, 1}, {2, 3}});
+    EXPECT_EQ(t.distance(0, 3), -1);
+    EXPECT_TRUE(t.shortestPath(0, 3).empty());
+    EXPECT_FALSE(t.isConnected());
+}
+
+TEST(Topology, ConnectedSubset)
+{
+    const Topology t = Topology::linear(6);
+    EXPECT_TRUE(t.isConnectedSubset({1, 2, 3}));
+    EXPECT_FALSE(t.isConnectedSubset({0, 2}));
+    EXPECT_TRUE(t.isConnectedSubset({}));
+    EXPECT_TRUE(t.isConnectedSubset({4}));
+}
+
+TEST(Topology, EdgeIndexCanonical)
+{
+    const Topology t = Topology::linear(4);
+    const int e = t.edgeIndex(1, 2);
+    EXPECT_GE(e, 0);
+    EXPECT_EQ(t.edgeIndex(2, 1), e);
+    EXPECT_EQ(t.edgeIndex(0, 3), -1);
+}
+
+TEST(Topology, RejectsInvalidEdges)
+{
+    EXPECT_THROW(Topology(3, {{0, 3}}), UserError);
+    EXPECT_THROW(Topology(3, {{1, 1}}), UserError);
+    // Duplicates (either order) are deduplicated, not an error.
+    const Topology t(3, {{0, 1}, {1, 0}});
+    EXPECT_EQ(t.numEdges(), 1u);
+}
+
+TEST(Calibration, MelbourneTableProperties)
+{
+    const Calibration cal = Calibration::melbourne();
+    EXPECT_EQ(cal.numQubits(), 14u);
+    EXPECT_EQ(cal.numEdges(), 18u);
+    // Footnote 3: Q11 and Q12 have pathological readout.
+    EXPECT_GT(cal.qubit(11).readoutP10, 0.25);
+    EXPECT_GT(cal.qubit(12).readoutP10, 0.15);
+    // Healthy qubits stay below 10% symmetrized readout error.
+    EXPECT_LT(cal.qubit(2).readoutError(), 0.10);
+    // Readout is biased: p10 > p01 everywhere (state-dependent bias).
+    for (int q = 0; q < 14; ++q)
+        EXPECT_GT(cal.qubit(q).readoutP10, cal.qubit(q).readoutP01);
+    // T2 <= 2 T1 physical constraint.
+    for (int q = 0; q < 14; ++q)
+        EXPECT_LE(cal.qubit(q).t2Us, 2.0 * cal.qubit(q).t1Us);
+}
+
+TEST(Calibration, SampleRespectsSpread)
+{
+    const Topology topo = Topology::melbourne();
+    CalibrationSpec spec;
+    spec.spread = 0.8;
+    Rng rng(3);
+    const Calibration cal = Calibration::sample(topo, spec, rng);
+    // Rates vary across qubits.
+    std::set<double> distinct;
+    for (int q = 0; q < 14; ++q)
+        distinct.insert(cal.qubit(q).error1q);
+    EXPECT_GT(distinct.size(), 10u);
+    // All probabilities clamped to a sane range.
+    for (std::size_t e = 0; e < cal.numEdges(); ++e) {
+        EXPECT_GT(cal.edge(e).cxError, 0.0);
+        EXPECT_LT(cal.edge(e).cxError, 0.5);
+    }
+}
+
+TEST(Calibration, DriftPerturbsButPreservesScale)
+{
+    const Calibration cal = Calibration::melbourne();
+    Rng rng(4);
+    const Calibration drifted = cal.drifted(rng, 0.10);
+    int changed = 0;
+    for (int q = 0; q < 14; ++q) {
+        if (drifted.qubit(q).error1q != cal.qubit(q).error1q)
+            ++changed;
+        // Within a factor ~2 for 10% log-normal drift.
+        EXPECT_LT(drifted.qubit(q).error1q,
+                  cal.qubit(q).error1q * 3.0);
+        EXPECT_GT(drifted.qubit(q).error1q,
+                  cal.qubit(q).error1q / 3.0);
+        EXPECT_LE(drifted.qubit(q).t2Us, 2.0 * drifted.qubit(q).t1Us);
+    }
+    EXPECT_EQ(changed, 14);
+    // Zero drift is the identity.
+    Rng rng2(4);
+    const Calibration frozen = cal.drifted(rng2, 0.0);
+    EXPECT_DOUBLE_EQ(frozen.qubit(5).error1q, cal.qubit(5).error1q);
+}
+
+TEST(Calibration, MeanHelpers)
+{
+    const Calibration cal = Calibration::melbourne();
+    EXPECT_GT(cal.meanCxError(), 0.01);
+    EXPECT_LT(cal.meanCxError(), 0.10);
+    EXPECT_GT(cal.meanReadoutError(), 0.02);
+    EXPECT_LT(cal.meanReadoutError(), 0.15);
+}
+
+TEST(NoiseModel, IdealIsAllZero)
+{
+    const Topology topo = Topology::melbourne();
+    const NoiseModel nm = NoiseModel::ideal(topo);
+    for (int q = 0; q < 14; ++q)
+        EXPECT_EQ(nm.overRotation1q(q), 0.0);
+    for (std::size_t e = 0; e < topo.numEdges(); ++e) {
+        EXPECT_EQ(nm.overRotation(e), 0.0);
+        EXPECT_EQ(nm.controlPhase(e), 0.0);
+        EXPECT_TRUE(nm.crosstalk(e).empty());
+    }
+    EXPECT_TRUE(nm.correlatedReadout().empty());
+    EXPECT_EQ(nm.spec().stochasticScale, 0.0);
+    EXPECT_FALSE(nm.spec().enableDecoherence);
+}
+
+TEST(NoiseModel, SampleIsSeedDeterministic)
+{
+    const Topology topo = Topology::melbourne();
+    const Calibration cal = Calibration::melbourne();
+    const NoiseSpec spec;
+    Rng r1(9), r2(9);
+    const NoiseModel a = NoiseModel::sample(topo, cal, spec, r1);
+    const NoiseModel b = NoiseModel::sample(topo, cal, spec, r2);
+    for (std::size_t e = 0; e < topo.numEdges(); ++e) {
+        EXPECT_DOUBLE_EQ(a.overRotation(e), b.overRotation(e));
+        EXPECT_DOUBLE_EQ(a.controlPhase(e), b.controlPhase(e));
+    }
+}
+
+TEST(NoiseModel, CoherentScaleZeroKillsSystematicTerms)
+{
+    const Topology topo = Topology::melbourne();
+    const Calibration cal = Calibration::melbourne();
+    NoiseSpec spec;
+    spec.coherentScale = 0.0;
+    Rng rng(5);
+    const NoiseModel nm = NoiseModel::sample(topo, cal, spec, rng);
+    for (std::size_t e = 0; e < topo.numEdges(); ++e) {
+        EXPECT_EQ(nm.overRotation(e), 0.0);
+        EXPECT_EQ(nm.controlPhase(e), 0.0);
+        EXPECT_TRUE(nm.crosstalk(e).empty());
+    }
+}
+
+TEST(NoiseModel, CrosstalkSpectatorsAreNeighbors)
+{
+    const Topology topo = Topology::melbourne();
+    const Calibration cal = Calibration::melbourne();
+    Rng rng(6);
+    const NoiseModel nm =
+        NoiseModel::sample(topo, cal, NoiseSpec{}, rng);
+    for (std::size_t e = 0; e < topo.numEdges(); ++e) {
+        const Edge edge = topo.edges()[e];
+        for (const auto &xt : nm.crosstalk(e)) {
+            EXPECT_NE(xt.spectator, edge.a);
+            EXPECT_NE(xt.spectator, edge.b);
+            EXPECT_TRUE(topo.adjacent(xt.spectator, edge.a) ||
+                        topo.adjacent(xt.spectator, edge.b));
+        }
+    }
+}
+
+TEST(NoiseModel, CorrelatedReadoutOnCoupledPairs)
+{
+    const Topology topo = Topology::melbourne();
+    const Calibration cal = Calibration::melbourne();
+    Rng rng(8);
+    const NoiseModel nm =
+        NoiseModel::sample(topo, cal, NoiseSpec{}, rng);
+    for (const auto &cr : nm.correlatedReadout()) {
+        EXPECT_TRUE(topo.adjacent(cr.qubitA, cr.qubitB));
+        EXPECT_GE(cr.jointFlipProb, 0.0);
+        EXPECT_LE(cr.jointFlipProb,
+                  nm.spec().correlatedReadoutMax *
+                      nm.spec().correlatedReadoutScale);
+    }
+}
+
+TEST(Device, MelbournePreset)
+{
+    const Device d = Device::melbourne(7);
+    EXPECT_EQ(d.numQubits(), 14);
+    EXPECT_EQ(d.name(), "ibmq-14-model");
+    // Same seed -> identical physics.
+    const Device d2 = Device::melbourne(7);
+    EXPECT_DOUBLE_EQ(d.noise().overRotation(0),
+                     d2.noise().overRotation(0));
+    // Different seed -> different physics.
+    const Device d3 = Device::melbourne(8);
+    EXPECT_NE(d.noise().overRotation(0), d3.noise().overRotation(0));
+}
+
+TEST(Device, IdealPreset)
+{
+    const Device d = Device::idealMelbourne();
+    EXPECT_EQ(d.calibration().qubit(0).error1q, 0.0);
+    EXPECT_EQ(d.calibration().qubit(11).readoutP10, 0.0);
+    EXPECT_EQ(d.calibration().edge(0).cxError, 0.0);
+}
+
+TEST(Device, DriftedRoundKeepsNoisePhysics)
+{
+    const Device d = Device::melbourne(7);
+    Rng rng(10);
+    const Device round2 = d.driftedRound(rng);
+    // Calibration moved...
+    EXPECT_NE(round2.calibration().qubit(0).error1q,
+              d.calibration().qubit(0).error1q);
+    // ...but systematic noise terms (device physics) are unchanged.
+    for (std::size_t e = 0; e < d.topology().numEdges(); ++e) {
+        EXPECT_DOUBLE_EQ(round2.noise().overRotation(e),
+                         d.noise().overRotation(e));
+    }
+}
+
+TEST(Device, SyntheticFactory)
+{
+    const Device d =
+        Device::synthetic("test-grid", Topology::grid(3, 3),
+                          CalibrationSpec{}, NoiseSpec{}, 42);
+    EXPECT_EQ(d.numQubits(), 9);
+    EXPECT_EQ(d.name(), "test-grid");
+}
+
+TEST(Device, WithNoiseAndCalibrationSwap)
+{
+    const Device d = Device::melbourne(7);
+    const Device ideal_noise =
+        d.withNoise(NoiseModel::ideal(d.topology()));
+    EXPECT_EQ(ideal_noise.noise().spec().stochasticScale, 0.0);
+    Calibration cal = Calibration::melbourne();
+    cal.qubit(0).error1q = 0.123;
+    const Device swapped = d.withCalibration(cal);
+    EXPECT_DOUBLE_EQ(swapped.calibration().qubit(0).error1q, 0.123);
+}
+
+} // namespace
+} // namespace qedm::hw

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for readout mitigation and the invert-and-measure
+ * transform.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "common/error.hpp"
+#include "hw/device.hpp"
+#include "sim/executor.hpp"
+#include "sim/mitigation.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/invert_measure.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qedm::sim {
+namespace {
+
+using circuit::Circuit;
+
+TEST(FlipOutcomeBits, XorsMask)
+{
+    const auto d = stats::Distribution::fromProbabilities(
+        {0.1, 0.2, 0.3, 0.4});
+    const auto flipped = flipOutcomeBits(d, 0b11);
+    EXPECT_DOUBLE_EQ(flipped.prob(0b00), 0.4);
+    EXPECT_DOUBLE_EQ(flipped.prob(0b11), 0.1);
+    EXPECT_DOUBLE_EQ(flipped.prob(0b01), 0.3);
+    // Zero mask is the identity.
+    const auto same = flipOutcomeBits(d, 0);
+    EXPECT_DOUBLE_EQ(same.prob(2), d.prob(2));
+    EXPECT_THROW(flipOutcomeBits(d, 0b100), UserError);
+}
+
+TEST(ReadoutMitigator, RecoversTrueDistributionExactly)
+{
+    // Build a device with known confusion, push a known distribution
+    // through the exact classical channel (executor machinery), then
+    // mitigate: must recover the ideal result.
+    hw::Device device = hw::Device::idealMelbourne();
+    hw::Calibration cal = device.calibration();
+    cal.qubit(0).readoutP01 = 0.08;
+    cal.qubit(0).readoutP10 = 0.22;
+    cal.qubit(1).readoutP01 = 0.03;
+    cal.qubit(1).readoutP10 = 0.11;
+    device = device.withCalibration(cal);
+
+    Circuit c(14, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    const Executor exec(device);
+    const auto measured = exec.exactDistribution(c);
+    // Confused: mass leaked out of 00/11.
+    EXPECT_LT(measured.prob(0b00) + measured.prob(0b11), 0.999);
+
+    const ReadoutMitigator mitigator(device, {0, 1});
+    const auto recovered = mitigator.mitigate(measured);
+    EXPECT_NEAR(recovered.prob(0b00), 0.5, 1e-9);
+    EXPECT_NEAR(recovered.prob(0b11), 0.5, 1e-9);
+    EXPECT_NEAR(recovered.prob(0b01), 0.0, 1e-9);
+}
+
+TEST(ReadoutMitigator, ImprovesIstOnSampledCounts)
+{
+    hw::Device device = hw::Device::idealMelbourne();
+    hw::Calibration cal = device.calibration();
+    for (int q : {0, 1, 2}) {
+        cal.qubit(q).readoutP01 = 0.05;
+        cal.qubit(q).readoutP10 = 0.20;
+    }
+    device = device.withCalibration(cal);
+    Circuit c(14, 3);
+    c.x(0).x(1).x(2);
+    c.measure(0, 0).measure(1, 1).measure(2, 2);
+    const Executor exec(device);
+    Rng rng(5);
+    const auto raw = stats::Distribution::fromCounts(
+        exec.run(c, 40000, rng));
+    const ReadoutMitigator mitigator(device, {0, 1, 2});
+    const auto fixed = mitigator.mitigate(raw);
+    const Outcome correct = 0b111;
+    EXPECT_GT(stats::pst(fixed, correct), stats::pst(raw, correct));
+    EXPECT_GT(stats::ist(fixed, correct), stats::ist(raw, correct));
+}
+
+TEST(ReadoutMitigator, Validates)
+{
+    const hw::Device device = hw::Device::melbourne(3);
+    EXPECT_THROW(ReadoutMitigator(device, {}), UserError);
+    const ReadoutMitigator m(device, {0, 1});
+    EXPECT_THROW(m.mitigate(stats::Distribution::uniform(3)),
+                 UserError);
+}
+
+TEST(InvertMeasure, InsertsXAndReportsMask)
+{
+    Circuit c(3, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    const auto inverted = transpile::invertMeasurements(c);
+    EXPECT_EQ(inverted.flipMask, 0b11u);
+    // Two extra X gates.
+    EXPECT_EQ(inverted.circuit.size(), c.size() + 2);
+    // X immediately precedes each measure.
+    const auto &gates = inverted.circuit.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        if (gates[i].kind == circuit::OpKind::Measure) {
+            ASSERT_GT(i, 0u);
+            EXPECT_EQ(gates[i - 1].kind, circuit::OpKind::X);
+            EXPECT_EQ(gates[i - 1].qubits, gates[i].qubits);
+        }
+    }
+    Circuit no_measure(2, 0);
+    no_measure.h(0);
+    EXPECT_THROW(transpile::invertMeasurements(no_measure), UserError);
+}
+
+TEST(InvertMeasure, IdealSemanticsPreservedAfterUnflip)
+{
+    const auto bench = benchmarks::bv6();
+    const auto inverted =
+        transpile::invertMeasurements(bench.circuit);
+    const auto dist = sim::idealDistribution(inverted.circuit);
+    const auto unflipped = flipOutcomeBits(dist, inverted.flipMask);
+    EXPECT_NEAR(unflipped.prob(bench.expected), 1.0, 1e-9);
+}
+
+TEST(InvertMeasure, HelpsUnderBiasedReadout)
+{
+    // All-ones answer with p10 >> p01: measuring the inverted (all
+    // zeros) state avoids the expensive |1> readouts.
+    hw::Device device = hw::Device::idealMelbourne();
+    hw::Calibration cal = device.calibration();
+    for (int q : {0, 1, 2, 3}) {
+        cal.qubit(q).readoutP01 = 0.02;
+        cal.qubit(q).readoutP10 = 0.25;
+    }
+    device = device.withCalibration(cal);
+
+    Circuit c(14, 4);
+    for (int q : {0, 1, 2, 3})
+        c.x(q);
+    for (int q : {0, 1, 2, 3})
+        c.measure(q, q);
+    const Outcome correct = 0b1111;
+
+    const Executor exec(device);
+    const auto plain = exec.exactDistribution(c);
+    const auto inverted = transpile::invertMeasurements(c);
+    const auto im = flipOutcomeBits(
+        exec.exactDistribution(inverted.circuit), inverted.flipMask);
+    EXPECT_GT(stats::pst(im, correct), stats::pst(plain, correct));
+}
+
+} // namespace
+} // namespace qedm::sim

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Randomized property tests (seeded, deterministic): random circuits
+ * exercise algebraic invariants that example-based tests cannot cover
+ * exhaustively.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "circuit/unitary.hpp"
+#include "common/rng.hpp"
+#include "hw/device.hpp"
+#include "sim/executor.hpp"
+#include "sim/statevector.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/placer.hpp"
+#include "transpile/router.hpp"
+#include "transpile/twirl.hpp"
+
+namespace qedm {
+namespace {
+
+using circuit::Circuit;
+using circuit::OpKind;
+
+/** A random unitary circuit on n qubits with g gates. */
+Circuit
+randomUnitaryCircuit(int n, int g, Rng &rng)
+{
+    Circuit c(n, n);
+    static const OpKind one_q[] = {OpKind::X, OpKind::Y, OpKind::Z,
+                                   OpKind::H, OpKind::S, OpKind::T,
+                                   OpKind::Sdg, OpKind::Tdg};
+    for (int i = 0; i < g; ++i) {
+        const int pick = static_cast<int>(rng.uniformInt(11));
+        if (pick < 8) {
+            c.append(circuit::Gate{
+                one_q[pick],
+                {static_cast<int>(rng.uniformInt(n))}, {}, -1});
+        } else if (pick == 8) {
+            c.rz(rng.uniform(-3.0, 3.0),
+                 static_cast<int>(rng.uniformInt(n)));
+        } else {
+            int a = static_cast<int>(rng.uniformInt(n));
+            int b = static_cast<int>(rng.uniformInt(n));
+            if (a == b)
+                b = (b + 1) % n;
+            if (pick == 9)
+                c.cx(a, b);
+            else
+                c.cz(a, b);
+        }
+    }
+    return c;
+}
+
+class RandomCircuitTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomCircuitTest, StateVectorMatchesUnitaryColumn)
+{
+    Rng rng(1000 + GetParam());
+    const Circuit c = randomUnitaryCircuit(4, 25, rng);
+    const auto u = circuit::circuitUnitary(c);
+    sim::StateVector sv(4);
+    for (const auto &g : c.gates())
+        sv.applyGate(g.kind, g.qubits, g.params);
+    // |psi> must equal the unitary's first column.
+    for (std::size_t i = 0; i < sv.dim(); ++i) {
+        EXPECT_NEAR(std::abs(sv.amplitude(i) - u.at(i, 0)), 0.0,
+                    1e-10)
+            << "basis " << i;
+    }
+    EXPECT_TRUE(u.isUnitary(1e-9));
+}
+
+TEST_P(RandomCircuitTest, TwirlPreservesRandomCircuits)
+{
+    Rng rng(2000 + GetParam());
+    const Circuit c = randomUnitaryCircuit(3, 20, rng);
+    const auto original = circuit::circuitUnitary(c);
+    const auto twirled =
+        circuit::circuitUnitary(transpile::pauliTwirl(c, rng));
+    EXPECT_NEAR(twirled.distanceUpToGlobalPhase(original), 0.0, 1e-9);
+}
+
+TEST_P(RandomCircuitTest, QasmRoundTripOnRandomCircuits)
+{
+    Rng rng(3000 + GetParam());
+    Circuit c = randomUnitaryCircuit(4, 15, rng);
+    for (int q = 0; q < 4; ++q)
+        c.measure(q, q);
+    const std::string once = c.toQasm();
+    EXPECT_EQ(circuit::parseQasm(once).toQasm(), once);
+}
+
+TEST_P(RandomCircuitTest, RoutingPreservesRandomCircuitSemantics)
+{
+    Rng rng(4000 + GetParam());
+    Circuit c = randomUnitaryCircuit(4, 18, rng);
+    for (int q = 0; q < 4; ++q)
+        c.measure(q, q);
+    const hw::Device device = hw::Device::idealMelbourne();
+    // Random scattered placement.
+    std::vector<int> placement;
+    std::vector<int> pool{0, 2, 5, 7, 9, 11, 13};
+    for (int i = 0; i < 4; ++i) {
+        const std::size_t pick = rng.uniformInt(pool.size());
+        placement.push_back(pool[pick]);
+        pool.erase(pool.begin() + static_cast<long>(pick));
+    }
+    const transpile::Router router(device);
+    const auto routed = router.route(c, placement);
+    const auto expect = sim::idealDistribution(c);
+    const auto got = sim::idealDistribution(routed.physical);
+    EXPECT_LT(stats::totalVariation(expect, got), 1e-9);
+}
+
+TEST_P(RandomCircuitTest, ExactDistributionIsValidProbability)
+{
+    Rng rng(5000 + GetParam());
+    const hw::Device device =
+        hw::Device::melbourne(7 + static_cast<std::uint64_t>(
+                                      GetParam()));
+    Circuit c(14, 3);
+    // Random 3-qubit program on the coupled chain 1 - 2 - 3.
+    const std::pair<int, int> coupled[] = {{1, 2}, {2, 3}};
+    const int qs[3] = {1, 2, 3};
+    for (int i = 0; i < 12; ++i) {
+        const int pick = static_cast<int>(rng.uniformInt(3));
+        if (pick == 0) {
+            c.h(qs[rng.uniformInt(3)]);
+        } else if (pick == 1) {
+            c.rz(rng.uniform(-2.0, 2.0), qs[rng.uniformInt(3)]);
+        } else {
+            const auto [a, b] = coupled[rng.uniformInt(2)];
+            c.cx(a, b);
+        }
+    }
+    c.measure(1, 0).measure(2, 1).measure(3, 2);
+    const sim::Executor exec(device);
+    const auto dist = exec.exactDistribution(c);
+    EXPECT_TRUE(dist.isNormalized(1e-6));
+    for (Outcome o = 0; o < 8; ++o)
+        EXPECT_GE(dist.prob(o), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitTest,
+                         ::testing::Range(0, 10));
+
+} // namespace
+} // namespace qedm

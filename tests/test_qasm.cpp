@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Unit tests for the OpenQASM-2 subset parser, including exact
+ * round-trips through Circuit::toQasm().
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "circuit/qasm_parser.hpp"
+#include "circuit/unitary.hpp"
+#include "common/error.hpp"
+#include "sim/executor.hpp"
+
+namespace qedm::circuit {
+namespace {
+
+TEST(QasmParser, MinimalProgram)
+{
+    const Circuit c = parseQasm(
+        "OPENQASM 2.0;\n"
+        "include \"qelib1.inc\";\n"
+        "qreg q[2];\n"
+        "creg c[2];\n"
+        "h q[0];\n"
+        "cx q[0],q[1];\n"
+        "measure q[0] -> c[0];\n"
+        "measure q[1] -> c[1];\n");
+    EXPECT_EQ(c.numQubits(), 2);
+    EXPECT_EQ(c.numClbits(), 2);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c.gates()[0].kind, OpKind::H);
+    EXPECT_EQ(c.gates()[1].kind, OpKind::Cx);
+    EXPECT_EQ(c.gates()[1].qubits, (std::vector{0, 1}));
+    EXPECT_EQ(c.gates()[2].clbit, 0);
+}
+
+TEST(QasmParser, ParametrizedGates)
+{
+    const Circuit c = parseQasm(
+        "qreg q[1];\n"
+        "rz(0.5) q[0];\n"
+        "rx(-1.25) q[0];\n");
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_DOUBLE_EQ(c.gates()[0].params[0], 0.5);
+    EXPECT_DOUBLE_EQ(c.gates()[1].params[0], -1.25);
+}
+
+TEST(QasmParser, CommentsAndWhitespace)
+{
+    const Circuit c = parseQasm(
+        "// header comment\n"
+        "qreg q[2];\n"
+        "\n"
+        "  h q[0];   // trailing comment\n"
+        "barrier q;\n"
+        "x q[1];\n");
+    EXPECT_EQ(c.size(), 3u);
+    EXPECT_EQ(c.gates()[1].kind, OpKind::Barrier);
+}
+
+TEST(QasmParser, ThreeQubitGates)
+{
+    const Circuit c = parseQasm(
+        "qreg q[3];\n"
+        "ccx q[0],q[1],q[2];\n"
+        "cswap q[2],q[0],q[1];\n");
+    EXPECT_EQ(c.gates()[0].kind, OpKind::Ccx);
+    EXPECT_EQ(c.gates()[1].kind, OpKind::Cswap);
+}
+
+TEST(QasmParser, Errors)
+{
+    EXPECT_THROW(parseQasm(""), UserError);
+    EXPECT_THROW(parseQasm("h q[0];\n"), UserError); // gate before qreg
+    EXPECT_THROW(parseQasm("qreg q[2];\nh q[0]\n"), UserError); // no ;
+    EXPECT_THROW(parseQasm("qreg q[2];\nfoo q[0];\n"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2];\ncx q[0],q[0];\n"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nh q[5];\n"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nqreg q[3];\n"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nmeasure q[0];\n"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nrz(abc) q[0];\n"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nrz(0.5 q[0];\n"), UserError);
+    EXPECT_THROW(parseQasm("qreg q[2];\nh x[0];\n"), UserError);
+}
+
+TEST(QasmParser, CregAfterGatesRejected)
+{
+    EXPECT_THROW(parseQasm("qreg q[2];\nh q[0];\ncreg c[2];\n"),
+                 UserError);
+}
+
+// Round trip: every paper benchmark must survive
+// toQasm -> parseQasm -> toQasm exactly.
+class QasmRoundTripTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(QasmRoundTripTest, ExactTextRoundTrip)
+{
+    const auto bench = benchmarks::byName(GetParam());
+    const std::string once = bench.circuit.toQasm();
+    const Circuit parsed = parseQasm(once);
+    EXPECT_EQ(parsed.toQasm(), once);
+    EXPECT_EQ(parsed.numQubits(), bench.circuit.numQubits());
+    EXPECT_EQ(parsed.size(), bench.circuit.size());
+}
+
+TEST_P(QasmRoundTripTest, SemanticsPreserved)
+{
+    const auto bench = benchmarks::byName(GetParam());
+    const Circuit parsed = parseQasm(bench.circuit.toQasm());
+    const auto dist = sim::idealDistribution(parsed);
+    EXPECT_EQ(dist.mode(), bench.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, QasmRoundTripTest,
+    ::testing::Values("greycode", "bv-6", "bv-7", "qaoa-5", "qaoa-6",
+                      "qaoa-7", "fredkin", "adder", "decode-24"));
+
+} // namespace
+} // namespace qedm::circuit

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Unit tests for the stabilizer (Clifford tableau) simulator,
+ * including cross-validation against the state-vector engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "benchmarks/extra.hpp"
+#include "common/error.hpp"
+#include "sim/executor.hpp"
+#include "sim/stabilizer.hpp"
+#include "stats/metrics.hpp"
+
+namespace qedm::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::OpKind;
+
+TEST(Stabilizer, DeterministicZeroState)
+{
+    StabilizerState state(3);
+    Rng rng(1);
+    for (int q = 0; q < 3; ++q) {
+        EXPECT_TRUE(state.isDeterministic(q));
+        EXPECT_EQ(state.measure(q, rng), 0);
+    }
+}
+
+TEST(Stabilizer, XFlipsMeasurement)
+{
+    StabilizerState state(2);
+    state.x(1);
+    Rng rng(1);
+    EXPECT_EQ(state.measure(0, rng), 0);
+    EXPECT_EQ(state.measure(1, rng), 1);
+}
+
+TEST(Stabilizer, HadamardGivesFairCoin)
+{
+    Rng rng(3);
+    int ones = 0;
+    const int n = 20000;
+    StabilizerState state(1);
+    for (int i = 0; i < n; ++i) {
+        state.reset();
+        state.h(0);
+        EXPECT_FALSE(state.isDeterministic(0));
+        ones += state.measure(0, rng);
+    }
+    EXPECT_NEAR(ones / double(n), 0.5, 0.02);
+}
+
+TEST(Stabilizer, BellPairCorrelations)
+{
+    Rng rng(5);
+    int mismatch = 0;
+    int ones = 0;
+    const int n = 10000;
+    StabilizerState state(2);
+    for (int i = 0; i < n; ++i) {
+        state.reset();
+        state.h(0);
+        state.cx(0, 1);
+        const int a = state.measure(0, rng);
+        const int b = state.measure(1, rng);
+        mismatch += a != b;
+        ones += a;
+    }
+    EXPECT_EQ(mismatch, 0); // perfectly correlated
+    EXPECT_NEAR(ones / double(n), 0.5, 0.03);
+}
+
+TEST(Stabilizer, RepeatMeasurementIsStable)
+{
+    // After collapsing, a second measurement must repeat the outcome.
+    Rng rng(7);
+    StabilizerState state(1);
+    for (int i = 0; i < 50; ++i) {
+        state.reset();
+        state.h(0);
+        const int first = state.measure(0, rng);
+        EXPECT_TRUE(state.isDeterministic(0));
+        EXPECT_EQ(state.measure(0, rng), first);
+    }
+}
+
+TEST(Stabilizer, SGateTurnsXBasisIntoY)
+{
+    // HS|0> measured after Sdg H must return to |0> deterministically:
+    // (H Sdg)(S H)|0> = I|0>.
+    StabilizerState state(1);
+    state.h(0);
+    state.s(0);
+    state.sdg(0);
+    state.h(0);
+    Rng rng(9);
+    EXPECT_TRUE(state.isDeterministic(0));
+    EXPECT_EQ(state.measure(0, rng), 0);
+}
+
+TEST(Stabilizer, CzEquivalentToConjugatedCx)
+{
+    // CZ on |+ +> then H on target == CX Bell construction.
+    Rng rng(11);
+    StabilizerState state(2);
+    int mismatch = 0;
+    for (int i = 0; i < 5000; ++i) {
+        state.reset();
+        state.h(0);
+        state.h(1);
+        state.cz(0, 1);
+        state.h(1);
+        mismatch +=
+            state.measure(0, rng) != state.measure(1, rng) ? 1 : 0;
+    }
+    EXPECT_EQ(mismatch, 0);
+}
+
+TEST(Stabilizer, SwapMovesState)
+{
+    StabilizerState state(2);
+    state.x(0);
+    state.swap(0, 1);
+    Rng rng(13);
+    EXPECT_EQ(state.measure(0, rng), 0);
+    EXPECT_EQ(state.measure(1, rng), 1);
+}
+
+TEST(Stabilizer, RejectsNonClifford)
+{
+    StabilizerState state(1);
+    EXPECT_THROW(state.applyGate(OpKind::T, {0}), UserError);
+    EXPECT_FALSE(StabilizerState::isClifford(OpKind::Rz));
+    EXPECT_TRUE(StabilizerState::isClifford(OpKind::Cz));
+}
+
+TEST(Stabilizer, LargeRegisterGhz)
+{
+    // 48-qubit GHZ — far beyond the state-vector engine.
+    Rng rng(17);
+    StabilizerState state(48);
+    state.h(0);
+    for (int q = 0; q + 1 < 48; ++q)
+        state.cx(q, q + 1);
+    const int first = state.measure(0, rng);
+    for (int q = 1; q < 48; ++q)
+        EXPECT_EQ(state.measure(q, rng), first);
+}
+
+TEST(RunStabilizer, CliffordDetection)
+{
+    EXPECT_TRUE(isCliffordCircuit(benchmarks::bv6().circuit));
+    EXPECT_TRUE(isCliffordCircuit(benchmarks::greycode().circuit));
+    EXPECT_TRUE(
+        isCliffordCircuit(benchmarks::ghzRoundTrip(5).circuit));
+    EXPECT_TRUE(isCliffordCircuit(benchmarks::hiddenShift("1010").circuit));
+    // QAOA has arbitrary rotations; fredkin/adder decompose into T.
+    EXPECT_FALSE(isCliffordCircuit(benchmarks::qaoa5().circuit));
+    EXPECT_FALSE(isCliffordCircuit(benchmarks::adder().circuit));
+}
+
+TEST(RunStabilizer, RejectsNonCliffordCircuits)
+{
+    Rng rng(1);
+    EXPECT_THROW(runStabilizer(benchmarks::qaoa5().circuit, 10, rng),
+                 UserError);
+}
+
+// Cross-validation: for every Clifford benchmark, the tableau
+// simulator must reproduce the ideal distribution exactly.
+class CliffordCrossTest : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(CliffordCrossTest, MatchesIdealDistribution)
+{
+    const auto bench = benchmarks::byName(GetParam());
+    Rng rng(23);
+    const auto counts = runStabilizer(bench.circuit, 2000, rng);
+    // These benchmarks are deterministic: one outcome, the expected
+    // one.
+    EXPECT_EQ(counts.count(bench.expected), 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deterministic, CliffordCrossTest,
+                         ::testing::Values("bv-6", "bv-7", "greycode"));
+
+TEST(RunStabilizer, MatchesStateVectorOnRandomBellCircuits)
+{
+    // A Clifford circuit with genuinely random outcomes: compare
+    // histograms between engines.
+    Circuit c(3, 3);
+    c.h(0).cx(0, 1).h(2).cz(1, 2).h(2).measureAll();
+    Rng rng(29);
+    const auto tableau_counts = runStabilizer(c, 40000, rng);
+    const auto sv_dist = idealDistribution(c);
+    const auto tableau_dist =
+        stats::Distribution::fromCounts(tableau_counts);
+    EXPECT_LT(stats::totalVariation(sv_dist, tableau_dist), 0.02);
+}
+
+} // namespace
+} // namespace qedm::sim

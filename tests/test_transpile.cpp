@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Unit tests for qedm_transpile: ESP computation, interaction graphs,
+ * VF2 embedding, variation-aware placement, and the SWAP router
+ * (including semantic preservation of routed circuits).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "benchmarks/benchmarks.hpp"
+#include "common/error.hpp"
+#include "hw/device.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/esp.hpp"
+#include "transpile/interaction_graph.hpp"
+#include "transpile/placer.hpp"
+#include "transpile/router.hpp"
+#include "transpile/transpiler.hpp"
+#include "transpile/vf2.hpp"
+
+namespace qedm::transpile {
+namespace {
+
+using circuit::Circuit;
+
+TEST(Esp, MatchesHandComputedProduct)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const auto &cal = device.calibration();
+    Circuit c(14, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    const int e01 = device.topology().edgeIndex(0, 1);
+    const double expected =
+        (1.0 - cal.qubit(0).error1q) *
+        (1.0 - cal.edge(std::size_t(e01)).cxError) *
+        (1.0 - cal.qubit(0).readoutError()) *
+        (1.0 - cal.qubit(1).readoutError());
+    EXPECT_NEAR(esp(c, device), expected, 1e-12);
+}
+
+TEST(Esp, SwapCountsAsThreeCx)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    Circuit with_swap(14, 1);
+    with_swap.swap(0, 1).measure(0, 0);
+    Circuit with_cx(14, 1);
+    with_cx.cx(0, 1).cx(1, 0).cx(0, 1).measure(0, 0);
+    EXPECT_NEAR(esp(with_swap, device), esp(with_cx, device), 1e-12);
+}
+
+TEST(Esp, IdealDeviceGivesOne)
+{
+    const hw::Device device = hw::Device::idealMelbourne();
+    Circuit c(14, 2);
+    c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+    EXPECT_DOUBLE_EQ(esp(c, device), 1.0);
+    EXPECT_DOUBLE_EQ(espCost(c, device), 0.0);
+}
+
+TEST(Esp, RejectsUncoupledTwoQubitGate)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    Circuit c(14, 1);
+    c.cx(0, 7).measure(0, 0);
+    EXPECT_THROW(esp(c, device), UserError);
+}
+
+TEST(InteractionGraph, CollectsWeightedPairs)
+{
+    Circuit c(4, 0);
+    c.cx(0, 1).cx(1, 0).cx(2, 3);
+    const InteractionGraph ig = interactionGraph(c);
+    EXPECT_EQ(ig.numQubits, 4);
+    ASSERT_EQ(ig.edges.size(), 2u);
+    EXPECT_EQ(ig.edges[0], (std::pair{0, 1}));
+    EXPECT_EQ(ig.weights[0], 2);
+    EXPECT_EQ(ig.degree(1), 1);
+    EXPECT_TRUE(ig.isolatedQubits().empty());
+}
+
+TEST(InteractionGraph, IsolatedQubits)
+{
+    Circuit c(4, 0);
+    c.h(0).cx(1, 2);
+    const InteractionGraph ig = interactionGraph(c);
+    const auto isolated = ig.isolatedQubits();
+    EXPECT_EQ(isolated, (std::vector{0, 3}));
+}
+
+TEST(InteractionGraph, DecomposesSwapFirst)
+{
+    Circuit c(3, 0);
+    c.swap(0, 2);
+    const InteractionGraph ig = interactionGraph(c);
+    ASSERT_EQ(ig.edges.size(), 1u);
+    EXPECT_EQ(ig.weights[0], 3);
+}
+
+TEST(Vf2, PathIntoPath)
+{
+    // 3-path into 5-path: 3 positions x 2 orientations = 6.
+    const auto maps = vf2AllEmbeddings(hw::Topology::linear(3),
+                                       hw::Topology::linear(5));
+    EXPECT_EQ(maps.size(), 6u);
+    for (const auto &m : maps) {
+        std::set<int> distinct(m.begin(), m.end());
+        EXPECT_EQ(distinct.size(), 3u);
+    }
+}
+
+TEST(Vf2, TriangleCannotEmbedInBipartiteLadder)
+{
+    const hw::Topology triangle(3, {{0, 1}, {1, 2}, {0, 2}});
+    EXPECT_FALSE(vf2Embeds(triangle, hw::Topology::melbourne()));
+}
+
+TEST(Vf2, StarFourCannotEmbedInMelbourne)
+{
+    // Max degree on the melbourne ladder is 3.
+    const hw::Topology star4(
+        5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+    EXPECT_FALSE(vf2Embeds(star4, hw::Topology::melbourne()));
+}
+
+TEST(Vf2, StarThreeEmbedsInMelbourne)
+{
+    const hw::Topology star3(4, {{0, 1}, {0, 2}, {0, 3}});
+    const auto maps =
+        vf2AllEmbeddings(star3, hw::Topology::melbourne());
+    EXPECT_FALSE(maps.empty());
+    const hw::Topology melbourne = hw::Topology::melbourne();
+    for (const auto &m : maps) {
+        for (int leaf = 1; leaf <= 3; ++leaf)
+            EXPECT_TRUE(melbourne.adjacent(m[0], m[leaf]));
+    }
+}
+
+TEST(Vf2, LimitIsHonored)
+{
+    const auto maps = vf2AllEmbeddings(hw::Topology::linear(2),
+                                       hw::Topology::melbourne(), 5);
+    EXPECT_EQ(maps.size(), 5u);
+}
+
+TEST(Vf2, EveryEmbeddingMapsEdgesToEdges)
+{
+    const hw::Topology pattern(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    const hw::Topology target = hw::Topology::melbourne();
+    const auto maps = vf2AllEmbeddings(pattern, target);
+    EXPECT_FALSE(maps.empty()); // 4-cycles exist in the ladder
+    for (const auto &m : maps) {
+        EXPECT_TRUE(target.adjacent(m[0], m[1]));
+        EXPECT_TRUE(target.adjacent(m[1], m[2]));
+        EXPECT_TRUE(target.adjacent(m[2], m[3]));
+        EXPECT_TRUE(target.adjacent(m[3], m[0]));
+    }
+}
+
+TEST(Vf2, PatternLargerThanTargetRejected)
+{
+    EXPECT_THROW(vf2AllEmbeddings(hw::Topology::linear(5),
+                                  hw::Topology::linear(3)),
+                 UserError);
+    EXPECT_FALSE(vf2Embeds(hw::Topology::linear(5),
+                           hw::Topology::linear(3)));
+}
+
+TEST(Placer, RankedEmbeddingsSortedByEsp)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Placer placer(device);
+    Circuit c(3, 3);
+    c.cx(0, 1).cx(1, 2).measureAll();
+    const auto ranked = placer.rankedEmbeddings(c);
+    ASSERT_GT(ranked.size(), 1u);
+    for (std::size_t i = 1; i < ranked.size(); ++i)
+        EXPECT_GE(ranked[i - 1].esp, ranked[i].esp);
+    // Every placement is injective and in range.
+    for (const auto &sp : ranked) {
+        std::set<int> distinct(sp.map.begin(), sp.map.end());
+        EXPECT_EQ(distinct.size(), sp.map.size());
+        for (int p : sp.map) {
+            EXPECT_GE(p, 0);
+            EXPECT_LT(p, 14);
+        }
+    }
+}
+
+TEST(Placer, PlaceReturnsBestEmbeddingWhenAvailable)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Placer placer(device);
+    Circuit c(3, 3);
+    c.cx(0, 1).cx(1, 2).measureAll();
+    const auto ranked = placer.rankedEmbeddings(c);
+    const auto best = placer.place(c);
+    EXPECT_EQ(best, ranked.front().map);
+}
+
+TEST(Placer, GreedyFallbackForNonEmbeddablePattern)
+{
+    // Star-4 interaction graph cannot embed (max degree 3), so place()
+    // must fall back to greedy and the router will insert SWAPs.
+    const hw::Device device = hw::Device::melbourne(7);
+    const Placer placer(device);
+    Circuit c(5, 5);
+    c.cx(0, 4).cx(1, 4).cx(2, 4).cx(3, 4).measureAll();
+    EXPECT_TRUE(placer.rankedEmbeddings(c).empty());
+    const auto map = placer.place(c);
+    std::set<int> distinct(map.begin(), map.end());
+    EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(Placer, IsolatedQubitsGetBestReadout)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Placer placer(device);
+    Circuit c(3, 3);
+    c.cx(0, 1).measureAll(); // qubit 2 isolated
+    const auto map = placer.place(c);
+    // Isolated qubit must not land on the pathological readout qubits.
+    EXPECT_NE(map[2], 11);
+    EXPECT_NE(map[2], 12);
+}
+
+TEST(Router, AdjacentGateNeedsNoSwap)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Router router(device);
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    const auto result = router.route(c, {0, 1});
+    EXPECT_EQ(result.swapCount, 0);
+    EXPECT_TRUE(result.physical.respectsCoupling(
+        [&](int a, int b) { return device.topology().adjacent(a, b); }));
+}
+
+TEST(Router, DistantGateInsertsSwaps)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Router router(device, RouteCost::HopCount);
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    // Place on 0 and 3: distance 3 -> 2 swaps.
+    const auto result = router.route(c, {0, 3});
+    EXPECT_EQ(result.swapCount, 2);
+    EXPECT_TRUE(result.physical.respectsCoupling(
+        [&](int a, int b) { return device.topology().adjacent(a, b); }));
+}
+
+TEST(Router, FinalMapTracksSwaps)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Router router(device, RouteCost::HopCount);
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    const auto result = router.route(c, {0, 3});
+    // Logical 0 moved next to physical 3; logical 1 still on 3.
+    EXPECT_EQ(result.finalMap[1], 3);
+    EXPECT_TRUE(
+        device.topology().adjacent(result.finalMap[0],
+                                   result.finalMap[1]));
+}
+
+TEST(Router, ValidatesInitialMap)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Router router(device);
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    EXPECT_THROW(router.route(c, {0}), UserError);
+    EXPECT_THROW(router.route(c, {0, 0}), UserError);
+    EXPECT_THROW(router.route(c, {0, 99}), UserError);
+}
+
+TEST(Router, RoutedCircuitPreservesSemantics)
+{
+    // Route a GHZ circuit with a deliberately bad placement and check
+    // the ideal output distribution is unchanged.
+    const hw::Device device = hw::Device::idealMelbourne();
+    const Router router(device);
+    Circuit c(3, 3);
+    c.h(0).cx(0, 1).cx(1, 2).measureAll();
+    const auto routed = router.route(c, {0, 5, 9});
+    EXPECT_GT(routed.swapCount, 0);
+    const auto logical_dist = sim::idealDistribution(c);
+    const auto routed_dist = sim::idealDistribution(routed.physical);
+    for (Outcome o = 0; o < 8; ++o)
+        EXPECT_NEAR(routed_dist.prob(o), logical_dist.prob(o), 1e-9)
+            << "outcome " << o;
+}
+
+TEST(Router, ReliabilityCostAvoidsBadLinks)
+{
+    // Make one link on the hop-shortest path catastntastrophically bad
+    // and check the reliability router detours around it.
+    hw::Device device = hw::Device::melbourne(7);
+    hw::Calibration cal = device.calibration();
+    const int bad = device.topology().edgeIndex(1, 2);
+    cal.edge(std::size_t(bad)).cxError = 0.40;
+    device = device.withCalibration(cal);
+
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    const Router hop_router(device, RouteCost::HopCount);
+    const Router rel_router(device, RouteCost::Reliability);
+    const auto hop = hop_router.route(c, {0, 3});
+    const auto rel = rel_router.route(c, {0, 3});
+    // The reliability route must have higher ESP despite possibly
+    // using more SWAPs.
+    EXPECT_GE(esp(rel.physical, device), esp(hop.physical, device));
+}
+
+TEST(Transpiler, CompileProducesValidProgram)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Transpiler compiler(device);
+    const auto bench = benchmarks::bv6();
+    const auto program = compiler.compile(bench.circuit);
+    EXPECT_GT(program.esp, 0.0);
+    EXPECT_LE(program.esp, 1.0);
+    EXPECT_TRUE(program.physical.respectsCoupling(
+        [&](int a, int b) { return device.topology().adjacent(a, b); }));
+    EXPECT_EQ(program.physical.numClbits(), bench.outputWidth);
+    // BV-6 (4-leaf star) needs at least one SWAP on a degree-3 chip.
+    EXPECT_GE(program.swapCount, 1);
+}
+
+TEST(Transpiler, CompiledBv6SemanticsPreserved)
+{
+    const auto bench = benchmarks::bv6();
+    const hw::Device device = hw::Device::idealMelbourne();
+    const Transpiler compiler(device);
+    const auto program = compiler.compile(bench.circuit);
+    const auto dist = sim::idealDistribution(program.physical);
+    EXPECT_NEAR(dist.prob(bench.expected), 1.0, 1e-9);
+}
+
+TEST(Transpiler, QaoaNeedsNoSwaps)
+{
+    // The paper: path-graph QAOA maps SWAP-free onto the device.
+    const hw::Device device = hw::Device::melbourne(7);
+    const Transpiler compiler(device);
+    for (int n : {5, 6, 7}) {
+        const auto bench = benchmarks::qaoaMaxcutPath(n);
+        const auto program = compiler.compile(bench.circuit);
+        EXPECT_EQ(program.swapCount, 0) << "qaoa-" << n;
+    }
+}
+
+TEST(Transpiler, CompileWithPlacementRespectsMap)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Transpiler compiler(device);
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    const auto program = compiler.compileWithPlacement(c, {6, 8});
+    EXPECT_EQ(program.initialMap, (std::vector{6, 8}));
+    EXPECT_EQ(program.swapCount, 0);
+    const auto used = program.usedQubits();
+    EXPECT_EQ(used, (std::vector{6, 8}));
+}
+
+// Brute-force optimality check: for a tiny 2-qubit program the
+// placer's embedding must achieve the maximum ESP over all pairs.
+TEST(Placer, BruteForceOptimalityTwoQubits)
+{
+    const hw::Device device = hw::Device::melbourne(7);
+    const Transpiler compiler(device);
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+
+    double best = 0.0;
+    for (int a = 0; a < 14; ++a) {
+        for (int b = 0; b < 14; ++b) {
+            if (a == b || !device.topology().adjacent(a, b))
+                continue;
+            best = std::max(
+                best,
+                compiler.compileWithPlacement(c, {a, b}).esp);
+        }
+    }
+    EXPECT_NEAR(compiler.compile(c).esp, best, 1e-12);
+}
+
+} // namespace
+} // namespace qedm::transpile

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests for the variational module: max-cut accounting, QAOA
+ * circuit construction, and the pattern-search optimizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/executor.hpp"
+#include "variational/maxcut.hpp"
+#include "variational/qaoa.hpp"
+
+namespace qedm::variational {
+namespace {
+
+TEST(Maxcut, CutValueCountsCrossingEdges)
+{
+    const hw::Topology path = hw::Topology::linear(4);
+    EXPECT_EQ(cutValue(path, 0b0000), 0);
+    EXPECT_EQ(cutValue(path, 0b1111), 0);
+    EXPECT_EQ(cutValue(path, 0b0101), 3); // alternating cuts all edges
+    EXPECT_EQ(cutValue(path, 0b0001), 1);
+    EXPECT_THROW(cutValue(path, 0b10000), UserError);
+}
+
+TEST(Maxcut, MaxCutOfPathAndRing)
+{
+    EXPECT_EQ(maxCutValue(hw::Topology::linear(5)), 4);
+    EXPECT_EQ(maxCutValue(hw::Topology::ring(6)), 6);
+    // Odd ring is frustrated: one edge uncut.
+    EXPECT_EQ(maxCutValue(hw::Topology::ring(5)), 4);
+}
+
+TEST(Maxcut, OptimalCutsOfPathAreTheTwoAlternations)
+{
+    const auto cuts = optimalCuts(hw::Topology::linear(4));
+    ASSERT_EQ(cuts.size(), 2u);
+    EXPECT_EQ(cuts[0], 0b0101u);
+    EXPECT_EQ(cuts[1], 0b1010u);
+}
+
+TEST(Maxcut, ExpectedCutUnderDistribution)
+{
+    const hw::Topology path = hw::Topology::linear(2);
+    // 50% cut / 50% uncut -> expectation 0.5.
+    auto d = stats::Distribution(2);
+    d.setProb(0b00, 0.5);
+    d.setProb(0b01, 0.5);
+    EXPECT_DOUBLE_EQ(expectedCut(path, d), 0.5);
+    EXPECT_DOUBLE_EQ(approximationRatio(path, d), 0.5);
+}
+
+TEST(Maxcut, ApproximationRatioRequiresEdges)
+{
+    const hw::Topology isolated(3, {});
+    EXPECT_THROW(
+        approximationRatio(isolated, stats::Distribution::uniform(3)),
+        UserError);
+}
+
+TEST(Qaoa, CircuitShape)
+{
+    const hw::Topology ring = hw::Topology::ring(4);
+    QaoaAngles angles{{0.5, 0.7}, {0.3, 0.2}};
+    const auto c = qaoaCircuit(ring, angles);
+    const auto counts = c.countGates();
+    // Per layer: 2 CX per edge.
+    EXPECT_EQ(counts.twoQubit, 2 * 4 * 2);
+    EXPECT_EQ(counts.measure, 4);
+    // Hs + per-layer(RZ per edge + RX per qubit).
+    EXPECT_EQ(counts.singleQubit, 4 + 2 * (4 + 4));
+}
+
+TEST(Qaoa, AngleValidation)
+{
+    const hw::Topology ring = hw::Topology::ring(4);
+    EXPECT_THROW(qaoaCircuit(ring, QaoaAngles{{0.5}, {}}), UserError);
+    EXPECT_THROW(qaoaCircuit(ring, QaoaAngles{{}, {}}), UserError);
+}
+
+TEST(Qaoa, UniformAtZeroAngles)
+{
+    // gamma = beta = 0 leaves the |+>^n state: uniform output,
+    // expected cut = half the edges.
+    const hw::Topology path = hw::Topology::linear(4);
+    const auto c = qaoaCircuit(path, QaoaAngles{{0.0}, {0.0}});
+    const auto dist = sim::idealDistribution(c);
+    EXPECT_NEAR(expectedCut(path, dist), 1.5, 1e-9);
+}
+
+TEST(Qaoa, OptimizerBeatsRandomStart)
+{
+    const hw::Topology path = hw::Topology::linear(5);
+    const QaoaObjective ideal_objective =
+        [&](const circuit::Circuit &c) {
+            return expectedCut(path, sim::idealDistribution(c));
+        };
+    OptimizerConfig config;
+    config.maxEvaluations = 150;
+    Rng rng(3);
+    const auto result =
+        optimizeQaoa(path, 1, ideal_objective, config, rng);
+    ASSERT_GE(result.trace.size(), 1u);
+    // Strict improvement over the random start, and a respectable
+    // single-layer approximation ratio (> 0.69 for paths).
+    EXPECT_GE(result.bestObjective, result.trace.front());
+    EXPECT_GT(result.bestObjective / maxCutValue(path), 0.69);
+    EXPECT_LE(result.evaluations, config.maxEvaluations);
+}
+
+TEST(Qaoa, TwoLayersBeatOne)
+{
+    const hw::Topology ring = hw::Topology::ring(4);
+    const QaoaObjective ideal_objective =
+        [&](const circuit::Circuit &c) {
+            return expectedCut(ring, sim::idealDistribution(c));
+        };
+    OptimizerConfig config;
+    config.maxEvaluations = 250;
+    Rng rng1(5), rng2(5);
+    const auto p1 = optimizeQaoa(ring, 1, ideal_objective, config,
+                                 rng1);
+    const auto p2 = optimizeQaoa(ring, 2, ideal_objective, config,
+                                 rng2);
+    EXPECT_GE(p2.bestObjective, p1.bestObjective - 0.05);
+}
+
+TEST(Qaoa, TraceIsMonotone)
+{
+    const hw::Topology path = hw::Topology::linear(4);
+    const QaoaObjective ideal_objective =
+        [&](const circuit::Circuit &c) {
+            return expectedCut(path, sim::idealDistribution(c));
+        };
+    Rng rng(7);
+    const auto result = optimizeQaoa(path, 1, ideal_objective,
+                                     OptimizerConfig{}, rng);
+    for (std::size_t i = 1; i < result.trace.size(); ++i)
+        EXPECT_GE(result.trace[i], result.trace[i - 1]);
+}
+
+TEST(Qaoa, OptimizerValidatesConfig)
+{
+    const hw::Topology path = hw::Topology::linear(3);
+    const QaoaObjective objective = [](const circuit::Circuit &) {
+        return 0.0;
+    };
+    Rng rng(1);
+    OptimizerConfig bad;
+    bad.maxEvaluations = 0;
+    EXPECT_THROW(optimizeQaoa(path, 1, objective, bad, rng), UserError);
+    bad = OptimizerConfig{};
+    bad.minStep = 1.0;
+    bad.initialStep = 0.1;
+    EXPECT_THROW(optimizeQaoa(path, 1, objective, bad, rng), UserError);
+    EXPECT_THROW(optimizeQaoa(path, 0, objective, OptimizerConfig{},
+                              rng),
+                 UserError);
+}
+
+} // namespace
+} // namespace qedm::variational

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit tests for gate folding, Richardson extrapolation, and
+ * end-to-end zero-noise extrapolation, plus the error-budget view
+ * they enable.
+ */
+
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "circuit/unitary.hpp"
+#include "common/error.hpp"
+#include "core/zne.hpp"
+#include "hw/device.hpp"
+#include "sim/executor.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/folding.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qedm {
+namespace {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::OpKind;
+
+TEST(Folding, InverseGateAlgebra)
+{
+    EXPECT_EQ(transpile::inverseGate(Gate{OpKind::S, {0}, {}, -1}).kind,
+              OpKind::Sdg);
+    EXPECT_EQ(
+        transpile::inverseGate(Gate{OpKind::Tdg, {0}, {}, -1}).kind,
+        OpKind::T);
+    EXPECT_EQ(transpile::inverseGate(Gate{OpKind::Cx, {0, 1}, {}, -1})
+                  .kind,
+              OpKind::Cx);
+    const Gate rz{OpKind::Rz, {0}, {0.7}, -1};
+    EXPECT_DOUBLE_EQ(transpile::inverseGate(rz).params[0], -0.7);
+    EXPECT_THROW(
+        transpile::inverseGate(Gate{OpKind::Measure, {0}, {}, 0}),
+        UserError);
+}
+
+TEST(Folding, EveryGateComposedWithInverseIsIdentity)
+{
+    for (OpKind kind : {OpKind::H, OpKind::S, OpKind::T, OpKind::X,
+                        OpKind::Y, OpKind::Z}) {
+        Circuit c(1, 0);
+        const Gate g{kind, {0}, {}, -1};
+        c.append(g);
+        c.append(transpile::inverseGate(g));
+        EXPECT_NEAR(circuit::circuitUnitary(c).distanceUpToGlobalPhase(
+                        circuit::Unitary(1)),
+                    0.0, 1e-12)
+            << circuit::opName(kind);
+    }
+}
+
+TEST(Folding, ScaleOneIsUnchanged)
+{
+    Circuit c(2, 2);
+    c.h(0).cx(0, 1).measureAll();
+    const Circuit folded = transpile::foldTwoQubitGates(c, 1);
+    EXPECT_EQ(folded.size(), c.size());
+}
+
+TEST(Folding, ScaleThreeTriplesTwoQubitGates)
+{
+    Circuit c(2, 2);
+    c.h(0).cx(0, 1).measureAll();
+    const Circuit folded = transpile::foldTwoQubitGates(c, 3);
+    EXPECT_EQ(folded.countGates().twoQubit, 3);
+    // Ideal semantics preserved.
+    const auto a = sim::idealDistribution(c);
+    const auto b = sim::idealDistribution(folded);
+    EXPECT_LT(stats::totalVariation(a, b), 1e-9);
+}
+
+TEST(Folding, RejectsEvenScale)
+{
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    EXPECT_THROW(transpile::foldTwoQubitGates(c, 2), UserError);
+    EXPECT_THROW(transpile::foldTwoQubitGates(c, 0), UserError);
+}
+
+TEST(Richardson, ExactForLinearAndQuadratic)
+{
+    // y = 2 + 3x: extrapolation to 0 gives 2 from any two points.
+    EXPECT_NEAR(core::richardsonExtrapolate({{1.0, 5.0}, {3.0, 11.0}}),
+                2.0, 1e-12);
+    // y = 1 + x^2 through three points: exact quadratic recovery.
+    EXPECT_NEAR(core::richardsonExtrapolate(
+                    {{1.0, 2.0}, {3.0, 10.0}, {5.0, 26.0}}),
+                1.0, 1e-9);
+}
+
+TEST(Richardson, Validates)
+{
+    EXPECT_THROW(core::richardsonExtrapolate({{1.0, 1.0}}), UserError);
+    EXPECT_THROW(
+        core::richardsonExtrapolate({{1.0, 1.0}, {1.0, 2.0}}),
+        UserError);
+}
+
+TEST(Zne, FoldedCircuitsAreNoisier)
+{
+    // Sanity of the underlying noise-scaling assumption: PST falls
+    // as the fold scale grows.
+    const hw::Device device = hw::Device::melbourne(2);
+    const transpile::Transpiler compiler(device);
+    const auto bench = benchmarks::greycode();
+    const auto program = compiler.compile(bench.circuit);
+    const sim::Executor exec(device);
+    Rng rng(3);
+    double prev = 2.0;
+    for (int scale : {1, 3, 5}) {
+        const auto folded =
+            transpile::foldTwoQubitGates(program.physical, scale);
+        const auto dist = stats::Distribution::fromCounts(
+            exec.run(folded, 6000, rng));
+        const double pst = stats::pst(dist, bench.expected);
+        EXPECT_LT(pst, prev) << "scale " << scale;
+        prev = pst;
+    }
+}
+
+TEST(Zne, ExtrapolationImprovesObservable)
+{
+    // ZNE's extrapolated PST should exceed the scale-1 measurement
+    // (pushing toward the noiseless value).
+    const hw::Device device = hw::Device::melbourne(2);
+    const transpile::Transpiler compiler(device);
+    const auto bench = benchmarks::greycode();
+    const auto program = compiler.compile(bench.circuit);
+    Rng rng(5);
+    const core::Observable pst_observable =
+        [&](const stats::Distribution &d) {
+            return stats::pst(d, bench.expected);
+        };
+    const auto zne = core::zneExpectation(
+        device, program.physical, pst_observable, {1, 3, 5}, 8000,
+        rng);
+    ASSERT_EQ(zne.points.size(), 3u);
+    EXPECT_GT(zne.extrapolated, zne.points.front().second);
+}
+
+TEST(Zne, ValidatesInputs)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    Circuit c(14, 1);
+    c.cx(0, 1).measure(0, 0);
+    Rng rng(1);
+    const core::Observable obs = [](const stats::Distribution &) {
+        return 0.0;
+    };
+    EXPECT_THROW(core::zneExpectation(device, c, obs, {1}, 100, rng),
+                 UserError);
+    EXPECT_THROW(
+        core::zneExpectation(device, c, obs, {1, 3}, 0, rng),
+        UserError);
+}
+
+} // namespace
+} // namespace qedm

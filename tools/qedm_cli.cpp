@@ -1,0 +1,219 @@
+/**
+ * @file
+ * qedm command-line driver.
+ *
+ * Subcommands:
+ *   list                          all built-in benchmarks
+ *   show <bench>                  logical QASM + metadata
+ *   compile <bench> [seed]        variation-aware compile; physical
+ *                                 QASM, ESP, SWAP count
+ *   candidates <bench> [seed]     ranked isomorphic placements
+ *   run <bench> [seed] [shots]    baseline vs EDM vs WEDM one-shot
+ *   experiment <bench> [seed]     multi-round median experiment
+ *
+ * Exit code 0 on success, 1 on a usage/user error.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "common/error.hpp"
+#include "benchmarks/extra.hpp"
+#include "core/edm.hpp"
+#include "core/experiment.hpp"
+#include "hw/device.hpp"
+#include "stats/metrics.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace {
+
+using namespace qedm;
+
+std::vector<benchmarks::Benchmark>
+allBenchmarks()
+{
+    auto suite = benchmarks::paperSuite();
+    for (auto &extra : benchmarks::extraSuite())
+        suite.push_back(std::move(extra));
+    return suite;
+}
+
+benchmarks::Benchmark
+lookup(const std::string &name)
+{
+    for (const auto &b : allBenchmarks()) {
+        if (b.name == name)
+            return b;
+    }
+    throw UserError("unknown benchmark `" + name +
+                    "`; run `qedm_cli list`");
+}
+
+int
+cmdList()
+{
+    analysis::Table table({"name", "description", "output", "qubits"});
+    for (const auto &b : allBenchmarks()) {
+        table.addRow({b.name, b.description,
+                      toBitstring(b.expected, b.outputWidth),
+                      std::to_string(b.circuit.numQubits())});
+    }
+    std::cout << table.toString();
+    return 0;
+}
+
+int
+cmdShow(const std::string &name)
+{
+    const auto b = lookup(name);
+    const auto counts = b.circuit.countGates();
+    std::cout << b.name << ": " << b.description << "\n"
+              << "expected output: "
+              << toBitstring(b.expected, b.outputWidth) << "\n"
+              << "gates: SG " << counts.singleQubit << ", CX "
+              << counts.twoQubit << ", M " << counts.measure
+              << ", depth " << b.circuit.depth() << "\n\n"
+              << b.circuit.toQasm();
+    return 0;
+}
+
+int
+cmdCompile(const std::string &name, std::uint64_t seed)
+{
+    const auto b = lookup(name);
+    const hw::Device device = hw::Device::melbourne(seed);
+    const transpile::Transpiler compiler(device);
+    const auto program = compiler.compile(b.circuit);
+    std::cout << "device " << device.name() << " (seed " << seed
+              << ")\nESP " << analysis::fmt(program.esp) << ", "
+              << program.swapCount << " SWAPs, qubits";
+    for (int q : program.usedQubits())
+        std::cout << " " << q;
+    std::cout << "\n\n" << program.physical.toQasm();
+    return 0;
+}
+
+int
+cmdCandidates(const std::string &name, std::uint64_t seed)
+{
+    const auto b = lookup(name);
+    const hw::Device device = hw::Device::melbourne(seed);
+    const core::EnsembleBuilder builder(device);
+    const auto all = builder.candidates(b.circuit);
+    analysis::Table table({"rank", "ESP", "qubits"});
+    const std::size_t show = std::min<std::size_t>(all.size(), 12);
+    for (std::size_t i = 0; i < show; ++i) {
+        std::string qubits;
+        for (int q : all[i].usedQubits())
+            qubits += std::to_string(q) + " ";
+        table.addRow({std::to_string(i),
+                      analysis::fmt(all[i].esp), qubits});
+    }
+    std::cout << all.size() << " isomorphic placements; top " << show
+              << ":\n"
+              << table.toString();
+    return 0;
+}
+
+int
+cmdRun(const std::string &name, std::uint64_t seed,
+       std::uint64_t shots)
+{
+    const auto b = lookup(name);
+    const hw::Device device = hw::Device::melbourne(seed);
+    core::EdmConfig config;
+    config.totalShots = shots;
+    const core::EdmPipeline pipeline(device, config);
+    Rng rng(seed * 1000 + 1);
+    const auto result = pipeline.run(b.circuit, rng);
+    const auto baseline =
+        pipeline.runSingle(result.members.front().program, rng);
+
+    analysis::Table table({"policy", "PST", "IST"});
+    auto add = [&](const std::string &policy,
+                   const stats::Distribution &dist) {
+        table.addRow({policy,
+                      analysis::fmt(stats::pst(dist, b.expected), 4),
+                      analysis::fmt(stats::ist(dist, b.expected), 2)});
+    };
+    add("single best mapping", baseline);
+    add("EDM", result.edm);
+    add("WEDM", result.wedm);
+    std::cout << table.toString() << "\nEDM distribution:\n"
+              << analysis::distributionReport(result.edm, b.expected,
+                                              8);
+    return 0;
+}
+
+int
+cmdExperiment(const std::string &name, std::uint64_t seed)
+{
+    const auto b = lookup(name);
+    const hw::Device device = hw::Device::melbourne(seed);
+    core::ExperimentConfig config;
+    const auto summary = core::runExperiment(device, b, config, seed);
+    analysis::Table table({"policy", "median IST", "median PST"});
+    table.addRow({"baseline (compile-time best)",
+                  analysis::fmt(summary.median.baselineEst.ist, 2),
+                  analysis::fmt(summary.median.baselineEst.pst, 4)});
+    table.addRow({"baseline (post-execution best)",
+                  analysis::fmt(summary.median.baselinePost.ist, 2),
+                  analysis::fmt(summary.median.baselinePost.pst, 4)});
+    table.addRow({"EDM", analysis::fmt(summary.median.edm.ist, 2),
+                  analysis::fmt(summary.median.edm.pst, 4)});
+    table.addRow({"WEDM", analysis::fmt(summary.median.wedm.ist, 2),
+                  analysis::fmt(summary.median.wedm.pst, 4)});
+    std::cout << summary.rounds.size() << " rounds on "
+              << device.name() << "\n"
+              << table.toString() << "\nEDM gain "
+              << analysis::fmt(summary.edmIstGain(), 2)
+              << "x, WEDM gain "
+              << analysis::fmt(summary.wedmIstGain(), 2) << "x\n";
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr << "usage: qedm_cli <list|show|compile|candidates|run|"
+                 "experiment> [benchmark] [seed] [shots]\n";
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        if (argc < 2)
+            return usage();
+        const std::string cmd = argv[1];
+        const std::string name = argc > 2 ? argv[2] : "";
+        const std::uint64_t seed =
+            argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2;
+        const std::uint64_t shots =
+            argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 16384;
+        if (cmd == "list")
+            return cmdList();
+        if (name.empty())
+            return usage();
+        if (cmd == "show")
+            return cmdShow(name);
+        if (cmd == "compile")
+            return cmdCompile(name, seed);
+        if (cmd == "candidates")
+            return cmdCandidates(name, seed);
+        if (cmd == "run")
+            return cmdRun(name, seed, shots);
+        if (cmd == "experiment")
+            return cmdExperiment(name, seed);
+        return usage();
+    } catch (const qedm::Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
