@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coherent_scale.dir/abl_coherent_scale.cpp.o"
+  "CMakeFiles/abl_coherent_scale.dir/abl_coherent_scale.cpp.o.d"
+  "abl_coherent_scale"
+  "abl_coherent_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coherent_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

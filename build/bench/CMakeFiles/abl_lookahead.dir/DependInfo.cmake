@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_lookahead.cpp" "bench/CMakeFiles/abl_lookahead.dir/abl_lookahead.cpp.o" "gcc" "bench/CMakeFiles/abl_lookahead.dir/abl_lookahead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/qedm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/qedm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/qedm_benchmarks.dir/DependInfo.cmake"
+  "/root/repo/build/src/variational/CMakeFiles/qedm_variational.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qedm_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qedm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/qedm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qedm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qedm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qedm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

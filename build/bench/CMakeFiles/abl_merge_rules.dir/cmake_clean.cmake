@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_merge_rules.dir/abl_merge_rules.cpp.o"
+  "CMakeFiles/abl_merge_rules.dir/abl_merge_rules.cpp.o.d"
+  "abl_merge_rules"
+  "abl_merge_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_merge_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

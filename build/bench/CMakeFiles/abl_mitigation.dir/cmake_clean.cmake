@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mitigation.dir/abl_mitigation.cpp.o"
+  "CMakeFiles/abl_mitigation.dir/abl_mitigation.cpp.o.d"
+  "abl_mitigation"
+  "abl_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_router_cost.dir/abl_router_cost.cpp.o"
+  "CMakeFiles/abl_router_cost.dir/abl_router_cost.cpp.o.d"
+  "abl_router_cost"
+  "abl_router_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_router_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

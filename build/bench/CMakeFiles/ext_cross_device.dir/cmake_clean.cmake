@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_cross_device.dir/ext_cross_device.cpp.o"
+  "CMakeFiles/ext_cross_device.dir/ext_cross_device.cpp.o.d"
+  "ext_cross_device"
+  "ext_cross_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cross_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

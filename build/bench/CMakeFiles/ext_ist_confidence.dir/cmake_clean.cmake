@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ist_confidence.dir/ext_ist_confidence.cpp.o"
+  "CMakeFiles/ext_ist_confidence.dir/ext_ist_confidence.cpp.o.d"
+  "ext_ist_confidence"
+  "ext_ist_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ist_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_qaoa_training.dir/ext_qaoa_training.cpp.o"
+  "CMakeFiles/ext_qaoa_training.dir/ext_qaoa_training.cpp.o.d"
+  "ext_qaoa_training"
+  "ext_qaoa_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_qaoa_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_twirl_diversity.dir/ext_twirl_diversity.cpp.o"
+  "CMakeFiles/ext_twirl_diversity.dir/ext_twirl_diversity.cpp.o.d"
+  "ext_twirl_diversity"
+  "ext_twirl_diversity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_twirl_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_zne.dir/ext_zne.cpp.o"
+  "CMakeFiles/ext_zne.dir/ext_zne.cpp.o.d"
+  "ext_zne"
+  "ext_zne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_zne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_bv2_distributions.dir/fig01_bv2_distributions.cpp.o"
+  "CMakeFiles/fig01_bv2_distributions.dir/fig01_bv2_distributions.cpp.o.d"
+  "fig01_bv2_distributions"
+  "fig01_bv2_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_bv2_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

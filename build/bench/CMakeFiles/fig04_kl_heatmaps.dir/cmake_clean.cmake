@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_kl_heatmaps.dir/fig04_kl_heatmaps.cpp.o"
+  "CMakeFiles/fig04_kl_heatmaps.dir/fig04_kl_heatmaps.cpp.o.d"
+  "fig04_kl_heatmaps"
+  "fig04_kl_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_kl_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_ist_mappings.dir/fig06_ist_mappings.cpp.o"
+  "CMakeFiles/fig06_ist_mappings.dir/fig06_ist_mappings.cpp.o.d"
+  "fig06_ist_mappings"
+  "fig06_ist_mappings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_ist_mappings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_esp_vs_pst.dir/fig08_esp_vs_pst.cpp.o"
+  "CMakeFiles/fig08_esp_vs_pst.dir/fig08_esp_vs_pst.cpp.o.d"
+  "fig08_esp_vs_pst"
+  "fig08_esp_vs_pst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_esp_vs_pst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

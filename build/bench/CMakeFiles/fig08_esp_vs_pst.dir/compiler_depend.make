@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08_esp_vs_pst.
+# This may be replaced when dependencies are built.

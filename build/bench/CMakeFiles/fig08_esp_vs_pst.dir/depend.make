@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_esp_vs_pst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_edm_wedm.dir/fig11_edm_wedm.cpp.o"
+  "CMakeFiles/fig11_edm_wedm.dir/fig11_edm_wedm.cpp.o.d"
+  "fig11_edm_wedm"
+  "fig11_edm_wedm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_edm_wedm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_buckets_balls.dir/fig13_buckets_balls.cpp.o"
+  "CMakeFiles/fig13_buckets_balls.dir/fig13_buckets_balls.cpp.o.d"
+  "fig13_buckets_balls"
+  "fig13_buckets_balls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_buckets_balls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

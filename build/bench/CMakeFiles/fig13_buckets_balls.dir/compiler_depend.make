@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_buckets_balls.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_kl_example.dir/table2_kl_example.cpp.o"
+  "CMakeFiles/table2_kl_example.dir/table2_kl_example.cpp.o.d"
+  "table2_kl_example"
+  "table2_kl_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_kl_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlated_noise_study.dir/correlated_noise_study.cpp.o"
+  "CMakeFiles/correlated_noise_study.dir/correlated_noise_study.cpp.o.d"
+  "correlated_noise_study"
+  "correlated_noise_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlated_noise_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ensemble_vs_single.dir/ensemble_vs_single.cpp.o"
+  "CMakeFiles/ensemble_vs_single.dir/ensemble_vs_single.cpp.o.d"
+  "ensemble_vs_single"
+  "ensemble_vs_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ensemble_vs_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_workflow.dir/qasm_workflow.cpp.o"
+  "CMakeFiles/qasm_workflow.dir/qasm_workflow.cpp.o.d"
+  "qasm_workflow"
+  "qasm_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

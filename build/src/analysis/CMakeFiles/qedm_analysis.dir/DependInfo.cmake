@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/buckets_balls.cpp" "src/analysis/CMakeFiles/qedm_analysis.dir/buckets_balls.cpp.o" "gcc" "src/analysis/CMakeFiles/qedm_analysis.dir/buckets_balls.cpp.o.d"
+  "/root/repo/src/analysis/csv.cpp" "src/analysis/CMakeFiles/qedm_analysis.dir/csv.cpp.o" "gcc" "src/analysis/CMakeFiles/qedm_analysis.dir/csv.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/qedm_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/qedm_analysis.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qedm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qedm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_analysis.dir/buckets_balls.cpp.o"
+  "CMakeFiles/qedm_analysis.dir/buckets_balls.cpp.o.d"
+  "CMakeFiles/qedm_analysis.dir/csv.cpp.o"
+  "CMakeFiles/qedm_analysis.dir/csv.cpp.o.d"
+  "CMakeFiles/qedm_analysis.dir/report.cpp.o"
+  "CMakeFiles/qedm_analysis.dir/report.cpp.o.d"
+  "libqedm_analysis.a"
+  "libqedm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

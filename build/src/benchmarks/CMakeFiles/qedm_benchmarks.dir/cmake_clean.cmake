@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_benchmarks.dir/benchmarks.cpp.o"
+  "CMakeFiles/qedm_benchmarks.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/qedm_benchmarks.dir/extra.cpp.o"
+  "CMakeFiles/qedm_benchmarks.dir/extra.cpp.o.d"
+  "libqedm_benchmarks.a"
+  "libqedm_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

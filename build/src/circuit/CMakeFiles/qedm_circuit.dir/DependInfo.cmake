@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/qedm_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/qedm_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/dag.cpp" "src/circuit/CMakeFiles/qedm_circuit.dir/dag.cpp.o" "gcc" "src/circuit/CMakeFiles/qedm_circuit.dir/dag.cpp.o.d"
+  "/root/repo/src/circuit/op.cpp" "src/circuit/CMakeFiles/qedm_circuit.dir/op.cpp.o" "gcc" "src/circuit/CMakeFiles/qedm_circuit.dir/op.cpp.o.d"
+  "/root/repo/src/circuit/qasm_parser.cpp" "src/circuit/CMakeFiles/qedm_circuit.dir/qasm_parser.cpp.o" "gcc" "src/circuit/CMakeFiles/qedm_circuit.dir/qasm_parser.cpp.o.d"
+  "/root/repo/src/circuit/unitary.cpp" "src/circuit/CMakeFiles/qedm_circuit.dir/unitary.cpp.o" "gcc" "src/circuit/CMakeFiles/qedm_circuit.dir/unitary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qedm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

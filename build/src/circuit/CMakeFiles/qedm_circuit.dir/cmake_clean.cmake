@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/qedm_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/qedm_circuit.dir/dag.cpp.o"
+  "CMakeFiles/qedm_circuit.dir/dag.cpp.o.d"
+  "CMakeFiles/qedm_circuit.dir/op.cpp.o"
+  "CMakeFiles/qedm_circuit.dir/op.cpp.o.d"
+  "CMakeFiles/qedm_circuit.dir/qasm_parser.cpp.o"
+  "CMakeFiles/qedm_circuit.dir/qasm_parser.cpp.o.d"
+  "CMakeFiles/qedm_circuit.dir/unitary.cpp.o"
+  "CMakeFiles/qedm_circuit.dir/unitary.cpp.o.d"
+  "libqedm_circuit.a"
+  "libqedm_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

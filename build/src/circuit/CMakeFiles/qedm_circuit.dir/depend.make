@@ -1,0 +1,2 @@
+# Empty dependencies file for qedm_circuit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_common.dir/bits.cpp.o"
+  "CMakeFiles/qedm_common.dir/bits.cpp.o.d"
+  "CMakeFiles/qedm_common.dir/rng.cpp.o"
+  "CMakeFiles/qedm_common.dir/rng.cpp.o.d"
+  "libqedm_common.a"
+  "libqedm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqedm_common.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/diversity.cpp" "src/core/CMakeFiles/qedm_core.dir/diversity.cpp.o" "gcc" "src/core/CMakeFiles/qedm_core.dir/diversity.cpp.o.d"
+  "/root/repo/src/core/edm.cpp" "src/core/CMakeFiles/qedm_core.dir/edm.cpp.o" "gcc" "src/core/CMakeFiles/qedm_core.dir/edm.cpp.o.d"
+  "/root/repo/src/core/ensemble.cpp" "src/core/CMakeFiles/qedm_core.dir/ensemble.cpp.o" "gcc" "src/core/CMakeFiles/qedm_core.dir/ensemble.cpp.o.d"
+  "/root/repo/src/core/error_budget.cpp" "src/core/CMakeFiles/qedm_core.dir/error_budget.cpp.o" "gcc" "src/core/CMakeFiles/qedm_core.dir/error_budget.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/qedm_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/qedm_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/zne.cpp" "src/core/CMakeFiles/qedm_core.dir/zne.cpp.o" "gcc" "src/core/CMakeFiles/qedm_core.dir/zne.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qedm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qedm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/qedm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qedm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qedm_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qedm_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/benchmarks/CMakeFiles/qedm_benchmarks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_core.dir/diversity.cpp.o"
+  "CMakeFiles/qedm_core.dir/diversity.cpp.o.d"
+  "CMakeFiles/qedm_core.dir/edm.cpp.o"
+  "CMakeFiles/qedm_core.dir/edm.cpp.o.d"
+  "CMakeFiles/qedm_core.dir/ensemble.cpp.o"
+  "CMakeFiles/qedm_core.dir/ensemble.cpp.o.d"
+  "CMakeFiles/qedm_core.dir/error_budget.cpp.o"
+  "CMakeFiles/qedm_core.dir/error_budget.cpp.o.d"
+  "CMakeFiles/qedm_core.dir/experiment.cpp.o"
+  "CMakeFiles/qedm_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/qedm_core.dir/zne.cpp.o"
+  "CMakeFiles/qedm_core.dir/zne.cpp.o.d"
+  "libqedm_core.a"
+  "libqedm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

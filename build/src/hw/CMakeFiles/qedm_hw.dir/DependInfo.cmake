@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/calibration.cpp" "src/hw/CMakeFiles/qedm_hw.dir/calibration.cpp.o" "gcc" "src/hw/CMakeFiles/qedm_hw.dir/calibration.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/qedm_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/qedm_hw.dir/device.cpp.o.d"
+  "/root/repo/src/hw/noise_model.cpp" "src/hw/CMakeFiles/qedm_hw.dir/noise_model.cpp.o" "gcc" "src/hw/CMakeFiles/qedm_hw.dir/noise_model.cpp.o.d"
+  "/root/repo/src/hw/serialization.cpp" "src/hw/CMakeFiles/qedm_hw.dir/serialization.cpp.o" "gcc" "src/hw/CMakeFiles/qedm_hw.dir/serialization.cpp.o.d"
+  "/root/repo/src/hw/topology.cpp" "src/hw/CMakeFiles/qedm_hw.dir/topology.cpp.o" "gcc" "src/hw/CMakeFiles/qedm_hw.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qedm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

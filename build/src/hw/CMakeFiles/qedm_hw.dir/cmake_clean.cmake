@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_hw.dir/calibration.cpp.o"
+  "CMakeFiles/qedm_hw.dir/calibration.cpp.o.d"
+  "CMakeFiles/qedm_hw.dir/device.cpp.o"
+  "CMakeFiles/qedm_hw.dir/device.cpp.o.d"
+  "CMakeFiles/qedm_hw.dir/noise_model.cpp.o"
+  "CMakeFiles/qedm_hw.dir/noise_model.cpp.o.d"
+  "CMakeFiles/qedm_hw.dir/serialization.cpp.o"
+  "CMakeFiles/qedm_hw.dir/serialization.cpp.o.d"
+  "CMakeFiles/qedm_hw.dir/topology.cpp.o"
+  "CMakeFiles/qedm_hw.dir/topology.cpp.o.d"
+  "libqedm_hw.a"
+  "libqedm_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

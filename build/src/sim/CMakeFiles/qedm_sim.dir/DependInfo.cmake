@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/channels.cpp" "src/sim/CMakeFiles/qedm_sim.dir/channels.cpp.o" "gcc" "src/sim/CMakeFiles/qedm_sim.dir/channels.cpp.o.d"
+  "/root/repo/src/sim/density_matrix.cpp" "src/sim/CMakeFiles/qedm_sim.dir/density_matrix.cpp.o" "gcc" "src/sim/CMakeFiles/qedm_sim.dir/density_matrix.cpp.o.d"
+  "/root/repo/src/sim/executor.cpp" "src/sim/CMakeFiles/qedm_sim.dir/executor.cpp.o" "gcc" "src/sim/CMakeFiles/qedm_sim.dir/executor.cpp.o.d"
+  "/root/repo/src/sim/mitigation.cpp" "src/sim/CMakeFiles/qedm_sim.dir/mitigation.cpp.o" "gcc" "src/sim/CMakeFiles/qedm_sim.dir/mitigation.cpp.o.d"
+  "/root/repo/src/sim/stabilizer.cpp" "src/sim/CMakeFiles/qedm_sim.dir/stabilizer.cpp.o" "gcc" "src/sim/CMakeFiles/qedm_sim.dir/stabilizer.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/qedm_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/qedm_sim.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qedm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qedm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/qedm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qedm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_sim.dir/channels.cpp.o"
+  "CMakeFiles/qedm_sim.dir/channels.cpp.o.d"
+  "CMakeFiles/qedm_sim.dir/density_matrix.cpp.o"
+  "CMakeFiles/qedm_sim.dir/density_matrix.cpp.o.d"
+  "CMakeFiles/qedm_sim.dir/executor.cpp.o"
+  "CMakeFiles/qedm_sim.dir/executor.cpp.o.d"
+  "CMakeFiles/qedm_sim.dir/mitigation.cpp.o"
+  "CMakeFiles/qedm_sim.dir/mitigation.cpp.o.d"
+  "CMakeFiles/qedm_sim.dir/stabilizer.cpp.o"
+  "CMakeFiles/qedm_sim.dir/stabilizer.cpp.o.d"
+  "CMakeFiles/qedm_sim.dir/statevector.cpp.o"
+  "CMakeFiles/qedm_sim.dir/statevector.cpp.o.d"
+  "libqedm_sim.a"
+  "libqedm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/counts.cpp" "src/stats/CMakeFiles/qedm_stats.dir/counts.cpp.o" "gcc" "src/stats/CMakeFiles/qedm_stats.dir/counts.cpp.o.d"
+  "/root/repo/src/stats/distribution.cpp" "src/stats/CMakeFiles/qedm_stats.dir/distribution.cpp.o" "gcc" "src/stats/CMakeFiles/qedm_stats.dir/distribution.cpp.o.d"
+  "/root/repo/src/stats/metrics.cpp" "src/stats/CMakeFiles/qedm_stats.dir/metrics.cpp.o" "gcc" "src/stats/CMakeFiles/qedm_stats.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qedm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_stats.dir/counts.cpp.o"
+  "CMakeFiles/qedm_stats.dir/counts.cpp.o.d"
+  "CMakeFiles/qedm_stats.dir/distribution.cpp.o"
+  "CMakeFiles/qedm_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/qedm_stats.dir/metrics.cpp.o"
+  "CMakeFiles/qedm_stats.dir/metrics.cpp.o.d"
+  "libqedm_stats.a"
+  "libqedm_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

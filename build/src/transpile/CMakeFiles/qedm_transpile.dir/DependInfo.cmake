@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transpile/crosstalk.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/crosstalk.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/crosstalk.cpp.o.d"
+  "/root/repo/src/transpile/distances.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/distances.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/distances.cpp.o.d"
+  "/root/repo/src/transpile/esp.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/esp.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/esp.cpp.o.d"
+  "/root/repo/src/transpile/folding.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/folding.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/folding.cpp.o.d"
+  "/root/repo/src/transpile/interaction_graph.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/interaction_graph.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/interaction_graph.cpp.o.d"
+  "/root/repo/src/transpile/invert_measure.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/invert_measure.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/invert_measure.cpp.o.d"
+  "/root/repo/src/transpile/lookahead_router.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/lookahead_router.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/lookahead_router.cpp.o.d"
+  "/root/repo/src/transpile/placer.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/placer.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/placer.cpp.o.d"
+  "/root/repo/src/transpile/router.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/router.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/router.cpp.o.d"
+  "/root/repo/src/transpile/transpiler.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/transpiler.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/transpiler.cpp.o.d"
+  "/root/repo/src/transpile/twirl.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/twirl.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/twirl.cpp.o.d"
+  "/root/repo/src/transpile/vf2.cpp" "src/transpile/CMakeFiles/qedm_transpile.dir/vf2.cpp.o" "gcc" "src/transpile/CMakeFiles/qedm_transpile.dir/vf2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qedm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qedm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/qedm_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

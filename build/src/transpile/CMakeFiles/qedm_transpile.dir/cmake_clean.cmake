@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_transpile.dir/crosstalk.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/crosstalk.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/distances.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/distances.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/esp.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/esp.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/folding.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/folding.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/interaction_graph.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/interaction_graph.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/invert_measure.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/invert_measure.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/lookahead_router.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/lookahead_router.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/placer.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/placer.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/router.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/router.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/transpiler.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/transpiler.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/twirl.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/twirl.cpp.o.d"
+  "CMakeFiles/qedm_transpile.dir/vf2.cpp.o"
+  "CMakeFiles/qedm_transpile.dir/vf2.cpp.o.d"
+  "libqedm_transpile.a"
+  "libqedm_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variational/maxcut.cpp" "src/variational/CMakeFiles/qedm_variational.dir/maxcut.cpp.o" "gcc" "src/variational/CMakeFiles/qedm_variational.dir/maxcut.cpp.o.d"
+  "/root/repo/src/variational/qaoa.cpp" "src/variational/CMakeFiles/qedm_variational.dir/qaoa.cpp.o" "gcc" "src/variational/CMakeFiles/qedm_variational.dir/qaoa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qedm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qedm_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/qedm_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qedm_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

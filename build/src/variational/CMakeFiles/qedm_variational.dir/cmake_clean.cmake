@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_variational.dir/maxcut.cpp.o"
+  "CMakeFiles/qedm_variational.dir/maxcut.cpp.o.d"
+  "CMakeFiles/qedm_variational.dir/qaoa.cpp.o"
+  "CMakeFiles/qedm_variational.dir/qaoa.cpp.o.d"
+  "libqedm_variational.a"
+  "libqedm_variational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_variational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

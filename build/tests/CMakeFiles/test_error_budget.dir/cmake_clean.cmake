@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_budget.dir/test_error_budget.cpp.o"
+  "CMakeFiles/test_error_budget.dir/test_error_budget.cpp.o.d"
+  "test_error_budget"
+  "test_error_budget.pdb"
+  "test_error_budget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_variational.dir/test_variational.cpp.o"
+  "CMakeFiles/test_variational.dir/test_variational.cpp.o.d"
+  "test_variational"
+  "test_variational.pdb"
+  "test_variational[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_variational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qedm_cli.dir/qedm_cli.cpp.o"
+  "CMakeFiles/qedm_cli.dir/qedm_cli.cpp.o.d"
+  "qedm_cli"
+  "qedm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qedm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
