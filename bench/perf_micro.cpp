@@ -4,12 +4,22 @@
  * substrate paths: state-vector gate application, per-shot noisy
  * execution, exact density-matrix simulation, VF2 enumeration, and
  * routing/compilation.
+ *
+ * After the google-benchmark suite, a runtime-scaling sweep times a
+ * 4-round K=4 experiment at --jobs 1/2/4/8 and writes one JSON object
+ * per configuration to BENCH_runtime.json (machine-readable, one line
+ * each), plus the speedup-over-sequential summary to stdout.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
 #include "benchmarks/benchmarks.hpp"
 #include "core/ensemble.hpp"
+#include "core/experiment.hpp"
 #include "hw/device.hpp"
 #include "sim/executor.hpp"
 #include "sim/statevector.hpp"
@@ -122,6 +132,67 @@ BM_EnsembleBuildBv6(benchmark::State &state)
 }
 BENCHMARK(BM_EnsembleBuildBv6);
 
+/**
+ * Time one full 4-round K=4 experiment at @p jobs workers and return
+ * wall milliseconds (best of @p reps).
+ */
+double
+timeExperimentMs(int jobs, int reps = 3)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const benchmarks::Benchmark bench = benchmarks::bv6();
+    core::ExperimentConfig config;
+    config.rounds = 4;
+    config.ensembleSize = 4;
+    config.totalShots = 16384;
+    config.jobs = jobs;
+
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        auto summary = core::runExperiment(device, bench, config, 11);
+        benchmark::DoNotOptimize(summary);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (r == 0 || ms < best)
+            best = ms;
+    }
+    return best;
+}
+
+/** Jobs-scaling sweep; emits BENCH_runtime.json and a stdout table. */
+void
+runRuntimeScalingSweep()
+{
+    const int jobs_sweep[] = {1, 2, 4, 8};
+    std::ofstream json("BENCH_runtime.json");
+    std::cout << "\nruntime scaling (4-round K=4 experiment, bv-6, "
+                 "16384 shots):\n";
+    double sequential_ms = 0.0;
+    for (int jobs : jobs_sweep) {
+        const double ms = timeExperimentMs(jobs);
+        if (jobs == 1)
+            sequential_ms = ms;
+        const double speedup = sequential_ms / ms;
+        json << "{\"bench\":\"experiment_4r_k4_bv6\",\"jobs\":" << jobs
+             << ",\"wall_ms\":" << ms << ",\"speedup\":" << speedup
+             << "}\n";
+        std::cout << "  jobs " << jobs << ": " << ms << " ms ("
+                  << speedup << "x)\n";
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    runRuntimeScalingSweep();
+    return 0;
+}

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace qedm::circuit {
 
@@ -294,6 +295,20 @@ Circuit::toQasm() const
         os << ";\n";
     }
     return os.str();
+}
+
+std::uint64_t
+Circuit::fingerprint() const
+{
+    Fingerprint fp(0xC19C517ull);
+    fp.add(numQubits_).add(numClbits_).add(std::uint64_t(gates_.size()));
+    for (const Gate &g : gates_) {
+        fp.add(static_cast<int>(g.kind));
+        fp.addRange(g.qubits);
+        fp.addRange(g.params);
+        fp.add(g.clbit);
+    }
+    return fp.value();
 }
 
 } // namespace qedm::circuit

@@ -139,6 +139,14 @@ class Circuit
     /** OpenQASM-2-style textual form. */
     std::string toQasm() const;
 
+    /**
+     * 64-bit structural content hash over registers and the exact gate
+     * list (kinds, operands, parameters, classical targets). Equal
+     * circuits fingerprint equally; used with the device fingerprint
+     * to key the runtime compile/tape caches.
+     */
+    std::uint64_t fingerprint() const;
+
   private:
     Circuit &add1q(OpKind kind, int q);
     void checkQubit(int q) const;

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Structural fingerprinting for cache keys.
+ *
+ * The runtime layer caches compiled programs and execution tapes keyed
+ * on *content identity*: a circuit fingerprint combined with a device /
+ * calibration fingerprint. Fingerprints are 64-bit FNV-1a-style hashes
+ * strengthened with a splitmix64 avalanche per word, which is plenty
+ * for cache keying (collisions only cost a wrong cache hit across
+ * *different* experiments in the same process; the avalanche makes
+ * that probability ~2^-64 per pair).
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string_view>
+
+namespace qedm {
+
+/** Incremental 64-bit content hash (order-sensitive). */
+class Fingerprint
+{
+  public:
+    /** @param domain distinguishes hashes of different object kinds. */
+    explicit Fingerprint(std::uint64_t domain = 0xcbf29ce484222325ull)
+        : state_(mix(domain ^ 0x9e3779b97f4a7c15ull))
+    {
+    }
+
+    Fingerprint &add(std::uint64_t v)
+    {
+        state_ = mix(state_ ^ mix(v));
+        return *this;
+    }
+
+    Fingerprint &add(std::int64_t v)
+    {
+        return add(static_cast<std::uint64_t>(v));
+    }
+
+    Fingerprint &add(int v) { return add(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(v))); }
+
+    /** Hash the exact bit pattern (so +0.0 / -0.0 differ; fine). */
+    Fingerprint &add(double v)
+    {
+        return add(std::bit_cast<std::uint64_t>(v));
+    }
+
+    Fingerprint &add(bool v) { return add(std::uint64_t(v ? 1 : 2)); }
+
+    Fingerprint &add(std::string_view s)
+    {
+        add(std::uint64_t(s.size()));
+        std::uint64_t word = 0;
+        int n = 0;
+        for (unsigned char c : s) {
+            word = (word << 8) | c;
+            if (++n == 8) {
+                add(word);
+                word = 0;
+                n = 0;
+            }
+        }
+        if (n > 0)
+            add(word);
+        return *this;
+    }
+
+    template <typename Range> Fingerprint &addRange(const Range &r)
+    {
+        add(std::uint64_t(r.size()));
+        for (const auto &v : r)
+            add(v);
+        return *this;
+    }
+
+    std::uint64_t value() const { return state_; }
+
+  private:
+    static std::uint64_t mix(std::uint64_t z)
+    {
+        // splitmix64 finalizer.
+        z += 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t state_;
+};
+
+} // namespace qedm

@@ -134,4 +134,31 @@ Rng::split()
     return Rng((*this)());
 }
 
+SeedSequence::SeedSequence(std::uint64_t seed)
+{
+    // One avalanche round decorrelates small root seeds (0, 1, 2, ...).
+    std::uint64_t x = seed;
+    state_ = splitmix64(x);
+}
+
+SeedSequence
+SeedSequence::child(std::uint64_t key) const
+{
+    // Mix the key through its own avalanche before combining so that
+    // child(0), child(1), ... differ in every state bit, then re-mix
+    // the combination so grandchildren of different parents never
+    // collide by key arithmetic.
+    std::uint64_t k = key ^ 0xa5a5a5a5a5a5a5a5ull;
+    const std::uint64_t mixed_key = splitmix64(k);
+    std::uint64_t combined = state_ ^ mixed_key;
+    SeedSequence out(splitmix64(combined));
+    return out;
+}
+
+Rng
+SeedSequence::rng() const
+{
+    return Rng(state_);
+}
+
 } // namespace qedm

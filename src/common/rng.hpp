@@ -69,4 +69,36 @@ class Rng
     bool hasCachedNormal_ = false;
 };
 
+/**
+ * Hierarchical, order-independent seed derivation for parallel work.
+ *
+ * A SeedSequence is a node in a key tree rooted at one 64-bit seed.
+ * child(k) is a pure function of (state, k): deriving children in any
+ * order — or concurrently from different threads — yields identical
+ * streams, which is what makes parallel execution bit-identical to
+ * sequential execution. The runtime layer keys one node per
+ * (round, member, shot-batch) unit of work.
+ *
+ * Derivation chains splitmix64-style avalanche mixes, so sibling and
+ * cousin streams are statistically independent even for small keys.
+ */
+class SeedSequence
+{
+  public:
+    /** Root sequence for a 64-bit experiment seed. */
+    explicit SeedSequence(std::uint64_t seed);
+
+    /** Child node for subdomain @p key. Pure; order-independent. */
+    SeedSequence child(std::uint64_t key) const;
+
+    /** Materialize the generator for this node. Pure. */
+    Rng rng() const;
+
+    /** Mixed state (useful as a derived seed or cache key). */
+    std::uint64_t state() const { return state_; }
+
+  private:
+    std::uint64_t state_;
+};
+
 } // namespace qedm

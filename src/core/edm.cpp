@@ -1,11 +1,38 @@
 #include "core/edm.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
 #include "sim/executor.hpp"
 
 namespace qedm::core {
+namespace {
+
+/** One schedulable unit: a shot batch of one ensemble member. */
+struct ShotUnit
+{
+    std::size_t member;
+    std::uint64_t batch;
+    std::uint64_t shots;
+};
+
+/** Cut @p total shots into fixed-size batches for @p members members. */
+std::vector<ShotUnit>
+makeUnits(std::size_t members, std::uint64_t total, std::uint64_t batch)
+{
+    std::vector<ShotUnit> units;
+    for (std::size_t m = 0; m < members; ++m) {
+        for (std::uint64_t done = 0, b = 0; done < total;
+             done += batch, ++b) {
+            units.push_back(
+                ShotUnit{m, b, std::min(batch, total - done)});
+        }
+    }
+    return units;
+}
+
+} // namespace
 
 std::size_t
 EdmResult::bestMemberByPst(Outcome correct) const
@@ -27,10 +54,18 @@ EdmPipeline::EdmPipeline(const hw::Device &device, EdmConfig config)
     : device_(device), config_(config)
 {
     QEDM_REQUIRE(config_.totalShots > 0, "totalShots must be positive");
+    QEDM_REQUIRE(config_.shotBatch > 0, "shotBatch must be positive");
 }
 
 EdmResult
 EdmPipeline::run(const circuit::Circuit &logical, Rng &rng) const
+{
+    return run(logical, SeedSequence(rng()));
+}
+
+EdmResult
+EdmPipeline::run(const circuit::Circuit &logical,
+                 const SeedSequence &seq) const
 {
     const EnsembleBuilder builder(device_, config_.ensemble);
     std::vector<transpile::CompiledProgram> programs =
@@ -41,14 +76,53 @@ EdmPipeline::run(const circuit::Circuit &logical, Rng &rng) const
     const std::uint64_t shots_per_member =
         std::max<std::uint64_t>(config_.totalShots / programs.size(), 1);
 
+    // Tapes are immutable and shared across all batches of a member.
+    std::vector<std::shared_ptr<const sim::ExecutionTape>> tapes;
+    tapes.reserve(programs.size());
+    for (const auto &program : programs) {
+        tapes.push_back(
+            config_.tapeCache != nullptr
+                ? config_.tapeCache->get(device_, program.physical)
+                : std::make_shared<const sim::ExecutionTape>(
+                      sim::ExecutionTape::build(device_,
+                                                program.physical)));
+    }
+
+    // Fan (member, batch) units out over the scheduler. Each unit owns
+    // the RNG stream keyed by its coordinates and writes only its own
+    // slot, so the outcome is independent of scheduling order.
+    const std::vector<ShotUnit> units = makeUnits(
+        programs.size(), shots_per_member, config_.shotBatch);
+    std::vector<std::optional<stats::Counts>> unit_counts(units.size());
+
+    std::optional<runtime::JobScheduler> owned;
+    const runtime::JobScheduler *scheduler = config_.scheduler;
+    if (scheduler == nullptr)
+        scheduler = &owned.emplace(config_.jobs);
+    scheduler->parallelFor(units.size(), [&](std::size_t u) {
+        const ShotUnit &unit = units[u];
+        Rng unit_rng = seq.child(unit.member).child(unit.batch).rng();
+        unit_counts[u] =
+            executor.run(*tapes[unit.member], unit.shots, unit_rng);
+    });
+
+    // Merge batches back per member in fixed (member, batch) order.
     EdmResult result;
     result.members.reserve(programs.size());
-    for (auto &program : programs) {
+    std::size_t u = 0;
+    for (std::size_t m = 0; m < programs.size(); ++m) {
+        QEDM_ASSERT(u < units.size() && units[u].member == m,
+                    "shot unit bookkeeping out of sync");
+        stats::Counts counts = std::move(*unit_counts[u]);
+        ++u;
+        while (u < units.size() && units[u].member == m) {
+            counts.merge(*unit_counts[u]);
+            ++u;
+        }
         MemberResult member;
         member.shots = shots_per_member;
-        member.output = stats::Distribution::fromCounts(
-            executor.run(program.physical, shots_per_member, rng));
-        member.program = std::move(program);
+        member.output = stats::Distribution::fromCounts(counts);
+        member.program = std::move(programs[m]);
         result.members.push_back(std::move(member));
     }
 
@@ -96,9 +170,37 @@ stats::Distribution
 EdmPipeline::runSingle(const transpile::CompiledProgram &program,
                        Rng &rng) const
 {
+    return runSingle(program, SeedSequence(rng()));
+}
+
+stats::Distribution
+EdmPipeline::runSingle(const transpile::CompiledProgram &program,
+                       const SeedSequence &seq) const
+{
     const sim::Executor executor(device_);
-    return stats::Distribution::fromCounts(
-        executor.run(program.physical, config_.totalShots, rng));
+    const std::shared_ptr<const sim::ExecutionTape> tape =
+        config_.tapeCache != nullptr
+            ? config_.tapeCache->get(device_, program.physical)
+            : std::make_shared<const sim::ExecutionTape>(
+                  sim::ExecutionTape::build(device_, program.physical));
+
+    const std::vector<ShotUnit> units =
+        makeUnits(1, config_.totalShots, config_.shotBatch);
+    std::vector<std::optional<stats::Counts>> unit_counts(units.size());
+
+    std::optional<runtime::JobScheduler> owned;
+    const runtime::JobScheduler *scheduler = config_.scheduler;
+    if (scheduler == nullptr)
+        scheduler = &owned.emplace(config_.jobs);
+    scheduler->parallelFor(units.size(), [&](std::size_t u) {
+        Rng unit_rng = seq.child(units[u].batch).rng();
+        unit_counts[u] = executor.run(*tape, units[u].shots, unit_rng);
+    });
+
+    stats::Counts counts = std::move(*unit_counts.front());
+    for (std::size_t u = 1; u < unit_counts.size(); ++u)
+        counts.merge(*unit_counts[u]);
+    return stats::Distribution::fromCounts(counts);
 }
 
 stats::Distribution

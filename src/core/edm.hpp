@@ -6,6 +6,12 @@
  * each, and average the K output distributions. WEDM: same runs, but
  * merge with weights proportional to each member's cumulative
  * symmetric-KL divergence from the others (Appendix B).
+ *
+ * Execution goes through the qedm::runtime layer: members and fixed
+ * shot batches fan out over a JobScheduler, each work unit drawing
+ * from its own SeedSequence-derived RNG stream and writing into a
+ * pre-assigned result slot. Outputs are therefore bit-identical for
+ * any jobs value, including fully sequential execution.
  */
 
 #pragma once
@@ -18,6 +24,8 @@
 #include "common/rng.hpp"
 #include "core/ensemble.hpp"
 #include "hw/device.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/execution_tape.hpp"
 #include "stats/distribution.hpp"
 #include "stats/metrics.hpp"
 
@@ -46,6 +54,30 @@ struct EdmConfig
      */
     bool uniformityGuard = false;
     double uniformityMargin = 0.25;
+    /**
+     * Worker threads for the member/shot-batch fan-out: 1 = strictly
+     * sequential (no threads), 0 = hardware concurrency, N = pool of
+     * N. Ignored when @ref scheduler is set. Results are identical for
+     * every value.
+     */
+    int jobs = 1;
+    /**
+     * External scheduler to run on instead of building one from
+     * @ref jobs (not owned; must outlive the pipeline). runExperiment
+     * hands each round's pipeline its own scheduler so nested
+     * fan-outs share one pool.
+     */
+    const runtime::JobScheduler *scheduler = nullptr;
+    /**
+     * Execution-granularity unit: each member's shots are cut into
+     * batches of this size, each batch an independent RNG stream and
+     * a schedulable work unit. Part of the result's identity — the
+     * same (seed, shotBatch) yields the same distributions at any
+     * jobs value; changing shotBatch changes which streams are drawn.
+     */
+    std::uint64_t shotBatch = 2048;
+    /** Optional shared tape cache (not owned; must outlive run()). */
+    sim::TapeCache *tapeCache = nullptr;
 };
 
 /** One executed ensemble member. */
@@ -81,16 +113,27 @@ class EdmPipeline
 
     /**
      * Compile the ensemble, run each member for totalShots / K trials,
-     * and build the merged distributions.
+     * and build the merged distributions. Consumes exactly one draw
+     * from @p rng to root the execution streams.
      */
     EdmResult run(const circuit::Circuit &logical, Rng &rng) const;
 
+    /** Same, rooted at an explicit stream node (the parallel-safe
+     *  entry point used by runExperiment). */
+    EdmResult run(const circuit::Circuit &logical,
+                  const SeedSequence &seq) const;
+
     /**
      * Run @p program for all totalShots trials (the single-mapping
-     * baselines).
+     * baselines). Consumes one draw from @p rng.
      */
     stats::Distribution
     runSingle(const transpile::CompiledProgram &program, Rng &rng) const;
+
+    /** Same, rooted at an explicit stream node. */
+    stats::Distribution
+    runSingle(const transpile::CompiledProgram &program,
+              const SeedSequence &seq) const;
 
     /** Merge explicitly with a chosen rule (ablation hook). */
     static stats::Distribution

@@ -24,7 +24,11 @@ std::vector<CompiledProgram>
 EnsembleBuilder::candidates(const circuit::Circuit &logical) const
 {
     const transpile::Transpiler compiler(device_, config_.routeCost);
-    const CompiledProgram seed = compiler.compile(logical);
+    std::shared_ptr<const CompiledProgram> cached;
+    if (config_.compileCache != nullptr)
+        cached = config_.compileCache->getOrCompile(compiler, logical);
+    const CompiledProgram seed =
+        cached ? *cached : compiler.compile(logical);
     const auto &topo = device_.topology();
 
     // Pattern: the induced subgraph on the qubits the seed executable

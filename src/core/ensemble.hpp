@@ -18,6 +18,7 @@
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "hw/device.hpp"
+#include "transpile/compile_cache.hpp"
 #include "transpile/transpiler.hpp"
 
 namespace qedm::core {
@@ -45,6 +46,12 @@ struct EnsembleConfig
     double maxOverlap = 0.5;
     /** Routing cost metric for the seed compilation. */
     transpile::RouteCost routeCost = transpile::RouteCost::Reliability;
+    /**
+     * Optional shared compile cache for the seed compilation (not
+     * owned; must outlive the builder). Keys include the calibration
+     * fingerprint, so drifted devices never reuse stale programs.
+     */
+    transpile::CompileCache *compileCache = nullptr;
 };
 
 /** Builds mapping ensembles for one device. */

@@ -1,7 +1,12 @@
 #include "core/experiment.hpp"
 
+#include <optional>
+
 #include "common/error.hpp"
+#include "runtime/scheduler.hpp"
+#include "sim/execution_tape.hpp"
 #include "stats/metrics.hpp"
+#include "transpile/compile_cache.hpp"
 
 namespace qedm::core {
 namespace {
@@ -28,6 +33,15 @@ medianPolicy(const std::vector<RoundOutcome> &rounds,
     return PolicyOutcome{stats::median(ists), stats::median(psts)};
 }
 
+// Per-round RNG stream layout under root.child(round): the four
+// stochastic stages of a round each own a fixed subdomain key, so no
+// stage's consumption can perturb another's stream (and rounds can run
+// concurrently without sharing generator state).
+constexpr std::uint64_t kStreamDrift = 0;
+constexpr std::uint64_t kStreamPipeline = 1;
+constexpr std::uint64_t kStreamBaselineEst = 2;
+constexpr std::uint64_t kStreamBaselinePost = 3;
+
 } // namespace
 
 double
@@ -52,49 +66,71 @@ runExperiment(const hw::Device &device,
               const ExperimentConfig &config, std::uint64_t seed)
 {
     QEDM_REQUIRE(config.rounds >= 1, "need at least one round");
-    Rng rng(seed);
+    const SeedSequence root(seed);
+
+    // One pool serves both the round fan-out and the nested
+    // member/shot-batch fan-outs; caches are shared so baselines reuse
+    // the ensemble's tapes and undrifted rounds reuse compilations
+    // (drift changes the device fingerprint, invalidating both).
+    const runtime::JobScheduler scheduler(config.jobs);
+    transpile::CompileCache compile_cache;
+    sim::TapeCache tape_cache;
 
     EdmConfig edm_config;
     edm_config.ensemble.size = config.ensembleSize;
+    edm_config.ensemble.compileCache = &compile_cache;
     edm_config.totalShots = config.totalShots;
     edm_config.uniformityGuard = config.uniformityGuard;
+    edm_config.scheduler = &scheduler;
+    edm_config.tapeCache = &tape_cache;
 
     ExperimentSummary summary;
     summary.benchmark = benchmark.name;
-    summary.rounds.reserve(static_cast<std::size_t>(config.rounds));
+    summary.rounds.resize(static_cast<std::size_t>(config.rounds));
 
     const Outcome correct = benchmark.expected;
-    for (int round = 0; round < config.rounds; ++round) {
-        const hw::Device round_device =
-            round == 0 ? device
-                       : device.driftedRound(rng,
-                                             config.calibrationDrift);
-        const EdmPipeline pipeline(round_device, edm_config);
+    scheduler.parallelFor(
+        static_cast<std::size_t>(config.rounds), [&](std::size_t round) {
+            const SeedSequence seq =
+                root.child(static_cast<std::uint64_t>(round));
 
-        const EdmResult result = pipeline.run(benchmark.circuit, rng);
+            std::optional<hw::Device> drifted;
+            if (round != 0) {
+                Rng drift_rng = seq.child(kStreamDrift).rng();
+                drifted = device.driftedRound(drift_rng,
+                                              config.calibrationDrift);
+            }
+            const hw::Device &round_device =
+                drifted ? *drifted : device;
+            const EdmPipeline pipeline(round_device, edm_config);
 
-        RoundOutcome out;
-        out.edm = score(result.edm, correct);
-        out.wedm = score(result.wedm, correct);
+            const EdmResult result = pipeline.run(
+                benchmark.circuit, seq.child(kStreamPipeline));
 
-        // Baseline-est: all trials on the compile-time best mapping
-        // (ensemble member 0 by construction).
-        out.baselineEst = score(
-            pipeline.runSingle(result.members.front().program, rng),
-            correct);
+            RoundOutcome out;
+            out.edm = score(result.edm, correct);
+            out.wedm = score(result.wedm, correct);
 
-        // Baseline-post: all trials on the member that showed the best
-        // PST at runtime.
-        const std::size_t best = result.bestMemberByPst(correct);
-        if (best == 0) {
-            out.baselinePost = out.baselineEst;
-        } else {
-            out.baselinePost = score(
-                pipeline.runSingle(result.members[best].program, rng),
+            // Baseline-est: all trials on the compile-time best
+            // mapping (ensemble member 0 by construction).
+            out.baselineEst = score(
+                pipeline.runSingle(result.members.front().program,
+                                   seq.child(kStreamBaselineEst)),
                 correct);
-        }
-        summary.rounds.push_back(out);
-    }
+
+            // Baseline-post: all trials on the member that showed the
+            // best PST at runtime.
+            const std::size_t best = result.bestMemberByPst(correct);
+            if (best == 0) {
+                out.baselinePost = out.baselineEst;
+            } else {
+                out.baselinePost = score(
+                    pipeline.runSingle(result.members[best].program,
+                                       seq.child(kStreamBaselinePost)),
+                    correct);
+            }
+            summary.rounds[round] = out;
+        });
 
     summary.median.baselineEst =
         medianPolicy(summary.rounds, &RoundOutcome::baselineEst);

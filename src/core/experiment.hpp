@@ -64,6 +64,13 @@ struct ExperimentConfig
     /** Calibration drift between rounds (0 = frozen machine). */
     double calibrationDrift = 0.10;
     bool uniformityGuard = false;
+    /**
+     * Worker threads shared by the round fan-out and each round's
+     * nested member/shot-batch fan-out: 1 = sequential, 0 = hardware
+     * concurrency, N = pool of N. Summaries are bit-identical for
+     * every value (see runtime/scheduler.hpp).
+     */
+    int jobs = 1;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace qedm::hw {
 namespace {
@@ -167,6 +168,21 @@ Calibration::meanReadoutError() const
     for (const auto &q : qubits_)
         sum += q.readoutError();
     return sum / static_cast<double>(qubits_.size());
+}
+
+std::uint64_t
+Calibration::fingerprint() const
+{
+    Fingerprint fp(0xCA1Bull);
+    fp.add(std::uint64_t(qubits_.size()));
+    for (const QubitCalibration &q : qubits_) {
+        fp.add(q.error1q).add(q.readoutP01).add(q.readoutP10);
+        fp.add(q.t1Us).add(q.t2Us);
+    }
+    fp.add(std::uint64_t(edges_.size()));
+    for (const EdgeCalibration &e : edges_)
+        fp.add(e.cxError);
+    return fp.value();
 }
 
 } // namespace qedm::hw

@@ -87,6 +87,13 @@ class Calibration
      */
     Calibration drifted(Rng &rng, double drift = 0.15) const;
 
+    /**
+     * Content hash over every calibration value. Drift produces a new
+     * fingerprint, which is exactly what invalidates runtime cache
+     * entries keyed on calibration identity ("epoch").
+     */
+    std::uint64_t fingerprint() const;
+
     /** Mean CX error over all edges. */
     double meanCxError() const;
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace qedm::hw {
 
@@ -93,6 +94,17 @@ Device::synthetic(std::string name, Topology topology,
         NoiseModel::sample(topology, cal, noise_spec, rng);
     return Device(std::move(name), std::move(topology), std::move(cal),
                   std::move(noise));
+}
+
+std::uint64_t
+Device::fingerprint() const
+{
+    Fingerprint fp(0xDE71CEull);
+    fp.add(std::string_view(name_));
+    fp.add(topology_.fingerprint());
+    fp.add(calibration_.fingerprint());
+    fp.add(noise_.fingerprint());
+    return fp.value();
 }
 
 } // namespace qedm::hw

@@ -33,6 +33,14 @@ class Device
     int numQubits() const { return topology_.numQubits(); }
 
     /**
+     * Content hash over topology + calibration + noise model. Two
+     * devices with equal fingerprints execute circuits identically, so
+     * this is the device half of every runtime cache key. Drifted
+     * calibration (a new "epoch") changes the fingerprint.
+     */
+    std::uint64_t fingerprint() const;
+
+    /**
      * A copy of this device with drifted calibration, modeling the
      * machine on a different experimental round. The systematic noise
      * terms stay fixed (they are device physics, not calibration), so

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace qedm::hw {
 
@@ -135,6 +136,30 @@ NoiseModel::crosstalk(std::size_t edge_idx) const
 {
     QEDM_REQUIRE(edge_idx < crosstalk_.size(), "edge index out of range");
     return crosstalk_[edge_idx];
+}
+
+std::uint64_t
+NoiseModel::fingerprint() const
+{
+    Fingerprint fp(0x401Eull);
+    fp.add(spec_.coherentScale).add(spec_.overRotationSigma);
+    fp.add(spec_.zzCrosstalkSigma).add(spec_.overRotation1qSigma);
+    fp.add(spec_.correlatedReadoutScale).add(spec_.correlatedReadoutMax);
+    fp.add(spec_.stochasticScale).add(spec_.enableDecoherence);
+    fp.add(spec_.idleDecoherence).add(spec_.gate1qNs);
+    fp.add(spec_.gate2qNs).add(spec_.measureNs);
+    fp.addRange(overRotation1q_).addRange(overRotationEdge_);
+    fp.addRange(controlPhaseEdge_);
+    fp.add(std::uint64_t(crosstalk_.size()));
+    for (const auto &terms : crosstalk_) {
+        fp.add(std::uint64_t(terms.size()));
+        for (const CrosstalkTerm &t : terms)
+            fp.add(t.spectator).add(t.angleRad);
+    }
+    fp.add(std::uint64_t(correlatedReadout_.size()));
+    for (const CorrelatedReadout &cr : correlatedReadout_)
+        fp.add(cr.qubitA).add(cr.qubitB).add(cr.jointFlipProb);
+    return fp.value();
 }
 
 } // namespace qedm::hw

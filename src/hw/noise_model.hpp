@@ -134,6 +134,9 @@ class NoiseModel
     const std::vector<CrosstalkTerm> &
     crosstalk(std::size_t edge_idx) const;
 
+    /** Content hash over the spec and all systematic terms. */
+    std::uint64_t fingerprint() const;
+
     /** All pairwise-correlated readout channels. */
     const std::vector<CorrelatedReadout> &correlatedReadout() const
     {

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 
 namespace qedm::hw {
 
@@ -246,6 +247,16 @@ Topology::heavyHex27()
         {18, 21}, {19, 20}, {19, 22}, {21, 23}, {22, 25},
         {23, 24}, {24, 25}, {25, 26},
     });
+}
+
+std::uint64_t
+Topology::fingerprint() const
+{
+    Fingerprint fp(0x7090ull);
+    fp.add(numQubits_).add(std::uint64_t(edges_.size()));
+    for (const Edge &e : edges_)
+        fp.add(e.a).add(e.b);
+    return fp.value();
 }
 
 } // namespace qedm::hw

@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <string>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -45,6 +46,9 @@ class Topology
 
     /** Neighbors of qubit @p q, ascending. */
     const std::vector<int> &neighbors(int q) const;
+
+    /** Structural content hash (vertex count + edge list). */
+    std::uint64_t fingerprint() const;
 
     /** Vertex degree. */
     int degree(int q) const;

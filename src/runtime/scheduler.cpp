@@ -1,0 +1,27 @@
+#include "runtime/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace qedm::runtime {
+
+JobScheduler::JobScheduler(int jobs)
+{
+    QEDM_REQUIRE(jobs >= 0, "jobs must be >= 0 (0 = hardware)");
+    jobs_ = jobs == 0 ? ThreadPool::hardwareConcurrency() : jobs;
+    if (jobs_ > 1)
+        pool_ = std::make_shared<ThreadPool>(jobs_ - 1);
+}
+
+void
+JobScheduler::parallelFor(
+    std::size_t n, const std::function<void(std::size_t)> &body) const
+{
+    if (!pool_ || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+    pool_->parallelFor(n, body);
+}
+
+} // namespace qedm::runtime

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Job scheduling front-end for the qedm runtime layer.
+ *
+ * A JobScheduler is a cheap, copyable handle on a shared ThreadPool
+ * plus the policy of *how many* jobs the user asked for (the `--jobs`
+ * knob). jobs == 1 means strictly sequential execution with no pool at
+ * all; jobs == 0 resolves to the hardware thread count. Copies share
+ * the same pool, so `runExperiment` can fan rounds out and hand the
+ * *same* scheduler to each round's EdmPipeline for the nested
+ * member/shot-batch fan-out without oversubscribing.
+ *
+ * Determinism contract: parallelFor assigns work by index, and every
+ * qedm work unit derives its RNG stream from a SeedSequence key and
+ * writes into a pre-assigned result slot, so results are identical for
+ * any jobs value — scheduling order never leaks into outputs.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "runtime/thread_pool.hpp"
+
+namespace qedm::runtime {
+
+/** Shared-pool scheduler implementing the `--jobs N` policy. */
+class JobScheduler
+{
+  public:
+    /**
+     * @param jobs worker count: 1 = sequential (no threads spawned),
+     *        0 = hardware concurrency, N > 1 = fixed pool of N.
+     */
+    explicit JobScheduler(int jobs = 1);
+
+    /** Resolved job count (>= 1). */
+    int jobs() const { return jobs_; }
+
+    /** True when a pool exists (jobs > 1). */
+    bool parallel() const { return pool_ != nullptr; }
+
+    /**
+     * Run body(i) for i in [0, n), in parallel when a pool exists,
+     * inline otherwise. Blocks; rethrows the first exception. Safe to
+     * nest (see ThreadPool::parallelFor).
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body) const;
+
+  private:
+    std::shared_ptr<ThreadPool> pool_; // null when jobs == 1
+    int jobs_ = 1;
+};
+
+} // namespace qedm::runtime

@@ -1,0 +1,137 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace qedm::runtime {
+
+ThreadPool::ThreadPool(int threads)
+{
+    QEDM_REQUIRE(threads >= 1, "thread pool needs at least one worker");
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    auto packaged = std::make_shared<std::packaged_task<void()>>(
+        std::move(task));
+    std::future<void> future = packaged->get_future();
+    enqueue([packaged] { (*packaged)(); });
+    return future;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (n == 1) {
+        body(0);
+        return;
+    }
+
+    // Shared loop state. Helpers may be dequeued after this call
+    // returns (when the caller drained everything first), so the state
+    // — including a copy of the body — lives behind a shared_ptr.
+    struct State
+    {
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::atomic<bool> failed{false};
+        std::size_t total = 0;
+        std::function<void(std::size_t)> body;
+        std::mutex mutex;
+        std::condition_variable cv;
+        std::exception_ptr error;
+    };
+    auto st = std::make_shared<State>();
+    st->total = n;
+    st->body = body;
+
+    auto drain = [st] {
+        for (;;) {
+            const std::size_t i = st->next.fetch_add(1);
+            if (i >= st->total)
+                return;
+            if (!st->failed.load(std::memory_order_relaxed)) {
+                try {
+                    st->body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(st->mutex);
+                    if (!st->error)
+                        st->error = std::current_exception();
+                    st->failed.store(true, std::memory_order_relaxed);
+                }
+            }
+            if (st->done.fetch_add(1) + 1 == st->total) {
+                std::lock_guard<std::mutex> lock(st->mutex);
+                st->cv.notify_all();
+            }
+        }
+    };
+
+    const std::size_t helpers = std::min(workers_.size(), n - 1);
+    for (std::size_t h = 0; h < helpers; ++h)
+        enqueue(drain);
+    drain(); // the caller participates: nested loops cannot deadlock
+
+    std::unique_lock<std::mutex> lock(st->mutex);
+    st->cv.wait(lock,
+                [&] { return st->done.load() >= st->total; });
+    if (st->error)
+        std::rethrow_exception(st->error);
+}
+
+int
+ThreadPool::hardwareConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+} // namespace qedm::runtime

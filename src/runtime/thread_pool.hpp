@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fixed-size worker pool for the qedm runtime layer.
+ *
+ * Deliberately simple — no work stealing, no priorities: a locked
+ * FIFO feeds N workers. The ensemble/round workloads this serves are
+ * coarse-grained (thousands of simulated shots per task), so queue
+ * contention is irrelevant; what matters is that `parallelFor` is
+ * safely *nestable*. The calling thread always participates in
+ * draining its own loop, so a worker that issues a nested parallelFor
+ * makes progress even when every pool thread is busy — no deadlock,
+ * at worst the nested loop runs inline.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qedm::runtime {
+
+/** Fixed-size thread pool with nestable parallel loops. */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers. Requires threads >= 1. */
+    explicit ThreadPool(int threads);
+
+    /** Drains every queued task, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads (excluding participating callers). */
+    std::size_t size() const { return workers_.size(); }
+
+    /** Queue a task; the returned future carries any exception. */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run body(i) for every i in [0, n). Blocks until all iterations
+     * finish. Iterations run on the workers *and* the calling thread;
+     * the first exception is rethrown after the loop completes (the
+     * remaining iterations are skipped, not torn down mid-flight).
+     * Safe to call from inside another parallelFor on the same pool.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /** std::thread::hardware_concurrency with a sane floor of 1. */
+    static int hardwareConcurrency();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+} // namespace qedm::runtime

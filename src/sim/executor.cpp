@@ -1,8 +1,7 @@
 #include "sim/executor.hpp"
 
-#include <algorithm>
 #include <cmath>
-#include <map>
+#include <string>
 #include <utility>
 
 #include "common/error.hpp"
@@ -70,192 +69,18 @@ rzMatrix(double theta)
 
 Executor::Executor(hw::Device device) : device_(std::move(device)) {}
 
-Executor::Tape
-Executor::buildTape(const Circuit &physical) const
-{
-    const auto &topo = device_.topology();
-    const auto &cal = device_.calibration();
-    const auto &noise = device_.noise();
-    const auto &spec = noise.spec();
-
-    QEDM_REQUIRE(physical.numQubits() == topo.numQubits(),
-                 "physical circuit register must match the device");
-    const Circuit flat = physical.decomposed();
-
-    // Collect active qubits and build the local compaction map.
-    std::map<int, int> physToLocal;
-    for (const Gate &g : flat.gates()) {
-        for (int q : g.qubits) {
-            if (!physToLocal.count(q)) {
-                const int local = static_cast<int>(physToLocal.size());
-                physToLocal[q] = local;
-            }
-        }
-    }
-    // Renumber in physical order for determinism.
-    {
-        int next = 0;
-        for (auto &[phys, local] : physToLocal)
-            local = next++;
-    }
-
-    Tape tape;
-    tape.numLocal = static_cast<int>(physToLocal.size());
-    tape.numClbits = flat.numClbits();
-    tape.localToPhys.resize(tape.numLocal);
-    for (const auto &[phys, local] : physToLocal)
-        tape.localToPhys[local] = phys;
-    QEDM_REQUIRE(tape.numLocal >= 1, "circuit has no active qubits");
-
-    std::vector<bool> measured(topo.numQubits(), false);
-    std::vector<bool> clbitWritten(std::max(flat.numClbits(), 1), false);
-    // ASAP schedule clock per local qubit, for idle-window damping.
-    std::vector<double> ready_ns(
-        static_cast<std::size_t>(tape.numLocal), 0.0);
-
-    for (const Gate &g : flat.gates()) {
-        if (g.kind == OpKind::Barrier)
-            continue;
-        for (int q : g.qubits) {
-            QEDM_REQUIRE(!measured[q],
-                         "gate after measurement is not supported");
-        }
-        if (g.kind == OpKind::Measure) {
-            const int q = g.qubits[0];
-            measured[q] = true;
-            QEDM_REQUIRE(!clbitWritten[g.clbit],
-                         "clbit measured more than once");
-            clbitWritten[g.clbit] = true;
-            tape.measures.push_back(
-                MeasureOp{physToLocal.at(q), q, g.clbit});
-            continue;
-        }
-        TapeOp op;
-        op.kind = g.kind;
-        op.params = g.params;
-        op.p0 = g.qubits[0];
-        op.l0 = physToLocal.at(op.p0);
-        auto addRelaxation = [&](int local, int phys, double dur_ns) {
-            if (!spec.enableDecoherence)
-                return;
-            for (auto &kraus : thermalRelaxation(
-                     dur_ns, cal.qubit(phys).t1Us,
-                     cal.qubit(phys).t2Us)) {
-                op.relaxation.emplace_back(local, std::move(kraus));
-            }
-        };
-        const double duration = circuit::opArity(g.kind) == 1
-                                    ? spec.gate1qNs
-                                    : spec.gate2qNs;
-        double start_ns = 0.0;
-        for (int q : g.qubits) {
-            start_ns = std::max(
-                start_ns,
-                ready_ns[static_cast<std::size_t>(physToLocal.at(q))]);
-        }
-        // Idle-window damping for operands that waited.
-        if (spec.enableDecoherence && spec.idleDecoherence) {
-            for (int q : g.qubits) {
-                const int local = physToLocal.at(q);
-                const double gap =
-                    start_ns - ready_ns[static_cast<std::size_t>(local)];
-                if (gap > 0.0) {
-                    for (auto &kraus : thermalRelaxation(
-                             gap, cal.qubit(q).t1Us,
-                             cal.qubit(q).t2Us)) {
-                        op.preRelaxation.emplace_back(
-                            local, std::move(kraus));
-                    }
-                }
-            }
-        }
-        for (int q : g.qubits) {
-            ready_ns[static_cast<std::size_t>(physToLocal.at(q))] =
-                start_ns + duration;
-        }
-        if (circuit::opArity(g.kind) == 1) {
-            op.overRotation = noise.overRotation1q(op.p0);
-            op.depolProb = std::min(
-                cal.qubit(op.p0).error1q * spec.stochasticScale, 1.0);
-            addRelaxation(op.l0, op.p0, spec.gate1qNs);
-        } else {
-            op.p1 = g.qubits[1];
-            op.l1 = physToLocal.at(op.p1);
-            const int edge = topo.edgeIndex(op.p0, op.p1);
-            QEDM_REQUIRE(edge >= 0,
-                         "two-qubit gate on uncoupled physical qubits");
-            op.overRotation =
-                noise.overRotation(static_cast<std::size_t>(edge));
-            op.controlPhase =
-                noise.controlPhase(static_cast<std::size_t>(edge));
-            op.depolProb = std::min(
-                cal.edge(static_cast<std::size_t>(edge)).cxError *
-                    spec.stochasticScale,
-                1.0);
-            for (const auto &xt :
-                 noise.crosstalk(static_cast<std::size_t>(edge))) {
-                auto it = physToLocal.find(xt.spectator);
-                if (it != physToLocal.end())
-                    op.crosstalk.emplace_back(it->second, xt.angleRad);
-            }
-            addRelaxation(op.l0, op.p0, spec.gate2qNs);
-            addRelaxation(op.l1, op.p1, spec.gate2qNs);
-        }
-        if (op.depolProb > 0.0 || !op.relaxation.empty() ||
-            !op.preRelaxation.empty()) {
-            tape.stochastic = true;
-        }
-        tape.ops.push_back(std::move(op));
-    }
-    QEDM_REQUIRE(!tape.measures.empty(),
-                 "circuit must measure at least one qubit");
-    if (spec.enableDecoherence) {
-        // Measurement fires simultaneously at circuit end; qubits that
-        // finished early idle until then.
-        double end_ns = 0.0;
-        for (double t : ready_ns)
-            end_ns = std::max(end_ns, t);
-        for (auto &m : tape.measures) {
-            if (spec.idleDecoherence) {
-                const double gap =
-                    end_ns - ready_ns[static_cast<std::size_t>(m.local)];
-                if (gap > 0.0) {
-                    m.relaxation = thermalRelaxation(
-                        gap, cal.qubit(m.phys).t1Us,
-                        cal.qubit(m.phys).t2Us);
-                }
-            }
-            for (auto &kraus : thermalRelaxation(
-                     spec.measureNs, cal.qubit(m.phys).t1Us,
-                     cal.qubit(m.phys).t2Us)) {
-                m.relaxation.push_back(std::move(kraus));
-            }
-            if (!m.relaxation.empty())
-                tape.stochastic = true;
-        }
-    }
-
-    // Correlated readout channels between pairs of *measured* qubits.
-    std::map<int, int> physToClbit;
-    for (const auto &m : tape.measures)
-        physToClbit[m.phys] = m.clbit;
-    for (const auto &cr : noise.correlatedReadout()) {
-        auto a = physToClbit.find(cr.qubitA);
-        auto b = physToClbit.find(cr.qubitB);
-        if (a != physToClbit.end() && b != physToClbit.end()) {
-            tape.pairReadout.push_back(PairReadout{
-                a->second, b->second, cr.jointFlipProb});
-        }
-    }
-    return tape;
-}
-
 stats::Counts
 Executor::run(const Circuit &physical, std::uint64_t shots,
               Rng &rng) const
 {
+    return run(ExecutionTape::build(device_, physical), shots, rng);
+}
+
+stats::Counts
+Executor::run(const ExecutionTape &tape, std::uint64_t shots,
+              Rng &rng) const
+{
     QEDM_REQUIRE(shots > 0, "shots must be positive");
-    const Tape tape = buildTape(physical);
     const auto &cal = device_.calibration();
 
     stats::Counts counts(tape.numClbits);
@@ -348,9 +173,18 @@ Executor::run(const Circuit &physical, std::uint64_t shots,
 stats::Distribution
 Executor::exactDistribution(const Circuit &physical) const
 {
-    const Tape tape = buildTape(physical);
+    return exactDistribution(ExecutionTape::build(device_, physical));
+}
+
+stats::Distribution
+Executor::exactDistribution(const ExecutionTape &tape) const
+{
     QEDM_REQUIRE(tape.numLocal <= 10,
-                 "exact simulation is limited to 10 active qubits");
+                 "exact density-matrix simulation supports at most 10 "
+                 "active qubits, circuit has " +
+                     std::to_string(tape.numLocal) +
+                     "; use trajectory sampling (Executor::run) for "
+                     "larger circuits");
     const auto &cal = device_.calibration();
 
     DensityMatrix rho(tape.numLocal);

@@ -8,24 +8,31 @@
  * the device's systematic and stochastic noise, and returns shot
  * counts exactly as the IBMQ job API would.
  *
- * Two engines share one preprocessing pass ("tape"):
+ * Two engines share one preprocessing pass (the ExecutionTape, see
+ * sim/execution_tape.hpp):
  *  - trajectory: per-shot state-vector evolution with sampled noise;
  *  - exact: density-matrix evolution applying every channel fully.
  *
  * Only the qubits the circuit touches are simulated; the tape compacts
  * physical indices into a dense local register while retaining the
  * physical identities for calibration/noise lookups.
+ *
+ * Thread safety: every run()/exactDistribution() overload is const and
+ * touches only call-local state, so one Executor may be used from many
+ * threads concurrently as long as each caller supplies its own Rng.
+ * Tapes are immutable and freely shareable across threads; pass a
+ * prebuilt (or TapeCache-served) tape to avoid rebuilding identical
+ * preprocessing for every call on the same circuit.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "hw/device.hpp"
-#include "sim/channels.hpp"
+#include "sim/execution_tape.hpp"
 #include "stats/counts.hpp"
 #include "stats/distribution.hpp"
 
@@ -42,67 +49,36 @@ class Executor
 
     /**
      * Execute @p physical for @p shots trials with per-shot noise
-     * trajectories and return the outcome histogram.
+     * trajectories and return the outcome histogram. Builds the tape
+     * once and reuses it for every shot.
      */
     stats::Counts run(const circuit::Circuit &physical,
                       std::uint64_t shots, Rng &rng) const;
 
     /**
+     * Same, from a prebuilt tape (must have been built against a
+     * device with this Executor's fingerprint).
+     */
+    stats::Counts run(const ExecutionTape &tape, std::uint64_t shots,
+                      Rng &rng) const;
+
+    /**
      * Exact output distribution over the classical register via
-     * density-matrix simulation (active qubit count <= 10).
+     * density-matrix simulation.
+     *
+     * Hard limit: at most 10 *active* qubits (the density matrix is
+     * dense over 4^n entries — 10 qubits is already a 1M-complex
+     * matrix). Exceeding it throws UserError with the offending count;
+     * use run() (trajectory sampling) for larger circuits.
      */
     stats::Distribution
     exactDistribution(const circuit::Circuit &physical) const;
 
+    /** Same, from a prebuilt tape. */
+    stats::Distribution
+    exactDistribution(const ExecutionTape &tape) const;
+
   private:
-    struct TapeOp
-    {
-        circuit::OpKind kind;
-        std::vector<double> params;
-        int l0 = -1, l1 = -1; ///< local operands
-        int p0 = -1, p1 = -1; ///< physical operands
-        double overRotation = 0.0; ///< coherent extra on target (rad)
-        double controlPhase = 0.0; ///< coherent Rz on control (rad)
-        /** (local spectator, RZ angle) crosstalk kicks. */
-        std::vector<std::pair<int, double>> crosstalk;
-        double depolProb = 0.0; ///< stochastic depolarizing strength
-        /** Thermal relaxation applied *before* the gate, covering each
-         *  operand's idle window since its previous gate. */
-        std::vector<std::pair<int, Kraus1q>> preRelaxation;
-        /** Thermal-relaxation Kraus sets per operand (local qubit,
-         *  channel), precomputed from gate duration and T1/T2. */
-        std::vector<std::pair<int, Kraus1q>> relaxation;
-    };
-
-    struct MeasureOp
-    {
-        int local;
-        int phys;
-        int clbit;
-        /** Relaxation during the measurement window. */
-        std::vector<Kraus1q> relaxation;
-    };
-
-    struct PairReadout
-    {
-        int clbitA;
-        int clbitB;
-        double jointFlipProb;
-    };
-
-    struct Tape
-    {
-        int numLocal = 0;
-        int numClbits = 0;
-        std::vector<int> localToPhys;
-        std::vector<TapeOp> ops;
-        std::vector<MeasureOp> measures;
-        std::vector<PairReadout> pairReadout;
-        bool stochastic = false; ///< any per-shot randomness pre-readout
-    };
-
-    Tape buildTape(const circuit::Circuit &physical) const;
-
     hw::Device device_;
 };
 

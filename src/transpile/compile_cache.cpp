@@ -1,0 +1,74 @@
+#include "transpile/compile_cache.hpp"
+
+#include "common/error.hpp"
+
+namespace qedm::transpile {
+
+CompileCache::CompileCache(std::size_t capacity) : capacity_(capacity)
+{
+    QEDM_REQUIRE(capacity >= 1, "compile cache capacity must be >= 1");
+}
+
+std::shared_ptr<const CompiledProgram>
+CompileCache::getOrCompile(const Transpiler &compiler,
+                           const circuit::Circuit &logical)
+{
+    const Key key{compiler.device().fingerprint(), logical.fingerprint(),
+                  static_cast<int>(compiler.routeCost())};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            order_.splice(order_.begin(), order_, it->second.second);
+            return it->second.first;
+        }
+        ++misses_;
+    }
+    // Compile outside the lock; duplicate concurrent misses compile
+    // the same program twice and the loser is dropped on insert.
+    auto program = std::make_shared<const CompiledProgram>(
+        compiler.compile(logical));
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end())
+        return it->second.first;
+    order_.push_front(key);
+    entries_.emplace(key, std::make_pair(program, order_.begin()));
+    while (entries_.size() > capacity_) {
+        entries_.erase(order_.back());
+        order_.pop_back();
+    }
+    return program;
+}
+
+std::size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::uint64_t
+CompileCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+CompileCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    order_.clear();
+}
+
+} // namespace qedm::transpile

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Cross-round compiled-program cache.
+ *
+ * Variation-aware compilation depends on the calibration snapshot (the
+ * placer and router read error rates), so a compiled program is only
+ * valid for the calibration it was compiled against — exactly like
+ * noise-adaptive compilers that recompile per calibration epoch
+ * (Murali et al., ASPLOS'19). The cache therefore keys entries on
+ * (device fingerprint, circuit fingerprint, route cost): calibration
+ * drift yields a new device fingerprint, so stale programs are
+ * unreachable by construction and eventually evicted by LRU. Repeated
+ * compiles against an *unchanged* calibration — the four baselines of
+ * one round, frozen-drift experiments, benches looping one workload —
+ * hit.
+ *
+ * Thread-safe; shared by parallel rounds in runExperiment.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "transpile/transpiler.hpp"
+
+namespace qedm::transpile {
+
+/** Thread-safe LRU cache of compiled programs. */
+class CompileCache
+{
+  public:
+    /** @param capacity maximum resident programs (>= 1). */
+    explicit CompileCache(std::size_t capacity = 256);
+
+    /**
+     * The compiled program for @p logical under @p compiler's device
+     * and route cost; compiles on miss. The returned program is
+     * immutable and shareable across threads.
+     */
+    std::shared_ptr<const CompiledProgram>
+    getOrCompile(const Transpiler &compiler,
+                 const circuit::Circuit &logical);
+
+    std::size_t size() const;
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    void clear();
+
+  private:
+    using Key = std::tuple<std::uint64_t, std::uint64_t, int>;
+
+    std::size_t capacity_;
+    mutable std::mutex mutex_;
+    /** LRU order: front = most recent. */
+    std::list<Key> order_;
+    std::map<Key, std::pair<std::shared_ptr<const CompiledProgram>,
+                            std::list<Key>::iterator>>
+        entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace qedm::transpile

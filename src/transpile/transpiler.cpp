@@ -1,6 +1,10 @@
 #include "transpile/transpiler.hpp"
 
+#include <chrono>
+#include <functional>
+#include <optional>
 #include <set>
+#include <utility>
 
 #include "transpile/esp.hpp"
 #include "transpile/placer.hpp"
@@ -21,11 +25,85 @@ Transpiler::Transpiler(const hw::Device &device, RouteCost cost)
 {
 }
 
+namespace {
+
+/** Mutable state threaded through the pass list. */
+struct CompileContext
+{
+    const circuit::Circuit *logical = nullptr;
+    std::vector<int> initialMap;
+    std::optional<RouteResult> routed;
+    CompiledProgram out;
+};
+
+using PassFn = std::function<void(CompileContext &, PassMetadata &)>;
+
+} // namespace
+
+CompileTrace
+Transpiler::runPasses(const circuit::Circuit &logical,
+                      const std::vector<int> *initial_map) const
+{
+    std::vector<std::pair<std::string, PassFn>> passes;
+
+    if (initial_map == nullptr) {
+        passes.emplace_back(
+            "place", [this](CompileContext &ctx, PassMetadata &meta) {
+                Placer placer(device_);
+                ctx.initialMap = placer.place(*ctx.logical);
+                meta.metrics["placedQubits"] =
+                    static_cast<double>(ctx.initialMap.size());
+            });
+    }
+    passes.emplace_back(
+        "route", [this](CompileContext &ctx, PassMetadata &meta) {
+            Router router(device_, cost_);
+            ctx.routed = router.route(*ctx.logical, ctx.initialMap);
+            meta.metrics["swaps"] =
+                static_cast<double>(ctx.routed->swapCount);
+        });
+    passes.emplace_back(
+        "score", [this](CompileContext &ctx, PassMetadata &meta) {
+            ctx.out.initialMap = ctx.initialMap;
+            ctx.out.finalMap = std::move(ctx.routed->finalMap);
+            ctx.out.swapCount = ctx.routed->swapCount;
+            ctx.out.esp = esp(ctx.routed->physical, device_);
+            ctx.out.physical = std::move(ctx.routed->physical);
+            meta.metrics["esp"] = ctx.out.esp;
+        });
+
+    CompileContext ctx;
+    ctx.logical = &logical;
+    if (initial_map != nullptr)
+        ctx.initialMap = *initial_map;
+
+    CompileTrace trace;
+    trace.passes.reserve(passes.size());
+    for (auto &[name, pass] : passes) {
+        PassMetadata meta;
+        meta.name = name;
+        const auto start = std::chrono::steady_clock::now();
+        pass(ctx, meta);
+        meta.milliseconds =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        trace.passes.push_back(std::move(meta));
+    }
+    trace.program = std::move(ctx.out);
+    return trace;
+}
+
 CompiledProgram
 Transpiler::compile(const circuit::Circuit &logical) const
 {
-    Placer placer(device_);
-    return compileWithPlacement(logical, placer.place(logical));
+    return runPasses(logical, nullptr).program;
+}
+
+CompileTrace
+Transpiler::compileWithTrace(const circuit::Circuit &logical) const
+{
+    return runPasses(logical, nullptr);
 }
 
 CompiledProgram
@@ -33,15 +111,7 @@ Transpiler::compileWithPlacement(
     const circuit::Circuit &logical,
     const std::vector<int> &initial_map) const
 {
-    Router router(device_, cost_);
-    RouteResult routed = router.route(logical, initial_map);
-    CompiledProgram out;
-    out.initialMap = initial_map;
-    out.finalMap = std::move(routed.finalMap);
-    out.swapCount = routed.swapCount;
-    out.esp = esp(routed.physical, device_);
-    out.physical = std::move(routed.physical);
-    return out;
+    return runPasses(logical, &initial_map).program;
 }
 
 } // namespace qedm::transpile

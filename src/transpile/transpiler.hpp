@@ -1,14 +1,23 @@
 /**
  * @file
- * End-to-end compilation facade: placement + routing + scoring.
+ * End-to-end compilation facade: an explicit pass pipeline.
  *
  * This is the "variation-aware quantum compiler" of the EDM pipeline's
  * step 1 (Section 5.2): from a logical circuit it produces a physical
  * executable plus the compile-time ESP estimate.
+ *
+ * Compilation runs as an ordered pass list — place -> route -> score —
+ * over a shared CompileContext. Each pass reports per-pass metadata
+ * (name, wall time, key metrics), which compile() discards and
+ * compileWithTrace() returns, so callers and benches can attribute
+ * compile cost to individual stages. The pass list is the seam later
+ * passes (crosstalk-aware routing, twirling, scheduling) slot into.
  */
 
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "circuit/circuit.hpp"
@@ -35,6 +44,25 @@ struct CompiledProgram
     std::vector<int> usedQubits() const;
 };
 
+/** Metadata reported by one compilation pass. */
+struct PassMetadata
+{
+    /** Pass name: "place", "route", or "score". */
+    std::string name;
+    /** Wall-clock time spent in the pass. */
+    double milliseconds = 0.0;
+    /** Pass-specific scalar metrics (e.g. route: "swaps"; score:
+     *  "esp"; place: "placedQubits"). */
+    std::map<std::string, double> metrics;
+};
+
+/** A compiled program together with its per-pass trace. */
+struct CompileTrace
+{
+    CompiledProgram program;
+    std::vector<PassMetadata> passes;
+};
+
 /** Variation-aware compiler for one device. */
 class Transpiler
 {
@@ -45,14 +73,23 @@ class Transpiler
     /** Compile with the variation-aware placer's best placement. */
     CompiledProgram compile(const circuit::Circuit &logical) const;
 
-    /** Compile with a caller-supplied initial placement. */
+    /** Compile and report per-pass metadata. */
+    CompileTrace compileWithTrace(const circuit::Circuit &logical) const;
+
+    /** Compile with a caller-supplied initial placement (the place
+     *  pass is skipped; the trace starts at "route"). */
     CompiledProgram
     compileWithPlacement(const circuit::Circuit &logical,
                          const std::vector<int> &initial_map) const;
 
     const hw::Device &device() const { return device_; }
+    RouteCost routeCost() const { return cost_; }
 
   private:
+    CompileTrace
+    runPasses(const circuit::Circuit &logical,
+              const std::vector<int> *initial_map) const;
+
     const hw::Device &device_;
     RouteCost cost_;
 };

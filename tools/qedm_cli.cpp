@@ -11,9 +11,14 @@
  *   run <bench> [seed] [shots]    baseline vs EDM vs WEDM one-shot
  *   experiment <bench> [seed]     multi-round median experiment
  *
+ * `run` and `experiment` accept `--jobs N` anywhere on the line:
+ * N worker threads (0 = all hardware threads, default 1). Results are
+ * bit-identical for every N.
+ *
  * Exit code 0 on success, 1 on a usage/user error.
  */
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -120,12 +125,13 @@ cmdCandidates(const std::string &name, std::uint64_t seed)
 
 int
 cmdRun(const std::string &name, std::uint64_t seed,
-       std::uint64_t shots)
+       std::uint64_t shots, int jobs)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
     core::EdmConfig config;
     config.totalShots = shots;
+    config.jobs = jobs;
     const core::EdmPipeline pipeline(device, config);
     Rng rng(seed * 1000 + 1);
     const auto result = pipeline.run(b.circuit, rng);
@@ -149,11 +155,12 @@ cmdRun(const std::string &name, std::uint64_t seed,
 }
 
 int
-cmdExperiment(const std::string &name, std::uint64_t seed)
+cmdExperiment(const std::string &name, std::uint64_t seed, int jobs)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
     core::ExperimentConfig config;
+    config.jobs = jobs;
     const auto summary = core::runExperiment(device, b, config, seed);
     analysis::Table table({"policy", "median IST", "median PST"});
     table.addRow({"baseline (compile-time best)",
@@ -179,7 +186,7 @@ int
 usage()
 {
     std::cerr << "usage: qedm_cli <list|show|compile|candidates|run|"
-                 "experiment> [benchmark] [seed] [shots]\n";
+                 "experiment> [benchmark] [seed] [shots] [--jobs N]\n";
     return 1;
 }
 
@@ -189,14 +196,33 @@ int
 main(int argc, char **argv)
 {
     try {
-        if (argc < 2)
+        // Split `--jobs N` (accepted anywhere) out of the positionals.
+        std::vector<std::string> pos;
+        int jobs = 1;
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg == "--jobs") {
+                if (i + 1 >= argc)
+                    return usage();
+                char *end = nullptr;
+                const long parsed = std::strtol(argv[++i], &end, 10);
+                if (end == argv[i] || *end != '\0' || parsed < 0)
+                    return usage();
+                jobs = static_cast<int>(parsed);
+            } else {
+                pos.push_back(arg);
+            }
+        }
+        if (pos.empty())
             return usage();
-        const std::string cmd = argv[1];
-        const std::string name = argc > 2 ? argv[2] : "";
+        const std::string cmd = pos[0];
+        const std::string name = pos.size() > 1 ? pos[1] : "";
         const std::uint64_t seed =
-            argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2;
+            pos.size() > 2 ? std::strtoull(pos[2].c_str(), nullptr, 10)
+                           : 2;
         const std::uint64_t shots =
-            argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 16384;
+            pos.size() > 3 ? std::strtoull(pos[3].c_str(), nullptr, 10)
+                           : 16384;
         if (cmd == "list")
             return cmdList();
         if (name.empty())
@@ -208,9 +234,9 @@ main(int argc, char **argv)
         if (cmd == "candidates")
             return cmdCandidates(name, seed);
         if (cmd == "run")
-            return cmdRun(name, seed, shots);
+            return cmdRun(name, seed, shots, jobs);
         if (cmd == "experiment")
-            return cmdExperiment(name, seed);
+            return cmdExperiment(name, seed, jobs);
         return usage();
     } catch (const qedm::Error &e) {
         std::cerr << "error: " << e.what() << "\n";
