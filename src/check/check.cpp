@@ -1,0 +1,72 @@
+#include "check/check.hpp"
+
+#include <sstream>
+
+#include "check/circuit_checker.hpp"
+#include "check/esp_checker.hpp"
+#include "check/mapping_checker.hpp"
+
+namespace qedm::check {
+namespace {
+
+std::string
+formatCheckMessage(const std::string &pass, const std::string &message,
+                   int gate_index, const std::vector<int> &qubits)
+{
+    std::ostringstream os;
+    os << "check[" << pass << "]: " << message;
+    if (gate_index >= 0)
+        os << " (gate " << gate_index << ")";
+    if (!qubits.empty())
+        os << " on physical qubits " << detail::formatQubits(qubits);
+    return os.str();
+}
+
+} // namespace
+
+namespace detail {
+
+std::string
+formatQubits(const std::vector<int> &qubits)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < qubits.size(); ++i) {
+        if (i)
+            os << ",";
+        os << "p" << qubits[i];
+    }
+    return os.str();
+}
+
+} // namespace detail
+
+CheckError::CheckError(std::string pass, const std::string &message,
+                       int gate_index, std::vector<int> qubits)
+    : Error(formatCheckMessage(pass, message, gate_index, qubits)),
+      pass_(std::move(pass)),
+      gateIndex_(gate_index),
+      qubits_(std::move(qubits))
+{
+}
+
+const std::vector<const CheckerPass *> &
+standardPasses()
+{
+    static const CircuitChecker circuit_checker;
+    static const MappingChecker mapping_checker;
+    static const EspChecker esp_checker;
+    static const std::vector<const CheckerPass *> passes{
+        &circuit_checker, &mapping_checker, &esp_checker};
+    return passes;
+}
+
+std::size_t
+verifyProgram(const ProgramView &view)
+{
+    const auto &passes = standardPasses();
+    for (const CheckerPass *pass : passes)
+        pass->run(view);
+    return passes.size();
+}
+
+} // namespace qedm::check

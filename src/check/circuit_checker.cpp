@@ -1,0 +1,96 @@
+#include "check/circuit_checker.hpp"
+
+#include <set>
+#include <string>
+
+namespace qedm::check {
+
+void
+CircuitChecker::run(const ProgramView &view) const
+{
+    if (view.physical == nullptr)
+        throw CheckError(name(), "program view has no physical circuit");
+    check(*view.physical);
+}
+
+void
+CircuitChecker::check(const circuit::Circuit &circuit) const
+{
+    checkGates(circuit.gates(), circuit.numQubits(),
+               circuit.numClbits());
+}
+
+void
+CircuitChecker::checkGates(const std::vector<circuit::Gate> &gates,
+                           int num_qubits, int num_clbits) const
+{
+    std::vector<bool> measured(static_cast<std::size_t>(num_qubits),
+                               false);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const circuit::Gate &g = gates[i];
+        const int idx = static_cast<int>(i);
+        const std::string op = circuit::opName(g.kind);
+
+        if (g.kind != circuit::OpKind::Barrier &&
+            static_cast<int>(g.qubits.size()) !=
+                circuit::opArity(g.kind)) {
+            throw CheckError(
+                name(),
+                op + " has " + std::to_string(g.qubits.size()) +
+                    " operands, arity is " +
+                    std::to_string(circuit::opArity(g.kind)),
+                idx, g.qubits);
+        }
+        if (static_cast<int>(g.params.size()) !=
+            circuit::opParamCount(g.kind)) {
+            throw CheckError(
+                name(),
+                op + " has " + std::to_string(g.params.size()) +
+                    " parameters, expected " +
+                    std::to_string(circuit::opParamCount(g.kind)),
+                idx, g.qubits);
+        }
+
+        std::set<int> seen;
+        for (int q : g.qubits) {
+            if (q < 0 || q >= num_qubits) {
+                throw CheckError(name(),
+                                 op + " qubit index out of register [0, " +
+                                     std::to_string(num_qubits) + ")",
+                                 idx, g.qubits);
+            }
+            if (!seen.insert(q).second) {
+                throw CheckError(name(),
+                                 op + " repeats operand qubit",
+                                 idx, g.qubits);
+            }
+            if (measured[static_cast<std::size_t>(q)] &&
+                !options_.allowUseAfterMeasure) {
+                throw CheckError(
+                    name(),
+                    op + " acts on a qubit after its measurement "
+                         "(measurement is terminal per qubit)",
+                    idx, g.qubits);
+            }
+        }
+
+        if (g.kind == circuit::OpKind::Measure) {
+            if (g.clbit < 0 || g.clbit >= num_clbits) {
+                throw CheckError(
+                    name(),
+                    "measure clbit " + std::to_string(g.clbit) +
+                        " out of register [0, " +
+                        std::to_string(num_clbits) + ")",
+                    idx, g.qubits);
+            }
+            measured[static_cast<std::size_t>(g.qubits[0])] = true;
+        } else if (g.clbit != -1) {
+            throw CheckError(name(),
+                             op + " carries a classical target but "
+                                  "only measure writes a clbit",
+                             idx, g.qubits);
+        }
+    }
+}
+
+} // namespace qedm::check

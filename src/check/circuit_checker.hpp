@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Structural circuit verification.
+ *
+ * Validates that a gate list is a well-formed DAG over its registers:
+ * every qubit/clbit index in range, gate arity and parameter count
+ * matching the op kind, distinct operands, and no gate acting on a
+ * qubit after it has been measured (measurement is terminal per qubit
+ * in qedm's execution model unless explicitly declared otherwise).
+ *
+ * The Circuit builders already reject most malformed gates at append
+ * time; the checker re-validates from the raw gate list so artifacts
+ * arriving via deserialization, external tools, or future IR surgery
+ * get the same guarantees (defense in depth), and adds the
+ * use-after-measure analysis the builders do not do.
+ */
+
+#pragma once
+
+#include "check/check.hpp"
+
+namespace qedm::check {
+
+/** Options for structural circuit checks. */
+struct CircuitCheckOptions
+{
+    /**
+     * Permit gates on a qubit after its measurement (mid-circuit
+     * measurement). Off by default: routed circuits defer measures to
+     * the end, and the executor treats measurement as terminal.
+     */
+    bool allowUseAfterMeasure = false;
+};
+
+/** Verifier pass: the physical circuit is structurally well-formed. */
+class CircuitChecker final : public CheckerPass
+{
+  public:
+    explicit CircuitChecker(CircuitCheckOptions options = {})
+        : options_(options)
+    {
+    }
+
+    const char *name() const override { return "circuit"; }
+
+    void run(const ProgramView &view) const override;
+
+    /** Check any circuit directly (device-independent). */
+    void check(const circuit::Circuit &circuit) const;
+
+    /**
+     * Check a raw gate list against register sizes @p num_qubits /
+     * @p num_clbits (the entry point for gates that never went
+     * through the validated builders).
+     */
+    void checkGates(const std::vector<circuit::Gate> &gates,
+                    int num_qubits, int num_clbits) const;
+
+  private:
+    CircuitCheckOptions options_;
+};
+
+} // namespace qedm::check

@@ -1,0 +1,64 @@
+#include "check/esp_checker.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace qedm::check {
+
+void
+EspChecker::run(const ProgramView &view) const
+{
+    if (view.physical == nullptr || view.device == nullptr)
+        throw CheckError(name(),
+                         "program view needs a circuit and a device");
+    const double recomputed = recompute(*view.physical, *view.device);
+    if (std::abs(view.esp - recomputed) > tolerance_) {
+        std::ostringstream os;
+        os.precision(17);
+        os << "reported ESP " << view.esp
+           << " does not match the routed circuit (recomputed "
+           << recomputed << ", tolerance " << tolerance_
+           << "); stale score?";
+        throw CheckError(name(), os.str());
+    }
+}
+
+double
+EspChecker::recompute(const circuit::Circuit &physical,
+                      const hw::Device &device) const
+{
+    const hw::Topology &topo = device.topology();
+    const hw::Calibration &cal = device.calibration();
+    const circuit::Circuit flat = physical.decomposed();
+
+    double p = 1.0;
+    const auto &gates = flat.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const circuit::Gate &g = gates[i];
+        switch (g.kind) {
+          case circuit::OpKind::Barrier:
+            break;
+          case circuit::OpKind::Measure:
+            p *= 1.0 - cal.qubit(g.qubits[0]).readoutError();
+            break;
+          default: {
+            if (circuit::opArity(g.kind) == 1) {
+                p *= 1.0 - cal.qubit(g.qubits[0]).error1q;
+            } else {
+                const int e = topo.edgeIndex(g.qubits[0], g.qubits[1]);
+                if (e < 0) {
+                    throw CheckError(
+                        name(),
+                        "ESP undefined: " + circuit::opName(g.kind) +
+                            " on an uncoupled pair",
+                        static_cast<int>(i), g.qubits);
+                }
+                p *= 1.0 - cal.edge(static_cast<std::size_t>(e)).cxError;
+            }
+          }
+        }
+    }
+    return p;
+}
+
+} // namespace qedm::check

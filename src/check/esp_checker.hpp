@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ESP consistency verification.
+ *
+ * Recomputes the Estimated Success Probability of the routed circuit
+ * directly from the calibration tables — an independent walk over the
+ * decomposed gate list, not a call into the transpiler's scorer — and
+ * rejects when the program's reported ESP differs by more than an
+ * epsilon. Catches stale ESP: any transform that edits the circuit
+ * after scoring without re-scoring it.
+ */
+
+#pragma once
+
+#include "check/check.hpp"
+
+namespace qedm::check {
+
+/** Verifier pass: reported ESP matches a recomputation within tol. */
+class EspChecker final : public CheckerPass
+{
+  public:
+    /** @param tolerance max |reported - recomputed| accepted. */
+    explicit EspChecker(double tolerance = 1e-9)
+        : tolerance_(tolerance)
+    {
+    }
+
+    const char *name() const override { return "esp"; }
+
+    void run(const ProgramView &view) const override;
+
+    /**
+     * Independent ESP recomputation: product of per-gate and
+     * per-measurement success rates over the decomposed circuit
+     * (SWAP counts as 3 CX). Every two-qubit gate must sit on a
+     * coupling edge (throws CheckError otherwise).
+     */
+    double recompute(const circuit::Circuit &physical,
+                     const hw::Device &device) const;
+
+  private:
+    double tolerance_;
+};
+
+} // namespace qedm::check

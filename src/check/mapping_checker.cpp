@@ -1,0 +1,148 @@
+#include "check/mapping_checker.hpp"
+
+#include <string>
+#include <vector>
+
+namespace qedm::check {
+
+void
+MappingChecker::run(const ProgramView &view) const
+{
+    if (view.physical == nullptr || view.device == nullptr)
+        throw CheckError(name(),
+                         "program view needs a circuit and a device");
+    const circuit::Circuit &physical = *view.physical;
+    const hw::Device &device = *view.device;
+
+    if (physical.numQubits() != device.numQubits()) {
+        throw CheckError(
+            name(),
+            "physical register has " +
+                std::to_string(physical.numQubits()) +
+                " qubits, device has " +
+                std::to_string(device.numQubits()));
+    }
+    if (view.initialMap != nullptr)
+        checkLayout(*view.initialMap, device, "initial map");
+    if (view.finalMap != nullptr)
+        checkLayout(*view.finalMap, device, "final map");
+    checkCoupling(physical, device);
+    if (view.initialMap != nullptr && view.finalMap != nullptr) {
+        checkSwapBookkeeping(physical, *view.initialMap,
+                             *view.finalMap, view.swapCount);
+    }
+}
+
+void
+MappingChecker::checkLayout(const std::vector<int> &layout,
+                            const hw::Device &device,
+                            const char *label) const
+{
+    std::vector<bool> taken(
+        static_cast<std::size_t>(device.numQubits()), false);
+    for (std::size_t l = 0; l < layout.size(); ++l) {
+        const int p = layout[l];
+        if (p < 0 || p >= device.numQubits()) {
+            throw CheckError(name(),
+                             std::string(label) + " sends logical " +
+                                 std::to_string(l) +
+                                 " outside the device register",
+                             -1, {p});
+        }
+        if (taken[static_cast<std::size_t>(p)]) {
+            throw CheckError(name(),
+                             std::string(label) +
+                                 " is not a bijection: physical "
+                                 "qubit assigned twice",
+                             -1, {p});
+        }
+        taken[static_cast<std::size_t>(p)] = true;
+    }
+}
+
+void
+MappingChecker::checkCoupling(const circuit::Circuit &physical,
+                              const hw::Device &device) const
+{
+    const hw::Topology &topo = device.topology();
+    const auto &gates = physical.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const circuit::Gate &g = gates[i];
+        if (g.kind == circuit::OpKind::Barrier ||
+            g.kind == circuit::OpKind::Measure) {
+            continue;
+        }
+        const int arity = circuit::opArity(g.kind);
+        if (arity > 2) {
+            throw CheckError(name(),
+                             circuit::opName(g.kind) +
+                                 " in a routed circuit (physical "
+                                 "circuits must be decomposed to <= 2 "
+                                 "qubit gates)",
+                             static_cast<int>(i), g.qubits);
+        }
+        if (arity == 2 && !topo.adjacent(g.qubits[0], g.qubits[1])) {
+            throw CheckError(name(),
+                             circuit::opName(g.kind) +
+                                 " acts on an uncoupled pair",
+                             static_cast<int>(i), g.qubits);
+        }
+    }
+}
+
+void
+MappingChecker::checkSwapBookkeeping(
+    const circuit::Circuit &physical,
+    const std::vector<int> &initial_map,
+    const std::vector<int> &final_map, int swap_count) const
+{
+    if (initial_map.size() != final_map.size()) {
+        throw CheckError(
+            name(),
+            "initial map covers " +
+                std::to_string(initial_map.size()) +
+                " logical qubits, final map " +
+                std::to_string(final_map.size()));
+    }
+
+    // Replay the SWAP trail: each Swap(a, b) exchanges the logical
+    // occupants of physical qubits a and b.
+    std::vector<int> location = initial_map; // logical -> physical
+    int swaps_seen = 0;
+    const auto &gates = physical.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const circuit::Gate &g = gates[i];
+        if (g.kind != circuit::OpKind::Swap)
+            continue;
+        ++swaps_seen;
+        const int a = g.qubits[0];
+        const int b = g.qubits[1];
+        for (int &p : location) {
+            if (p == a)
+                p = b;
+            else if (p == b)
+                p = a;
+        }
+    }
+
+    if (swaps_seen != swap_count) {
+        throw CheckError(name(),
+                         "routed circuit contains " +
+                             std::to_string(swaps_seen) +
+                             " SWAPs, program reports " +
+                             std::to_string(swap_count));
+    }
+    for (std::size_t l = 0; l < location.size(); ++l) {
+        if (location[l] != final_map[l]) {
+            throw CheckError(
+                name(),
+                "SWAP trail leaves logical " + std::to_string(l) +
+                    " on physical " + std::to_string(location[l]) +
+                    ", final map says " +
+                    std::to_string(final_map[l]),
+                -1, {location[l], final_map[l]});
+        }
+    }
+}
+
+} // namespace qedm::check

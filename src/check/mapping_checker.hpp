@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Layout and routing verification.
+ *
+ * Validates the mapping contract between a compiled program and its
+ * device: the initial layout is a bijection of the logical register
+ * onto a subset of the physical qubits, every two-qubit gate of the
+ * routed circuit acts on a coupled pair, and replaying the inserted
+ * SWAP trail over the initial map reproduces exactly the final map
+ * (and the reported SWAP count). This is the pass that catches the
+ * silent mapping bugs that manifest as plausible-but-wrong
+ * histograms rather than crashes.
+ */
+
+#pragma once
+
+#include "check/check.hpp"
+
+namespace qedm::check {
+
+/** Verifier pass: layout bijection, coupling, SWAP bookkeeping. */
+class MappingChecker final : public CheckerPass
+{
+  public:
+    const char *name() const override { return "mapping"; }
+
+    void run(const ProgramView &view) const override;
+
+    /**
+     * Check that @p layout maps each logical qubit to a distinct
+     * physical qubit of @p device (a bijection onto a device
+     * subgraph). @p label names the map in diagnostics.
+     */
+    void checkLayout(const std::vector<int> &layout,
+                     const hw::Device &device,
+                     const char *label) const;
+
+    /**
+     * Check that every two-qubit gate of @p physical acts on a
+     * coupled pair of @p device and that no gate has three or more
+     * operands (physical circuits are fully decomposed).
+     */
+    void checkCoupling(const circuit::Circuit &physical,
+                       const hw::Device &device) const;
+
+    /**
+     * Replay the SWAP gates of @p physical over @p initial_map and
+     * check that the result equals @p final_map and that the number
+     * of SWAPs equals @p swap_count.
+     */
+    void checkSwapBookkeeping(const circuit::Circuit &physical,
+                              const std::vector<int> &initial_map,
+                              const std::vector<int> &final_map,
+                              int swap_count) const;
+};
+
+} // namespace qedm::check

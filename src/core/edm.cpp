@@ -67,7 +67,10 @@ EdmResult
 EdmPipeline::run(const circuit::Circuit &logical,
                  const SeedSequence &seq) const
 {
-    const EnsembleBuilder builder(device_, config_.ensemble);
+    EnsembleConfig ensemble_config = config_.ensemble;
+    ensemble_config.verifyPasses =
+        ensemble_config.verifyPasses || config_.verifyPasses;
+    const EnsembleBuilder builder(device_, ensemble_config);
     std::vector<transpile::CompiledProgram> programs =
         builder.build(logical);
     QEDM_ASSERT(!programs.empty(), "ensemble builder returned nothing");

@@ -78,6 +78,13 @@ struct EdmConfig
     std::uint64_t shotBatch = 2048;
     /** Optional shared tape cache (not owned; must outlive run()). */
     sim::TapeCache *tapeCache = nullptr;
+    /**
+     * Run the qedm::check static verifiers over every compiled
+     * ensemble member before execution (ORed into
+     * EnsembleConfig::verifyPasses). Always-on in debug builds;
+     * opt-in via this flag or `qedm_cli --check` in release.
+     */
+    bool verifyPasses = check::kDefaultVerify;
 };
 
 /** One executed ensemble member. */

@@ -23,7 +23,8 @@ EnsembleBuilder::EnsembleBuilder(const hw::Device &device,
 std::vector<CompiledProgram>
 EnsembleBuilder::candidates(const circuit::Circuit &logical) const
 {
-    const transpile::Transpiler compiler(device_, config_.routeCost);
+    const transpile::Transpiler compiler(device_, config_.routeCost,
+                                         config_.verifyPasses);
     std::shared_ptr<const CompiledProgram> cached;
     if (config_.compileCache != nullptr)
         cached = config_.compileCache->getOrCompile(compiler, logical);
@@ -100,6 +101,21 @@ EnsembleBuilder::candidates(const circuit::Circuit &logical) const
     for (auto &member : all) {
         if (seen_sets.insert(member.usedQubits()).second)
             out.push_back(std::move(member));
+    }
+
+    // Isomorphic transfer must preserve validity; verify every member
+    // the builder hands out, not just the compiled seed.
+    if (config_.verifyPasses) {
+        for (const CompiledProgram &member : out) {
+            check::ProgramView view;
+            view.physical = &member.physical;
+            view.initialMap = &member.initialMap;
+            view.finalMap = &member.finalMap;
+            view.swapCount = member.swapCount;
+            view.esp = member.esp;
+            view.device = &device_;
+            check::verifyProgram(view);
+        }
     }
     return out;
 }

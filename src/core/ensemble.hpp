@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "check/check.hpp"
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "hw/device.hpp"
@@ -46,6 +47,13 @@ struct EnsembleConfig
     double maxOverlap = 0.5;
     /** Routing cost metric for the seed compilation. */
     transpile::RouteCost routeCost = transpile::RouteCost::Reliability;
+    /**
+     * Run the qedm::check static verifiers over the compiled seed
+     * (as the transpiler's post-pass hook) and over every isomorphic
+     * transfer the builder emits. Always-on in debug builds; opt-in
+     * in release (zero cost when off).
+     */
+    bool verifyPasses = check::kDefaultVerify;
     /**
      * Optional shared compile cache for the seed compilation (not
      * owned; must outlive the builder). Keys include the calibration

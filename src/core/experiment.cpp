@@ -81,6 +81,7 @@ runExperiment(const hw::Device &device,
     edm_config.ensemble.compileCache = &compile_cache;
     edm_config.totalShots = config.totalShots;
     edm_config.uniformityGuard = config.uniformityGuard;
+    edm_config.verifyPasses = config.verifyPasses;
     edm_config.scheduler = &scheduler;
     edm_config.tapeCache = &tape_cache;
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "benchmarks/benchmarks.hpp"
+#include "check/check.hpp"
 #include "core/edm.hpp"
 #include "hw/device.hpp"
 
@@ -71,6 +72,12 @@ struct ExperimentConfig
      * every value (see runtime/scheduler.hpp).
      */
     int jobs = 1;
+    /**
+     * Run the qedm::check static verifiers over every compiled
+     * program of every round (forwarded to EdmConfig::verifyPasses).
+     * Always-on in debug builds; opt-in in release.
+     */
+    bool verifyPasses = check::kDefaultVerify;
 };
 
 /**

@@ -20,8 +20,9 @@ CompiledProgram::usedQubits() const
     return {used.begin(), used.end()};
 }
 
-Transpiler::Transpiler(const hw::Device &device, RouteCost cost)
-    : device_(device), cost_(cost)
+Transpiler::Transpiler(const hw::Device &device, RouteCost cost,
+                       bool verify)
+    : device_(device), cost_(cost), verify_(verify)
 {
 }
 
@@ -71,6 +72,20 @@ Transpiler::runPasses(const circuit::Circuit &logical,
             ctx.out.physical = std::move(ctx.routed->physical);
             meta.metrics["esp"] = ctx.out.esp;
         });
+    if (verify_) {
+        passes.emplace_back(
+            "check", [this](CompileContext &ctx, PassMetadata &meta) {
+                check::ProgramView view;
+                view.physical = &ctx.out.physical;
+                view.initialMap = &ctx.out.initialMap;
+                view.finalMap = &ctx.out.finalMap;
+                view.swapCount = ctx.out.swapCount;
+                view.esp = ctx.out.esp;
+                view.device = &device_;
+                meta.metrics["passesRun"] = static_cast<double>(
+                    check::verifyProgram(view));
+            });
+    }
 
     CompileContext ctx;
     ctx.logical = &logical;

@@ -12,6 +12,12 @@
  * compileWithTrace() returns, so callers and benches can attribute
  * compile cost to individual stages. The pass list is the seam later
  * passes (crosstalk-aware routing, twirling, scheduling) slot into.
+ *
+ * When verification is enabled (always in debug builds, opt-in via
+ * the verify flag in release) a final "check" pass runs the
+ * qedm::check static verifiers over the compiled program and throws
+ * check::CheckError on any violation; when disabled the pass is never
+ * added, so release compilation pays zero cost.
  */
 
 #pragma once
@@ -20,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "check/check.hpp"
 #include "circuit/circuit.hpp"
 #include "hw/device.hpp"
 #include "transpile/router.hpp"
@@ -47,7 +54,8 @@ struct CompiledProgram
 /** Metadata reported by one compilation pass. */
 struct PassMetadata
 {
-    /** Pass name: "place", "route", or "score". */
+    /** Pass name: "place", "route", "score", or "check" (the last
+     *  only when verification is enabled). */
     std::string name;
     /** Wall-clock time spent in the pass. */
     double milliseconds = 0.0;
@@ -67,8 +75,14 @@ struct CompileTrace
 class Transpiler
 {
   public:
+    /**
+     * @param verify run the qedm::check verifier passes after every
+     *        compile (defaults to always-on in debug builds, off in
+     *        release).
+     */
     explicit Transpiler(const hw::Device &device,
-                        RouteCost cost = RouteCost::Reliability);
+                        RouteCost cost = RouteCost::Reliability,
+                        bool verify = check::kDefaultVerify);
 
     /** Compile with the variation-aware placer's best placement. */
     CompiledProgram compile(const circuit::Circuit &logical) const;
@@ -85,6 +99,12 @@ class Transpiler
     const hw::Device &device() const { return device_; }
     RouteCost routeCost() const { return cost_; }
 
+    /** True when the post-compile "check" pass is enabled. */
+    bool verifyEnabled() const { return verify_; }
+
+    /** Enable/disable the post-compile verifier pass. */
+    void setVerify(bool verify) { verify_ = verify; }
+
   private:
     CompileTrace
     runPasses(const circuit::Circuit &logical,
@@ -92,6 +112,7 @@ class Transpiler
 
     const hw::Device &device_;
     RouteCost cost_;
+    bool verify_;
 };
 
 } // namespace qedm::transpile

@@ -1,0 +1,25 @@
+// Lint self-test fixture: this header deliberately violates every
+// qedm_lint rule, including the include-guard rule (it intentionally
+// omits the guard pragma). The ctest case `lint_fixture` runs
+// qedm_lint over tests/lint_fixture and expects a nonzero exit; if
+// the linter ever stops rejecting this file, the test fails.
+
+#include <cstdlib>
+#include <random>
+
+namespace lint_fixture {
+
+inline int *
+leakyAllocate()
+{
+    return new int(42); // naked-new
+}
+
+inline double
+nondeterministicDraw()
+{
+    std::mt19937 gen(std::random_device{}()); // rng-discipline (x2)
+    return static_cast<double>(gen()) / 4294967296.0;
+}
+
+} // namespace lint_fixture

@@ -31,8 +31,9 @@ TEST_P(SuiteTest, IdealModeIsExpectedOutput)
     // The expected answer must hold strictly more probability than
     // any other single outcome (unique mode).
     const auto top = dist.topK(2);
-    if (top.size() > 1)
+    if (top.size() > 1) {
         EXPECT_GT(top[0].second, top[1].second);
+    }
 }
 
 TEST_P(SuiteTest, MetadataConsistent)

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Unit tests for qedm::check: the static verifier passes (circuit
+ * structure, mapping/coupling/SWAP bookkeeping, ESP consistency),
+ * their diagnostics, and the transpiler/ensemble/pipeline wiring.
+ * Fixtures corrupt real routed circuits — an uncoupled CX, a
+ * non-bijective layout, a stale ESP — and assert that the right pass
+ * rejects with the right diagnostic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "benchmarks/benchmarks.hpp"
+#include "check/check.hpp"
+#include "check/circuit_checker.hpp"
+#include "check/esp_checker.hpp"
+#include "check/mapping_checker.hpp"
+#include "core/edm.hpp"
+#include "core/ensemble.hpp"
+#include "hw/device.hpp"
+#include "transpile/esp.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qedm::check {
+namespace {
+
+using circuit::Circuit;
+using transpile::CompiledProgram;
+using transpile::Transpiler;
+
+/** A freshly compiled BV-6 program on the paper's device. */
+CompiledProgram
+compiledBv6(const hw::Device &device)
+{
+    const Transpiler compiler(device);
+    return compiler.compile(benchmarks::bv6().circuit);
+}
+
+ProgramView
+viewOf(const CompiledProgram &program, const hw::Device &device)
+{
+    ProgramView view;
+    view.physical = &program.physical;
+    view.initialMap = &program.initialMap;
+    view.finalMap = &program.finalMap;
+    view.swapCount = program.swapCount;
+    view.esp = program.esp;
+    view.device = &device;
+    return view;
+}
+
+TEST(CheckErrorTest, CarriesPassGateAndQubitDiagnostics)
+{
+    const CheckError err("mapping", "cx acts on an uncoupled pair", 12,
+                         {3, 9});
+    EXPECT_EQ(err.pass(), "mapping");
+    EXPECT_EQ(err.gateIndex(), 12);
+    EXPECT_EQ(err.qubits(), (std::vector<int>{3, 9}));
+    const std::string what = err.what();
+    EXPECT_NE(what.find("check[mapping]"), std::string::npos);
+    EXPECT_NE(what.find("gate 12"), std::string::npos);
+    EXPECT_NE(what.find("p3,p9"), std::string::npos);
+}
+
+TEST(CircuitCheckerTest, AcceptsCompiledProgram)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const CompiledProgram program = compiledBv6(device);
+    EXPECT_NO_THROW(CircuitChecker{}.check(program.physical));
+}
+
+TEST(CircuitCheckerTest, RejectsUseAfterMeasure)
+{
+    Circuit c(3, 3);
+    c.h(0).measure(0, 0).x(0);
+    try {
+        CircuitChecker{}.check(c);
+        FAIL() << "use-after-measure not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "circuit");
+        EXPECT_EQ(err.gateIndex(), 2);
+        EXPECT_NE(std::string(err.what()).find("after its measurement"),
+                  std::string::npos);
+    }
+}
+
+TEST(CircuitCheckerTest, AllowsDeclaredMidCircuitMeasure)
+{
+    Circuit c(3, 3);
+    c.h(0).measure(0, 0).x(0);
+    CircuitCheckOptions options;
+    options.allowUseAfterMeasure = true;
+    EXPECT_NO_THROW(CircuitChecker{options}.check(c));
+}
+
+TEST(CircuitCheckerTest, RejectsRawGateOutOfRange)
+{
+    // Raw gate lists bypass the builder validation; the checker must
+    // catch them anyway.
+    const std::vector<circuit::Gate> gates{
+        {circuit::OpKind::Cx, {0, 7}, {}, -1}};
+    try {
+        CircuitChecker{}.checkGates(gates, 4, 4);
+        FAIL() << "out-of-range qubit not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "circuit");
+        EXPECT_EQ(err.gateIndex(), 0);
+        EXPECT_NE(std::string(err.what()).find("out of register"),
+                  std::string::npos);
+    }
+}
+
+TEST(CircuitCheckerTest, RejectsRawGateArityMismatch)
+{
+    const std::vector<circuit::Gate> gates{
+        {circuit::OpKind::Cx, {0}, {}, -1}};
+    try {
+        CircuitChecker{}.checkGates(gates, 4, 4);
+        FAIL() << "arity mismatch not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_NE(std::string(err.what()).find("arity"),
+                  std::string::npos);
+    }
+}
+
+TEST(MappingCheckerTest, AcceptsCompiledProgram)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const CompiledProgram program = compiledBv6(device);
+    EXPECT_NO_THROW(MappingChecker{}.run(viewOf(program, device)));
+}
+
+TEST(MappingCheckerTest, RejectsUncoupledCx)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    CompiledProgram program = compiledBv6(device);
+    // Corrupt the routed circuit with a CX between qubits 0 and 7,
+    // which are not coupled on melbourne.
+    ASSERT_FALSE(device.topology().adjacent(0, 7));
+    program.physical.cx(0, 7);
+    try {
+        MappingChecker{}.checkCoupling(program.physical, device);
+        FAIL() << "uncoupled CX not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "mapping");
+        EXPECT_EQ(err.gateIndex(),
+                  static_cast<int>(program.physical.size()) - 1);
+        EXPECT_EQ(err.qubits(), (std::vector<int>{0, 7}));
+        EXPECT_NE(std::string(err.what()).find("uncoupled"),
+                  std::string::npos);
+    }
+}
+
+TEST(MappingCheckerTest, RejectsNonBijectiveLayout)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    CompiledProgram program = compiledBv6(device);
+    ASSERT_GE(program.initialMap.size(), 2u);
+    program.initialMap[1] = program.initialMap[0];
+    try {
+        MappingChecker{}.run(viewOf(program, device));
+        FAIL() << "non-bijective layout not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "mapping");
+        EXPECT_NE(std::string(err.what()).find("bijection"),
+                  std::string::npos);
+    }
+}
+
+TEST(MappingCheckerTest, RejectsLayoutOutsideDevice)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    CompiledProgram program = compiledBv6(device);
+    program.initialMap[0] = device.numQubits();
+    EXPECT_THROW(MappingChecker{}.run(viewOf(program, device)),
+                 CheckError);
+}
+
+TEST(MappingCheckerTest, RejectsStaleFinalMap)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    CompiledProgram program = compiledBv6(device);
+    ASSERT_GE(program.finalMap.size(), 2u);
+    std::swap(program.finalMap[0], program.finalMap[1]);
+    try {
+        MappingChecker{}.run(viewOf(program, device));
+        FAIL() << "stale final map not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "mapping");
+        EXPECT_NE(std::string(err.what()).find("SWAP trail"),
+                  std::string::npos);
+    }
+}
+
+TEST(MappingCheckerTest, RejectsSwapCountMismatch)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    CompiledProgram program = compiledBv6(device);
+    program.swapCount += 1;
+    try {
+        MappingChecker{}.run(viewOf(program, device));
+        FAIL() << "SWAP count mismatch not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "mapping");
+        EXPECT_NE(std::string(err.what()).find("SWAP"),
+                  std::string::npos);
+    }
+}
+
+TEST(EspCheckerTest, RecomputationMatchesTranspilerScore)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const CompiledProgram program = compiledBv6(device);
+    EXPECT_NEAR(EspChecker{}.recompute(program.physical, device),
+                transpile::esp(program.physical, device), 1e-15);
+    EXPECT_NO_THROW(EspChecker{}.run(viewOf(program, device)));
+}
+
+TEST(EspCheckerTest, ToleratesTinyReportingNoise)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    CompiledProgram program = compiledBv6(device);
+    program.esp += 1e-12;
+    EXPECT_NO_THROW(EspChecker{}.run(viewOf(program, device)));
+}
+
+TEST(EspCheckerTest, RejectsStaleEsp)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    CompiledProgram program = compiledBv6(device);
+    program.esp += 1e-3; // score no longer matches the circuit
+    try {
+        EspChecker{}.run(viewOf(program, device));
+        FAIL() << "stale ESP not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "esp");
+        EXPECT_NE(std::string(err.what()).find("stale"),
+                  std::string::npos);
+    }
+}
+
+TEST(EspCheckerTest, RejectsCircuitEditedAfterScoring)
+{
+    // The motivating bug: a transform edits the routed circuit after
+    // the score pass and forgets to re-score it.
+    const hw::Device device = hw::Device::melbourne(2);
+    CompiledProgram program = compiledBv6(device);
+    const auto [a, b] = std::pair{device.topology().edges().front().a,
+                                  device.topology().edges().front().b};
+    program.physical.cx(a, b);
+    EXPECT_THROW(EspChecker{}.run(viewOf(program, device)), CheckError);
+}
+
+TEST(VerifyProgramTest, RunsEveryStandardPass)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const CompiledProgram program = compiledBv6(device);
+    EXPECT_EQ(verifyProgram(viewOf(program, device)),
+              standardPasses().size());
+    EXPECT_EQ(standardPasses().size(), 3u);
+}
+
+TEST(TranspilerHookTest, CheckPassRunsWhenVerifyEnabled)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const Transpiler verified(device, transpile::RouteCost::Reliability,
+                              true);
+    const auto trace =
+        verified.compileWithTrace(benchmarks::bv6().circuit);
+    ASSERT_EQ(trace.passes.size(), 4u);
+    EXPECT_EQ(trace.passes.back().name, "check");
+    EXPECT_EQ(trace.passes.back().metrics.at("passesRun"), 3.0);
+}
+
+TEST(TranspilerHookTest, CheckPassAbsentWhenVerifyDisabled)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const Transpiler unverified(device,
+                                transpile::RouteCost::Reliability,
+                                false);
+    const auto trace =
+        unverified.compileWithTrace(benchmarks::bv6().circuit);
+    ASSERT_EQ(trace.passes.size(), 3u);
+    EXPECT_EQ(trace.passes.back().name, "score");
+}
+
+TEST(TranspilerHookTest, VerifiedCompileMatchesUnverified)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const auto logical = benchmarks::bv6().circuit;
+    const Transpiler on(device, transpile::RouteCost::Reliability,
+                        true);
+    const Transpiler off(device, transpile::RouteCost::Reliability,
+                         false);
+    const CompiledProgram a = on.compile(logical);
+    const CompiledProgram b = off.compile(logical);
+    EXPECT_EQ(a.physical.fingerprint(), b.physical.fingerprint());
+    EXPECT_EQ(a.initialMap, b.initialMap);
+    EXPECT_EQ(a.finalMap, b.finalMap);
+    EXPECT_DOUBLE_EQ(a.esp, b.esp);
+}
+
+TEST(EnsembleHookTest, VerifiedBuildProducesValidMembers)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    core::EnsembleConfig config;
+    config.verifyPasses = true;
+    const core::EnsembleBuilder builder(device, config);
+    const auto members = builder.build(benchmarks::bv6().circuit);
+    ASSERT_FALSE(members.empty());
+    for (const auto &member : members)
+        EXPECT_NO_THROW(verifyProgram(viewOf(member, device)));
+}
+
+TEST(PipelineHookTest, EdmRunWithVerifyPassesEnabled)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    core::EdmConfig config;
+    config.totalShots = 512;
+    config.verifyPasses = true;
+    const core::EdmPipeline pipeline(device, config);
+    Rng rng(5);
+    const auto result = pipeline.run(benchmarks::bv6().circuit, rng);
+    EXPECT_FALSE(result.members.empty());
+}
+
+} // namespace
+} // namespace qedm::check

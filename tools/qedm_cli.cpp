@@ -15,7 +15,14 @@
  * N worker threads (0 = all hardware threads, default 1). Results are
  * bit-identical for every N.
  *
- * Exit code 0 on success, 1 on a usage/user error.
+ * `--check` (anywhere on the line) runs the qedm::check static
+ * verifier passes over every compiled program: compile/candidates
+ * verify the transpiler output, run/experiment verify every ensemble
+ * member of every round. Debug builds verify always; `--check` is
+ * how release builds opt in.
+ *
+ * Exit code 0 on success, 1 on a usage/user error (including a
+ * verifier rejection).
  */
 
 #include <cstdlib>
@@ -25,6 +32,7 @@
 
 #include "analysis/report.hpp"
 #include "benchmarks/benchmarks.hpp"
+#include "check/check.hpp"
 #include "common/error.hpp"
 #include "benchmarks/extra.hpp"
 #include "core/edm.hpp"
@@ -86,11 +94,12 @@ cmdShow(const std::string &name)
 }
 
 int
-cmdCompile(const std::string &name, std::uint64_t seed)
+cmdCompile(const std::string &name, std::uint64_t seed, bool verify)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
-    const transpile::Transpiler compiler(device);
+    const transpile::Transpiler compiler(
+        device, transpile::RouteCost::Reliability, verify);
     const auto program = compiler.compile(b.circuit);
     std::cout << "device " << device.name() << " (seed " << seed
               << ")\nESP " << analysis::fmt(program.esp) << ", "
@@ -102,11 +111,13 @@ cmdCompile(const std::string &name, std::uint64_t seed)
 }
 
 int
-cmdCandidates(const std::string &name, std::uint64_t seed)
+cmdCandidates(const std::string &name, std::uint64_t seed, bool verify)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
-    const core::EnsembleBuilder builder(device);
+    core::EnsembleConfig ensemble_config;
+    ensemble_config.verifyPasses |= verify;
+    const core::EnsembleBuilder builder(device, ensemble_config);
     const auto all = builder.candidates(b.circuit);
     analysis::Table table({"rank", "ESP", "qubits"});
     const std::size_t show = std::min<std::size_t>(all.size(), 12);
@@ -125,13 +136,14 @@ cmdCandidates(const std::string &name, std::uint64_t seed)
 
 int
 cmdRun(const std::string &name, std::uint64_t seed,
-       std::uint64_t shots, int jobs)
+       std::uint64_t shots, int jobs, bool verify)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
     core::EdmConfig config;
     config.totalShots = shots;
     config.jobs = jobs;
+    config.verifyPasses |= verify;
     const core::EdmPipeline pipeline(device, config);
     Rng rng(seed * 1000 + 1);
     const auto result = pipeline.run(b.circuit, rng);
@@ -155,12 +167,14 @@ cmdRun(const std::string &name, std::uint64_t seed,
 }
 
 int
-cmdExperiment(const std::string &name, std::uint64_t seed, int jobs)
+cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
+              bool verify)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
     core::ExperimentConfig config;
     config.jobs = jobs;
+    config.verifyPasses |= verify;
     const auto summary = core::runExperiment(device, b, config, seed);
     analysis::Table table({"policy", "median IST", "median PST"});
     table.addRow({"baseline (compile-time best)",
@@ -186,7 +200,8 @@ int
 usage()
 {
     std::cerr << "usage: qedm_cli <list|show|compile|candidates|run|"
-                 "experiment> [benchmark] [seed] [shots] [--jobs N]\n";
+                 "experiment> [benchmark] [seed] [shots] [--jobs N] "
+                 "[--check]\n";
     return 1;
 }
 
@@ -196,11 +211,17 @@ int
 main(int argc, char **argv)
 {
     try {
-        // Split `--jobs N` (accepted anywhere) out of the positionals.
+        // Split `--jobs N` / `--check` (accepted anywhere) out of the
+        // positionals.
         std::vector<std::string> pos;
         int jobs = 1;
+        bool verify = qedm::check::kDefaultVerify;
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
+            if (arg == "--check") {
+                verify = true;
+                continue;
+            }
             if (arg == "--jobs") {
                 if (i + 1 >= argc)
                     return usage();
@@ -230,13 +251,13 @@ main(int argc, char **argv)
         if (cmd == "show")
             return cmdShow(name);
         if (cmd == "compile")
-            return cmdCompile(name, seed);
+            return cmdCompile(name, seed, verify);
         if (cmd == "candidates")
-            return cmdCandidates(name, seed);
+            return cmdCandidates(name, seed, verify);
         if (cmd == "run")
-            return cmdRun(name, seed, shots, jobs);
+            return cmdRun(name, seed, shots, jobs, verify);
         if (cmd == "experiment")
-            return cmdExperiment(name, seed, jobs);
+            return cmdExperiment(name, seed, jobs, verify);
         return usage();
     } catch (const qedm::Error &e) {
         std::cerr << "error: " << e.what() << "\n";

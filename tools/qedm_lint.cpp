@@ -1,0 +1,291 @@
+/**
+ * @file
+ * qedm_lint — standalone repository linter enforcing qedm's project
+ * invariants over `src/` and `tools/`:
+ *
+ *   - rng-discipline:    no std::rand / std::mt19937 /
+ *                        std::random_device / srand outside
+ *                        src/common/rng (all randomness must flow
+ *                        through the deterministic SeedSequence/Rng
+ *                        streams, or parallel runs stop being
+ *                        bit-identical);
+ *   - assert-discipline: no raw assert( in library code — invariants
+ *                        use QEDM_ASSERT / QEDM_REQUIRE so they throw
+ *                        typed, testable diagnostics in every build
+ *                        type;
+ *   - stdout-discipline: no std::cout in src/ (libraries return data;
+ *                        only tools/ and bench/ talk to stdout);
+ *   - pragma-once:       every header starts with #pragma once;
+ *   - naked-new:         no naked `new` (ownership goes through
+ *                        containers and smart pointers).
+ *
+ * Comments and string/char literals are stripped before matching, so
+ * prose and diagnostic text never trip a rule (including this file's
+ * own rule table). Run in CI over the repo root; also registered as
+ * ctest cases `lint_repo` (must pass) and `lint_fixture` (a seeded
+ * violation set that must fail).
+ *
+ * Usage: qedm_lint [root]   (default root: current directory)
+ * Exit:  0 clean, 1 violations found, 2 usage or I/O error.
+ */
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/**
+ * Blank out comments and string/char literals, preserving the line
+ * structure so diagnostics keep their line numbers. Replaced
+ * characters become spaces.
+ */
+std::string
+stripCommentsAndStrings(const std::string &text)
+{
+    enum class State
+    {
+        Code,
+        LineComment,
+        BlockComment,
+        StringLit,
+        CharLit,
+    };
+    std::string out = text;
+    State state = State::Code;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+        const char prev = i > 0 ? text[i - 1] : '\0';
+        switch (state) {
+          case State::Code:
+            if (c == '/' && next == '/') {
+                state = State::LineComment;
+                out[i] = ' ';
+            } else if (c == '/' && next == '*') {
+                state = State::BlockComment;
+                out[i] = ' ';
+            } else if (c == '"') {
+                state = State::StringLit;
+                out[i] = ' ';
+            } else if (c == '\'' && !(isIdentChar(prev) &&
+                                      isIdentChar(next))) {
+                // Skip digit separators (1'000) and u8'' prefixes by
+                // requiring a non-identifier character on one side.
+                state = State::CharLit;
+                out[i] = ' ';
+            }
+            break;
+          case State::LineComment:
+            if (c != '\n')
+                out[i] = ' ';
+            else
+                state = State::Code;
+            break;
+          case State::BlockComment:
+            if (c == '*' && next == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::StringLit:
+          case State::CharLit:
+            if (c == '\\' && next != '\0') {
+                out[i] = ' ';
+                if (next != '\n')
+                    out[i + 1] = ' ';
+                ++i;
+            } else if ((state == State::StringLit && c == '"') ||
+                       (state == State::CharLit && c == '\'')) {
+                out[i] = ' ';
+                state = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+/** Does @p line contain @p token bounded by non-identifier chars? */
+bool
+containsToken(const std::string &line, const std::string &token,
+              bool require_call = false)
+{
+    std::size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+        const bool left_ok =
+            pos == 0 || !isIdentChar(line[pos - 1]);
+        std::size_t end = pos + token.size();
+        const bool right_ok =
+            end >= line.size() || !isIdentChar(line[end]);
+        if (left_ok && right_ok) {
+            if (!require_call)
+                return true;
+            while (end < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[end]))) {
+                ++end;
+            }
+            if (end < line.size() && line[end] == '(')
+                return true;
+        }
+        pos += token.size();
+    }
+    return false;
+}
+
+/** Is @p path inside the top-level directory @p dir of the scan root? */
+bool
+underDir(const std::string &rel_path, const std::string &dir)
+{
+    return rel_path.rfind(dir + "/", 0) == 0;
+}
+
+bool
+isHeader(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".hpp" || ext == ".h";
+}
+
+bool
+isSource(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".cc" || isHeader(p);
+}
+
+void
+lintFile(const fs::path &path, const std::string &rel_path,
+         std::vector<Violation> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        out.push_back(Violation{rel_path, 0, "io",
+                                "cannot open file for linting"});
+        return;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string raw = buffer.str();
+
+    if (isHeader(path) &&
+        raw.find("#pragma once") == std::string::npos) {
+        out.push_back(Violation{rel_path, 1, "pragma-once",
+                                "header is missing #pragma once"});
+    }
+
+    const bool in_src = underDir(rel_path, "src");
+    const bool rng_home =
+        rel_path.rfind("src/common/rng", 0) == 0;
+
+    const std::string code = stripCommentsAndStrings(raw);
+    std::istringstream lines(code);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(lines, line)) {
+        ++lineno;
+        if (!rng_home) {
+            for (const char *token :
+                 {"std::mt19937", "std::rand", "std::random_device",
+                  "srand"}) {
+                if (containsToken(line, token)) {
+                    out.push_back(Violation{
+                        rel_path, lineno, "rng-discipline",
+                        std::string(token) +
+                            " bypasses the deterministic "
+                            "SeedSequence/Rng streams; use "
+                            "src/common/rng"});
+                }
+            }
+        }
+        if (in_src && containsToken(line, "assert", true)) {
+            out.push_back(Violation{
+                rel_path, lineno, "assert-discipline",
+                "raw assert( in library code; use QEDM_ASSERT or "
+                "QEDM_REQUIRE"});
+        }
+        if (in_src && containsToken(line, "std::cout")) {
+            out.push_back(Violation{
+                rel_path, lineno, "stdout-discipline",
+                "std::cout in library code; only tools/ and bench/ "
+                "write to stdout"});
+        }
+        if (containsToken(line, "new")) {
+            out.push_back(Violation{
+                rel_path, lineno, "naked-new",
+                "naked new; use containers or std::make_unique/"
+                "std::make_shared"});
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc > 2) {
+        std::cerr << "usage: qedm_lint [root]\n";
+        return 2;
+    }
+    const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::path(".");
+
+    std::vector<fs::path> scan_dirs;
+    for (const char *dir : {"src", "tools"}) {
+        if (fs::is_directory(root / dir))
+            scan_dirs.push_back(root / dir);
+    }
+    if (scan_dirs.empty()) {
+        std::cerr << "qedm_lint: no src/ or tools/ under "
+                  << root.string() << "\n";
+        return 2;
+    }
+
+    std::vector<Violation> violations;
+    int files_scanned = 0;
+    for (const fs::path &dir : scan_dirs) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file() || !isSource(entry.path()))
+                continue;
+            ++files_scanned;
+            const std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            lintFile(entry.path(), rel, violations);
+        }
+    }
+
+    for (const Violation &v : violations) {
+        std::cout << v.file << ":" << v.line << ": [" << v.rule
+                  << "] " << v.message << "\n";
+    }
+    std::cout << "qedm_lint: " << files_scanned << " files, "
+              << violations.size() << " violation(s)\n";
+    return violations.empty() ? 0 : 1;
+}
