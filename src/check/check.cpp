@@ -40,10 +40,61 @@ formatQubits(const std::vector<int> &qubits)
 
 } // namespace detail
 
+const char *
+checkErrorKindName(CheckErrorKind kind)
+{
+    switch (kind) {
+      case CheckErrorKind::Unspecified:
+        return "unspecified";
+      case CheckErrorKind::MissingArtifact:
+        return "missing-artifact";
+      case CheckErrorKind::ArityMismatch:
+        return "arity-mismatch";
+      case CheckErrorKind::ParamMismatch:
+        return "param-mismatch";
+      case CheckErrorKind::QubitOutOfRange:
+        return "qubit-out-of-range";
+      case CheckErrorKind::DuplicateOperand:
+        return "duplicate-operand";
+      case CheckErrorKind::UseAfterMeasure:
+        return "use-after-measure";
+      case CheckErrorKind::ClbitMisuse:
+        return "clbit-misuse";
+      case CheckErrorKind::RegisterMismatch:
+        return "register-mismatch";
+      case CheckErrorKind::LayoutOutOfRange:
+        return "layout-out-of-range";
+      case CheckErrorKind::LayoutNotBijective:
+        return "layout-not-bijective";
+      case CheckErrorKind::UndecomposedGate:
+        return "undecomposed-gate";
+      case CheckErrorKind::UncoupledGate:
+        return "uncoupled-gate";
+      case CheckErrorKind::SwapCountMismatch:
+        return "swap-count-mismatch";
+      case CheckErrorKind::SwapTrailMismatch:
+        return "swap-trail-mismatch";
+      case CheckErrorKind::EspMismatch:
+        return "esp-mismatch";
+      case CheckErrorKind::EspUndefined:
+        return "esp-undefined";
+    }
+    return "unknown";
+}
+
 CheckError::CheckError(std::string pass, const std::string &message,
                        int gate_index, std::vector<int> qubits)
+    : CheckError(std::move(pass), CheckErrorKind::Unspecified, message,
+                 gate_index, std::move(qubits))
+{
+}
+
+CheckError::CheckError(std::string pass, CheckErrorKind kind,
+                       const std::string &message, int gate_index,
+                       std::vector<int> qubits)
     : Error(formatCheckMessage(pass, message, gate_index, qubits)),
       pass_(std::move(pass)),
+      kind_(kind),
       gateIndex_(gate_index),
       qubits_(std::move(qubits))
 {

@@ -46,10 +46,39 @@ inline constexpr bool kDefaultVerify = true;
 #endif
 
 /**
- * A verifier pass rejected an artifact. Carries the pass name, the
- * offending gate index (-1 when the violation is not tied to one
- * gate), and the physical qubits involved, all of which also appear
- * in what().
+ * What class of violation a verifier pass found. Tests and callers
+ * match on the kind instead of substring-grepping what(), so
+ * diagnostic wording can evolve without breaking them.
+ */
+enum class CheckErrorKind
+{
+    Unspecified,      ///< legacy construction without a kind
+    MissingArtifact,  ///< the program view lacks a required piece
+    ArityMismatch,    ///< operand count does not match the op kind
+    ParamMismatch,    ///< parameter count does not match the op kind
+    QubitOutOfRange,  ///< gate qubit index outside the register
+    DuplicateOperand, ///< a gate repeats an operand qubit
+    UseAfterMeasure,  ///< a gate acts on a qubit after measurement
+    ClbitMisuse,      ///< clbit out of range or on a non-measure op
+    RegisterMismatch, ///< register/map sizes disagree with the device
+    LayoutOutOfRange, ///< a layout entry leaves the device register
+    LayoutNotBijective, ///< two logical qubits share a physical qubit
+    UndecomposedGate, ///< >2-qubit gate survived into a routed circuit
+    UncoupledGate,    ///< two-qubit gate on a non-adjacent pair
+    SwapCountMismatch, ///< reported SWAP count != SWAPs in the circuit
+    SwapTrailMismatch, ///< replayed SWAPs do not reach the final map
+    EspMismatch,      ///< reported ESP does not recompute (stale score)
+    EspUndefined,     ///< ESP recomputation hit an uncoupled gate
+};
+
+/** Stable kebab-case name for one CheckErrorKind. */
+const char *checkErrorKindName(CheckErrorKind kind);
+
+/**
+ * A verifier pass rejected an artifact. Carries the pass name, a
+ * structured violation kind, the offending gate index (-1 when the
+ * violation is not tied to one gate), and the physical qubits
+ * involved; pass, gate, and qubits also appear in what().
  */
 class CheckError : public Error
 {
@@ -57,8 +86,15 @@ class CheckError : public Error
     CheckError(std::string pass, const std::string &message,
                int gate_index = -1, std::vector<int> qubits = {});
 
+    CheckError(std::string pass, CheckErrorKind kind,
+               const std::string &message, int gate_index = -1,
+               std::vector<int> qubits = {});
+
     /** Name of the pass that rejected ("circuit", "mapping", "esp"). */
     const std::string &pass() const { return pass_; }
+
+    /** Structured violation class (Unspecified for the legacy ctor). */
+    CheckErrorKind kind() const { return kind_; }
 
     /** Offending gate index in the physical circuit, or -1. */
     int gateIndex() const { return gateIndex_; }
@@ -68,6 +104,7 @@ class CheckError : public Error
 
   private:
     std::string pass_;
+    CheckErrorKind kind_;
     int gateIndex_;
     std::vector<int> qubits_;
 };

@@ -9,7 +9,8 @@ void
 CircuitChecker::run(const ProgramView &view) const
 {
     if (view.physical == nullptr)
-        throw CheckError(name(), "program view has no physical circuit");
+        throw CheckError(name(), CheckErrorKind::MissingArtifact,
+                         "program view has no physical circuit");
     check(*view.physical);
 }
 
@@ -35,7 +36,7 @@ CircuitChecker::checkGates(const std::vector<circuit::Gate> &gates,
             static_cast<int>(g.qubits.size()) !=
                 circuit::opArity(g.kind)) {
             throw CheckError(
-                name(),
+                name(), CheckErrorKind::ArityMismatch,
                 op + " has " + std::to_string(g.qubits.size()) +
                     " operands, arity is " +
                     std::to_string(circuit::opArity(g.kind)),
@@ -44,7 +45,7 @@ CircuitChecker::checkGates(const std::vector<circuit::Gate> &gates,
         if (static_cast<int>(g.params.size()) !=
             circuit::opParamCount(g.kind)) {
             throw CheckError(
-                name(),
+                name(), CheckErrorKind::ParamMismatch,
                 op + " has " + std::to_string(g.params.size()) +
                     " parameters, expected " +
                     std::to_string(circuit::opParamCount(g.kind)),
@@ -55,19 +56,21 @@ CircuitChecker::checkGates(const std::vector<circuit::Gate> &gates,
         for (int q : g.qubits) {
             if (q < 0 || q >= num_qubits) {
                 throw CheckError(name(),
+                                 CheckErrorKind::QubitOutOfRange,
                                  op + " qubit index out of register [0, " +
                                      std::to_string(num_qubits) + ")",
                                  idx, g.qubits);
             }
             if (!seen.insert(q).second) {
                 throw CheckError(name(),
+                                 CheckErrorKind::DuplicateOperand,
                                  op + " repeats operand qubit",
                                  idx, g.qubits);
             }
             if (measured[static_cast<std::size_t>(q)] &&
                 !options_.allowUseAfterMeasure) {
                 throw CheckError(
-                    name(),
+                    name(), CheckErrorKind::UseAfterMeasure,
                     op + " acts on a qubit after its measurement "
                          "(measurement is terminal per qubit)",
                     idx, g.qubits);
@@ -77,7 +80,7 @@ CircuitChecker::checkGates(const std::vector<circuit::Gate> &gates,
         if (g.kind == circuit::OpKind::Measure) {
             if (g.clbit < 0 || g.clbit >= num_clbits) {
                 throw CheckError(
-                    name(),
+                    name(), CheckErrorKind::ClbitMisuse,
                     "measure clbit " + std::to_string(g.clbit) +
                         " out of register [0, " +
                         std::to_string(num_clbits) + ")",
@@ -85,7 +88,7 @@ CircuitChecker::checkGates(const std::vector<circuit::Gate> &gates,
             }
             measured[static_cast<std::size_t>(g.qubits[0])] = true;
         } else if (g.clbit != -1) {
-            throw CheckError(name(),
+            throw CheckError(name(), CheckErrorKind::ClbitMisuse,
                              op + " carries a classical target but "
                                   "only measure writes a clbit",
                              idx, g.qubits);

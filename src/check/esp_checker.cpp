@@ -9,7 +9,7 @@ void
 EspChecker::run(const ProgramView &view) const
 {
     if (view.physical == nullptr || view.device == nullptr)
-        throw CheckError(name(),
+        throw CheckError(name(), CheckErrorKind::MissingArtifact,
                          "program view needs a circuit and a device");
     const double recomputed = recompute(*view.physical, *view.device);
     if (std::abs(view.esp - recomputed) > tolerance_) {
@@ -19,7 +19,7 @@ EspChecker::run(const ProgramView &view) const
            << " does not match the routed circuit (recomputed "
            << recomputed << ", tolerance " << tolerance_
            << "); stale score?";
-        throw CheckError(name(), os.str());
+        throw CheckError(name(), CheckErrorKind::EspMismatch, os.str());
     }
 }
 
@@ -48,7 +48,7 @@ EspChecker::recompute(const circuit::Circuit &physical,
                 const int e = topo.edgeIndex(g.qubits[0], g.qubits[1]);
                 if (e < 0) {
                     throw CheckError(
-                        name(),
+                        name(), CheckErrorKind::EspUndefined,
                         "ESP undefined: " + circuit::opName(g.kind) +
                             " on an uncoupled pair",
                         static_cast<int>(i), g.qubits);

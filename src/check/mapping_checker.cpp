@@ -9,14 +9,14 @@ void
 MappingChecker::run(const ProgramView &view) const
 {
     if (view.physical == nullptr || view.device == nullptr)
-        throw CheckError(name(),
+        throw CheckError(name(), CheckErrorKind::MissingArtifact,
                          "program view needs a circuit and a device");
     const circuit::Circuit &physical = *view.physical;
     const hw::Device &device = *view.device;
 
     if (physical.numQubits() != device.numQubits()) {
         throw CheckError(
-            name(),
+            name(), CheckErrorKind::RegisterMismatch,
             "physical register has " +
                 std::to_string(physical.numQubits()) +
                 " qubits, device has " +
@@ -44,6 +44,7 @@ MappingChecker::checkLayout(const std::vector<int> &layout,
         const int p = layout[l];
         if (p < 0 || p >= device.numQubits()) {
             throw CheckError(name(),
+                             CheckErrorKind::LayoutOutOfRange,
                              std::string(label) + " sends logical " +
                                  std::to_string(l) +
                                  " outside the device register",
@@ -51,6 +52,7 @@ MappingChecker::checkLayout(const std::vector<int> &layout,
         }
         if (taken[static_cast<std::size_t>(p)]) {
             throw CheckError(name(),
+                             CheckErrorKind::LayoutNotBijective,
                              std::string(label) +
                                  " is not a bijection: physical "
                                  "qubit assigned twice",
@@ -75,6 +77,7 @@ MappingChecker::checkCoupling(const circuit::Circuit &physical,
         const int arity = circuit::opArity(g.kind);
         if (arity > 2) {
             throw CheckError(name(),
+                             CheckErrorKind::UndecomposedGate,
                              circuit::opName(g.kind) +
                                  " in a routed circuit (physical "
                                  "circuits must be decomposed to <= 2 "
@@ -82,7 +85,7 @@ MappingChecker::checkCoupling(const circuit::Circuit &physical,
                              static_cast<int>(i), g.qubits);
         }
         if (arity == 2 && !topo.adjacent(g.qubits[0], g.qubits[1])) {
-            throw CheckError(name(),
+            throw CheckError(name(), CheckErrorKind::UncoupledGate,
                              circuit::opName(g.kind) +
                                  " acts on an uncoupled pair",
                              static_cast<int>(i), g.qubits);
@@ -98,7 +101,7 @@ MappingChecker::checkSwapBookkeeping(
 {
     if (initial_map.size() != final_map.size()) {
         throw CheckError(
-            name(),
+            name(), CheckErrorKind::RegisterMismatch,
             "initial map covers " +
                 std::to_string(initial_map.size()) +
                 " logical qubits, final map " +
@@ -127,6 +130,7 @@ MappingChecker::checkSwapBookkeeping(
 
     if (swaps_seen != swap_count) {
         throw CheckError(name(),
+                         CheckErrorKind::SwapCountMismatch,
                          "routed circuit contains " +
                              std::to_string(swaps_seen) +
                              " SWAPs, program reports " +
@@ -135,7 +139,7 @@ MappingChecker::checkSwapBookkeeping(
     for (std::size_t l = 0; l < location.size(); ++l) {
         if (location[l] != final_map[l]) {
             throw CheckError(
-                name(),
+                name(), CheckErrorKind::SwapTrailMismatch,
                 "SWAP trail leaves logical " + std::to_string(l) +
                     " on physical " + std::to_string(location[l]) +
                     ", final map says " +

@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "resilience/fault_injector.hpp"
+#include "runtime/retry.hpp"
 #include "sim/executor.hpp"
 
 namespace qedm::core {
@@ -17,19 +19,314 @@ struct ShotUnit
     std::uint64_t shots;
 };
 
-/** Cut @p total shots into fixed-size batches for @p members members. */
+/** Cut each member's shot share into fixed-size batches. */
 std::vector<ShotUnit>
-makeUnits(std::size_t members, std::uint64_t total, std::uint64_t batch)
+makeUnits(const std::vector<std::uint64_t> &splits, std::uint64_t batch)
 {
     std::vector<ShotUnit> units;
-    for (std::size_t m = 0; m < members; ++m) {
-        for (std::uint64_t done = 0, b = 0; done < total;
+    for (std::size_t m = 0; m < splits.size(); ++m) {
+        for (std::uint64_t done = 0, b = 0; done < splits[m];
              done += batch, ++b) {
             units.push_back(
-                ShotUnit{m, b, std::min(batch, total - done)});
+                ShotUnit{m, b, std::min(batch, splits[m] - done)});
         }
     }
     return units;
+}
+
+/**
+ * Stream key rooting the fault-injection domain under the pipeline's
+ * SeedSequence. Member execution streams use child keys 0..K-1, so
+ * the fault domain sits at a large constant that can never collide
+ * with a member index.
+ */
+constexpr std::uint64_t kStreamFaults = 0xFA171D05ull;
+
+/** A resilient work unit; limit < shots when the dropout lands here. */
+struct ResilientUnit
+{
+    std::size_t member;
+    std::uint64_t batch;
+    std::uint64_t shots;
+    std::uint64_t limit;
+};
+
+/** What one resilient unit produced across its retry attempts. */
+struct UnitResult
+{
+    std::optional<stats::Counts> counts;
+    int attempts = 1;
+    bool exhausted = false;
+};
+
+/** Per-member counts + keep mask + report from a faulted execution. */
+struct ResilientOutcome
+{
+    std::vector<stats::Counts> counts;
+    std::vector<bool> kept;
+    resilience::DegradationReport report;
+};
+
+/** Primary failure cause, by severity: dropout > deadline > retries. */
+resilience::FaultKind
+memberCause(const resilience::MemberFaultPlan &plan,
+            std::uint64_t abandon_batch)
+{
+    if (plan.dropsOut)
+        return resilience::FaultKind::QubitDropout;
+    if (abandon_batch != resilience::FaultEvent::kNoBatch)
+        return resilience::FaultKind::DeadlineAbandoned;
+    return resilience::FaultKind::RetryExhausted;
+}
+
+/**
+ * The faulted execution path. Every fault decision is a pure function
+ * of SeedSequence streams and the static batch plan (deadlines run on
+ * virtual time, never the wall clock), so a faulted run — including
+ * its fault log and degradation report — is bit-identical at any
+ * --jobs value.
+ */
+ResilientOutcome
+runResilient(const hw::Device &device, const EdmConfig &config,
+             const std::vector<transpile::CompiledProgram> &programs,
+             const std::vector<std::shared_ptr<const sim::ExecutionTape>>
+                 &tapes,
+             const sim::Executor &executor,
+             const std::vector<std::uint64_t> &splits,
+             const SeedSequence &seq,
+             const runtime::JobScheduler &scheduler)
+{
+    const resilience::ResilienceConfig &res = config.resilience;
+    const std::size_t count = programs.size();
+    const resilience::FaultInjector injector(res.faults,
+                                             seq.child(kStreamFaults));
+
+    // Per-member fault plans. Stale members execute against their own
+    // perturbed device snapshot (fresh tape, never cached).
+    std::vector<resilience::MemberFaultPlan> plans(count);
+    std::vector<std::shared_ptr<const sim::ExecutionTape>> member_tapes =
+        tapes;
+    std::vector<std::optional<sim::Executor>> stale_execs(count);
+    for (std::size_t m = 0; m < count; ++m) {
+        plans[m] = injector.memberPlan(m, splits[m]);
+        if (plans[m].stale) {
+            Rng stale_rng(plans[m].staleSeed);
+            const hw::Device stale = device.withStaleCalibration(
+                stale_rng, res.faults.stalenessSeverity);
+            member_tapes[m] = std::make_shared<const sim::ExecutionTape>(
+                sim::ExecutionTape::build(stale, programs[m].physical));
+            stale_execs[m].emplace(stale);
+        }
+    }
+    const auto executorFor = [&](std::size_t m) -> const sim::Executor & {
+        return stale_execs[m] ? *stale_execs[m] : executor;
+    };
+
+    // Static batch plan: deadline abandonment (cumulative virtual time
+    // exceeding the member budget) and dropout truncation are decided
+    // up front, so the schedule is independent of execution order.
+    std::vector<ResilientUnit> units;
+    std::vector<std::uint64_t> next_batch(count, 0);
+    std::vector<std::uint64_t> abandon_batch(
+        count, resilience::FaultEvent::kNoBatch);
+    for (std::size_t m = 0; m < count; ++m) {
+        double virtual_ms = 0.0;
+        std::uint64_t b = 0;
+        for (std::uint64_t done = 0; done < splits[m];
+             done += config.shotBatch, ++b) {
+            const std::uint64_t batch_shots =
+                std::min(config.shotBatch, splits[m] - done);
+            virtual_ms += injector.virtualBatchMs(plans[m], batch_shots);
+            if (res.memberDeadlineMs > 0.0 &&
+                virtual_ms > res.memberDeadlineMs) {
+                if (abandon_batch[m] == resilience::FaultEvent::kNoBatch)
+                    abandon_batch[m] = b;
+                continue;
+            }
+            if (plans[m].dropsOut && done >= plans[m].dropoutTrial)
+                continue; // batch lies entirely after the dropout
+            std::uint64_t limit = batch_shots;
+            if (plans[m].dropsOut &&
+                done + batch_shots > plans[m].dropoutTrial)
+                limit = plans[m].dropoutTrial - done;
+            units.push_back(ResilientUnit{m, b, batch_shots, limit});
+        }
+        next_batch[m] = b;
+    }
+
+    // Execute one wave of units; each unit owns the RNG stream keyed
+    // by (member, batch) and retries within its own result slot.
+    const runtime::RetryPolicy policy{res.retryMax + 1,
+                                      res.backoffBaseMs, 2.0};
+    const auto runWave = [&](const std::vector<ResilientUnit> &wave,
+                             std::vector<UnitResult> &results) {
+        scheduler.parallelFor(wave.size(), [&](std::size_t u) {
+            const ResilientUnit &unit = wave[u];
+            const SeedSequence node =
+                seq.child(unit.member).child(unit.batch);
+            const runtime::RetryOutcome attempt_log =
+                runtime::retryWithBackoff(policy, [&](int attempt) {
+                    if (injector.transientFails(unit.member, unit.batch,
+                                                attempt)) {
+                        throw runtime::TransientError(
+                            "injected transient batch failure");
+                    }
+                    Rng unit_rng = node.rng();
+                    const sim::Executor &exec = executorFor(unit.member);
+                    if (unit.limit < unit.shots) {
+                        const std::uint64_t limit = unit.limit;
+                        results[u].counts = exec.run(
+                            *member_tapes[unit.member], unit.shots,
+                            unit_rng, [limit](std::uint64_t trial) {
+                                return trial < limit;
+                            });
+                    } else {
+                        results[u].counts =
+                            exec.run(*member_tapes[unit.member],
+                                     unit.shots, unit_rng);
+                    }
+                });
+            results[u].attempts = attempt_log.attempts;
+            results[u].exhausted = !attempt_log.succeeded;
+        });
+    };
+
+    ResilientOutcome out;
+    out.counts.reserve(count);
+    for (std::size_t m = 0; m < count; ++m)
+        out.counts.emplace_back(member_tapes[m]->numClbits);
+    std::vector<std::uint64_t> completed(count, 0);
+    std::vector<int> retries(count, 0);
+    resilience::DegradationReport &report = out.report;
+
+    // Fold a wave back in fixed unit order: counts into the member
+    // histograms, failed attempts into the deterministic fault log.
+    const auto recordWave = [&](const std::vector<ResilientUnit> &wave,
+                                const std::vector<UnitResult> &results) {
+        for (std::size_t u = 0; u < wave.size(); ++u) {
+            const ResilientUnit &unit = wave[u];
+            const UnitResult &r = results[u];
+            const int failed_attempts =
+                r.exhausted ? r.attempts : r.attempts - 1;
+            for (int a = 0; a < failed_attempts; ++a) {
+                report.faults.push_back(
+                    {resilience::FaultKind::TransientTrialFailure,
+                     unit.member, unit.batch, a});
+            }
+            retries[unit.member] += r.attempts - 1;
+            if (r.exhausted) {
+                report.faults.push_back(
+                    {resilience::FaultKind::RetryExhausted, unit.member,
+                     unit.batch, r.attempts - 1});
+                continue;
+            }
+            QEDM_ASSERT(r.counts.has_value(),
+                        "successful unit produced no counts");
+            completed[unit.member] += r.counts->total();
+            out.counts[unit.member].merge(*r.counts);
+        }
+    };
+
+    // Plan-level events first, in member order, then execution events.
+    for (std::size_t m = 0; m < count; ++m) {
+        if (plans[m].slow) {
+            report.faults.push_back({resilience::FaultKind::SlowMember,
+                                     m, resilience::FaultEvent::kNoBatch,
+                                     -1});
+        }
+        if (plans[m].stale) {
+            report.faults.push_back(
+                {resilience::FaultKind::CalibrationStaleness, m,
+                 resilience::FaultEvent::kNoBatch, -1});
+        }
+        if (plans[m].dropsOut) {
+            report.faults.push_back(
+                {resilience::FaultKind::QubitDropout, m,
+                 plans[m].dropoutTrial / config.shotBatch, -1});
+        }
+        if (abandon_batch[m] != resilience::FaultEvent::kNoBatch) {
+            report.faults.push_back(
+                {resilience::FaultKind::DeadlineAbandoned, m,
+                 abandon_batch[m], -1});
+        }
+    }
+    std::vector<UnitResult> first(units.size());
+    runWave(units, first);
+    recordWave(units, first);
+
+    // Degradation policy: a member that completed its full share is
+    // healthy; anything else keeps its partial trials only above the
+    // floor, and otherwise drops out of the merge entirely.
+    out.kept.assign(count, false);
+    std::vector<std::size_t> full;
+    std::size_t failed_members = 0;
+    const std::uint64_t floor =
+        std::max<std::uint64_t>(res.minTrialsPerMember, 1);
+    for (std::size_t m = 0; m < count; ++m) {
+        if (completed[m] == splits[m]) {
+            out.kept[m] = true;
+            full.push_back(m);
+            continue;
+        }
+        ++failed_members;
+        out.kept[m] = completed[m] >= floor;
+        resilience::MemberDegradation deg;
+        deg.member = m;
+        deg.cause = memberCause(plans[m], abandon_batch[m]);
+        deg.plannedShots = splits[m];
+        deg.completedShots = completed[m];
+        deg.kept = out.kept[m];
+        deg.retries = retries[m];
+        report.members.push_back(deg);
+    }
+    if (std::none_of(out.kept.begin(), out.kept.end(),
+                     [](bool k) { return k; }))
+        throw resilience::EnsembleFailedError(count, failed_members);
+
+    // Reassign the lost budget to fully-healthy survivors. The extra
+    // batches continue each survivor's planned batch numbering, so the
+    // reassigned streams stay a pure function of (member, batch).
+    std::uint64_t budget = 0;
+    for (std::uint64_t s : splits)
+        budget += s;
+    std::uint64_t used = 0;
+    for (std::size_t m = 0; m < count; ++m) {
+        if (out.kept[m])
+            used += completed[m];
+    }
+    const std::uint64_t deficit = budget - used;
+    if (deficit > 0 && !full.empty()) {
+        std::vector<ResilientUnit> extra;
+        const std::uint64_t base = deficit / full.size();
+        const std::uint64_t rem = deficit % full.size();
+        for (std::size_t i = 0; i < full.size(); ++i) {
+            const std::size_t m = full[i];
+            const std::uint64_t share = base + (i < rem ? 1 : 0);
+            for (std::uint64_t done = 0, b = next_batch[m]; done < share;
+                 done += config.shotBatch, ++b) {
+                const std::uint64_t batch_shots =
+                    std::min(config.shotBatch, share - done);
+                extra.push_back(
+                    ResilientUnit{m, b, batch_shots, batch_shots});
+            }
+        }
+        std::vector<UnitResult> extra_results(extra.size());
+        runWave(extra, extra_results);
+        recordWave(extra, extra_results);
+        std::uint64_t used_after = 0;
+        for (std::size_t m = 0; m < count; ++m) {
+            if (out.kept[m])
+                used_after += completed[m];
+        }
+        report.trialsReassigned = used_after - used;
+        used = used_after;
+    }
+    report.trialsLost = budget - used;
+    for (int r : retries)
+        report.retriesTotal += r;
+    QEDM_ASSERT(used + report.trialsLost == budget,
+                "degraded reallocation lost track of the trial budget");
+    return out;
 }
 
 } // namespace
@@ -41,6 +338,8 @@ EdmResult::bestMemberByPst(Outcome correct) const
     std::size_t best = 0;
     double best_pst = -1.0;
     for (std::size_t i = 0; i < members.size(); ++i) {
+        if (members[i].failed)
+            continue;
         const double p = stats::pst(members[i].output, correct);
         if (p > best_pst) {
             best_pst = p;
@@ -55,6 +354,28 @@ EdmPipeline::EdmPipeline(const hw::Device &device, EdmConfig config)
 {
     QEDM_REQUIRE(config_.totalShots > 0, "totalShots must be positive");
     QEDM_REQUIRE(config_.shotBatch > 0, "shotBatch must be positive");
+    QEDM_REQUIRE(config_.resilience.retryMax >= 0,
+                 "retryMax must be non-negative");
+    QEDM_REQUIRE(config_.resilience.memberDeadlineMs >= 0.0,
+                 "memberDeadlineMs must be non-negative");
+}
+
+std::vector<std::uint64_t>
+EdmPipeline::splitShots(std::uint64_t total, std::size_t members)
+{
+    QEDM_REQUIRE(members > 0, "cannot split shots over zero members");
+    std::vector<std::uint64_t> splits(members, 1);
+    if (total < members)
+        return splits; // degenerate: every member still runs one trial
+    const std::uint64_t base = total / members;
+    const std::uint64_t rem = total % members;
+    std::uint64_t sum = 0;
+    for (std::size_t m = 0; m < members; ++m) {
+        splits[m] = base + (m < rem ? 1 : 0);
+        sum += splits[m];
+    }
+    QEDM_ASSERT(sum == total, "shot split does not preserve the budget");
+    return splits;
 }
 
 EdmResult
@@ -76,8 +397,8 @@ EdmPipeline::run(const circuit::Circuit &logical,
     QEDM_ASSERT(!programs.empty(), "ensemble builder returned nothing");
 
     const sim::Executor executor(device_);
-    const std::uint64_t shots_per_member =
-        std::max<std::uint64_t>(config_.totalShots / programs.size(), 1);
+    const std::vector<std::uint64_t> splits =
+        splitShots(config_.totalShots, programs.size());
 
     // Tapes are immutable and shared across all batches of a member.
     std::vector<std::shared_ptr<const sim::ExecutionTape>> tapes;
@@ -91,67 +412,99 @@ EdmPipeline::run(const circuit::Circuit &logical,
                                                 program.physical)));
     }
 
-    // Fan (member, batch) units out over the scheduler. Each unit owns
-    // the RNG stream keyed by its coordinates and writes only its own
-    // slot, so the outcome is independent of scheduling order.
-    const std::vector<ShotUnit> units = makeUnits(
-        programs.size(), shots_per_member, config_.shotBatch);
-    std::vector<std::optional<stats::Counts>> unit_counts(units.size());
-
     std::optional<runtime::JobScheduler> owned;
     const runtime::JobScheduler *scheduler = config_.scheduler;
     if (scheduler == nullptr)
         scheduler = &owned.emplace(config_.jobs);
-    scheduler->parallelFor(units.size(), [&](std::size_t u) {
-        const ShotUnit &unit = units[u];
-        Rng unit_rng = seq.child(unit.member).child(unit.batch).rng();
-        unit_counts[u] =
-            executor.run(*tapes[unit.member], unit.shots, unit_rng);
-    });
 
-    // Merge batches back per member in fixed (member, batch) order.
     EdmResult result;
-    result.members.reserve(programs.size());
-    std::size_t u = 0;
-    for (std::size_t m = 0; m < programs.size(); ++m) {
-        QEDM_ASSERT(u < units.size() && units[u].member == m,
-                    "shot unit bookkeeping out of sync");
-        stats::Counts counts = std::move(*unit_counts[u]);
-        ++u;
-        while (u < units.size() && units[u].member == m) {
-            counts.merge(*unit_counts[u]);
+    std::vector<stats::Counts> member_counts;
+    std::vector<bool> kept_mask;
+    if (!config_.resilience.active()) {
+        // Fault-free fast path: fan (member, batch) units out over the
+        // scheduler. Each unit owns the RNG stream keyed by its
+        // coordinates and writes only its own slot, so the outcome is
+        // independent of scheduling order.
+        const std::vector<ShotUnit> units =
+            makeUnits(splits, config_.shotBatch);
+        std::vector<std::optional<stats::Counts>> unit_counts(
+            units.size());
+        scheduler->parallelFor(units.size(), [&](std::size_t u) {
+            const ShotUnit &unit = units[u];
+            Rng unit_rng =
+                seq.child(unit.member).child(unit.batch).rng();
+            unit_counts[u] =
+                executor.run(*tapes[unit.member], unit.shots, unit_rng);
+        });
+
+        // Merge batches back per member in fixed (member, batch) order.
+        std::size_t u = 0;
+        for (std::size_t m = 0; m < programs.size(); ++m) {
+            QEDM_ASSERT(u < units.size() && units[u].member == m,
+                        "shot unit bookkeeping out of sync");
+            stats::Counts counts = std::move(*unit_counts[u]);
             ++u;
+            while (u < units.size() && units[u].member == m) {
+                counts.merge(*unit_counts[u]);
+                ++u;
+            }
+            member_counts.push_back(std::move(counts));
         }
+        kept_mask.assign(programs.size(), true);
+    } else {
+        ResilientOutcome out =
+            runResilient(device_, config_, programs, tapes, executor,
+                         splits, seq, *scheduler);
+        member_counts = std::move(out.counts);
+        kept_mask = std::move(out.kept);
+        result.degradation = std::move(out.report);
+    }
+
+    result.members.reserve(programs.size());
+    for (std::size_t m = 0; m < programs.size(); ++m) {
         MemberResult member;
-        member.shots = shots_per_member;
-        member.output = stats::Distribution::fromCounts(counts);
+        if (kept_mask[m]) {
+            member.shots = member_counts[m].total();
+            member.output = stats::Distribution::fromCounts(
+                member_counts[m]);
+        } else {
+            member.failed = true;
+            member.output =
+                stats::Distribution::uniform(member_counts[m].width());
+        }
         member.program = std::move(programs[m]);
         result.members.push_back(std::move(member));
     }
 
-    // Uniformity guard (footnote 2): drop signal-free members.
+    // Uniformity guard (footnote 2): drop signal-free members. Failed
+    // members are already out of the merge and are never "discarded".
     std::vector<MemberResult> kept;
-    if (config_.uniformityGuard) {
-        for (std::size_t i = 0; i < result.members.size(); ++i) {
-            if (stats::isNearUniform(result.members[i].output,
-                                     config_.uniformityMargin)) {
-                result.discarded.push_back(i);
-            } else {
-                kept.push_back(result.members[i]);
-            }
+    for (std::size_t i = 0; i < result.members.size(); ++i) {
+        if (result.members[i].failed)
+            continue;
+        if (config_.uniformityGuard &&
+            stats::isNearUniform(result.members[i].output,
+                                 config_.uniformityMargin)) {
+            result.discarded.push_back(i);
+        } else {
+            kept.push_back(result.members[i]);
         }
-        if (kept.empty()) {
-            kept = result.members; // nothing usable: keep everything
-            result.discarded.clear();
-        }
-    } else {
-        kept = result.members;
     }
+    if (kept.empty()) {
+        // Nothing usable: keep every surviving member.
+        result.discarded.clear();
+        for (const auto &member : result.members) {
+            if (!member.failed)
+                kept.push_back(member);
+        }
+    }
+    QEDM_ASSERT(!kept.empty(), "no ensemble member survived to merge");
 
     result.edm = merge(kept, MergeRule::Uniform, config_.klSmoothing);
     result.wedm = merge(kept, MergeRule::KlWeighted, config_.klSmoothing);
 
-    // Expose WEDM weights aligned with the full member list.
+    // Expose WEDM weights aligned with the full member list,
+    // renormalized over the members that actually contribute.
     std::vector<stats::Distribution> kept_outputs;
     kept_outputs.reserve(kept.size());
     for (const auto &m : kept)
@@ -161,6 +514,8 @@ EdmPipeline::run(const circuit::Circuit &logical,
     result.wedmWeights.assign(result.members.size(), 0.0);
     std::size_t kept_idx = 0;
     for (std::size_t i = 0; i < result.members.size(); ++i) {
+        if (result.members[i].failed)
+            continue;
         if (std::find(result.discarded.begin(), result.discarded.end(),
                       i) == result.discarded.end()) {
             result.wedmWeights[i] = kept_weights[kept_idx++];
@@ -188,7 +543,7 @@ EdmPipeline::runSingle(const transpile::CompiledProgram &program,
                   sim::ExecutionTape::build(device_, program.physical));
 
     const std::vector<ShotUnit> units =
-        makeUnits(1, config_.totalShots, config_.shotBatch);
+        makeUnits({config_.totalShots}, config_.shotBatch);
     std::vector<std::optional<stats::Counts>> unit_counts(units.size());
 
     std::optional<runtime::JobScheduler> owned;

@@ -24,6 +24,7 @@
 #include "common/rng.hpp"
 #include "core/ensemble.hpp"
 #include "hw/device.hpp"
+#include "resilience/degradation.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/execution_tape.hpp"
 #include "stats/distribution.hpp"
@@ -85,14 +86,28 @@ struct EdmConfig
      * opt-in via this flag or `qedm_cli --check` in release.
      */
     bool verifyPasses = check::kDefaultVerify;
+    /**
+     * Fault injection + graceful degradation (all-off by default).
+     * When inactive the pipeline compiles down to the original
+     * execution path: no injector, retry, or deadline bookkeeping
+     * exists on the hot path.
+     */
+    resilience::ResilienceConfig resilience;
 };
 
 /** One executed ensemble member. */
 struct MemberResult
 {
     transpile::CompiledProgram program;
+    /** Trials merged into the ensemble (0 for failed members). */
     std::uint64_t shots = 0;
     stats::Distribution output{1};
+    /**
+     * True when the member failed mid-run and its trials were dropped
+     * by the degradation policy; @ref output is then a uniform
+     * placeholder and the member is excluded from every merge.
+     */
+    bool failed = false;
 };
 
 /** Output of one EDM pipeline execution. */
@@ -103,12 +118,15 @@ struct EdmResult
     stats::Distribution edm{1};
     /** WEDM merge (diversity weights) over the kept members. */
     stats::Distribution wedm{1};
-    /** WEDM weights, parallel to members (0 for discarded members). */
+    /** WEDM weights, parallel to members (0 for discarded/failed). */
     std::vector<double> wedmWeights;
     /** Member indices discarded by the uniformity guard. */
     std::vector<std::size_t> discarded;
+    /** What the resilience layer saw (empty when faults are off). */
+    resilience::DegradationReport degradation;
 
-    /** Member with the highest observed PST for @p correct. */
+    /** Member with the highest observed PST for @p correct
+     *  (failed members are never selected). */
     std::size_t bestMemberByPst(Outcome correct) const;
 };
 
@@ -146,6 +164,16 @@ class EdmPipeline
     static stats::Distribution
     merge(const std::vector<MemberResult> &members, MergeRule rule,
           double kl_smoothing = 1e-6);
+
+    /**
+     * Split @p total trials across @p members: every member gets the
+     * floor share and the remainder goes to the lowest-indexed members
+     * one trial each, so the budget is preserved exactly. Degenerate
+     * case total < members: every member still gets one trial (the
+     * historical minimum-viable-ensemble behaviour).
+     */
+    static std::vector<std::uint64_t> splitShots(std::uint64_t total,
+                                                 std::size_t members);
 
     const hw::Device &device() const { return device_; }
     const EdmConfig &config() const { return config_; }

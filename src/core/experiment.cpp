@@ -84,6 +84,7 @@ runExperiment(const hw::Device &device,
     edm_config.verifyPasses = config.verifyPasses;
     edm_config.scheduler = &scheduler;
     edm_config.tapeCache = &tape_cache;
+    edm_config.resilience = config.resilience;
 
     ExperimentSummary summary;
     summary.benchmark = benchmark.name;
@@ -109,6 +110,7 @@ runExperiment(const hw::Device &device,
                 benchmark.circuit, seq.child(kStreamPipeline));
 
             RoundOutcome out;
+            out.degradation = result.degradation;
             out.edm = score(result.edm, correct);
             out.wedm = score(result.wedm, correct);
 
@@ -140,6 +142,15 @@ runExperiment(const hw::Device &device,
     summary.median.edm = medianPolicy(summary.rounds, &RoundOutcome::edm);
     summary.median.wedm =
         medianPolicy(summary.rounds, &RoundOutcome::wedm);
+
+    // Roll the per-round resilience accounts up into the summary.
+    for (const auto &round : summary.rounds) {
+        if (round.degradation.degraded())
+            ++summary.degradedRounds;
+        summary.trialsLost += round.degradation.trialsLost;
+        summary.trialsReassigned += round.degradation.trialsReassigned;
+        summary.retriesTotal += round.degradation.retriesTotal;
+    }
     return summary;
 }
 

@@ -42,6 +42,8 @@ struct RoundOutcome
     PolicyOutcome baselinePost;
     PolicyOutcome edm;
     PolicyOutcome wedm;
+    /** Resilience account for this round (empty when faults are off). */
+    resilience::DegradationReport degradation;
 };
 
 /** Aggregate over rounds (medians, as in the paper). */
@@ -50,6 +52,14 @@ struct ExperimentSummary
     std::string benchmark;
     std::vector<RoundOutcome> rounds;
     RoundOutcome median;
+    /** Rounds in which at least one member degraded. */
+    std::size_t degradedRounds = 0;
+    /** Trials lost to faults across all rounds (not recovered). */
+    std::uint64_t trialsLost = 0;
+    /** Trials reassigned to healthy members across all rounds. */
+    std::uint64_t trialsReassigned = 0;
+    /** Retries consumed across all rounds. */
+    int retriesTotal = 0;
 
     /** IST improvement ratios over baseline-est. */
     double edmIstGain() const;
@@ -78,6 +88,12 @@ struct ExperimentConfig
      * Always-on in debug builds; opt-in in release.
      */
     bool verifyPasses = check::kDefaultVerify;
+    /**
+     * Fault injection + graceful degradation, forwarded to every
+     * round's EdmConfig. Rounds share one fault model but draw their
+     * fault decisions from independent per-round streams.
+     */
+    resilience::ResilienceConfig resilience;
 };
 
 /**

@@ -150,6 +150,27 @@ Calibration::drifted(Rng &rng, double drift) const
     return out;
 }
 
+Calibration
+Calibration::staleJump(Rng &rng, double severity) const
+{
+    QEDM_REQUIRE(severity >= 0.0, "severity must be non-negative");
+    Calibration out = *this;
+    // One-sided jitter: rates only worsen, coherence only shrinks.
+    auto worsen = [&]() {
+        return std::exp(std::abs(severity * rng.normal()));
+    };
+    for (auto &q : out.qubits_) {
+        q.error1q = clampProb(q.error1q * worsen());
+        q.readoutP01 = clampProb(q.readoutP01 * worsen());
+        q.readoutP10 = clampProb(q.readoutP10 * worsen());
+        q.t1Us /= worsen();
+        q.t2Us = std::min(q.t2Us / worsen(), 2.0 * q.t1Us);
+    }
+    for (auto &e : out.edges_)
+        e.cxError = clampProb(e.cxError * worsen());
+    return out;
+}
+
 double
 Calibration::meanCxError() const
 {

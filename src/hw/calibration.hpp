@@ -88,6 +88,17 @@ class Calibration
     Calibration drifted(Rng &rng, double drift = 0.15) const;
 
     /**
+     * A stale-jump copy: the machine degraded *after* the published
+     * calibration, so every rate is multiplied by a one-sided
+     * log-normal factor exp(|severity * N(0,1)|) >= 1 and T1/T2 only
+     * shrink. Unlike drifted(), the perturbation is strictly
+     * pessimistic — this models running against stale calibration
+     * data between cycles (the resilience layer's staleness fault),
+     * layered on top of the per-round drift model.
+     */
+    Calibration staleJump(Rng &rng, double severity = 0.5) const;
+
+    /**
      * Content hash over every calibration value. Drift produces a new
      * fingerprint, which is exactly what invalidates runtime cache
      * entries keyed on calibration identity ("epoch").

@@ -30,6 +30,14 @@ Device::driftedRound(Rng &rng, double drift) const
 }
 
 Device
+Device::withStaleCalibration(Rng &rng, double severity) const
+{
+    Device out = *this;
+    out.calibration_ = calibration_.staleJump(rng, severity);
+    return out;
+}
+
+Device
 Device::withNoise(NoiseModel noise) const
 {
     Device out = *this;

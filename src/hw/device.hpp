@@ -48,6 +48,15 @@ class Device
      */
     Device driftedRound(Rng &rng, double drift = 0.15) const;
 
+    /**
+     * A copy of this device whose calibration took a one-sided stale
+     * jump (Calibration::staleJump): the machine got worse after the
+     * calibration was published. Used by the resilience layer to
+     * model members executing against stale calibration data; the
+     * fingerprint changes, so caches never serve the fresh tables.
+     */
+    Device withStaleCalibration(Rng &rng, double severity = 0.5) const;
+
     /** Replace the noise model (used by ablation studies). */
     Device withNoise(NoiseModel noise) const;
 

@@ -1,0 +1,79 @@
+#include "resilience/degradation.hpp"
+
+#include <sstream>
+
+namespace qedm::resilience {
+
+std::size_t
+DegradationReport::droppedCount() const
+{
+    std::size_t dropped = 0;
+    for (const MemberDegradation &m : members) {
+        if (!m.kept)
+            ++dropped;
+    }
+    return dropped;
+}
+
+std::string
+DegradationReport::toString() const
+{
+    std::ostringstream os;
+    if (!degraded()) {
+        os << "resilience: all members healthy";
+        if (retriesTotal > 0)
+            os << " (" << retriesTotal << " retries absorbed)";
+        os << "\n";
+        return os.str();
+    }
+    os << "resilience: " << members.size()
+       << " member(s) degraded, " << trialsLost << " trial(s) lost, "
+       << trialsReassigned << " reassigned, " << retriesTotal
+       << " retries\n";
+    for (const MemberDegradation &m : members) {
+        os << "  member " << m.member << ": "
+           << faultKindName(m.cause) << " after " << m.completedShots
+           << "/" << m.plannedShots << " trials ("
+           << (m.kept ? "kept partial" : "dropped from merge");
+        if (m.retries > 0)
+            os << ", " << m.retries << " retries";
+        os << ")\n";
+    }
+    if (!faults.empty()) {
+        os << "  fault log:";
+        for (const FaultEvent &f : faults) {
+            os << " [" << faultKindName(f.kind) << " m" << f.member;
+            if (f.batch != FaultEvent::kNoBatch)
+                os << " b" << f.batch;
+            if (f.attempt >= 0)
+                os << " a" << f.attempt;
+            os << "]";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+namespace {
+
+std::string
+formatEnsembleFailure(std::size_t total, std::size_t failed)
+{
+    std::ostringstream os;
+    os << "ensemble execution failed: " << failed << " of " << total
+       << " member(s) failed and no member cleared the "
+          "minTrialsPerMember floor; no distribution to report";
+    return os.str();
+}
+
+} // namespace
+
+EnsembleFailedError::EnsembleFailedError(std::size_t total_members,
+                                         std::size_t failed_members)
+    : Error(formatEnsembleFailure(total_members, failed_members)),
+      total_(total_members),
+      failed_(failed_members)
+{
+}
+
+} // namespace qedm::resilience

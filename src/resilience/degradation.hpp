@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Graceful-degradation policy types for faulted ensemble runs.
+ *
+ * When a member fails mid-run the ensemble must keep answering with
+ * honest statistics: completed trials are kept when they clear the
+ * minTrialsPerMember floor (otherwise the member is dropped from the
+ * merge entirely), surviving healthy members absorb the remaining
+ * trial budget, and EDM/WEDM merge weights are renormalized over the
+ * members that actually contribute. The DegradationReport records
+ * exactly what happened — which members failed and why, how many
+ * trials were lost and reassigned, how many retries were consumed,
+ * and the full deterministic fault log — and is threaded up through
+ * EdmResult / ExperimentSummary to the CLI.
+ *
+ * Everything here is bookkeeping: when ResilienceConfig::active() is
+ * false the pipeline takes its original code path, with no injector,
+ * no retry state, and no per-unit bookkeeping allocated at all.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "resilience/fault_injector.hpp"
+
+namespace qedm::resilience {
+
+/** Resilience knobs for one pipeline execution. */
+struct ResilienceConfig
+{
+    /** Fault model (all-off by default). */
+    FaultConfig faults;
+    /** Retries allowed per shot batch beyond the first attempt. */
+    int retryMax = 2;
+    /** Backoff base for batch retries (ms); 0 = no sleeping. */
+    double backoffBaseMs = 0.0;
+    /**
+     * Virtual-time budget per member (ms); a member whose cumulative
+     * batch cost exceeds it is abandoned at the batch boundary.
+     * 0 = unlimited.
+     */
+    double memberDeadlineMs = 0.0;
+    /**
+     * Floor below which a failed member's completed trials are
+     * discarded instead of merged (0 = keep any non-empty partial).
+     */
+    std::uint64_t minTrialsPerMember = 0;
+
+    /**
+     * True when the resilient execution path must run. Faults are the
+     * only failure source in simulation, so the retry/deadline knobs
+     * are inert — and cost nothing — without an enabled fault model.
+     */
+    bool active() const { return faults.any(); }
+};
+
+/** Outcome of one failed or degraded ensemble member. */
+struct MemberDegradation
+{
+    std::size_t member = 0;
+    /** Primary cause (dropout > deadline > retry exhaustion). */
+    FaultKind cause = FaultKind::QubitDropout;
+    std::uint64_t plannedShots = 0;
+    /** Trials that completed before the member failed. */
+    std::uint64_t completedShots = 0;
+    /** True when the partial trials cleared the floor and merged. */
+    bool kept = false;
+    /** Retries consumed across the member's batches. */
+    int retries = 0;
+};
+
+/** Full account of one degraded ensemble execution. */
+struct DegradationReport
+{
+    /** Deterministic fault log, in (member, batch, attempt) order. */
+    std::vector<FaultEvent> faults;
+    /** Failed/degraded members (empty = fully healthy run). */
+    std::vector<MemberDegradation> members;
+    /** Trials lost to faults and not recovered by reassignment. */
+    std::uint64_t trialsLost = 0;
+    /** Trials reassigned to and completed by surviving members. */
+    std::uint64_t trialsReassigned = 0;
+    /** Retries consumed across all members and batches. */
+    int retriesTotal = 0;
+
+    /** Did any member fail or lose trials? */
+    bool degraded() const { return !members.empty(); }
+
+    /** Members whose results were dropped from the merge. */
+    std::size_t droppedCount() const;
+
+    /** Human-readable multi-line summary (CLI output). */
+    std::string toString() const;
+};
+
+/**
+ * Structured failure: every ensemble member failed and nothing
+ * cleared the keep floor, so there is no distribution to report.
+ */
+class EnsembleFailedError : public Error
+{
+  public:
+    EnsembleFailedError(std::size_t total_members,
+                        std::size_t failed_members);
+
+    std::size_t totalMembers() const { return total_; }
+    std::size_t failedMembers() const { return failed_; }
+
+  private:
+    std::size_t total_;
+    std::size_t failed_;
+};
+
+} // namespace qedm::resilience

@@ -1,0 +1,126 @@
+#include "resilience/fault_injector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qedm::resilience {
+namespace {
+
+// Subdomain keys under root.child(member): one per decision, so
+// enabling one fault source never perturbs another's stream.
+constexpr std::uint64_t kSubDropout = 0;
+constexpr std::uint64_t kSubStaleness = 1;
+constexpr std::uint64_t kSubSlow = 2;
+constexpr std::uint64_t kSubTransient = 3;
+
+bool
+validProb(double p)
+{
+    return p >= 0.0 && p <= 1.0;
+}
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::QubitDropout:
+        return "qubit-dropout";
+      case FaultKind::CalibrationStaleness:
+        return "calibration-staleness";
+      case FaultKind::TransientTrialFailure:
+        return "transient-trial-failure";
+      case FaultKind::RetryExhausted:
+        return "retry-exhausted";
+      case FaultKind::SlowMember:
+        return "slow-member";
+      case FaultKind::DeadlineAbandoned:
+        return "deadline-abandoned";
+    }
+    return "unknown";
+}
+
+bool
+FaultConfig::any() const
+{
+    return dropoutProb > 0.0 || stalenessProb > 0.0 ||
+           transientProb > 0.0 || slowProb > 0.0 ||
+           !forcedDropouts.empty();
+}
+
+FaultInjector::FaultInjector(FaultConfig config, SeedSequence root)
+    : config_(std::move(config)), root_(root)
+{
+    QEDM_REQUIRE(validProb(config_.dropoutProb) &&
+                     validProb(config_.stalenessProb) &&
+                     validProb(config_.transientProb) &&
+                     validProb(config_.slowProb),
+                 "fault probabilities must be in [0, 1]");
+    QEDM_REQUIRE(config_.slowFactor >= 1.0,
+                 "slowFactor must be >= 1");
+    QEDM_REQUIRE(config_.batchMsPerShot >= 0.0,
+                 "batchMsPerShot must be non-negative");
+}
+
+MemberFaultPlan
+FaultInjector::memberPlan(std::size_t member,
+                          std::uint64_t plannedShots) const
+{
+    MemberFaultPlan plan;
+    const SeedSequence node = root_.child(member);
+
+    const bool forced =
+        std::find(config_.forcedDropouts.begin(),
+                  config_.forcedDropouts.end(),
+                  static_cast<int>(member)) !=
+        config_.forcedDropouts.end();
+    if (forced || config_.dropoutProb > 0.0) {
+        Rng rng = node.child(kSubDropout).rng();
+        const bool sampled = config_.dropoutProb > 0.0 &&
+                             rng.bernoulli(config_.dropoutProb);
+        if (forced || sampled) {
+            plan.dropsOut = true;
+            plan.dropoutTrial =
+                plannedShots == 0 ? 0 : rng.uniformInt(plannedShots);
+        }
+    }
+    if (config_.stalenessProb > 0.0) {
+        Rng rng = node.child(kSubStaleness).rng();
+        if (rng.bernoulli(config_.stalenessProb)) {
+            plan.stale = true;
+            plan.staleSeed = node.child(kSubStaleness).child(1).state();
+        }
+    }
+    if (config_.slowProb > 0.0) {
+        Rng rng = node.child(kSubSlow).rng();
+        plan.slow = rng.bernoulli(config_.slowProb);
+    }
+    return plan;
+}
+
+bool
+FaultInjector::transientFails(std::size_t member, std::uint64_t batch,
+                              int attempt) const
+{
+    if (config_.transientProb <= 0.0)
+        return false;
+    Rng rng = root_.child(member)
+                  .child(kSubTransient)
+                  .child(batch)
+                  .child(static_cast<std::uint64_t>(attempt))
+                  .rng();
+    return rng.bernoulli(config_.transientProb);
+}
+
+double
+FaultInjector::virtualBatchMs(const MemberFaultPlan &plan,
+                              std::uint64_t shots) const
+{
+    const double base =
+        static_cast<double>(shots) * config_.batchMsPerShot;
+    return plan.slow ? base * config_.slowFactor : base;
+}
+
+} // namespace qedm::resilience

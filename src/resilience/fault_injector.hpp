@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Deterministic fault injection for ensemble execution.
+ *
+ * EDM's value proposition is that the ensemble survives what a single
+ * mapping cannot (Tannu & Qureshi, MICRO-52) — but proving that
+ * requires making members fail on demand, reproducibly. The
+ * FaultInjector models the mid-run failures a production EDM service
+ * sees between calibration cycles:
+ *
+ *   - qubit dropout:          a member's physical qubits die mid-run;
+ *                             trials completed before the dropout are
+ *                             real, the rest never happen;
+ *   - calibration staleness:  a member executes against a machine that
+ *                             degraded after the published calibration
+ *                             (hw::Calibration::staleJump), layered on
+ *                             the per-round drift model;
+ *   - transient trial failure: a shot batch fails retriably (queue
+ *                             hiccup); retried under runtime::RetryPolicy;
+ *   - slow member:            a member's virtual execution time blows
+ *                             past the per-member deadline and it is
+ *                             abandoned rather than stalling the
+ *                             ensemble barrier.
+ *
+ * Every decision is a pure function of a SeedSequence stream keyed by
+ * (member) or (member, batch, attempt) — never of wall-clock time or
+ * scheduling order — so an identical (seed, fault config) replays
+ * bit-identically at any --jobs value. "Time" for the deadline policy
+ * is a virtual clock driven by per-batch costs from the same streams,
+ * which is what makes hung-member abandonment testable at all.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qedm::resilience {
+
+/** The taxonomy of injectable (and reportable) fault kinds. */
+enum class FaultKind
+{
+    QubitDropout,         ///< member qubits died mid-run
+    CalibrationStaleness, ///< member ran against stale calibration
+    TransientTrialFailure, ///< one batch attempt failed retriably
+    RetryExhausted,       ///< a batch failed every allowed attempt
+    SlowMember,           ///< member flagged slow (virtual time)
+    DeadlineAbandoned,    ///< member abandoned at the trial deadline
+};
+
+/** Stable diagnostic name ("qubit-dropout", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Fault model configuration. All probabilities default to 0 = off. */
+struct FaultConfig
+{
+    /** Per-member probability its qubits drop out mid-run. */
+    double dropoutProb = 0.0;
+    /** Per-member probability it executes on stale calibration. */
+    double stalenessProb = 0.0;
+    /** Severity of the stale jump (Calibration::staleJump). */
+    double stalenessSeverity = 0.5;
+    /** Per-(batch, attempt) probability of a transient failure. */
+    double transientProb = 0.0;
+    /** Per-member probability it runs slowFactor times too slow. */
+    double slowProb = 0.0;
+    /** Virtual-time multiplier for slow members. */
+    double slowFactor = 64.0;
+    /** Virtual execution cost per trial, in milliseconds. */
+    double batchMsPerShot = 0.01;
+    /**
+     * Members that deterministically drop out regardless of
+     * dropoutProb (test and CLI hook: `--fail-member M`).
+     */
+    std::vector<int> forcedDropouts;
+
+    /** True when any fault source is enabled. */
+    bool any() const;
+};
+
+/** One injected fault, in the deterministic fault log. */
+struct FaultEvent
+{
+    FaultKind kind;
+    std::size_t member = 0;
+    /** Batch index for batch-scoped kinds; kNoBatch otherwise. */
+    std::uint64_t batch = kNoBatch;
+    /** Attempt index for transient kinds; -1 otherwise. */
+    int attempt = -1;
+
+    static constexpr std::uint64_t kNoBatch = ~std::uint64_t(0);
+};
+
+/** The member-scoped fault decisions, made once per member. */
+struct MemberFaultPlan
+{
+    bool dropsOut = false;
+    /** Trial index at which the qubits die (< plannedShots). */
+    std::uint64_t dropoutTrial = 0;
+    bool stale = false;
+    /** Seed for the stale calibration jump when stale. */
+    std::uint64_t staleSeed = 0;
+    bool slow = false;
+};
+
+/**
+ * Seeded, deterministic fault oracle. Stateless after construction
+ * and safe to query from any thread; all answers are pure functions
+ * of (root stream, config, query key).
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultConfig config, SeedSequence root);
+
+    const FaultConfig &config() const { return config_; }
+
+    /** Member-scoped decisions for @p member with @p plannedShots. */
+    MemberFaultPlan memberPlan(std::size_t member,
+                               std::uint64_t plannedShots) const;
+
+    /** Does attempt @p attempt of (member, batch) fail transiently? */
+    bool transientFails(std::size_t member, std::uint64_t batch,
+                        int attempt) const;
+
+    /** Virtual execution cost of a batch of @p shots trials (ms). */
+    double virtualBatchMs(const MemberFaultPlan &plan,
+                          std::uint64_t shots) const;
+
+  private:
+    FaultConfig config_;
+    SeedSequence root_;
+};
+
+} // namespace qedm::resilience

@@ -1,0 +1,40 @@
+#include "runtime/retry.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace qedm::runtime {
+
+RetryOutcome
+retryWithBackoff(const RetryPolicy &policy,
+                 const std::function<void(int)> &body)
+{
+    QEDM_REQUIRE(policy.maxAttempts >= 1,
+                 "retry policy needs at least one attempt");
+    QEDM_REQUIRE(policy.backoffBaseMs >= 0.0,
+                 "backoff base must be non-negative");
+    RetryOutcome outcome;
+    double next_backoff = policy.backoffBaseMs;
+    for (int attempt = 0; attempt < policy.maxAttempts; ++attempt) {
+        if (attempt > 0) {
+            outcome.totalBackoffMs += next_backoff;
+            if (next_backoff > 0.0) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double, std::milli>(
+                        next_backoff));
+            }
+            next_backoff *= policy.backoffFactor;
+        }
+        ++outcome.attempts;
+        try {
+            body(attempt);
+            outcome.succeeded = true;
+            return outcome;
+        } catch (const TransientError &e) {
+            outcome.lastError = e.what();
+        }
+    }
+    return outcome;
+}
+
+} // namespace qedm::runtime

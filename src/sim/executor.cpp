@@ -76,13 +76,18 @@ Executor::run(const Circuit &physical, std::uint64_t shots,
     return run(ExecutionTape::build(device_, physical), shots, rng);
 }
 
-stats::Counts
-Executor::run(const ExecutionTape &tape, std::uint64_t shots,
-              Rng &rng) const
-{
-    QEDM_REQUIRE(shots > 0, "shots must be positive");
-    const auto &cal = device_.calibration();
+namespace {
 
+/**
+ * The trajectory loop, templated on the per-trial continuation gate so
+ * the gate-free overload compiles to exactly the unhooked loop (the
+ * fault hook costs nothing unless a gate is passed).
+ */
+template <typename Gate>
+stats::Counts
+runShots(const hw::Calibration &cal, const ExecutionTape &tape,
+         std::uint64_t shots, Rng &rng, const Gate &gate)
+{
     stats::Counts counts(tape.numClbits);
     StateVector sv(tape.numLocal);
 
@@ -142,6 +147,8 @@ Executor::run(const ExecutionTape &tape, std::uint64_t shots,
     }
 
     for (std::uint64_t shot = 0; shot < shots; ++shot) {
+        if (!gate(shot))
+            break;
         const StateVector *state = &precomputed;
         if (!deterministic) {
             sv.reset();
@@ -168,6 +175,26 @@ Executor::run(const ExecutionTape &tape, std::uint64_t shots,
         counts.add(outcome);
     }
     return counts;
+}
+
+} // namespace
+
+stats::Counts
+Executor::run(const ExecutionTape &tape, std::uint64_t shots,
+              Rng &rng) const
+{
+    QEDM_REQUIRE(shots > 0, "shots must be positive");
+    return runShots(device_.calibration(), tape, shots, rng,
+                    [](std::uint64_t) { return true; });
+}
+
+stats::Counts
+Executor::run(const ExecutionTape &tape, std::uint64_t shots, Rng &rng,
+              const TrialGate &gate) const
+{
+    QEDM_REQUIRE(shots > 0, "shots must be positive");
+    QEDM_REQUIRE(gate != nullptr, "trial gate must be callable");
+    return runShots(device_.calibration(), tape, shots, rng, gate);
 }
 
 stats::Distribution

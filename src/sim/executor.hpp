@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
@@ -61,6 +62,21 @@ class Executor
      */
     stats::Counts run(const ExecutionTape &tape, std::uint64_t shots,
                       Rng &rng) const;
+
+    /**
+     * Per-trial continuation gate — the resilience layer's fault
+     * hook. The gate is invoked with the 0-based index of the next
+     * trial before it executes; returning false aborts the remaining
+     * trials and the counts of the completed ones are returned (the
+     * "machine died mid-run" semantics qubit-dropout faults need).
+     * The gate-free overloads never touch this path, so execution is
+     * zero-cost when no faults are injected.
+     */
+    using TrialGate = std::function<bool(std::uint64_t)>;
+
+    /** run() with a fault-injection gate deciding trial continuation. */
+    stats::Counts run(const ExecutionTape &tape, std::uint64_t shots,
+                      Rng &rng, const TrialGate &gate) const;
 
     /**
      * Exact output distribution over the classical register via

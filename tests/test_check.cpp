@@ -56,12 +56,24 @@ TEST(CheckErrorTest, CarriesPassGateAndQubitDiagnostics)
     const CheckError err("mapping", "cx acts on an uncoupled pair", 12,
                          {3, 9});
     EXPECT_EQ(err.pass(), "mapping");
+    EXPECT_EQ(err.kind(), CheckErrorKind::Unspecified);
     EXPECT_EQ(err.gateIndex(), 12);
     EXPECT_EQ(err.qubits(), (std::vector<int>{3, 9}));
     const std::string what = err.what();
     EXPECT_NE(what.find("check[mapping]"), std::string::npos);
     EXPECT_NE(what.find("gate 12"), std::string::npos);
     EXPECT_NE(what.find("p3,p9"), std::string::npos);
+}
+
+TEST(CheckErrorTest, CarriesStructuredKind)
+{
+    const CheckError err("mapping", CheckErrorKind::UncoupledGate,
+                         "cx acts on an uncoupled pair", 12, {3, 9});
+    EXPECT_EQ(err.kind(), CheckErrorKind::UncoupledGate);
+    EXPECT_STREQ(checkErrorKindName(err.kind()), "uncoupled-gate");
+    EXPECT_EQ(err.pass(), "mapping");
+    EXPECT_EQ(err.gateIndex(), 12);
+    EXPECT_EQ(err.qubits(), (std::vector<int>{3, 9}));
 }
 
 TEST(CircuitCheckerTest, AcceptsCompiledProgram)
@@ -80,9 +92,8 @@ TEST(CircuitCheckerTest, RejectsUseAfterMeasure)
         FAIL() << "use-after-measure not rejected";
     } catch (const CheckError &err) {
         EXPECT_EQ(err.pass(), "circuit");
+        EXPECT_EQ(err.kind(), CheckErrorKind::UseAfterMeasure);
         EXPECT_EQ(err.gateIndex(), 2);
-        EXPECT_NE(std::string(err.what()).find("after its measurement"),
-                  std::string::npos);
     }
 }
 
@@ -106,9 +117,8 @@ TEST(CircuitCheckerTest, RejectsRawGateOutOfRange)
         FAIL() << "out-of-range qubit not rejected";
     } catch (const CheckError &err) {
         EXPECT_EQ(err.pass(), "circuit");
+        EXPECT_EQ(err.kind(), CheckErrorKind::QubitOutOfRange);
         EXPECT_EQ(err.gateIndex(), 0);
-        EXPECT_NE(std::string(err.what()).find("out of register"),
-                  std::string::npos);
     }
 }
 
@@ -120,8 +130,7 @@ TEST(CircuitCheckerTest, RejectsRawGateArityMismatch)
         CircuitChecker{}.checkGates(gates, 4, 4);
         FAIL() << "arity mismatch not rejected";
     } catch (const CheckError &err) {
-        EXPECT_NE(std::string(err.what()).find("arity"),
-                  std::string::npos);
+        EXPECT_EQ(err.kind(), CheckErrorKind::ArityMismatch);
     }
 }
 
@@ -147,9 +156,8 @@ TEST(MappingCheckerTest, RejectsUncoupledCx)
         EXPECT_EQ(err.pass(), "mapping");
         EXPECT_EQ(err.gateIndex(),
                   static_cast<int>(program.physical.size()) - 1);
+        EXPECT_EQ(err.kind(), CheckErrorKind::UncoupledGate);
         EXPECT_EQ(err.qubits(), (std::vector<int>{0, 7}));
-        EXPECT_NE(std::string(err.what()).find("uncoupled"),
-                  std::string::npos);
     }
 }
 
@@ -164,8 +172,7 @@ TEST(MappingCheckerTest, RejectsNonBijectiveLayout)
         FAIL() << "non-bijective layout not rejected";
     } catch (const CheckError &err) {
         EXPECT_EQ(err.pass(), "mapping");
-        EXPECT_NE(std::string(err.what()).find("bijection"),
-                  std::string::npos);
+        EXPECT_EQ(err.kind(), CheckErrorKind::LayoutNotBijective);
     }
 }
 
@@ -174,8 +181,12 @@ TEST(MappingCheckerTest, RejectsLayoutOutsideDevice)
     const hw::Device device = hw::Device::melbourne(2);
     CompiledProgram program = compiledBv6(device);
     program.initialMap[0] = device.numQubits();
-    EXPECT_THROW(MappingChecker{}.run(viewOf(program, device)),
-                 CheckError);
+    try {
+        MappingChecker{}.run(viewOf(program, device));
+        FAIL() << "out-of-device layout not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.kind(), CheckErrorKind::LayoutOutOfRange);
+    }
 }
 
 TEST(MappingCheckerTest, RejectsStaleFinalMap)
@@ -189,8 +200,7 @@ TEST(MappingCheckerTest, RejectsStaleFinalMap)
         FAIL() << "stale final map not rejected";
     } catch (const CheckError &err) {
         EXPECT_EQ(err.pass(), "mapping");
-        EXPECT_NE(std::string(err.what()).find("SWAP trail"),
-                  std::string::npos);
+        EXPECT_EQ(err.kind(), CheckErrorKind::SwapTrailMismatch);
     }
 }
 
@@ -204,8 +214,7 @@ TEST(MappingCheckerTest, RejectsSwapCountMismatch)
         FAIL() << "SWAP count mismatch not rejected";
     } catch (const CheckError &err) {
         EXPECT_EQ(err.pass(), "mapping");
-        EXPECT_NE(std::string(err.what()).find("SWAP"),
-                  std::string::npos);
+        EXPECT_EQ(err.kind(), CheckErrorKind::SwapCountMismatch);
     }
 }
 
@@ -236,8 +245,7 @@ TEST(EspCheckerTest, RejectsStaleEsp)
         FAIL() << "stale ESP not rejected";
     } catch (const CheckError &err) {
         EXPECT_EQ(err.pass(), "esp");
-        EXPECT_NE(std::string(err.what()).find("stale"),
-                  std::string::npos);
+        EXPECT_EQ(err.kind(), CheckErrorKind::EspMismatch);
     }
 }
 

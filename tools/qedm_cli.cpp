@@ -21,8 +21,22 @@
  * member of every round. Debug builds verify always; `--check` is
  * how release builds opt in.
  *
+ * Resilience flags (run/experiment, anywhere on the line):
+ *   --faults <spec>              enable fault injection; spec is a
+ *                                comma list of key=value pairs among
+ *                                dropout, staleness,
+ *                                staleness-severity, transient, slow,
+ *                                slow-factor, batch-ms-per-shot
+ *   --fail-member <m>            force member m to drop out (repeat
+ *                                for several members)
+ *   --retry-max <n>              retries per shot batch (default 2)
+ *   --member-deadline-ms <ms>    virtual-time budget per member
+ *   --min-trials-per-member <n>  keep floor for partial results
+ * Fault schedules are a pure function of the seed and the fault
+ * config, so a faulted run replays bit-identically at any --jobs.
+ *
  * Exit code 0 on success, 1 on a usage/user error (including a
- * verifier rejection).
+ * verifier rejection and an ensemble that lost every member).
  */
 
 #include <cstdlib>
@@ -38,6 +52,7 @@
 #include "core/edm.hpp"
 #include "core/experiment.hpp"
 #include "hw/device.hpp"
+#include "resilience/degradation.hpp"
 #include "stats/metrics.hpp"
 #include "transpile/transpiler.hpp"
 
@@ -134,9 +149,79 @@ cmdCandidates(const std::string &name, std::uint64_t seed, bool verify)
     return 0;
 }
 
+/** Parse one double with a clear error naming the offending flag. */
+double
+parseDouble(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || parsed < 0.0)
+        throw UserError(flag + " expects a non-negative number, got `" +
+                        value + "`");
+    return parsed;
+}
+
+/** Parse one non-negative integer with a flag-naming error. */
+long
+parseCount(const std::string &flag, const std::string &value)
+{
+    char *end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || parsed < 0)
+        throw UserError(flag + " expects a non-negative integer, got `" +
+                        value + "`");
+    return parsed;
+}
+
+/**
+ * Parse a `--faults` spec: a comma list of key=value pairs, e.g.
+ * `dropout=0.25,transient=0.1,slow=0.2,slow-factor=32`.
+ */
+resilience::FaultConfig
+parseFaultSpec(const std::string &spec)
+{
+    resilience::FaultConfig faults;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string pair = spec.substr(start, comma - start);
+        start = comma + 1;
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            throw UserError("--faults entries must look like "
+                            "key=value, got `" +
+                            pair + "`");
+        const std::string key = pair.substr(0, eq);
+        const double value =
+            parseDouble("--faults " + key, pair.substr(eq + 1));
+        if (key == "dropout")
+            faults.dropoutProb = value;
+        else if (key == "staleness")
+            faults.stalenessProb = value;
+        else if (key == "staleness-severity")
+            faults.stalenessSeverity = value;
+        else if (key == "transient")
+            faults.transientProb = value;
+        else if (key == "slow")
+            faults.slowProb = value;
+        else if (key == "slow-factor")
+            faults.slowFactor = value;
+        else if (key == "batch-ms-per-shot")
+            faults.batchMsPerShot = value;
+        else
+            throw UserError("unknown --faults key `" + key + "`");
+    }
+    return faults;
+}
+
 int
 cmdRun(const std::string &name, std::uint64_t seed,
-       std::uint64_t shots, int jobs, bool verify)
+       std::uint64_t shots, int jobs, bool verify,
+       const resilience::ResilienceConfig &resilience)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
@@ -144,6 +229,7 @@ cmdRun(const std::string &name, std::uint64_t seed,
     config.totalShots = shots;
     config.jobs = jobs;
     config.verifyPasses |= verify;
+    config.resilience = resilience;
     const core::EdmPipeline pipeline(device, config);
     Rng rng(seed * 1000 + 1);
     const auto result = pipeline.run(b.circuit, rng);
@@ -163,18 +249,22 @@ cmdRun(const std::string &name, std::uint64_t seed,
     std::cout << table.toString() << "\nEDM distribution:\n"
               << analysis::distributionReport(result.edm, b.expected,
                                               8);
+    if (resilience.active())
+        std::cout << "\n" << result.degradation.toString();
     return 0;
 }
 
 int
 cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
-              bool verify)
+              bool verify,
+              const resilience::ResilienceConfig &resilience)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
     core::ExperimentConfig config;
     config.jobs = jobs;
     config.verifyPasses |= verify;
+    config.resilience = resilience;
     const auto summary = core::runExperiment(device, b, config, seed);
     analysis::Table table({"policy", "median IST", "median PST"});
     table.addRow({"baseline (compile-time best)",
@@ -193,6 +283,18 @@ cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
               << analysis::fmt(summary.edmIstGain(), 2)
               << "x, WEDM gain "
               << analysis::fmt(summary.wedmIstGain(), 2) << "x\n";
+    if (resilience.active()) {
+        std::cout << "resilience: " << summary.degradedRounds << "/"
+                  << summary.rounds.size() << " rounds degraded, "
+                  << summary.trialsLost << " trial(s) lost, "
+                  << summary.trialsReassigned << " reassigned, "
+                  << summary.retriesTotal << " retries\n";
+        for (std::size_t r = 0; r < summary.rounds.size(); ++r) {
+            const auto &deg = summary.rounds[r].degradation;
+            if (deg.degraded())
+                std::cout << "round " << r << ": " << deg.toString();
+        }
+    }
     return 0;
 }
 
@@ -201,7 +303,9 @@ usage()
 {
     std::cerr << "usage: qedm_cli <list|show|compile|candidates|run|"
                  "experiment> [benchmark] [seed] [shots] [--jobs N] "
-                 "[--check]\n";
+                 "[--check] [--faults SPEC] [--fail-member M] "
+                 "[--retry-max N] [--member-deadline-ms MS] "
+                 "[--min-trials-per-member N]\n";
     return 1;
 }
 
@@ -216,6 +320,13 @@ main(int argc, char **argv)
         std::vector<std::string> pos;
         int jobs = 1;
         bool verify = qedm::check::kDefaultVerify;
+        qedm::resilience::ResilienceConfig resilience;
+        const auto flagValue = [&](int &i) -> std::string {
+            if (i + 1 >= argc)
+                throw qedm::UserError(std::string(argv[i]) +
+                                      " expects a value");
+            return argv[++i];
+        };
         for (int i = 1; i < argc; ++i) {
             const std::string arg = argv[i];
             if (arg == "--check") {
@@ -223,13 +334,24 @@ main(int argc, char **argv)
                 continue;
             }
             if (arg == "--jobs") {
-                if (i + 1 >= argc)
-                    return usage();
-                char *end = nullptr;
-                const long parsed = std::strtol(argv[++i], &end, 10);
-                if (end == argv[i] || *end != '\0' || parsed < 0)
-                    return usage();
-                jobs = static_cast<int>(parsed);
+                jobs = static_cast<int>(
+                    parseCount("--jobs", flagValue(i)));
+            } else if (arg == "--faults") {
+                resilience.faults = parseFaultSpec(flagValue(i));
+            } else if (arg == "--fail-member") {
+                resilience.faults.forcedDropouts.push_back(
+                    static_cast<int>(
+                        parseCount("--fail-member", flagValue(i))));
+            } else if (arg == "--retry-max") {
+                resilience.retryMax = static_cast<int>(
+                    parseCount("--retry-max", flagValue(i)));
+            } else if (arg == "--member-deadline-ms") {
+                resilience.memberDeadlineMs =
+                    parseDouble("--member-deadline-ms", flagValue(i));
+            } else if (arg == "--min-trials-per-member") {
+                resilience.minTrialsPerMember =
+                    static_cast<std::uint64_t>(parseCount(
+                        "--min-trials-per-member", flagValue(i)));
             } else {
                 pos.push_back(arg);
             }
@@ -255,10 +377,15 @@ main(int argc, char **argv)
         if (cmd == "candidates")
             return cmdCandidates(name, seed, verify);
         if (cmd == "run")
-            return cmdRun(name, seed, shots, jobs, verify);
+            return cmdRun(name, seed, shots, jobs, verify, resilience);
         if (cmd == "experiment")
-            return cmdExperiment(name, seed, jobs, verify);
+            return cmdExperiment(name, seed, jobs, verify, resilience);
         return usage();
+    } catch (const qedm::resilience::EnsembleFailedError &e) {
+        std::cerr << "error: " << e.what() << " ("
+                  << e.failedMembers() << "/" << e.totalMembers()
+                  << " members failed)\n";
+        return 1;
     } catch (const qedm::Error &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

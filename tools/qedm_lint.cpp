@@ -1,7 +1,7 @@
 /**
  * @file
  * qedm_lint — standalone repository linter enforcing qedm's project
- * invariants over `src/` and `tools/`:
+ * invariants over `src/`, `tools/`, `bench/`, and `examples/`:
  *
  *   - rng-discipline:    no std::rand / std::mt19937 /
  *                        std::random_device / srand outside
@@ -14,10 +14,18 @@
  *                        typed, testable diagnostics in every build
  *                        type;
  *   - stdout-discipline: no std::cout in src/ (libraries return data;
- *                        only tools/ and bench/ talk to stdout);
+ *                        only tools/, bench/, and examples/ talk to
+ *                        stdout);
  *   - pragma-once:       every header starts with #pragma once;
  *   - naked-new:         no naked `new` (ownership goes through
  *                        containers and smart pointers).
+ *
+ * Each scanned tree gets a rule profile: src/ runs every rule;
+ * tools/, bench/, and examples/ relax assert- and stdout-discipline
+ * (drivers print and may use raw assert in demo code) but keep
+ * rng-discipline, pragma-once, and naked-new — a benchmark that draws
+ * from std::mt19937 silently breaks reproducibility, which is exactly
+ * the regression this linter exists to catch.
  *
  * Comments and string/char literals are stripped before matching, so
  * prose and diagnostic text never trip a rule (including this file's
@@ -166,6 +174,35 @@ underDir(const std::string &rel_path, const std::string &dir)
     return rel_path.rfind(dir + "/", 0) == 0;
 }
 
+/** Which rules apply to one file, decided by its top-level tree. */
+struct RuleProfile
+{
+    bool rngDiscipline = true;
+    bool assertDiscipline = false;
+    bool stdoutDiscipline = false;
+    bool pragmaOnce = true;
+    bool nakedNew = true;
+};
+
+/**
+ * Per-directory rule profiles. src/ is library code and runs every
+ * rule; the driver trees (tools/, bench/, examples/) legitimately
+ * print and assert, but still may not draw raw randomness or leak
+ * naked ownership.
+ */
+RuleProfile
+profileFor(const std::string &rel_path)
+{
+    RuleProfile profile;
+    if (underDir(rel_path, "src")) {
+        profile.assertDiscipline = true;
+        profile.stdoutDiscipline = true;
+    }
+    if (rel_path.rfind("src/common/rng", 0) == 0)
+        profile.rngDiscipline = false; // the one sanctioned engine home
+    return profile;
+}
+
 bool
 isHeader(const fs::path &p)
 {
@@ -194,15 +231,12 @@ lintFile(const fs::path &path, const std::string &rel_path,
     buffer << in.rdbuf();
     const std::string raw = buffer.str();
 
-    if (isHeader(path) &&
+    const RuleProfile profile = profileFor(rel_path);
+    if (profile.pragmaOnce && isHeader(path) &&
         raw.find("#pragma once") == std::string::npos) {
         out.push_back(Violation{rel_path, 1, "pragma-once",
                                 "header is missing #pragma once"});
     }
-
-    const bool in_src = underDir(rel_path, "src");
-    const bool rng_home =
-        rel_path.rfind("src/common/rng", 0) == 0;
 
     const std::string code = stripCommentsAndStrings(raw);
     std::istringstream lines(code);
@@ -210,7 +244,7 @@ lintFile(const fs::path &path, const std::string &rel_path,
     int lineno = 0;
     while (std::getline(lines, line)) {
         ++lineno;
-        if (!rng_home) {
+        if (profile.rngDiscipline) {
             for (const char *token :
                  {"std::mt19937", "std::rand", "std::random_device",
                   "srand"}) {
@@ -224,19 +258,21 @@ lintFile(const fs::path &path, const std::string &rel_path,
                 }
             }
         }
-        if (in_src && containsToken(line, "assert", true)) {
+        if (profile.assertDiscipline &&
+            containsToken(line, "assert", true)) {
             out.push_back(Violation{
                 rel_path, lineno, "assert-discipline",
                 "raw assert( in library code; use QEDM_ASSERT or "
                 "QEDM_REQUIRE"});
         }
-        if (in_src && containsToken(line, "std::cout")) {
+        if (profile.stdoutDiscipline &&
+            containsToken(line, "std::cout")) {
             out.push_back(Violation{
                 rel_path, lineno, "stdout-discipline",
-                "std::cout in library code; only tools/ and bench/ "
-                "write to stdout"});
+                "std::cout in library code; only tools/, bench/, and "
+                "examples/ write to stdout"});
         }
-        if (containsToken(line, "new")) {
+        if (profile.nakedNew && containsToken(line, "new")) {
             out.push_back(Violation{
                 rel_path, lineno, "naked-new",
                 "naked new; use containers or std::make_unique/"
@@ -257,12 +293,13 @@ main(int argc, char **argv)
     const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::path(".");
 
     std::vector<fs::path> scan_dirs;
-    for (const char *dir : {"src", "tools"}) {
+    for (const char *dir : {"src", "tools", "bench", "examples"}) {
         if (fs::is_directory(root / dir))
             scan_dirs.push_back(root / dir);
     }
     if (scan_dirs.empty()) {
-        std::cerr << "qedm_lint: no src/ or tools/ under "
+        std::cerr << "qedm_lint: no src/, tools/, bench/, or "
+                     "examples/ under "
                   << root.string() << "\n";
         return 2;
     }
