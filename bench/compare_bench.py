@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""CI perf-guard: compare a BENCH_sim.json run against the checked-in
+baseline and fail on regression.
+
+Both files hold one JSON object per line:
+
+    {"bench": "<name>", "wall_ns": <float>, "per_cal": <float>}
+
+Comparison uses `per_cal` — each kernel's wall time divided by a fixed
+scalar calibration workload timed in the same process — so a slower CI
+machine shifts every number together and cancels out of the ratio,
+while a genuine kernel regression does not.
+
+A benchmark REGRESSES when
+
+    current.per_cal > baseline.per_cal * tolerance
+
+with a generous default tolerance (shared runners still jitter a few
+tens of percent even after normalization). A guarded benchmark missing
+from the current run is also a failure: silently dropping a kernel
+from the sweep must not read as "no regression".
+
+Improvements are reported but never fail the run; refresh the baseline
+(copy BENCH_sim.json over bench/baselines/BENCH_sim.baseline.json) to
+ratchet them in.
+
+Usage:
+    compare_bench.py --current BENCH_sim.json \
+        --baseline bench/baselines/BENCH_sim.baseline.json \
+        [--tolerance 1.6]
+
+Exit status: 0 = within tolerance, 1 = regression or missing
+benchmark, 2 = malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    """Parse a one-object-per-line bench file into {name: per_cal}."""
+    out = {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                    name = obj["bench"]
+                    per_cal = float(obj["per_cal"])
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        ValueError) as exc:
+                    sys.exit(f"error: {path}:{lineno}: {exc}")
+                if per_cal < 0.0:
+                    sys.exit(f"error: {path}:{lineno}: negative per_cal")
+                out[name] = per_cal
+    except OSError as exc:
+        sys.exit(f"error: cannot read {path}: {exc}")
+    if not out:
+        sys.exit(f"error: {path}: no benchmark entries")
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail CI on sim-kernel perf regression")
+    parser.add_argument("--current", required=True,
+                        help="BENCH_sim.json from this run")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in baseline to compare against")
+    parser.add_argument("--tolerance", type=float, default=1.6,
+                        help="allowed per_cal growth factor "
+                             "(default: %(default)s)")
+    args = parser.parse_args()
+    if args.tolerance <= 1.0:
+        sys.exit("error: --tolerance must be > 1.0")
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = []
+    width = max(len(n) for n in baseline)
+    print(f"perf-guard: tolerance {args.tolerance}x on per_cal")
+    for name in sorted(baseline):
+        if name == "calibration":
+            continue  # the normalizer itself, 1.0 by construction
+        base = baseline[name]
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            print(f"  {name:<{width}}  MISSING")
+            continue
+        cur = current[name]
+        ratio = cur / base if base > 0.0 else float("inf")
+        verdict = "ok"
+        if ratio > args.tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: per_cal {cur:.6g} vs baseline {base:.6g} "
+                f"({ratio:.2f}x > {args.tolerance}x)")
+        elif ratio < 1.0 / args.tolerance:
+            verdict = "improved (consider refreshing the baseline)"
+        print(f"  {name:<{width}}  {cur:>10.6g} vs {base:>10.6g}"
+              f"  ({ratio:5.2f}x)  {verdict}")
+
+    extra = sorted(set(current) - set(baseline))
+    if extra:
+        print(f"  note: unguarded benchmarks in current run: "
+              f"{', '.join(extra)}")
+
+    if failures:
+        print("\nperf-guard FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("perf-guard passed")
+
+
+if __name__ == "__main__":
+    main()

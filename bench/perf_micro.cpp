@@ -5,22 +5,34 @@
  * execution, exact density-matrix simulation, VF2 enumeration, and
  * routing/compilation.
  *
- * After the google-benchmark suite, a runtime-scaling sweep times a
- * 4-round K=4 experiment at --jobs 1/2/4/8 and writes one JSON object
- * per configuration to BENCH_runtime.json (machine-readable, one line
- * each), plus the speedup-over-sequential summary to stdout.
+ * After the google-benchmark suite, two self-timed sweeps run:
+ *  - a sim-kernel sweep over the guarded statevector/executor paths,
+ *    writing one JSON object per kernel to BENCH_sim.json (each with a
+ *    machine-normalized `per_cal` ratio against a fixed scalar
+ *    calibration workload — the quantity the CI perf-guard compares,
+ *    see bench/compare_bench.py);
+ *  - a runtime-scaling sweep timing a 4-round K=4 experiment at
+ *    --jobs 1/2/4/8, writing BENCH_runtime.json plus the
+ *    speedup-over-sequential summary to stdout.
+ *
+ * Passing --sim-sweep-only runs just the sim-kernel sweep (no
+ * google-benchmark pass, no runtime sweep) so the CI perf-guard job
+ * stays fast.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "benchmarks/benchmarks.hpp"
 #include "core/ensemble.hpp"
 #include "core/experiment.hpp"
 #include "hw/device.hpp"
+#include "sim/channels.hpp"
 #include "sim/executor.hpp"
 #include "sim/statevector.hpp"
 #include "transpile/transpiler.hpp"
@@ -161,6 +173,173 @@ timeExperimentMs(int jobs, int reps = 3)
     return best;
 }
 
+/**
+ * Wall-time one callable: @p warmup throwaway runs, then best of
+ * @p reps timed runs (best-of suppresses scheduler noise better than
+ * the mean on shared CI machines).
+ */
+template <typename Fn>
+double
+timeBestNs(const Fn &fn, int reps, int warmup = 1)
+{
+    double best = 0.0;
+    for (int r = 0; r < warmup + reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const double ns = std::chrono::duration<double, std::nano>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (r >= warmup && (r == warmup || ns < best))
+            best = ns;
+    }
+    return best;
+}
+
+/**
+ * Calibration workload: a fixed serial scalar FP chain, independent of
+ * every qedm code path. Its wall time tracks the host's scalar
+ * floating-point latency, so kernel times divided by it (`per_cal`)
+ * are comparable across machines of different speeds — a real kernel
+ * regression moves the ratio, a slower CI machine does not.
+ */
+double
+calibrationNs()
+{
+    return timeBestNs(
+        [] {
+            double x = 1.0;
+            for (int i = 0; i < 8'000'000; ++i)
+                x = x * 0.999999 + 1e-7;
+            benchmark::DoNotOptimize(x);
+        },
+        5);
+}
+
+/**
+ * Sim-kernel sweep over the hot paths guarded by CI: statevector
+ * butterfly/diagonal/permutation kernels, Kraus sampling, the noisy
+ * and deterministic shot loops, and exact density-matrix simulation.
+ * Emits one JSON object per line to BENCH_sim.json.
+ */
+void
+runSimKernelSweep()
+{
+    const double cal_ns = calibrationNs();
+
+    std::ofstream json("BENCH_sim.json");
+    std::cout << "\nsim-kernel sweep (best-of wall times, per_cal = "
+                 "wall_ns / calibration):\n";
+    auto emit = [&](const std::string &name, double wall_ns) {
+        json << "{\"bench\":\"" << name << "\",\"wall_ns\":" << wall_ns
+             << ",\"per_cal\":" << wall_ns / cal_ns << "}\n";
+        std::cout << "  " << name << ": " << wall_ns * 1e-6 << " ms ("
+                  << wall_ns / cal_ns << " per_cal)\n";
+    };
+    emit("calibration", cal_ns);
+
+    // Gate kernels on a 14-qubit state (2^14 amplitudes), one layer
+    // across all qubits per run — same shape as the google-benchmark
+    // BM_StateVector* cases.
+    {
+        sim::StateVector sv(14);
+        const auto h = circuit::gateMatrix1q(circuit::OpKind::H, {});
+        emit("sv_h_14", timeBestNs(
+                            [&] {
+                                for (int q = 0; q < 14; ++q)
+                                    sv.apply1q(h, q);
+                                benchmark::DoNotOptimize(
+                                    sv.amplitudes().data());
+                            },
+                            20, 3));
+    }
+    {
+        sim::StateVector sv(14);
+        const auto cx = circuit::gateMatrix2q(circuit::OpKind::Cx);
+        emit("sv_cx_14", timeBestNs(
+                             [&] {
+                                 for (int q = 0; q + 1 < 14; ++q)
+                                     sv.apply2q(cx, q, q + 1);
+                                 benchmark::DoNotOptimize(
+                                     sv.amplitudes().data());
+                             },
+                             20, 3));
+    }
+    {
+        sim::StateVector sv(14);
+        const auto rz =
+            circuit::gateMatrix1q(circuit::OpKind::Rz, {0.37});
+        emit("sv_rz_14", timeBestNs(
+                             [&] {
+                                 for (int q = 0; q < 14; ++q)
+                                     sv.apply1q(rz, q);
+                                 benchmark::DoNotOptimize(
+                                     sv.amplitudes().data());
+                             },
+                             20, 3));
+    }
+    {
+        // Kraus sampling with norm tracking: a damping channel swept
+        // across every qubit (the dominant no-event branch each time).
+        sim::StateVector sv(14);
+        const auto damp = sim::amplitudeDamping(1e-3);
+        Rng rng(99);
+        emit("sv_kraus_14", timeBestNs(
+                                [&] {
+                                    for (int q = 0; q < 14; ++q)
+                                        sv.applyKraus1q(damp, q, rng);
+                                    benchmark::DoNotOptimize(
+                                        sv.amplitudes().data());
+                                },
+                                20, 3));
+    }
+
+    // Shot loops on compiled bv-6 (the guarded end-to-end paths).
+    {
+        const hw::Device device = hw::Device::melbourne(2);
+        const transpile::Transpiler compiler(device);
+        const auto program =
+            compiler.compile(benchmarks::bv6().circuit);
+        const sim::Executor exec(device);
+        Rng rng(1);
+        emit("noisy_shots_bv6_1024",
+             timeBestNs(
+                 [&] {
+                     benchmark::DoNotOptimize(
+                         exec.run(program.physical, 1024, rng));
+                 },
+                 5));
+        emit("exact_bv6", timeBestNs(
+                              [&] {
+                                  benchmark::DoNotOptimize(
+                                      exec.exactDistribution(
+                                          program.physical));
+                              },
+                              3));
+    }
+    {
+        // Coherent-only device: the tape is deterministic, so this
+        // times the evolve-once + binary-search-sampling fast path.
+        hw::NoiseSpec spec;
+        spec.coherentScale = 1.5;
+        spec.stochasticScale = 0.0;
+        spec.correlatedReadoutScale = 0.0;
+        spec.enableDecoherence = false;
+        const hw::Device device = hw::Device::melbourne(41, spec);
+        const transpile::Transpiler compiler(device);
+        const auto program =
+            compiler.compile(benchmarks::bv6().circuit);
+        const sim::Executor exec(device);
+        Rng rng(777);
+        emit("deterministic_shots_bv6_4096",
+             timeBestNs(
+                 [&] {
+                     benchmark::DoNotOptimize(
+                         exec.run(program.physical, 4096, rng));
+                 },
+                 5));
+    }
+}
+
 /** Jobs-scaling sweep; emits BENCH_runtime.json and a stdout table. */
 void
 runRuntimeScalingSweep()
@@ -188,11 +367,19 @@ runRuntimeScalingSweep()
 int
 main(int argc, char **argv)
 {
+    // CI perf-guard mode: only the self-timed sim-kernel sweep.
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sim-sweep-only") == 0) {
+            runSimKernelSweep();
+            return 0;
+        }
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+    runSimKernelSweep();
     runRuntimeScalingSweep();
     return 0;
 }

@@ -116,13 +116,38 @@ isTracePreserving(const Kraus1q &kraus, double tol)
 std::pair<std::array<Complex, 4>, std::array<Complex, 4>>
 twoQubitPauli(int which)
 {
+    return twoQubitPauliRef(which);
+}
+
+const std::pair<std::array<Complex, 4>, std::array<Complex, 4>> &
+twoQubitPauliRef(int which)
+{
     QEDM_REQUIRE(which >= 0 && which < 15,
                  "two-qubit Pauli index must be in [0, 15)");
-    const std::array<Complex, 4> paulis[4] = {kIdentity, kPauliX,
-                                              kPauliY, kPauliZ};
     // Enumerate (a, b) in row-major order skipping (I, I).
-    const int idx = which + 1;
-    return {paulis[idx / 4], paulis[idx % 4]};
+    static const auto table = [] {
+        const std::array<Complex, 4> paulis[4] = {kIdentity, kPauliX,
+                                                  kPauliY, kPauliZ};
+        std::array<std::pair<std::array<Complex, 4>,
+                             std::array<Complex, 4>>,
+                   15>
+            t;
+        for (int i = 0; i < 15; ++i)
+            t[static_cast<std::size_t>(i)] = {paulis[(i + 1) / 4],
+                                              paulis[(i + 1) % 4]};
+        return t;
+    }();
+    return table[static_cast<std::size_t>(which)];
+}
+
+const std::array<Complex, 4> &
+pauliMatrix1q(int which)
+{
+    QEDM_REQUIRE(which >= 0 && which < 3,
+                 "one-qubit Pauli index must be in [0, 3)");
+    static const std::array<std::array<Complex, 4>, 3> table = {
+        kPauliX, kPauliY, kPauliZ};
+    return table[static_cast<std::size_t>(which)];
 }
 
 } // namespace qedm::sim

@@ -64,4 +64,17 @@ bool isTracePreserving(const Kraus1q &kraus, double tol = 1e-9);
 std::pair<std::array<Complex, 4>, std::array<Complex, 4>>
 twoQubitPauli(int which);
 
+/**
+ * Same as twoQubitPauli, returning a reference into a cached table —
+ * the shot-loop variant (no per-draw matrix construction).
+ */
+const std::pair<std::array<Complex, 4>, std::array<Complex, 4>> &
+twoQubitPauliRef(int which);
+
+/**
+ * The non-identity 1-qubit Pauli matrices, cached: 0 = X, 1 = Y,
+ * 2 = Z (matching the uniform X/Y/Z error draw in the shot loop).
+ */
+const std::array<Complex, 4> &pauliMatrix1q(int which);
+
 } // namespace qedm::sim

@@ -75,6 +75,10 @@ ExecutionTape::build(const hw::Device &device, const Circuit &physical)
         op.params = g.params;
         op.p0 = g.qubits[0];
         op.l0 = physToLocal.at(op.p0);
+        if (circuit::opArity(g.kind) == 1)
+            op.gate1q = circuit::gateMatrix1q(g.kind, g.params);
+        else
+            op.gate2q = circuit::gateMatrix2q(g.kind);
         auto addRelaxation = [&](int local, int phys, double dur_ns) {
             if (!spec.enableDecoherence)
                 return;
@@ -135,11 +139,25 @@ ExecutionTape::build(const hw::Device &device, const Circuit &physical)
             for (const auto &xt :
                  noise.crosstalk(static_cast<std::size_t>(edge))) {
                 auto it = physToLocal.find(xt.spectator);
-                if (it != physToLocal.end())
-                    op.crosstalk.emplace_back(it->second, xt.angleRad);
+                if (it != physToLocal.end()) {
+                    op.crosstalk.emplace_back(
+                        it->second,
+                        circuit::gateMatrix1q(OpKind::Rz,
+                                              {xt.angleRad}));
+                }
             }
             addRelaxation(op.l0, op.p0, spec.gate2qNs);
             addRelaxation(op.l1, op.p1, spec.gate2qNs);
+        }
+        // Pre-materialize the coherent-noise kicks so the shot loop
+        // multiplies by stored matrices instead of re-deriving them.
+        if (op.overRotation != 0.0) {
+            op.overRotationMat =
+                circuit::gateMatrix1q(OpKind::Rx, {op.overRotation});
+        }
+        if (op.controlPhase != 0.0) {
+            op.controlPhaseMat =
+                circuit::gateMatrix1q(OpKind::Rz, {op.controlPhase});
         }
         if (op.depolProb > 0.0 || !op.relaxation.empty() ||
             !op.preRelaxation.empty()) {

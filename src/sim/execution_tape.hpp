@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <map>
@@ -33,17 +34,31 @@
 
 namespace qedm::sim {
 
-/** One preprocessed gate on a tape. */
+/** One preprocessed gate on a tape.
+ *
+ *  All unitary factors are pre-materialized at build time (the base
+ *  gate matrix, the over-rotation/control-phase kicks, and the
+ *  crosstalk phases), so the per-shot trajectory loop never calls
+ *  gateMatrix1q/gateMatrix2q or evaluates trigonometry. */
 struct TapeOp
 {
     circuit::OpKind kind;
     std::vector<double> params;
     int l0 = -1, l1 = -1; ///< local operands
     int p0 = -1, p1 = -1; ///< physical operands
+    /** Pre-materialized base gate matrix (arity-1 ops). */
+    std::array<circuit::Complex, 4> gate1q{};
+    /** Pre-materialized base gate matrix (arity-2 ops). */
+    std::array<circuit::Complex, 16> gate2q{};
     double overRotation = 0.0; ///< coherent extra on target (rad)
     double controlPhase = 0.0; ///< coherent Rz on control (rad)
-    /** (local spectator, RZ angle) crosstalk kicks. */
-    std::vector<std::pair<int, double>> crosstalk;
+    /** Rx(overRotation), pre-materialized; valid iff overRotation != 0. */
+    std::array<circuit::Complex, 4> overRotationMat{};
+    /** Rz(controlPhase), pre-materialized; valid iff controlPhase != 0. */
+    std::array<circuit::Complex, 4> controlPhaseMat{};
+    /** (local spectator, Rz(angle) matrix) crosstalk kicks. */
+    std::vector<std::pair<int, std::array<circuit::Complex, 4>>>
+        crosstalk;
     double depolProb = 0.0; ///< stochastic depolarizing strength
     /** Thermal relaxation applied *before* the gate, covering each
      *  operand's idle window since its previous gate. */

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "sim/channels.hpp"
@@ -17,52 +18,47 @@ using circuit::OpKind;
 
 namespace {
 
-/** Apply per-bit readout confusion to a classical distribution. */
+/**
+ * Apply per-bit readout confusion to a classical distribution,
+ * in place: outcomes pair up as (o, o^bit), and each pair exchanges
+ * probability mass independently of every other pair, so no scratch
+ * distribution is needed. The two accumulations keep the term order
+ * of the historical copy-based implementation (lower-index source
+ * first), so results are bit-identical to it.
+ */
 void
 applyBitConfusion(stats::Distribution &dist, int bit, double p01,
                   double p10)
 {
-    stats::Distribution next(dist.width());
-    const auto &p = dist.probabilities();
-    for (std::size_t o = 0; o < p.size(); ++o) {
-        if (p[o] <= 0.0)
+    const std::size_t n = dist.size();
+    const std::size_t mask = std::size_t(1) << bit;
+    for (std::size_t o = 0; o < n; ++o) {
+        if (o & mask)
             continue;
-        const bool one = getBit(o, bit);
-        const double flip = one ? p10 : p01;
-        next.addProb(o, p[o] * (1.0 - flip));
-        next.addProb(flipBit(o, bit), p[o] * flip);
+        const double p0 = dist.prob(o);
+        const double p1 = dist.prob(o | mask);
+        dist.setProb(o, p0 * (1.0 - p01) + p1 * p10);
+        dist.setProb(o | mask, p0 * p01 + p1 * (1.0 - p10));
     }
-    dist = std::move(next);
 }
 
-/** Apply a joint two-bit flip channel to a classical distribution. */
+/** Apply a joint two-bit flip channel to a classical distribution,
+ *  in place (outcomes pair up under the flip involution). */
 void
 applyJointFlip(stats::Distribution &dist, int bit_a, int bit_b, double p)
 {
     if (p <= 0.0)
         return;
-    stats::Distribution next(dist.width());
-    const auto &probs = dist.probabilities();
-    for (std::size_t o = 0; o < probs.size(); ++o) {
-        if (probs[o] <= 0.0)
-            continue;
-        next.addProb(o, probs[o] * (1.0 - p));
-        next.addProb(flipBit(flipBit(o, bit_a), bit_b), probs[o] * p);
+    const std::size_t n = dist.size();
+    for (std::size_t o = 0; o < n; ++o) {
+        const Outcome f = flipBit(flipBit(o, bit_a), bit_b);
+        if (f <= o)
+            continue; // visit each pair once, from its lower index
+        const double po = dist.prob(o);
+        const double pf = dist.prob(f);
+        dist.setProb(o, po * (1.0 - p) + pf * p);
+        dist.setProb(f, po * p + pf * (1.0 - p));
     }
-    dist = std::move(next);
-}
-
-/** Rx(theta) as an explicit matrix (coherent over-rotation). */
-std::array<Complex, 4>
-rxMatrix(double theta)
-{
-    return circuit::gateMatrix1q(OpKind::Rx, {theta});
-}
-
-std::array<Complex, 4>
-rzMatrix(double theta)
-{
-    return circuit::gateMatrix1q(OpKind::Rz, {theta});
 }
 
 } // namespace
@@ -82,6 +78,10 @@ namespace {
  * The trajectory loop, templated on the per-trial continuation gate so
  * the gate-free overload compiles to exactly the unhooked loop (the
  * fault hook costs nothing unless a gate is passed).
+ *
+ * Every unitary factor comes pre-materialized from the tape: the shot
+ * loop applies stored matrices (with the StateVector's structured-
+ * matrix fast paths) and never re-derives a gate matrix.
  */
 template <typename Gate>
 stats::Counts
@@ -100,32 +100,28 @@ runShots(const hw::Calibration &cal, const ExecutionTape &tape,
             for (const auto &[local, kraus] : op.preRelaxation)
                 state.applyKraus1q(kraus, local, rng);
             if (op.l1 < 0) {
-                state.apply1q(circuit::gateMatrix1q(op.kind, op.params),
-                              op.l0);
+                state.apply1q(op.gate1q, op.l0);
                 if (op.overRotation != 0.0)
-                    state.apply1q(rxMatrix(op.overRotation), op.l0);
+                    state.apply1q(op.overRotationMat, op.l0);
                 if (op.depolProb > 0.0 &&
                     rng.bernoulli(op.depolProb)) {
                     // Uniform X/Y/Z error.
-                    static const OpKind paulis[3] = {OpKind::X, OpKind::Y,
-                                                     OpKind::Z};
                     state.apply1q(
-                        circuit::gateMatrix1q(
-                            paulis[rng.uniformInt(3)], {}),
+                        pauliMatrix1q(
+                            static_cast<int>(rng.uniformInt(3))),
                         op.l0);
                 }
             } else {
-                state.apply2q(circuit::gateMatrix2q(op.kind), op.l0,
-                              op.l1);
+                state.apply2q(op.gate2q, op.l0, op.l1);
                 if (op.overRotation != 0.0)
-                    state.apply1q(rxMatrix(op.overRotation), op.l1);
+                    state.apply1q(op.overRotationMat, op.l1);
                 if (op.controlPhase != 0.0)
-                    state.apply1q(rzMatrix(op.controlPhase), op.l0);
-                for (const auto &[spectator, angle] : op.crosstalk)
-                    state.apply1q(rzMatrix(angle), spectator);
+                    state.apply1q(op.controlPhaseMat, op.l0);
+                for (const auto &[spectator, kick] : op.crosstalk)
+                    state.apply1q(kick, spectator);
                 if (op.depolProb > 0.0 &&
                     rng.bernoulli(op.depolProb)) {
-                    const auto [pa, pb] = twoQubitPauli(
+                    const auto &[pa, pb] = twoQubitPauliRef(
                         static_cast<int>(rng.uniformInt(15)));
                     state.apply1q(pa, op.l0);
                     state.apply1q(pb, op.l1);
@@ -141,21 +137,26 @@ runShots(const hw::Calibration &cal, const ExecutionTape &tape,
         }
     };
 
-    StateVector precomputed(tape.numLocal);
+    // On the deterministic path the Born distribution is fixed across
+    // shots: precompute its cumulative form once and sampling becomes
+    // a binary search instead of an O(2^n) scan per shot.
+    std::vector<double> cumulative;
     if (deterministic) {
-        applyTrajectoryNoise(precomputed); // no randomness is consumed
+        applyTrajectoryNoise(sv); // no randomness is consumed
+        cumulative = sv.cumulativeProbabilities();
     }
 
     for (std::uint64_t shot = 0; shot < shots; ++shot) {
         if (!gate(shot))
             break;
-        const StateVector *state = &precomputed;
-        if (!deterministic) {
+        std::size_t basis;
+        if (deterministic) {
+            basis = sampleFromCumulative(cumulative, rng);
+        } else {
             sv.reset();
             applyTrajectoryNoise(sv);
-            state = &sv;
+            basis = sv.sampleMeasurement(rng);
         }
-        const std::size_t basis = state->sampleMeasurement(rng);
 
         Outcome outcome = 0;
         for (const auto &m : tape.measures) {
@@ -219,20 +220,19 @@ Executor::exactDistribution(const ExecutionTape &tape) const
         for (const auto &[local, kraus] : op.preRelaxation)
             rho.applyKraus1q(kraus, local);
         if (op.l1 < 0) {
-            rho.apply1q(circuit::gateMatrix1q(op.kind, op.params),
-                        op.l0);
+            rho.apply1q(op.gate1q, op.l0);
             if (op.overRotation != 0.0)
-                rho.apply1q(rxMatrix(op.overRotation), op.l0);
+                rho.apply1q(op.overRotationMat, op.l0);
             if (op.depolProb > 0.0)
                 rho.applyKraus1q(depolarizing1q(op.depolProb), op.l0);
         } else {
-            rho.apply2q(circuit::gateMatrix2q(op.kind), op.l0, op.l1);
+            rho.apply2q(op.gate2q, op.l0, op.l1);
             if (op.overRotation != 0.0)
-                rho.apply1q(rxMatrix(op.overRotation), op.l1);
+                rho.apply1q(op.overRotationMat, op.l1);
             if (op.controlPhase != 0.0)
-                rho.apply1q(rzMatrix(op.controlPhase), op.l0);
-            for (const auto &[spectator, angle] : op.crosstalk)
-                rho.apply1q(rzMatrix(angle), spectator);
+                rho.apply1q(op.controlPhaseMat, op.l0);
+            for (const auto &[spectator, kick] : op.crosstalk)
+                rho.apply1q(kick, spectator);
             if (op.depolProb > 0.0)
                 rho.applyDepolarizing2q(op.depolProb, op.l0, op.l1);
         }
@@ -256,7 +256,7 @@ Executor::exactDistribution(const ExecutionTape &tape) const
         dist.addProb(outcome, probs[basis]);
     }
 
-    // Classical readout channels.
+    // Classical readout channels (applied in place; see the helpers).
     for (const auto &m : tape.measures) {
         const auto &qc = cal.qubit(m.phys);
         if (qc.readoutP01 > 0.0 || qc.readoutP10 > 0.0)

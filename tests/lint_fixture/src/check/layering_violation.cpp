@@ -1,0 +1,13 @@
+// Seeded [layering] violation: verifier-layer code reaching into the
+// transpiler's implementation headers.
+#include "transpile/router.hpp"
+
+namespace qedm::check {
+
+int
+layeringViolation()
+{
+    return 1;
+}
+
+} // namespace qedm::check

@@ -1,0 +1,15 @@
+// Seeded [include-cycle] violation, half A: includes cycle_b.hpp,
+// which includes this header back.
+#pragma once
+
+#include "cycle_b.hpp"
+
+namespace qedm::fixture {
+
+inline int
+cycleA()
+{
+    return 1;
+}
+
+} // namespace qedm::fixture

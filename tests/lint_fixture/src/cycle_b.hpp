@@ -1,0 +1,15 @@
+// Seeded [include-cycle] violation, half B: completes the
+// cycle_a.hpp <-> cycle_b.hpp loop.
+#pragma once
+
+#include "cycle_a.hpp"
+
+namespace qedm::fixture {
+
+inline int
+cycleB()
+{
+    return 2;
+}
+
+} // namespace qedm::fixture

@@ -18,7 +18,14 @@
  *                        stdout);
  *   - pragma-once:       every header starts with #pragma once;
  *   - naked-new:         no naked `new` (ownership goes through
- *                        containers and smart pointers).
+ *                        containers and smart pointers);
+ *   - layering:          src/check (the static verifier layer) must
+ *                        not include transpile/ headers — the checkers
+ *                        validate the transpiler's *output* and must
+ *                        stay independent of its implementation;
+ *   - include-cycle:     the quoted-include graph over the scanned
+ *                        trees must be acyclic (#pragma once merely
+ *                        hides a cycle; it does not make one sound).
  *
  * Each scanned tree gets a rule profile: src/ runs every rule;
  * tools/, bench/, and examples/ relax assert- and stdout-discipline
@@ -40,7 +47,10 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -217,9 +227,113 @@ isSource(const fs::path &p)
     return ext == ".cpp" || ext == ".cc" || isHeader(p);
 }
 
+/** One quoted #include directive found in a scanned file. */
+struct IncludeEdge
+{
+    std::string from; ///< scanned file (path relative to the root)
+    int line = 0;
+    std::string target; ///< the include path as written
+};
+
+/**
+ * Extract quoted includes from the RAW text (they live inside string
+ * quotes, so this must run before literal stripping). Angle-bracket
+ * includes are system headers and out of scope.
+ */
+void
+collectIncludes(const std::string &raw, const std::string &rel_path,
+                std::vector<IncludeEdge> &out)
+{
+    std::istringstream lines(raw);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(lines, line)) {
+        ++lineno;
+        std::size_t pos = line.find_first_not_of(" \t");
+        if (pos == std::string::npos || line[pos] != '#')
+            continue;
+        pos = line.find_first_not_of(" \t", pos + 1);
+        if (pos == std::string::npos ||
+            line.compare(pos, 7, "include") != 0) {
+            continue;
+        }
+        const std::size_t open = line.find('"', pos + 7);
+        if (open == std::string::npos)
+            continue;
+        const std::size_t close = line.find('"', open + 1);
+        if (close == std::string::npos)
+            continue;
+        out.push_back(IncludeEdge{
+            rel_path, lineno,
+            line.substr(open + 1, close - open - 1)});
+    }
+}
+
+/**
+ * Layering rules over the collected include graph:
+ *  - src/check may not include transpile/ headers;
+ *  - no include cycles. Quoted includes resolve against src/ (the
+ *    project convention); edges into unscanned files are ignored.
+ */
+void
+lintIncludeGraph(const std::vector<IncludeEdge> &edges,
+                 const std::set<std::string> &scanned,
+                 std::vector<Violation> &out)
+{
+    std::map<std::string, std::vector<std::string>> graph;
+    for (const IncludeEdge &e : edges) {
+        if (underDir(e.from, "src/check") &&
+            e.target.rfind("transpile/", 0) == 0) {
+            out.push_back(Violation{
+                e.from, e.line, "layering",
+                "src/check must not include transpile/ headers (" +
+                    e.target +
+                    "); the verifiers validate transpiler output "
+                    "and may not depend on its implementation"});
+        }
+        const std::string resolved = "src/" + e.target;
+        if (scanned.count(resolved))
+            graph[e.from].push_back(resolved);
+    }
+
+    // Iterative three-color DFS; a back edge to an in-progress node
+    // closes a cycle, reported once with the full path.
+    std::map<std::string, int> color; // 0 white, 1 gray, 2 black
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::function<void(const std::string &)> visit =
+        [&](const std::string &node) {
+            color[node] = 1;
+            stack.push_back(node);
+            for (const std::string &next : graph[node]) {
+                if (color[next] == 1) {
+                    std::string path = next;
+                    for (std::size_t i = stack.size(); i-- > 0;) {
+                        path += " -> " + stack[i];
+                        if (stack[i] == next)
+                            break;
+                    }
+                    if (reported.insert(path).second) {
+                        out.push_back(Violation{
+                            node, 0, "include-cycle",
+                            "include cycle: " + path});
+                    }
+                } else if (color[next] == 0) {
+                    visit(next);
+                }
+            }
+            stack.pop_back();
+            color[node] = 2;
+        };
+    for (const auto &[node, _] : graph) {
+        if (color[node] == 0)
+            visit(node);
+    }
+}
+
 void
 lintFile(const fs::path &path, const std::string &rel_path,
-         std::vector<Violation> &out)
+         std::vector<Violation> &out, std::vector<IncludeEdge> &edges)
 {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -230,6 +344,7 @@ lintFile(const fs::path &path, const std::string &rel_path,
     std::ostringstream buffer;
     buffer << in.rdbuf();
     const std::string raw = buffer.str();
+    collectIncludes(raw, rel_path, edges);
 
     const RuleProfile profile = profileFor(rel_path);
     if (profile.pragmaOnce && isHeader(path) &&
@@ -305,6 +420,8 @@ main(int argc, char **argv)
     }
 
     std::vector<Violation> violations;
+    std::vector<IncludeEdge> edges;
+    std::set<std::string> scanned;
     int files_scanned = 0;
     for (const fs::path &dir : scan_dirs) {
         for (const auto &entry :
@@ -314,9 +431,11 @@ main(int argc, char **argv)
             ++files_scanned;
             const std::string rel =
                 fs::relative(entry.path(), root).generic_string();
-            lintFile(entry.path(), rel, violations);
+            scanned.insert(rel);
+            lintFile(entry.path(), rel, violations, edges);
         }
     }
+    lintIncludeGraph(edges, scanned, violations);
 
     for (const Violation &v : violations) {
         std::cout << v.file << ":" << v.line << ": [" << v.rule
