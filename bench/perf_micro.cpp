@@ -5,19 +5,23 @@
  * execution, exact density-matrix simulation, VF2 enumeration, and
  * routing/compilation.
  *
- * After the google-benchmark suite, two self-timed sweeps run:
+ * After the google-benchmark suite, three self-timed sweeps run:
  *  - a sim-kernel sweep over the guarded statevector/executor paths,
  *    writing one JSON object per kernel to BENCH_sim.json (each with a
  *    machine-normalized `per_cal` ratio against a fixed scalar
  *    calibration workload — the quantity the CI perf-guard compares,
  *    see bench/compare_bench.py);
+ *  - a compile-path sweep over the guarded placement/routing kernels
+ *    (pruned VF2 enumeration, bounded top-K placement search, the
+ *    lookahead router, ensemble candidate generation), writing
+ *    BENCH_compile.json in the same format;
  *  - a runtime-scaling sweep timing a 4-round K=4 experiment at
  *    --jobs 1/2/4/8, writing BENCH_runtime.json plus the
  *    speedup-over-sequential summary to stdout.
  *
- * Passing --sim-sweep-only runs just the sim-kernel sweep (no
- * google-benchmark pass, no runtime sweep) so the CI perf-guard job
- * stays fast.
+ * Passing --sim-sweep-only (or --compile-sweep-only) runs just that
+ * self-timed sweep (no google-benchmark pass, no runtime sweep) so the
+ * CI perf-guard job stays fast.
  */
 
 #include <benchmark/benchmark.h>
@@ -27,6 +31,8 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "benchmarks/benchmarks.hpp"
 #include "core/ensemble.hpp"
@@ -35,6 +41,8 @@
 #include "sim/channels.hpp"
 #include "sim/executor.hpp"
 #include "sim/statevector.hpp"
+#include "transpile/placer.hpp"
+#include "transpile/router.hpp"
 #include "transpile/transpiler.hpp"
 #include "transpile/vf2.hpp"
 
@@ -119,6 +127,55 @@ BM_Vf2PathIntoMelbourne(benchmark::State &state)
     }
 }
 BENCHMARK(BM_Vf2PathIntoMelbourne)->Arg(4)->Arg(7)->Arg(10);
+
+void
+BM_Vf2Enumerate(benchmark::State &state)
+{
+    // Cycle-n patterns exercise back-edge checks and the
+    // neighborhood-signature filter harder than open paths.
+    const int n = static_cast<int>(state.range(0));
+    std::vector<std::pair<int, int>> edges;
+    for (int v = 0; v < n; ++v)
+        edges.emplace_back(v, (v + 1) % n);
+    const hw::Topology pattern(n, edges);
+    const hw::Topology target = hw::Topology::melbourne();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            transpile::vf2AllEmbeddings(pattern, target));
+    }
+}
+BENCHMARK(BM_Vf2Enumerate)->Arg(4)->Arg(8)->Arg(12);
+
+void
+BM_TopKPlacements(benchmark::State &state)
+{
+    // The acceptance kernel: K=4 placements of the 7-qubit QAOA path
+    // on melbourne via branch-and-bound (pre-rewrite this cost a full
+    // rankedEmbeddings materialize-then-sort).
+    const hw::Device device = hw::Device::melbourne(2);
+    const transpile::Placer placer(device);
+    const auto logical = benchmarks::qaoaMaxcutPath(7).circuit;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(placer.topPlacements(logical, 4));
+    }
+}
+BENCHMARK(BM_TopKPlacements);
+
+void
+BM_RouteBv(benchmark::State &state)
+{
+    // SWAP routing from a deliberately spread-out placement, hitting
+    // the memoized all-pairs distance path on every gate.
+    const hw::Device device = hw::Device::melbourne(2);
+    const transpile::Router router(device,
+                                   transpile::RouteCost::Reliability);
+    const auto logical = benchmarks::bv6().circuit;
+    const std::vector<int> spread = {0, 2, 4, 6, 8, 10, 12};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(router.route(logical, spread));
+    }
+}
+BENCHMARK(BM_RouteBv);
 
 void
 BM_CompileBv6(benchmark::State &state)
@@ -340,6 +397,83 @@ runSimKernelSweep()
     }
 }
 
+/**
+ * Compile-path sweep over the placement/routing kernels guarded by CI:
+ * pruned VF2 enumeration, the bounded top-K placement search, SWAP
+ * routing from a spread-out placement, and ensemble candidate
+ * generation. Emits one JSON object per line to BENCH_compile.json,
+ * `per_cal`-normalized exactly like the sim sweep.
+ */
+void
+runCompileSweep()
+{
+    const double cal_ns = calibrationNs();
+
+    std::ofstream json("BENCH_compile.json");
+    std::cout << "\ncompile-path sweep (best-of wall times, per_cal = "
+                 "wall_ns / calibration):\n";
+    auto emit = [&](const std::string &name, double wall_ns) {
+        json << "{\"bench\":\"" << name << "\",\"wall_ns\":" << wall_ns
+             << ",\"per_cal\":" << wall_ns / cal_ns << "}\n";
+        std::cout << "  " << name << ": " << wall_ns * 1e-6 << " ms ("
+                  << wall_ns / cal_ns << " per_cal)\n";
+    };
+    emit("calibration", cal_ns);
+
+    const hw::Device device = hw::Device::melbourne(2);
+    {
+        // Cycle-8 into the melbourne ladder: back-edge-heavy pruned
+        // VF2 enumeration.
+        std::vector<std::pair<int, int>> edges;
+        for (int v = 0; v < 8; ++v)
+            edges.emplace_back(v, (v + 1) % 8);
+        const hw::Topology pattern(8, edges);
+        const hw::Topology target = hw::Topology::melbourne();
+        emit("vf2_cycle8_melbourne",
+             timeBestNs(
+                 [&] {
+                     benchmark::DoNotOptimize(
+                         transpile::vf2AllEmbeddings(pattern, target));
+                 },
+                 10, 2));
+    }
+    {
+        const transpile::Placer placer(device);
+        const auto logical = benchmarks::qaoaMaxcutPath(7).circuit;
+        emit("topk_qaoa7path_k4",
+             timeBestNs(
+                 [&] {
+                     benchmark::DoNotOptimize(
+                         placer.topPlacements(logical, 4));
+                 },
+                 10, 2));
+    }
+    {
+        const transpile::Router router(
+            device, transpile::RouteCost::Reliability);
+        const auto logical = benchmarks::bv6().circuit;
+        const std::vector<int> spread = {0, 2, 4, 6, 8, 10, 12};
+        emit("route_bv6_spread",
+             timeBestNs(
+                 [&] {
+                     benchmark::DoNotOptimize(
+                         router.route(logical, spread));
+                 },
+                 10, 2));
+    }
+    {
+        const core::EnsembleBuilder builder(device);
+        const auto logical = benchmarks::bv6().circuit;
+        emit("ensemble_candidates_bv6",
+             timeBestNs(
+                 [&] {
+                     benchmark::DoNotOptimize(
+                         builder.candidates(logical));
+                 },
+                 5, 1));
+    }
+}
+
 /** Jobs-scaling sweep; emits BENCH_runtime.json and a stdout table. */
 void
 runRuntimeScalingSweep()
@@ -367,10 +501,14 @@ runRuntimeScalingSweep()
 int
 main(int argc, char **argv)
 {
-    // CI perf-guard mode: only the self-timed sim-kernel sweep.
+    // CI perf-guard modes: only the requested self-timed sweep.
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--sim-sweep-only") == 0) {
             runSimKernelSweep();
+            return 0;
+        }
+        if (std::strcmp(argv[i], "--compile-sweep-only") == 0) {
+            runCompileSweep();
             return 0;
         }
     }
@@ -380,6 +518,7 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     runSimKernelSweep();
+    runCompileSweep();
     runRuntimeScalingSweep();
     return 0;
 }

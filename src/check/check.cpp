@@ -5,6 +5,7 @@
 #include "check/circuit_checker.hpp"
 #include "check/esp_checker.hpp"
 #include "check/mapping_checker.hpp"
+#include "check/measure_checker.hpp"
 
 namespace qedm::check {
 namespace {
@@ -78,6 +79,10 @@ checkErrorKindName(CheckErrorKind kind)
         return "esp-mismatch";
       case CheckErrorKind::EspUndefined:
         return "esp-undefined";
+      case CheckErrorKind::MeasureOffLayout:
+        return "measure-off-layout";
+      case CheckErrorKind::MeasureRemapMismatch:
+        return "measure-remap-mismatch";
     }
     return "unknown";
 }
@@ -105,9 +110,11 @@ standardPasses()
 {
     static const CircuitChecker circuit_checker;
     static const MappingChecker mapping_checker;
+    static const MeasureChecker measure_checker;
     static const EspChecker esp_checker;
     static const std::vector<const CheckerPass *> passes{
-        &circuit_checker, &mapping_checker, &esp_checker};
+        &circuit_checker, &mapping_checker, &measure_checker,
+        &esp_checker};
     return passes;
 }
 

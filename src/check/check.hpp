@@ -14,6 +14,11 @@
  *   - MappingChecker: the layout is a bijection onto the device, every
  *     two-qubit gate sits on a coupling edge, and the SWAP trail turns
  *     the initial map into the final map;
+ *   - MeasureChecker: the measurement table reads the final layout —
+ *     every clbit written once, every measured qubit inside the final
+ *     map's image, and (when the logical source is attached) the
+ *     physical measures are exactly the logical ones pushed through
+ *     the final map;
  *   - EspChecker: the reported ESP is recomputable from the routed
  *     circuit and the calibration tables within 1e-9.
  *
@@ -69,6 +74,8 @@ enum class CheckErrorKind
     SwapTrailMismatch, ///< replayed SWAPs do not reach the final map
     EspMismatch,      ///< reported ESP does not recompute (stale score)
     EspUndefined,     ///< ESP recomputation hit an uncoupled gate
+    MeasureOffLayout, ///< measure reads a qubit outside the final map
+    MeasureRemapMismatch, ///< measure table != logical through final map
 };
 
 /** Stable kebab-case name for one CheckErrorKind. */
@@ -128,6 +135,12 @@ struct ProgramView
     double esp = 0.0;
     /** Device the program was compiled for. */
     const hw::Device *device = nullptr;
+    /**
+     * Logical source circuit, when available. Optional: enables the
+     * strong measurement-remap check (physical measures == logical
+     * measures through the final map).
+     */
+    const circuit::Circuit *logical = nullptr;
 };
 
 /** One static verifier pass over a compiled program. */
@@ -144,9 +157,9 @@ class CheckerPass
 };
 
 /**
- * The standard pass list in execution order: circuit, mapping, esp.
- * The instances are immutable singletons; safe to share across
- * threads.
+ * The standard pass list in execution order: circuit, mapping,
+ * measure, esp. The instances are immutable singletons; safe to share
+ * across threads.
  */
 const std::vector<const CheckerPass *> &standardPasses();
 

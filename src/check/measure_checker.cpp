@@ -1,0 +1,131 @@
+#include "check/measure_checker.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qedm::check {
+namespace {
+
+/** (clbit -> measured qubit) table of a circuit; duplicate clbit
+ *  writes surface through @p on_duplicate. */
+std::map<int, int>
+measureTable(const circuit::Circuit &circuit,
+             const std::function<void(int clbit, int qubit)>
+                 &on_duplicate)
+{
+    std::map<int, int> table;
+    for (const auto &g : circuit.gates()) {
+        if (g.kind != circuit::OpKind::Measure)
+            continue;
+        const auto [it, inserted] =
+            table.emplace(g.clbit, g.qubits[0]);
+        if (!inserted)
+            on_duplicate(g.clbit, g.qubits[0]);
+    }
+    return table;
+}
+
+} // namespace
+
+void
+MeasureChecker::run(const ProgramView &view) const
+{
+    if (view.physical == nullptr)
+        throw CheckError(name(), CheckErrorKind::MissingArtifact,
+                         "program view needs a physical circuit");
+    if (view.finalMap == nullptr)
+        return; // nothing to validate the measures against
+    checkMeasureTargets(*view.physical, *view.finalMap);
+    if (view.logical != nullptr)
+        checkMeasureRemap(*view.logical, *view.physical,
+                          *view.finalMap);
+}
+
+void
+MeasureChecker::checkMeasureTargets(
+    const circuit::Circuit &physical,
+    const std::vector<int> &final_map) const
+{
+    const auto table = measureTable(physical, [&](int clbit,
+                                                  int qubit) {
+        throw CheckError(name(), CheckErrorKind::ClbitMisuse,
+                         "clbit " + std::to_string(clbit) +
+                             " is written by more than one measure",
+                         -1, {qubit});
+    });
+    std::vector<bool> image(
+        static_cast<std::size_t>(physical.numQubits()), false);
+    for (int p : final_map) {
+        if (p >= 0 && p < physical.numQubits())
+            image[static_cast<std::size_t>(p)] = true;
+    }
+    for (const auto &[clbit, qubit] : table) {
+        if (!image[static_cast<std::size_t>(qubit)]) {
+            throw CheckError(
+                name(), CheckErrorKind::MeasureOffLayout,
+                "measure into clbit " + std::to_string(clbit) +
+                    " reads a physical qubit outside the final "
+                    "layout's image",
+                -1, {qubit});
+        }
+    }
+}
+
+void
+MeasureChecker::checkMeasureRemap(
+    const circuit::Circuit &logical, const circuit::Circuit &physical,
+    const std::vector<int> &final_map) const
+{
+    const auto rethrow_dup = [&](int clbit, int qubit) {
+        throw CheckError(name(), CheckErrorKind::ClbitMisuse,
+                         "clbit " + std::to_string(clbit) +
+                             " is written by more than one measure",
+                         -1, {qubit});
+    };
+    const auto logical_table = measureTable(logical, rethrow_dup);
+    const auto physical_table = measureTable(physical, rethrow_dup);
+
+    if (logical_table.size() != physical_table.size()) {
+        throw CheckError(
+            name(), CheckErrorKind::MeasureRemapMismatch,
+            "logical program measures " +
+                std::to_string(logical_table.size()) +
+                " clbits, physical program measures " +
+                std::to_string(physical_table.size()));
+    }
+    for (const auto &[clbit, logical_q] : logical_table) {
+        const auto it = physical_table.find(clbit);
+        if (it == physical_table.end()) {
+            throw CheckError(
+                name(), CheckErrorKind::MeasureRemapMismatch,
+                "clbit " + std::to_string(clbit) +
+                    " is measured logically but not physically");
+        }
+        if (logical_q < 0 ||
+            logical_q >= static_cast<int>(final_map.size())) {
+            throw CheckError(
+                name(), CheckErrorKind::MeasureRemapMismatch,
+                "logical measure into clbit " +
+                    std::to_string(clbit) +
+                    " reads a qubit the final map does not cover");
+        }
+        const int expected = final_map[static_cast<std::size_t>(
+            logical_q)];
+        if (it->second != expected) {
+            throw CheckError(
+                name(), CheckErrorKind::MeasureRemapMismatch,
+                "clbit " + std::to_string(clbit) +
+                    " reads physical qubit " +
+                    std::to_string(it->second) +
+                    " but the final map sends logical " +
+                    std::to_string(logical_q) + " to physical " +
+                    std::to_string(expected),
+                -1, {it->second, expected});
+        }
+    }
+}
+
+} // namespace qedm::check

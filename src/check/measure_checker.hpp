@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Measurement remap verification.
+ *
+ * A routed program reads logical answers off *physical* qubits, so the
+ * measurement table is where a mapping bug becomes a silently wrong
+ * histogram: a measure left on a stale physical qubit after SWAP
+ * insertion still produces plausible counts. This pass validates the
+ * measurement-remap contract: each classical bit is written at most
+ * once, every measured physical qubit is inside the final layout's
+ * image, and — when the logical source circuit is available — the
+ * physical measure table is exactly the logical one pushed through the
+ * final map (logical measure (l, c) <=> physical measure
+ * (finalMap[l], c)).
+ */
+
+#pragma once
+
+#include "check/check.hpp"
+
+namespace qedm::check {
+
+/** Verifier pass: measurement table vs the final layout. */
+class MeasureChecker final : public CheckerPass
+{
+  public:
+    const char *name() const override { return "measure"; }
+
+    void run(const ProgramView &view) const override;
+
+    /**
+     * Weak contract (no logical circuit needed): classical bits are
+     * written at most once and every measured physical qubit is in
+     * the image of @p final_map.
+     */
+    void checkMeasureTargets(const circuit::Circuit &physical,
+                             const std::vector<int> &final_map) const;
+
+    /**
+     * Strong contract: the physical measure table equals the logical
+     * measure table remapped through @p final_map, measure for
+     * measure (same clbits, same multiplicity).
+     */
+    void checkMeasureRemap(const circuit::Circuit &logical,
+                           const circuit::Circuit &physical,
+                           const std::vector<int> &final_map) const;
+};
+
+} // namespace qedm::check

@@ -388,9 +388,20 @@ EdmResult
 EdmPipeline::run(const circuit::Circuit &logical,
                  const SeedSequence &seq) const
 {
+    std::optional<runtime::JobScheduler> owned;
+    const runtime::JobScheduler *scheduler = config_.scheduler;
+    if (scheduler == nullptr)
+        scheduler = &owned.emplace(config_.jobs);
+
     EnsembleConfig ensemble_config = config_.ensemble;
     ensemble_config.verifyPasses =
         ensemble_config.verifyPasses || config_.verifyPasses;
+    // Compilation shares the execution scheduler: candidate
+    // materialization fans out over the same pool the shot batches
+    // use, with index-assigned slots keeping results bit-identical at
+    // any --jobs value.
+    if (ensemble_config.scheduler == nullptr)
+        ensemble_config.scheduler = scheduler;
     const EnsembleBuilder builder(device_, ensemble_config);
     std::vector<transpile::CompiledProgram> programs =
         builder.build(logical);
@@ -400,22 +411,19 @@ EdmPipeline::run(const circuit::Circuit &logical,
     const std::vector<std::uint64_t> splits =
         splitShots(config_.totalShots, programs.size());
 
-    // Tapes are immutable and shared across all batches of a member.
-    std::vector<std::shared_ptr<const sim::ExecutionTape>> tapes;
-    tapes.reserve(programs.size());
-    for (const auto &program : programs) {
-        tapes.push_back(
+    // Tapes are immutable and shared across all batches of a member;
+    // building one is independent of the others, so members fan out
+    // over the scheduler into pre-assigned slots.
+    std::vector<std::shared_ptr<const sim::ExecutionTape>> tapes(
+        programs.size());
+    scheduler->parallelFor(programs.size(), [&](std::size_t m) {
+        tapes[m] =
             config_.tapeCache != nullptr
-                ? config_.tapeCache->get(device_, program.physical)
+                ? config_.tapeCache->get(device_, programs[m].physical)
                 : std::make_shared<const sim::ExecutionTape>(
                       sim::ExecutionTape::build(device_,
-                                                program.physical)));
-    }
-
-    std::optional<runtime::JobScheduler> owned;
-    const runtime::JobScheduler *scheduler = config_.scheduler;
-    if (scheduler == nullptr)
-        scheduler = &owned.emplace(config_.jobs);
+                                                programs[m].physical));
+    });
 
     EdmResult result;
     std::vector<stats::Counts> member_counts;

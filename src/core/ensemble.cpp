@@ -2,16 +2,50 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 #include "common/error.hpp"
 #include "sim/executor.hpp"
 #include "stats/metrics.hpp"
-#include "transpile/esp.hpp"
+#include "transpile/esp_model.hpp"
+#include "transpile/placement_search.hpp"
 #include "transpile/vf2.hpp"
 
 namespace qedm::core {
 
 using transpile::CompiledProgram;
+
+namespace {
+
+/**
+ * One isomorphic transfer before materialization: the full relabeling,
+ * the relabeled initial map (the deterministic tie-break key), and the
+ * exact trace-scored ESP. Cheap to build and sort; the physical
+ * circuit is only materialized for candidates that survive the
+ * automorphism dedup.
+ */
+struct CandidateRecord
+{
+    std::vector<int> relabel;
+    std::vector<int> initialMap;
+    std::vector<int> usedSet; ///< sorted embedding targets (dedup key)
+    double esp = 0.0;
+};
+
+/** Deterministic candidate order: ESP descending, ties broken on the
+ *  initial map and then on the full relabeling — a total order
+ *  independent of enumeration order. */
+bool
+candidateBefore(const CandidateRecord &a, const CandidateRecord &b)
+{
+    if (a.esp != b.esp)
+        return a.esp > b.esp;
+    if (a.initialMap != b.initialMap)
+        return a.initialMap < b.initialMap;
+    return a.relabel < b.relabel;
+}
+
+} // namespace
 
 EnsembleBuilder::EnsembleBuilder(const hw::Device &device,
                                  EnsembleConfig config)
@@ -53,60 +87,75 @@ EnsembleBuilder::candidates(const circuit::Circuit &logical) const
     QEDM_ASSERT(!embeddings.empty(),
                 "identity embedding must always exist");
 
-    std::vector<CompiledProgram> all;
-    all.reserve(embeddings.size());
+    // Score every transfer from the seed's gate trace — the same
+    // factors esp() multiplies on the materialized circuit, in the
+    // same order, so the scores are bit-identical, without building
+    // a circuit per candidate.
+    const auto model = transpile::sharedEspModel(device_);
+    const transpile::GateTrace trace =
+        transpile::EspModel::trace(seed.physical.decomposed());
+
+    std::vector<CandidateRecord> records;
+    records.reserve(embeddings.size());
     for (const auto &embedding : embeddings) {
         // Full physical-to-physical relabeling: used qubits move via
         // the embedding; the rest fill the remaining slots (their
         // placement is irrelevant, no gate touches them).
-        std::vector<int> relabel(topo.numQubits(), -1);
+        CandidateRecord rec;
+        rec.relabel.assign(topo.numQubits(), -1);
         std::vector<bool> taken(topo.numQubits(), false);
         for (std::size_t i = 0; i < used.size(); ++i) {
-            relabel[used[i]] = embedding[i];
+            rec.relabel[used[i]] = embedding[i];
             taken[embedding[i]] = true;
         }
         int fill = 0;
         for (int q = 0; q < topo.numQubits(); ++q) {
-            if (relabel[q] >= 0)
+            if (rec.relabel[q] >= 0)
                 continue;
             while (taken[fill])
                 ++fill;
-            relabel[q] = fill;
+            rec.relabel[q] = fill;
             taken[fill] = true;
         }
-
-        CompiledProgram member;
-        member.physical =
-            seed.physical.remapQubits(relabel, topo.numQubits());
-        member.initialMap.reserve(seed.initialMap.size());
+        rec.initialMap.reserve(seed.initialMap.size());
         for (int p : seed.initialMap)
-            member.initialMap.push_back(relabel[p]);
-        member.finalMap.reserve(seed.finalMap.size());
-        for (int p : seed.finalMap)
-            member.finalMap.push_back(relabel[p]);
-        member.swapCount = seed.swapCount;
-        member.esp = transpile::esp(member.physical, device_);
-        all.push_back(std::move(member));
+            rec.initialMap.push_back(rec.relabel[p]);
+        rec.usedSet = embedding;
+        std::sort(rec.usedSet.begin(), rec.usedSet.end());
+        rec.esp = model->espOfTrace(trace, rec.relabel);
+        records.push_back(std::move(rec));
     }
-    std::stable_sort(all.begin(), all.end(),
-                     [](const CompiledProgram &a,
-                        const CompiledProgram &b) {
-                         return a.esp > b.esp;
-                     });
+    std::sort(records.begin(), records.end(), candidateBefore);
 
     // The paper ranks isomorphic *sub-graphs*: collapse automorphic
     // relabelings onto the same qubit set, keeping the best-ESP one.
-    std::vector<CompiledProgram> out;
+    // Dedup happens *before* materialization, so automorphic copies
+    // never cost a circuit build.
+    std::vector<CandidateRecord> survivors;
     std::set<std::vector<int>> seen_sets;
-    for (auto &member : all) {
-        if (seen_sets.insert(member.usedQubits()).second)
-            out.push_back(std::move(member));
+    for (auto &rec : records) {
+        if (seen_sets.insert(rec.usedSet).second)
+            survivors.push_back(std::move(rec));
     }
 
-    // Isomorphic transfer must preserve validity; verify every member
-    // the builder hands out, not just the compiled seed.
-    if (config_.verifyPasses) {
-        for (const CompiledProgram &member : out) {
+    // Materialize (and verify) only the survivors, fanned out over the
+    // scheduler when one is configured. Each worker writes its
+    // pre-assigned slot, so the output is bit-identical at any --jobs.
+    std::vector<CompiledProgram> out(survivors.size());
+    auto materialize = [&](std::size_t i) {
+        const CandidateRecord &rec = survivors[i];
+        CompiledProgram member;
+        member.physical =
+            seed.physical.remapQubits(rec.relabel, topo.numQubits());
+        member.initialMap = rec.initialMap;
+        member.finalMap.reserve(seed.finalMap.size());
+        for (int p : seed.finalMap)
+            member.finalMap.push_back(rec.relabel[p]);
+        member.swapCount = seed.swapCount;
+        member.esp = rec.esp;
+        // Isomorphic transfer must preserve validity; verify every
+        // member the builder hands out, not just the compiled seed.
+        if (config_.verifyPasses) {
             check::ProgramView view;
             view.physical = &member.physical;
             view.initialMap = &member.initialMap;
@@ -114,8 +163,16 @@ EnsembleBuilder::candidates(const circuit::Circuit &logical) const
             view.swapCount = member.swapCount;
             view.esp = member.esp;
             view.device = &device_;
+            view.logical = &logical;
             check::verifyProgram(view);
         }
+        out[i] = std::move(member);
+    };
+    if (config_.scheduler != nullptr) {
+        config_.scheduler->parallelFor(survivors.size(), materialize);
+    } else {
+        for (std::size_t i = 0; i < survivors.size(); ++i)
+            materialize(i);
     }
     return out;
 }

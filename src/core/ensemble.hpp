@@ -19,6 +19,7 @@
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "hw/device.hpp"
+#include "runtime/scheduler.hpp"
 #include "transpile/compile_cache.hpp"
 #include "transpile/transpiler.hpp"
 
@@ -60,6 +61,14 @@ struct EnsembleConfig
      * fingerprint, so drifted devices never reuse stale programs.
      */
     transpile::CompileCache *compileCache = nullptr;
+    /**
+     * Optional scheduler for fanning candidate materialization and
+     * verification across worker threads (not owned; must outlive the
+     * builder). Results are written into index-assigned slots, so the
+     * candidate list is bit-identical at every `--jobs` value. Null
+     * means serial.
+     */
+    const runtime::JobScheduler *scheduler = nullptr;
 };
 
 /** Builds mapping ensembles for one device. */

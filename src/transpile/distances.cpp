@@ -1,12 +1,17 @@
 #include "transpile/distances.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <list>
+#include <map>
+#include <mutex>
 #include <queue>
+#include <utility>
 
 namespace qedm::transpile {
 
-std::vector<std::vector<double>>
+DistanceMatrix
 distanceMatrix(const hw::Device &device, RouteCost cost)
 {
     const auto &topo = device.topology();
@@ -47,6 +52,50 @@ distanceMatrix(const hw::Device &device, RouteCost cost)
         }
     }
     return dist;
+}
+
+namespace {
+
+/** Bounded FIFO cache of distance matrices per calibration epoch. */
+class DistanceRegistry
+{
+  public:
+    std::shared_ptr<const DistanceMatrix>
+    get(const hw::Device &device, RouteCost cost)
+    {
+        const Key key{device.fingerprint(), cost};
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = matrices_.find(key);
+        if (it != matrices_.end())
+            return it->second;
+        auto matrix = std::make_shared<const DistanceMatrix>(
+            distanceMatrix(device, cost));
+        matrices_.emplace(key, matrix);
+        order_.push_back(key);
+        while (matrices_.size() > kCapacity) {
+            matrices_.erase(order_.front());
+            order_.pop_front();
+        }
+        return matrix;
+    }
+
+  private:
+    using Key = std::pair<std::uint64_t, RouteCost>;
+
+    static constexpr std::size_t kCapacity = 64;
+
+    std::mutex mutex_;
+    std::map<Key, std::shared_ptr<const DistanceMatrix>> matrices_;
+    std::list<Key> order_;
+};
+
+} // namespace
+
+std::shared_ptr<const DistanceMatrix>
+sharedDistanceMatrix(const hw::Device &device, RouteCost cost)
+{
+    static DistanceRegistry registry;
+    return registry.get(device, cost);
 }
 
 } // namespace qedm::transpile

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "hw/device.hpp"
@@ -13,12 +14,26 @@
 
 namespace qedm::transpile {
 
+/** All-pairs shortest-path distances, row-major by source qubit. */
+using DistanceMatrix = std::vector<std::vector<double>>;
+
 /**
  * All-pairs shortest-path distances where each edge costs
  * -log(1 - cxError) (reliability metric) or 1 (hop metric).
  * Disconnected pairs get a large finite sentinel.
  */
-std::vector<std::vector<double>>
-distanceMatrix(const hw::Device &device, RouteCost cost);
+DistanceMatrix distanceMatrix(const hw::Device &device, RouteCost cost);
+
+/**
+ * Memoized distanceMatrix, keyed on (device fingerprint, cost metric).
+ * Every route() call used to re-run all-pairs Dijkstra from scratch;
+ * the matrix only depends on the coupling graph and the calibration
+ * epoch, so ensemble members, rounds, and threads compiling against
+ * the same device share one computation. Calibration drift changes the
+ * fingerprint and misses the cache. Thread-safe; the returned matrix
+ * is immutable and shareable across threads.
+ */
+std::shared_ptr<const DistanceMatrix>
+sharedDistanceMatrix(const hw::Device &device, RouteCost cost);
 
 } // namespace qedm::transpile

@@ -1,0 +1,147 @@
+#include "transpile/esp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <list>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qedm::transpile {
+namespace {
+
+/** Log of a success factor; zero-probability factors map to a huge
+ *  finite penalty so bound arithmetic never produces NaN. */
+double
+safeLog(double ok)
+{
+    constexpr double kFloor = 1e-300;
+    return std::log(std::max(ok, kFloor));
+}
+
+} // namespace
+
+EspModel::EspModel(const hw::Device &device)
+    : topology_(device.topology()), fingerprint_(device.fingerprint()),
+      bestLog2_(-std::numeric_limits<double>::infinity())
+{
+    const auto &cal = device.calibration();
+    const int n = topology_.numQubits();
+    ok1_.reserve(static_cast<std::size_t>(n));
+    okMeasure_.reserve(static_cast<std::size_t>(n));
+    log1_.reserve(static_cast<std::size_t>(n));
+    logMeasure_.reserve(static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q) {
+        const auto &qc = cal.qubit(q);
+        ok1_.push_back(1.0 - qc.error1q);
+        okMeasure_.push_back(1.0 - qc.readoutError());
+        log1_.push_back(safeLog(ok1_.back()));
+        logMeasure_.push_back(safeLog(okMeasure_.back()));
+    }
+    ok2_.reserve(topology_.numEdges());
+    log2_.reserve(topology_.numEdges());
+    for (std::size_t e = 0; e < topology_.numEdges(); ++e) {
+        ok2_.push_back(1.0 - cal.edge(e).cxError);
+        log2_.push_back(safeLog(ok2_.back()));
+        bestLog2_ = std::max(bestLog2_, log2_.back());
+    }
+    if (ok2_.empty())
+        bestLog2_ = 0.0;
+}
+
+GateTrace
+EspModel::trace(const circuit::Circuit &flat)
+{
+    GateTrace out;
+    out.reserve(flat.gates().size());
+    for (const auto &g : flat.gates()) {
+        switch (g.kind) {
+          case circuit::OpKind::Barrier:
+            break;
+          case circuit::OpKind::Measure:
+            out.push_back({GateTerm::Kind::Measure, g.qubits[0], -1});
+            break;
+          default:
+            if (circuit::opArity(g.kind) == 1) {
+                out.push_back(
+                    {GateTerm::Kind::OneQubit, g.qubits[0], -1});
+            } else {
+                out.push_back({GateTerm::Kind::TwoQubit, g.qubits[0],
+                               g.qubits[1]});
+            }
+        }
+    }
+    return out;
+}
+
+double
+EspModel::espOfTrace(const GateTrace &trace,
+                     const std::vector<int> &map) const
+{
+    double p = 1.0;
+    for (const GateTerm &term : trace) {
+        switch (term.kind) {
+          case GateTerm::Kind::OneQubit:
+            p *= ok1(map[static_cast<std::size_t>(term.a)]);
+            break;
+          case GateTerm::Kind::Measure:
+            p *= okMeasure(map[static_cast<std::size_t>(term.a)]);
+            break;
+          case GateTerm::Kind::TwoQubit: {
+            const int e = topology_.edgeIndex(
+                map[static_cast<std::size_t>(term.a)],
+                map[static_cast<std::size_t>(term.b)]);
+            QEDM_REQUIRE(e >= 0, "two-qubit gate on uncoupled qubits");
+            p *= ok2(e);
+            break;
+          }
+        }
+    }
+    return p;
+}
+
+namespace {
+
+/** Bounded FIFO registry of models, one per calibration epoch. */
+class EspModelRegistry
+{
+  public:
+    std::shared_ptr<const EspModel>
+    get(const hw::Device &device)
+    {
+        const std::uint64_t key = device.fingerprint();
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = models_.find(key);
+        if (it != models_.end())
+            return it->second;
+        auto model = std::make_shared<const EspModel>(device);
+        models_.emplace(key, model);
+        order_.push_back(key);
+        while (models_.size() > kCapacity) {
+            models_.erase(order_.front());
+            order_.pop_front();
+        }
+        return model;
+    }
+
+  private:
+    static constexpr std::size_t kCapacity = 64;
+
+    std::mutex mutex_;
+    std::map<std::uint64_t, std::shared_ptr<const EspModel>> models_;
+    std::list<std::uint64_t> order_;
+};
+
+} // namespace
+
+std::shared_ptr<const EspModel>
+sharedEspModel(const hw::Device &device)
+{
+    static EspModelRegistry registry;
+    return registry.get(device);
+}
+
+} // namespace qedm::transpile

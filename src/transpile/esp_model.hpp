@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Precomputed ESP scoring tables (the incremental-ESP half of the
+ * compile-path rewrite).
+ *
+ * ESP is a product of per-gate success factors read from the
+ * calibration tables (Section 2.4). Candidate enumeration rescored
+ * every placement by decomposing and walking a freshly materialized
+ * physical circuit — O(gates) circuit construction per candidate. An
+ * EspModel hoists everything calibration-dependent out of that loop:
+ *
+ *  - per-qubit 1q / readout success factors and their logs,
+ *  - per-edge CX success factors and their logs,
+ *  - the best (least lossy) factor of each class on the device, used
+ *    by branch-and-bound placement search as an admissible optimistic
+ *    bound.
+ *
+ * A model is immutable once built and valid for exactly one
+ * calibration epoch; sharedEspModel() memoizes models per device
+ * fingerprint (the same content hash CompileCache keys on), so
+ * calibration drift yields a fresh model and an unchanged device hits
+ * the cache across rounds, members, and threads.
+ *
+ * Scoring against a model walks a GateTrace — the decomposed gate
+ * sequence reduced to (kind, operand) terms — under a relabeling map.
+ * The product is accumulated in the same order with the same factors
+ * as esp(), so trace scores are bit-identical to scoring the
+ * materialized circuit.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "circuit/circuit.hpp"
+#include "hw/device.hpp"
+
+namespace qedm::transpile {
+
+/** One multiplicative ESP term of a flattened circuit. */
+struct GateTerm
+{
+    enum class Kind : std::uint8_t
+    {
+        OneQubit, ///< factor 1 - error1q(a)
+        Measure,  ///< factor 1 - readoutError(a)
+        TwoQubit, ///< factor 1 - cxError(edge(a, b))
+    };
+
+    Kind kind;
+    int a;
+    int b; ///< second operand; only meaningful for TwoQubit
+};
+
+/** The ESP-relevant terms of one circuit, in gate order. */
+using GateTrace = std::vector<GateTerm>;
+
+/** Immutable per-calibration-epoch ESP factor tables. */
+class EspModel
+{
+  public:
+    explicit EspModel(const hw::Device &device);
+
+    /** Fingerprint of the device the tables were built from. */
+    std::uint64_t deviceFingerprint() const { return fingerprint_; }
+
+    int numQubits() const { return static_cast<int>(ok1_.size()); }
+
+    /** @name Success factors (1 - error), as esp() multiplies them */
+    /** @{ */
+    double ok1(int q) const { return ok1_[static_cast<std::size_t>(q)]; }
+    double okMeasure(int q) const
+    {
+        return okMeasure_[static_cast<std::size_t>(q)];
+    }
+    double ok2(int edge) const
+    {
+        return ok2_[static_cast<std::size_t>(edge)];
+    }
+    /** @} */
+
+    /** @name Log success factors (all <= 0), for additive bounds */
+    /** @{ */
+    double log1(int q) const
+    {
+        return log1_[static_cast<std::size_t>(q)];
+    }
+    double logMeasure(int q) const
+    {
+        return logMeasure_[static_cast<std::size_t>(q)];
+    }
+    double log2(int edge) const
+    {
+        return log2_[static_cast<std::size_t>(edge)];
+    }
+    /** Best (largest) per-edge log factor on the device. */
+    double bestLog2() const { return bestLog2_; }
+    /** @} */
+
+    /**
+     * Reduce an already-decomposed circuit to its ESP terms. Barriers
+     * drop out; everything else becomes one term in gate order.
+     */
+    static GateTrace trace(const circuit::Circuit &flat);
+
+    /**
+     * ESP of @p trace with every operand relabeled through @p map
+     * (identity scoring passes the identity map). Multiplies the same
+     * factors in the same order as esp() on the materialized circuit,
+     * so the result is bit-identical. Throws when a two-qubit term
+     * lands on a non-coupled pair.
+     */
+    double espOfTrace(const GateTrace &trace,
+                      const std::vector<int> &map) const;
+
+    /** Coupling graph the edge tables are indexed by. */
+    const hw::Topology &topology() const { return topology_; }
+
+  private:
+    hw::Topology topology_;
+    std::uint64_t fingerprint_;
+    std::vector<double> ok1_;
+    std::vector<double> okMeasure_;
+    std::vector<double> ok2_;
+    std::vector<double> log1_;
+    std::vector<double> logMeasure_;
+    std::vector<double> log2_;
+    double bestLog2_;
+};
+
+/**
+ * The memoized EspModel for @p device's current calibration epoch.
+ * Keyed on Device::fingerprint() — the key CompileCache uses — so
+ * drifted calibration builds a fresh model and stale tables are
+ * unreachable. Thread-safe; the returned model is immutable and
+ * shareable across threads.
+ */
+std::shared_ptr<const EspModel> sharedEspModel(const hw::Device &device);
+
+} // namespace qedm::transpile

@@ -42,7 +42,8 @@ LookaheadRouter::route(const Circuit &logical,
 
     const Circuit flat = logical.decomposed();
     const CircuitDag dag(flat);
-    const auto dist = distanceMatrix(device_, config_.cost);
+    const auto shared_dist = sharedDistanceMatrix(device_, config_.cost);
+    const auto &dist = *shared_dist;
 
     std::vector<int> map = initial_map;
     std::vector<int> occupant(topo.numQubits(), -1);

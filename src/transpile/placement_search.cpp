@@ -1,0 +1,419 @@
+#include "transpile/placement_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qedm::transpile {
+namespace {
+
+/**
+ * Slack subtracted from the prune threshold: the incremental bound is
+ * an additive log sum while exact scores are multiplicative products,
+ * so the two can disagree by a few ulps. The slack makes the bound
+ * strictly conservative — a placement that would exactly tie the
+ * K-th best is never pruned.
+ */
+constexpr double kBoundSlack = 1e-9;
+
+/** Descending degrees of a vertex's neighbors (its "signature"). */
+std::vector<int>
+neighborSignature(const hw::Topology &graph, int v)
+{
+    std::vector<int> sig;
+    sig.reserve(graph.neighbors(v).size());
+    for (int u : graph.neighbors(v))
+        sig.push_back(graph.degree(u));
+    std::sort(sig.begin(), sig.end(), std::greater<>());
+    return sig;
+}
+
+/**
+ * Necessary condition for hosting a pattern vertex with signature
+ * @p pattern_sig on a target vertex with signature @p target_sig: the
+ * target's i-th best neighbor degree must cover the pattern's (Hall
+ * condition on the sorted lists). Never rejects a viable host.
+ */
+bool
+signatureDominates(const std::vector<int> &target_sig,
+                   const std::vector<int> &pattern_sig)
+{
+    if (target_sig.size() < pattern_sig.size())
+        return false;
+    for (std::size_t i = 0; i < pattern_sig.size(); ++i) {
+        if (target_sig[i] < pattern_sig[i])
+            return false;
+    }
+    return true;
+}
+
+/** Heap entry: a completed, exactly-scored placement. */
+struct HeapEntry
+{
+    double esp;
+    std::vector<int> map;
+    std::vector<int> embedding;
+};
+
+/** Orders the bounded heap so the *worst* kept placement is on top. */
+struct BetterFirst
+{
+    bool operator()(const HeapEntry &a, const HeapEntry &b) const
+    {
+        return placementBefore(a.esp, a.map, b.esp, b.map);
+    }
+};
+
+/** Branch-and-bound VF2 state for one search. */
+class TopKSearcher
+{
+  public:
+    TopKSearcher(const hw::Topology &pattern,
+                 const PlacementCostModel &cost, const EmbeddingScorer &scorer,
+                 std::size_t k, std::size_t limit,
+                 PlacementSearchStats *stats)
+        : pattern_(pattern), target_(cost.espModel().topology()),
+          cost_(cost), scorer_(scorer), k_(k), limit_(limit),
+          stats_(stats)
+    {
+        buildFeasibility();
+        buildOrder();
+        buildBounds();
+        map_.assign(static_cast<std::size_t>(pattern_.numQubits()), -1);
+        used_.assign(static_cast<std::size_t>(target_.numQubits()),
+                     false);
+    }
+
+    std::vector<ScoredEmbedding>
+    run()
+    {
+        if (pattern_.numQubits() > 0)
+            recurse(0, 0.0);
+        std::vector<ScoredEmbedding> out;
+        out.reserve(heap_.size());
+        while (!heap_.empty()) {
+            HeapEntry entry = heap_.top();
+            heap_.pop();
+            out.push_back(ScoredEmbedding{std::move(entry.embedding),
+                                          std::move(entry.map),
+                                          entry.esp});
+        }
+        std::reverse(out.begin(), out.end()); // heap pops worst-first
+        return out;
+    }
+
+  private:
+    /** Per-target signatures and per-pattern-vertex feasible hosts. */
+    void
+    buildFeasibility()
+    {
+        targetSig_.reserve(
+            static_cast<std::size_t>(target_.numQubits()));
+        for (int t = 0; t < target_.numQubits(); ++t)
+            targetSig_.push_back(neighborSignature(target_, t));
+        patternSig_.reserve(
+            static_cast<std::size_t>(pattern_.numQubits()));
+        feasibleCount_.assign(
+            static_cast<std::size_t>(pattern_.numQubits()), 0);
+        for (int v = 0; v < pattern_.numQubits(); ++v) {
+            patternSig_.push_back(neighborSignature(pattern_, v));
+            int count = 0;
+            for (int t = 0; t < target_.numQubits(); ++t) {
+                if (hostFeasible(v, t))
+                    ++count;
+            }
+            feasibleCount_[static_cast<std::size_t>(v)] = count;
+        }
+    }
+
+    bool
+    hostFeasible(int v, int t) const
+    {
+        if (target_.degree(t) < pattern_.degree(v))
+            return false;
+        return signatureDominates(
+            targetSig_[static_cast<std::size_t>(t)],
+            patternSig_[static_cast<std::size_t>(v)]);
+    }
+
+    /**
+     * Matching order: rarest-degree-first (fewest feasible hosts)
+     * roots, then connected expansion preferring vertices with the
+     * most placed neighbors, ties again rarest-first, then highest
+     * degree, then lowest index — all deterministic.
+     */
+    void
+    buildOrder()
+    {
+        const auto n = static_cast<std::size_t>(pattern_.numQubits());
+        order_.reserve(n);
+        posOf_.assign(n, -1);
+        std::vector<bool> placed(n, false);
+        for (std::size_t step = 0; step < n; ++step) {
+            int best = -1;
+            int best_connected = -1;
+            int best_feasible = std::numeric_limits<int>::max();
+            int best_degree = -1;
+            for (int v = 0; v < pattern_.numQubits(); ++v) {
+                const auto vi = static_cast<std::size_t>(v);
+                if (placed[vi])
+                    continue;
+                int connected = 0;
+                for (int u : pattern_.neighbors(v)) {
+                    if (placed[static_cast<std::size_t>(u)])
+                        ++connected;
+                }
+                const int feasible = feasibleCount_[vi];
+                const int degree = pattern_.degree(v);
+                const bool better =
+                    connected > best_connected ||
+                    (connected == best_connected &&
+                     (feasible < best_feasible ||
+                      (feasible == best_feasible &&
+                       degree > best_degree)));
+                if (better) {
+                    best = v;
+                    best_connected = connected;
+                    best_feasible = feasible;
+                    best_degree = degree;
+                }
+            }
+            placed[static_cast<std::size_t>(best)] = true;
+            posOf_[static_cast<std::size_t>(best)] =
+                static_cast<int>(step);
+            order_.push_back(best);
+        }
+
+        // Edges to already-placed neighbors, charged when the later
+        // endpoint is placed.
+        backEdges_.assign(n, {});
+        for (const auto &edge : pattern_.edges()) {
+            const int pa = posOf_[static_cast<std::size_t>(edge.a)];
+            const int pb = posOf_[static_cast<std::size_t>(edge.b)];
+            const int later = std::max(pa, pb);
+            const int earlier_vertex = pa < pb ? edge.a : edge.b;
+            const int e = pattern_.edgeIndex(edge.a, edge.b);
+            backEdges_[static_cast<std::size_t>(later)].push_back(
+                {earlier_vertex, e});
+        }
+    }
+
+    /** Optimistic log-ESP still claimable from depth d onward. */
+    void
+    buildBounds()
+    {
+        const std::size_t n = order_.size();
+        suffixBound_.assign(n + 1, 0.0);
+        std::vector<double> at_depth(n, 0.0);
+        for (std::size_t d = 0; d < n; ++d) {
+            at_depth[d] = cost_.bestVertexLog(order_[d]);
+            for (const auto &[vertex, edge] : backEdges_[d]) {
+                (void)vertex;
+                at_depth[d] += cost_.bestEdgeLog(edge);
+            }
+        }
+        for (std::size_t d = n; d-- > 0;)
+            suffixBound_[d] = suffixBound_[d + 1] + at_depth[d];
+    }
+
+    /** Log of the K-th best exact ESP (the prune threshold). */
+    double
+    threshold() const
+    {
+        if (heap_.size() < k_)
+            return -std::numeric_limits<double>::infinity();
+        constexpr double kFloor = 1e-300;
+        return std::log(std::max(heap_.top().esp, kFloor));
+    }
+
+    void
+    complete()
+    {
+        if (stats_ != nullptr)
+            ++stats_->completions;
+        ++completions_;
+        std::vector<int> canonical_map;
+        double esp = 0.0;
+        scorer_(map_, canonical_map, esp);
+        if (heap_.size() == k_ &&
+            !placementBefore(esp, canonical_map, heap_.top().esp,
+                             heap_.top().map))
+            return;
+        heap_.push(HeapEntry{esp, std::move(canonical_map), map_});
+        if (heap_.size() > k_)
+            heap_.pop();
+    }
+
+    void
+    recurse(std::size_t depth, double partial)
+    {
+        if (completions_ >= limit_)
+            return;
+        if (depth == order_.size()) {
+            complete();
+            return;
+        }
+        if (stats_ != nullptr)
+            ++stats_->nodesVisited;
+        if (partial + suffixBound_[depth] <
+            threshold() - kBoundSlack) {
+            if (stats_ != nullptr)
+                ++stats_->prunedBound;
+            return;
+        }
+        const int v = order_[depth];
+        const auto vi = static_cast<std::size_t>(v);
+
+        // Candidates: neighbors of an already-mapped pattern neighbor
+        // when one exists, else every target vertex.
+        const std::vector<int> *candidates = nullptr;
+        std::vector<int> all;
+        if (!backEdges_[depth].empty()) {
+            const int anchor = backEdges_[depth].front().first;
+            candidates =
+                &target_.neighbors(map_[static_cast<std::size_t>(
+                    anchor)]);
+        } else {
+            all.resize(static_cast<std::size_t>(target_.numQubits()));
+            for (int t = 0; t < target_.numQubits(); ++t)
+                all[static_cast<std::size_t>(t)] = t;
+            candidates = &all;
+        }
+
+        for (int t : *candidates) {
+            if (used_[static_cast<std::size_t>(t)])
+                continue;
+            if (target_.degree(t) < pattern_.degree(v))
+                continue;
+            if (!signatureDominates(
+                    targetSig_[static_cast<std::size_t>(t)],
+                    patternSig_[vi])) {
+                if (stats_ != nullptr)
+                    ++stats_->prunedSignature;
+                continue;
+            }
+            bool feasible = true;
+            double delta = cost_.vertexLog(v, t);
+            for (const auto &[vertex, edge] : backEdges_[depth]) {
+                const int mapped =
+                    map_[static_cast<std::size_t>(vertex)];
+                const int device_edge = target_.edgeIndex(mapped, t);
+                if (device_edge < 0) {
+                    feasible = false;
+                    break;
+                }
+                delta += cost_.edgeLog(edge, device_edge);
+            }
+            if (!feasible)
+                continue;
+            map_[vi] = t;
+            used_[static_cast<std::size_t>(t)] = true;
+            recurse(depth + 1, partial + delta);
+            map_[vi] = -1;
+            used_[static_cast<std::size_t>(t)] = false;
+            if (completions_ >= limit_)
+                return;
+        }
+    }
+
+    const hw::Topology &pattern_;
+    const hw::Topology &target_;
+    const PlacementCostModel &cost_;
+    const EmbeddingScorer &scorer_;
+    std::size_t k_;
+    std::size_t limit_;
+    PlacementSearchStats *stats_;
+
+    std::vector<std::vector<int>> targetSig_;
+    std::vector<std::vector<int>> patternSig_;
+    std::vector<int> feasibleCount_;
+    std::vector<int> order_;
+    std::vector<int> posOf_;
+    /** Per depth: (earlier pattern vertex, pattern edge index). */
+    std::vector<std::vector<std::pair<int, int>>> backEdges_;
+    std::vector<double> suffixBound_;
+
+    std::vector<int> map_;
+    std::vector<bool> used_;
+    std::uint64_t completions_ = 0;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, BetterFirst>
+        heap_;
+};
+
+} // namespace
+
+bool
+placementBefore(double esp_a, const std::vector<int> &map_a,
+                double esp_b, const std::vector<int> &map_b)
+{
+    if (esp_a != esp_b)
+        return esp_a > esp_b;
+    return map_a < map_b;
+}
+
+PlacementCostModel::PlacementCostModel(
+    std::shared_ptr<const EspModel> model, const hw::Topology &pattern,
+    const std::vector<int> &pattern_index, const GateTrace &trace)
+    : model_(std::move(model))
+{
+    const auto n = static_cast<std::size_t>(pattern.numQubits());
+    oneQubitCount_.assign(n, 0.0);
+    measureCount_.assign(n, 0.0);
+    twoQubitCount_.assign(pattern.numEdges(), 0.0);
+    for (const GateTerm &term : trace) {
+        switch (term.kind) {
+          case GateTerm::Kind::OneQubit:
+          case GateTerm::Kind::Measure: {
+            const int v = pattern_index[static_cast<std::size_t>(
+                term.a)];
+            if (v < 0)
+                break; // outside the pattern (isolated qubit)
+            auto &counts = term.kind == GateTerm::Kind::OneQubit
+                               ? oneQubitCount_
+                               : measureCount_;
+            counts[static_cast<std::size_t>(v)] += 1.0;
+            break;
+          }
+          case GateTerm::Kind::TwoQubit: {
+            const int va = pattern_index[static_cast<std::size_t>(
+                term.a)];
+            const int vb = pattern_index[static_cast<std::size_t>(
+                term.b)];
+            QEDM_ASSERT(va >= 0 && vb >= 0,
+                        "two-qubit term off the pattern graph");
+            const int e = pattern.edgeIndex(va, vb);
+            QEDM_ASSERT(e >= 0,
+                        "two-qubit term on a non-pattern edge");
+            twoQubitCount_[static_cast<std::size_t>(e)] += 1.0;
+            break;
+          }
+        }
+    }
+    bestVertexLog_.assign(n, 0.0);
+    for (int v = 0; v < pattern.numQubits(); ++v) {
+        double best = -std::numeric_limits<double>::infinity();
+        for (int t = 0; t < model_->numQubits(); ++t)
+            best = std::max(best, vertexLog(v, t));
+        bestVertexLog_[static_cast<std::size_t>(v)] = best;
+    }
+}
+
+std::vector<ScoredEmbedding>
+topKPlacements(const hw::Topology &pattern,
+               const PlacementCostModel &cost_model,
+               const EmbeddingScorer &scorer, std::size_t k,
+               std::size_t limit, PlacementSearchStats *stats)
+{
+    QEDM_REQUIRE(k > 0, "top-K placement search needs k >= 1");
+    QEDM_REQUIRE(limit > 0, "enumeration limit must be positive");
+    QEDM_REQUIRE(pattern.numQubits() <=
+                     cost_model.espModel().numQubits(),
+                 "pattern is larger than the target graph");
+    TopKSearcher searcher(pattern, cost_model, scorer, k, limit, stats);
+    return searcher.run();
+}
+
+} // namespace qedm::transpile

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Bounded top-K placement search: pruned VF2 enumeration fused with
+ * incremental log-ESP scoring.
+ *
+ * The pre-rewrite compile path materialized *every* isomorphic
+ * placement, scored each from scratch, and sorted the lot to keep the
+ * head — cost proportional to the full embedding count even when only
+ * K placements survive. This engine keeps a bounded best-K heap and
+ * carries a running log-ESP partial sum through the VF2 recursion, so
+ * a branch is abandoned the moment an admissible optimistic bound
+ * proves it cannot beat the current K-th best placement:
+ *
+ *  - candidate targets are filtered by degree and by a neighborhood
+ *    degree-signature dominance test (a necessary condition for any
+ *    completion, so no viable embedding is ever lost);
+ *  - pattern vertices are matched rarest-degree-first (fewest feasible
+ *    targets first) within connected expansion, shrinking the branch
+ *    factor near the root;
+ *  - per-vertex and per-edge optimistic suffix bounds (best factor on
+ *    the device, counted per remaining gate) close the bound.
+ *
+ * Exact scores of surviving completions are recomputed with the
+ * product-form EspModel trace walk — bit-identical to scoring the
+ * materialized circuit — and the bound carries a small slack so
+ * float drift between the additive bound and the exact product can
+ * never prune a placement the exact ordering would keep.
+ *
+ * Determinism contract: results are ordered by descending ESP with
+ * exact ties broken lexicographically on the mapping vector, so the
+ * top-K set and its order are independent of enumeration order,
+ * thread count, and pruning strength.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hw/topology.hpp"
+#include "transpile/esp_model.hpp"
+
+namespace qedm::transpile {
+
+/**
+ * Deterministic placement ordering: true when placement A ranks
+ * strictly before placement B — higher ESP first, exact ESP ties
+ * broken by lexicographically smaller mapping vector.
+ */
+bool placementBefore(double esp_a, const std::vector<int> &map_a,
+                     double esp_b, const std::vector<int> &map_b);
+
+/** A completed embedding with its caller-canonical map and score. */
+struct ScoredEmbedding
+{
+    /** Pattern vertex -> target vertex. */
+    std::vector<int> embedding;
+    /** Caller-defined mapping vector (the tie-break key). */
+    std::vector<int> map;
+    /** Exact product-form ESP. */
+    double esp = 0.0;
+};
+
+/** Search effort counters (observability for benches and tests). */
+struct PlacementSearchStats
+{
+    std::uint64_t nodesVisited = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t prunedBound = 0;
+    std::uint64_t prunedSignature = 0;
+};
+
+/**
+ * Gate-count cost model over one pattern graph: how many 1q / measure
+ * terms each pattern vertex carries and how many 2q terms each pattern
+ * edge carries, plus the optimistic per-vertex/per-edge bounds derived
+ * from an EspModel. Built once per (circuit, calibration epoch) and
+ * shared by every branch of the search.
+ */
+class PlacementCostModel
+{
+  public:
+    /**
+     * @param model calibration factor tables for the target device
+     * @param pattern the pattern graph being embedded
+     * @param pattern_index domain-qubit -> pattern vertex (-1 for
+     *        qubits outside the pattern, e.g. isolated logicals; their
+     *        terms are excluded from the bound, which stays admissible
+     *        because every factor is <= 1)
+     * @param trace ESP terms of the circuit over domain qubits
+     */
+    PlacementCostModel(std::shared_ptr<const EspModel> model,
+                       const hw::Topology &pattern,
+                       const std::vector<int> &pattern_index,
+                       const GateTrace &trace);
+
+    const EspModel &espModel() const { return *model_; }
+
+    /** Log contribution of hosting pattern vertex @p v on target
+     *  qubit @p t (1q + measure terms). */
+    double vertexLog(int v, int t) const
+    {
+        const auto vi = static_cast<std::size_t>(v);
+        return oneQubitCount_[vi] * model_->log1(t) +
+               measureCount_[vi] * model_->logMeasure(t);
+    }
+
+    /** Log contribution of routing pattern edge @p e over device edge
+     *  @p device_edge. */
+    double edgeLog(int e, int device_edge) const
+    {
+        return twoQubitCount_[static_cast<std::size_t>(e)] *
+               model_->log2(device_edge);
+    }
+
+    /** Best possible vertexLog over all targets (admissible bound). */
+    double bestVertexLog(int v) const
+    {
+        return bestVertexLog_[static_cast<std::size_t>(v)];
+    }
+
+    /** Best possible edgeLog over all device edges. */
+    double bestEdgeLog(int e) const
+    {
+        return twoQubitCount_[static_cast<std::size_t>(e)] *
+               model_->bestLog2();
+    }
+
+  private:
+    std::shared_ptr<const EspModel> model_;
+    std::vector<double> oneQubitCount_;
+    std::vector<double> measureCount_;
+    std::vector<double> twoQubitCount_; ///< indexed by pattern edge
+    std::vector<double> bestVertexLog_;
+};
+
+/**
+ * Exact scorer for one completed embedding: returns the canonical
+ * mapping vector and the exact (product-form) ESP. Callers close over
+ * whatever completion logic they need (isolated-qubit placement, full
+ * physical relabeling, ...).
+ */
+using EmbeddingScorer =
+    std::function<void(const std::vector<int> &embedding,
+                       std::vector<int> &map_out, double &esp_out)>;
+
+/**
+ * The K best embeddings of @p pattern into the device graph of the
+ * cost model, best first under placementBefore. Explores at most
+ * @p limit completed embeddings (the VF2 enumeration cap); pruning
+ * never drops a placement that belongs in the top K.
+ *
+ * @param stats optional search-effort counters
+ */
+std::vector<ScoredEmbedding>
+topKPlacements(const hw::Topology &pattern,
+               const PlacementCostModel &cost_model,
+               const EmbeddingScorer &scorer, std::size_t k,
+               std::size_t limit = 100000,
+               PlacementSearchStats *stats = nullptr);
+
+} // namespace qedm::transpile

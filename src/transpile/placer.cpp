@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <queue>
+#include <utility>
 
 #include "common/error.hpp"
 #include "transpile/distances.hpp"
-#include "transpile/esp.hpp"
+#include "transpile/esp_model.hpp"
 #include "transpile/interaction_graph.hpp"
+#include "transpile/placement_search.hpp"
 #include "transpile/vf2.hpp"
 
 namespace qedm::transpile {
@@ -51,54 +54,121 @@ placeIsolated(const hw::Device &device, const std::vector<int> &isolated,
     }
 }
 
+/**
+ * Everything placement scoring needs, built once per circuit: the
+ * interaction pattern over active qubits, the decomposed gate trace,
+ * and the shared calibration tables.
+ */
+struct PlacementProblem
+{
+    std::vector<int> active;       ///< pattern vertex -> logical qubit
+    std::vector<int> patternIndex; ///< logical qubit -> pattern vertex
+    std::vector<int> isolated;
+    hw::Topology pattern{1, {}}; ///< placeholder; always rebuilt
+    GateTrace trace;
+    std::shared_ptr<const EspModel> model;
+    int numQubits = 0;
+};
+
+/** Empty optional when the circuit has no interacting qubits. */
+std::optional<PlacementProblem>
+buildProblem(const hw::Device &device, const circuit::Circuit &logical)
+{
+    const InteractionGraph ig = interactionGraph(logical);
+    QEDM_REQUIRE(ig.numQubits <= device.numQubits(),
+                 "program needs more qubits than the device has");
+
+    PlacementProblem problem;
+    problem.numQubits = ig.numQubits;
+    problem.patternIndex.assign(ig.numQubits, -1);
+    for (int q = 0; q < ig.numQubits; ++q) {
+        if (ig.degree(q) > 0) {
+            problem.patternIndex[q] =
+                static_cast<int>(problem.active.size());
+            problem.active.push_back(q);
+        }
+    }
+    if (problem.active.empty())
+        return std::nullopt;
+
+    std::vector<std::pair<int, int>> pattern_edges;
+    pattern_edges.reserve(ig.edges.size());
+    for (const auto &[a, b] : ig.edges)
+        pattern_edges.emplace_back(problem.patternIndex[a],
+                                   problem.patternIndex[b]);
+    problem.pattern = hw::Topology(
+        static_cast<int>(problem.active.size()), pattern_edges);
+    problem.isolated = ig.isolatedQubits();
+    problem.trace = EspModel::trace(logical.decomposed());
+    problem.model = sharedEspModel(device);
+    return problem;
+}
+
+/** Full logical-to-physical map for one pattern embedding. */
+std::vector<int>
+completeMap(const hw::Device &device, const PlacementProblem &problem,
+            const std::vector<int> &embedding)
+{
+    std::vector<int> map(problem.numQubits, -1);
+    for (std::size_t i = 0; i < problem.active.size(); ++i)
+        map[problem.active[i]] = embedding[i];
+    placeIsolated(device, problem.isolated, map);
+    return map;
+}
+
 } // namespace
 
 Placer::Placer(const hw::Device &device) : device_(device) {}
 
 std::vector<ScoredPlacement>
+Placer::topPlacements(const circuit::Circuit &logical, std::size_t k,
+                      std::size_t limit) const
+{
+    const auto problem = buildProblem(device_, logical);
+    std::vector<ScoredPlacement> out;
+    if (!problem)
+        return out;
+
+    const PlacementCostModel cost(problem->model, problem->pattern,
+                                  problem->patternIndex,
+                                  problem->trace);
+    const EmbeddingScorer scorer =
+        [&](const std::vector<int> &embedding, std::vector<int> &map,
+            double &esp) {
+            map = completeMap(device_, *problem, embedding);
+            esp = problem->model->espOfTrace(problem->trace, map);
+        };
+    auto best =
+        topKPlacements(problem->pattern, cost, scorer, k, limit);
+    out.reserve(best.size());
+    for (auto &scored : best)
+        out.push_back(
+            ScoredPlacement{std::move(scored.map), scored.esp});
+    return out;
+}
+
+std::vector<ScoredPlacement>
 Placer::rankedEmbeddings(const circuit::Circuit &logical,
                          std::size_t limit) const
 {
-    const InteractionGraph ig = interactionGraph(logical);
-    QEDM_REQUIRE(ig.numQubits <= device_.numQubits(),
-                 "program needs more qubits than the device has");
-
-    // Pattern graph over the interacting (non-isolated) qubits only.
-    std::vector<int> active; // pattern index -> logical qubit
-    std::vector<int> patternIndex(ig.numQubits, -1);
-    for (int q = 0; q < ig.numQubits; ++q) {
-        if (ig.degree(q) > 0) {
-            patternIndex[q] = static_cast<int>(active.size());
-            active.push_back(q);
-        }
-    }
+    const auto problem = buildProblem(device_, logical);
     std::vector<ScoredPlacement> out;
-    if (active.empty())
+    if (!problem)
         return out;
 
-    std::vector<std::pair<int, int>> pattern_edges;
-    for (const auto &[a, b] : ig.edges)
-        pattern_edges.emplace_back(patternIndex[a], patternIndex[b]);
-    const hw::Topology pattern(static_cast<int>(active.size()),
-                               pattern_edges);
-
     const auto embeddings =
-        vf2AllEmbeddings(pattern, device_.topology(), limit);
+        vf2AllEmbeddings(problem->pattern, device_.topology(), limit);
     out.reserve(embeddings.size());
     for (const auto &embedding : embeddings) {
-        std::vector<int> map(ig.numQubits, -1);
-        for (std::size_t i = 0; i < active.size(); ++i)
-            map[active[i]] = embedding[i];
-        placeIsolated(device_, ig.isolatedQubits(), map);
-        const circuit::Circuit physical =
-            logical.remapQubits(map, device_.numQubits());
-        out.push_back(ScoredPlacement{map, esp(physical, device_)});
+        std::vector<int> map = completeMap(device_, *problem, embedding);
+        const double score =
+            problem->model->espOfTrace(problem->trace, map);
+        out.push_back(ScoredPlacement{std::move(map), score});
     }
-    std::stable_sort(out.begin(), out.end(),
-                     [](const ScoredPlacement &a,
-                        const ScoredPlacement &b) {
-                         return a.esp > b.esp;
-                     });
+    std::sort(out.begin(), out.end(),
+              [](const ScoredPlacement &a, const ScoredPlacement &b) {
+                  return placementBefore(a.esp, a.map, b.esp, b.map);
+              });
     return out;
 }
 
@@ -108,7 +178,8 @@ Placer::greedyPlace(const circuit::Circuit &logical) const
     const InteractionGraph ig = interactionGraph(logical);
     QEDM_REQUIRE(ig.numQubits <= device_.numQubits(),
                  "program needs more qubits than the device has");
-    const auto dist = distanceMatrix(device_, RouteCost::Reliability);
+    const auto dist =
+        sharedDistanceMatrix(device_, RouteCost::Reliability);
     const auto &topo = device_.topology();
 
     // Interacting qubits in order of decreasing degree.
@@ -151,7 +222,7 @@ Placer::greedyPlace(const circuit::Circuit &logical) const
                 cost = -(link_quality + readoutSuccess(device_, p));
             } else {
                 for (const auto &[phys, w] : partners)
-                    cost += w * dist[p][phys];
+                    cost += w * (*dist)[p][phys];
                 cost -= 0.01 * readoutSuccess(device_, p);
             }
             if (cost < best_cost) {
@@ -171,9 +242,9 @@ Placer::greedyPlace(const circuit::Circuit &logical) const
 std::vector<int>
 Placer::place(const circuit::Circuit &logical) const
 {
-    const auto ranked = rankedEmbeddings(logical);
-    if (!ranked.empty())
-        return ranked.front().map;
+    const auto top = topPlacements(logical, 1);
+    if (!top.empty())
+        return top.front().map;
     return greedyPlace(logical);
 }
 

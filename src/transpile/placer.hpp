@@ -45,9 +45,24 @@ class Placer
     std::vector<int> place(const circuit::Circuit &logical) const;
 
     /**
+     * The K best placements of @p logical under the ESP model, best
+     * first. Same maps and scores as the head of rankedEmbeddings()
+     * but found with branch-and-bound: the VF2 recursion carries an
+     * incremental log-ESP bound and abandons any branch that cannot
+     * beat the current K-th best, so the full embedding list is never
+     * materialized. Empty when the interaction graph does not embed.
+     *
+     * Ties in ESP order lexicographically on the mapping vector.
+     */
+    std::vector<ScoredPlacement>
+    topPlacements(const circuit::Circuit &logical, std::size_t k,
+                  std::size_t limit = 20000) const;
+
+    /**
      * All VF2 embeddings of the circuit's interaction graph, scored
-     * and sorted by descending ESP. Empty when the interaction graph
-     * does not embed (the router must then insert SWAPs).
+     * and sorted by descending ESP (ties lexicographic on the map).
+     * Empty when the interaction graph does not embed (the router
+     * must then insert SWAPs).
      *
      * Isolated logical qubits (no 2-qubit gate) are assigned greedily
      * to the best remaining readout qubits in every returned map.

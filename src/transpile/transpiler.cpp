@@ -82,6 +82,7 @@ Transpiler::runPasses(const circuit::Circuit &logical,
                 view.swapCount = ctx.out.swapCount;
                 view.esp = ctx.out.esp;
                 view.device = &device_;
+                view.logical = ctx.logical;
                 meta.metrics["passesRun"] = static_cast<double>(
                     check::verifyProgram(view));
             });

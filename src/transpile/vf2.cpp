@@ -7,6 +7,39 @@
 namespace qedm::transpile {
 namespace {
 
+/** Descending degrees of a vertex's neighbors. */
+std::vector<int>
+neighborSignature(const hw::Topology &graph, int v)
+{
+    std::vector<int> sig;
+    sig.reserve(graph.neighbors(v).size());
+    for (int u : graph.neighbors(v))
+        sig.push_back(graph.degree(u));
+    std::sort(sig.begin(), sig.end(), std::greater<>());
+    return sig;
+}
+
+/**
+ * Necessary condition for mapping a pattern vertex onto a target
+ * vertex: the target's i-th largest neighbor degree must cover the
+ * pattern's. Any embedding pairs each pattern neighbor with a distinct
+ * target neighbor of at least its degree, so by a greedy/Hall argument
+ * the sorted lists must dominate — the test never rejects a viable
+ * host and the enumeration's output set and order are unchanged.
+ */
+bool
+signatureDominates(const std::vector<int> &target_sig,
+                   const std::vector<int> &pattern_sig)
+{
+    if (target_sig.size() < pattern_sig.size())
+        return false;
+    for (std::size_t i = 0; i < pattern_sig.size(); ++i) {
+        if (target_sig[i] < pattern_sig[i])
+            return false;
+    }
+    return true;
+}
+
 /** Recursive VF2-style state. */
 class Matcher
 {
@@ -15,6 +48,12 @@ class Matcher
             std::size_t limit)
         : pattern_(pattern), target_(target), limit_(limit)
     {
+        targetSig_.reserve(target_.numQubits());
+        for (int t = 0; t < target_.numQubits(); ++t)
+            targetSig_.push_back(neighborSignature(target_, t));
+        patternSig_.reserve(pattern_.numQubits());
+        for (int v = 0; v < pattern_.numQubits(); ++v)
+            patternSig_.push_back(neighborSignature(pattern_, v));
         // Match high-degree pattern vertices first, preferring vertices
         // connected to already-matched ones (VF2 candidate ordering).
         order_.reserve(pattern_.numQubits());
@@ -87,6 +126,8 @@ class Matcher
                 continue;
             if (target_.degree(t) < pattern_.degree(v))
                 continue;
+            if (!signatureDominates(targetSig_[t], patternSig_[v]))
+                continue;
             bool feasible = true;
             for (int u : pattern_.neighbors(v)) {
                 if (map_[u] >= 0 && !target_.adjacent(map_[u], t)) {
@@ -109,6 +150,8 @@ class Matcher
     const hw::Topology &pattern_;
     const hw::Topology &target_;
     std::size_t limit_;
+    std::vector<std::vector<int>> targetSig_;
+    std::vector<std::vector<int>> patternSig_;
     std::vector<int> order_;
     std::vector<int> map_;
     std::vector<bool> used_;

@@ -1,8 +1,9 @@
 /**
  * @file
  * Unit tests for qedm::check: the static verifier passes (circuit
- * structure, mapping/coupling/SWAP bookkeeping, ESP consistency),
- * their diagnostics, and the transpiler/ensemble/pipeline wiring.
+ * structure, mapping/coupling/SWAP bookkeeping, measurement-remap
+ * consistency, ESP consistency), their diagnostics, and the
+ * transpiler/ensemble/pipeline wiring.
  * Fixtures corrupt real routed circuits — an uncoupled CX, a
  * non-bijective layout, a stale ESP — and assert that the right pass
  * rejects with the right diagnostic.
@@ -17,6 +18,7 @@
 #include "check/circuit_checker.hpp"
 #include "check/esp_checker.hpp"
 #include "check/mapping_checker.hpp"
+#include "check/measure_checker.hpp"
 #include "core/edm.hpp"
 #include "core/ensemble.hpp"
 #include "hw/device.hpp"
@@ -261,13 +263,103 @@ TEST(EspCheckerTest, RejectsCircuitEditedAfterScoring)
     EXPECT_THROW(EspChecker{}.run(viewOf(program, device)), CheckError);
 }
 
+TEST(MeasureCheckerTest, AcceptsCompiledProgram)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const CompiledProgram program = compiledBv6(device);
+    EXPECT_NO_THROW(MeasureChecker{}.run(viewOf(program, device)));
+}
+
+TEST(MeasureCheckerTest, AcceptsLogicalSourceThroughFinalMap)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const CompiledProgram program = compiledBv6(device);
+    const Circuit logical = benchmarks::bv6().circuit;
+    ProgramView view = viewOf(program, device);
+    view.logical = &logical;
+    EXPECT_NO_THROW(MeasureChecker{}.run(view));
+}
+
+TEST(MeasureCheckerTest, RejectsMeasureOffFinalLayout)
+{
+    // A measure left on a stale physical qubit after SWAP insertion:
+    // the final map's image no longer contains the measured qubit.
+    Circuit physical(4, 1);
+    physical.h(0).measure(3, 0);
+    const std::vector<int> final_map{0, 1};
+    try {
+        MeasureChecker{}.checkMeasureTargets(physical, final_map);
+        FAIL() << "off-layout measure not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "measure");
+        EXPECT_EQ(err.kind(), CheckErrorKind::MeasureOffLayout);
+        EXPECT_EQ(err.qubits(), (std::vector<int>{3}));
+    }
+}
+
+TEST(MeasureCheckerTest, RejectsDuplicateClbitWrites)
+{
+    Circuit physical(4, 2);
+    physical.measure(0, 0).measure(1, 0);
+    try {
+        MeasureChecker{}.checkMeasureTargets(physical, {0, 1});
+        FAIL() << "duplicate clbit write not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "measure");
+        EXPECT_EQ(err.kind(), CheckErrorKind::ClbitMisuse);
+    }
+}
+
+TEST(MeasureCheckerTest, RejectsRemapMismatch)
+{
+    // The logical program reads logical qubit 0, which the final map
+    // sends to physical 5 — but the physical program measures 6.
+    Circuit logical(2, 1);
+    logical.cx(0, 1).measure(0, 0);
+    Circuit physical(14, 1);
+    physical.measure(6, 0);
+    const std::vector<int> final_map{5, 6};
+    try {
+        MeasureChecker{}.checkMeasureRemap(logical, physical,
+                                           final_map);
+        FAIL() << "remapped measure mismatch not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "measure");
+        EXPECT_EQ(err.kind(), CheckErrorKind::MeasureRemapMismatch);
+        EXPECT_EQ(err.qubits(), (std::vector<int>{6, 5}));
+    }
+}
+
+TEST(MeasureCheckerTest, RejectsMissingPhysicalMeasure)
+{
+    Circuit logical(2, 2);
+    logical.measure(0, 0).measure(1, 1);
+    Circuit physical(14, 2);
+    physical.measure(5, 0);
+    try {
+        MeasureChecker{}.checkMeasureRemap(logical, physical, {5, 6});
+        FAIL() << "dropped measure not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.kind(), CheckErrorKind::MeasureRemapMismatch);
+    }
+}
+
+TEST(MeasureCheckerTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(checkErrorKindName(CheckErrorKind::MeasureOffLayout),
+                 "measure-off-layout");
+    EXPECT_STREQ(
+        checkErrorKindName(CheckErrorKind::MeasureRemapMismatch),
+        "measure-remap-mismatch");
+}
+
 TEST(VerifyProgramTest, RunsEveryStandardPass)
 {
     const hw::Device device = hw::Device::melbourne(2);
     const CompiledProgram program = compiledBv6(device);
     EXPECT_EQ(verifyProgram(viewOf(program, device)),
               standardPasses().size());
-    EXPECT_EQ(standardPasses().size(), 3u);
+    EXPECT_EQ(standardPasses().size(), 4u);
 }
 
 TEST(TranspilerHookTest, CheckPassRunsWhenVerifyEnabled)
@@ -279,7 +371,7 @@ TEST(TranspilerHookTest, CheckPassRunsWhenVerifyEnabled)
         verified.compileWithTrace(benchmarks::bv6().circuit);
     ASSERT_EQ(trace.passes.size(), 4u);
     EXPECT_EQ(trace.passes.back().name, "check");
-    EXPECT_EQ(trace.passes.back().metrics.at("passesRun"), 3.0);
+    EXPECT_EQ(trace.passes.back().metrics.at("passesRun"), 4.0);
 }
 
 TEST(TranspilerHookTest, CheckPassAbsentWhenVerifyDisabled)

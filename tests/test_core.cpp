@@ -15,11 +15,14 @@
 #include "core/ensemble.hpp"
 #include "core/experiment.hpp"
 #include "hw/device.hpp"
+#include "runtime/scheduler.hpp"
 #include "sim/executor.hpp"
 #include "stats/metrics.hpp"
 
 namespace qedm::core {
 namespace {
+
+using circuit::Circuit;
 
 hw::Device
 testDevice(std::uint64_t seed = 7)
@@ -126,6 +129,81 @@ TEST(EnsembleBuilder, OverlapCapForcesDistinctRegions)
         return worst;
     };
     EXPECT_LT(max_shared(tight), max_shared(loose));
+}
+
+TEST(EnsembleBuilder, ParallelCandidatesBitIdenticalToSerial)
+{
+    // Fanning member materialization over the scheduler must be
+    // bit-identical to the serial path: workers write pre-assigned
+    // slots, so thread count never reorders or perturbs output.
+    const hw::Device device = testDevice();
+    const auto bench = benchmarks::bv6();
+    const EnsembleBuilder serial(device);
+    const auto expected = serial.candidates(bench.circuit);
+
+    const runtime::JobScheduler pool(4);
+    EnsembleConfig config;
+    config.scheduler = &pool;
+    const EnsembleBuilder parallel(device, config);
+    const auto got = parallel.candidates(bench.circuit);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].esp, expected[i].esp) << "i=" << i;
+        EXPECT_EQ(got[i].initialMap, expected[i].initialMap)
+            << "i=" << i;
+        EXPECT_EQ(got[i].finalMap, expected[i].finalMap) << "i=" << i;
+        EXPECT_EQ(got[i].swapCount, expected[i].swapCount)
+            << "i=" << i;
+        ASSERT_EQ(got[i].physical.gates().size(),
+                  expected[i].physical.gates().size())
+            << "i=" << i;
+        for (std::size_t g = 0; g < got[i].physical.gates().size();
+             ++g) {
+            EXPECT_EQ(got[i].physical.gates()[g].kind,
+                      expected[i].physical.gates()[g].kind);
+            EXPECT_EQ(got[i].physical.gates()[g].qubits,
+                      expected[i].physical.gates()[g].qubits);
+        }
+    }
+}
+
+TEST(EnsembleBuilder, ParallelBuildBitIdenticalToSerial)
+{
+    const hw::Device device = testDevice();
+    const auto bench = benchmarks::bv6();
+    const auto expected = EnsembleBuilder(device).build(bench.circuit);
+
+    const runtime::JobScheduler pool(4);
+    EnsembleConfig config;
+    config.scheduler = &pool;
+    const auto got =
+        EnsembleBuilder(device, config).build(bench.circuit);
+
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].esp, expected[i].esp) << "i=" << i;
+        EXPECT_EQ(got[i].initialMap, expected[i].initialMap)
+            << "i=" << i;
+    }
+}
+
+TEST(EnsembleBuilder, EqualEspCandidatesOrderLexicographically)
+{
+    // On an ideal device every isomorphic transfer scores exactly 1.0,
+    // so candidate order is pure tie-break: lexicographic on the
+    // initial map, independent of enumeration or thread order.
+    const hw::Device device = hw::Device::idealMelbourne();
+    const EnsembleBuilder builder(device);
+    Circuit c(2, 2);
+    c.cx(0, 1).measureAll();
+    const auto all = builder.candidates(c);
+    ASSERT_GT(all.size(), 2u);
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        EXPECT_EQ(all[i].esp, 1.0);
+        EXPECT_LT(all[i - 1].initialMap, all[i].initialMap)
+            << "i=" << i;
+    }
 }
 
 TEST(EnsembleBuilder, RandomSelectionKeepsBestFirst)

@@ -1,14 +1,18 @@
 /**
  * @file
  * Unit tests for qedm_transpile: ESP computation, interaction graphs,
- * VF2 embedding, variation-aware placement, and the SWAP router
- * (including semantic preservation of routed circuits).
+ * VF2 embedding (including pruned-vs-reference equivalence), the
+ * bounded top-K placement search, variation-aware placement, and the
+ * SWAP router (including semantic preservation of routed circuits).
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <set>
+#include <utility>
 
 #include "benchmarks/benchmarks.hpp"
 #include "common/error.hpp"
@@ -17,6 +21,7 @@
 #include "stats/metrics.hpp"
 #include "transpile/esp.hpp"
 #include "transpile/interaction_graph.hpp"
+#include "transpile/placement_search.hpp"
 #include "transpile/placer.hpp"
 #include "transpile/router.hpp"
 #include "transpile/transpiler.hpp"
@@ -363,6 +368,219 @@ TEST(Transpiler, CompileWithPlacementRespectsMap)
     EXPECT_EQ(program.swapCount, 0);
     const auto used = program.usedQubits();
     EXPECT_EQ(used, (std::vector{6, 8}));
+}
+
+namespace {
+
+/**
+ * Reference subgraph-monomorphism enumerator: plain recursive
+ * backtracking in pattern-vertex order with no pruning beyond
+ * injectivity and edge preservation. The pruned production VF2 must
+ * produce exactly this embedding *set*.
+ */
+std::vector<std::vector<int>>
+referenceEmbeddings(const hw::Topology &pattern,
+                    const hw::Topology &target)
+{
+    std::vector<std::vector<int>> out;
+    std::vector<int> map(static_cast<std::size_t>(pattern.numQubits()),
+                         -1);
+    std::vector<bool> used(static_cast<std::size_t>(target.numQubits()),
+                           false);
+    const std::function<void(int)> recurse = [&](int v) {
+        if (v == pattern.numQubits()) {
+            out.push_back(map);
+            return;
+        }
+        for (int t = 0; t < target.numQubits(); ++t) {
+            if (used[std::size_t(t)])
+                continue;
+            bool ok = true;
+            for (int u = 0; u < v; ++u) {
+                if (pattern.adjacent(u, v) &&
+                    !target.adjacent(map[std::size_t(u)], t)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (!ok)
+                continue;
+            map[std::size_t(v)] = t;
+            used[std::size_t(t)] = true;
+            recurse(v + 1);
+            map[std::size_t(v)] = -1;
+            used[std::size_t(t)] = false;
+        }
+    };
+    recurse(0);
+    return out;
+}
+
+/** Sorted copy (embedding set comparison, order-independent). */
+std::vector<std::vector<int>>
+asSortedSet(std::vector<std::vector<int>> maps)
+{
+    std::sort(maps.begin(), maps.end());
+    return maps;
+}
+
+} // namespace
+
+TEST(Vf2, PrunedEnumerationMatchesReferenceOnSmallGraphs)
+{
+    // The degree / neighborhood-signature pruning must never change
+    // the embedding *set* — sweep pattern/target pairs that exercise
+    // paths, cycles, stars, and irregular-degree targets.
+    const hw::Topology path3 = hw::Topology::linear(3);
+    const hw::Topology path4 = hw::Topology::linear(4);
+    const hw::Topology cycle4(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+    const hw::Topology star3(4, {{0, 1}, {0, 2}, {0, 3}});
+    const hw::Topology kite(
+        5, {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 4}});
+    const hw::Topology melbourne = hw::Topology::melbourne();
+    const std::vector<std::pair<hw::Topology, hw::Topology>> cases = {
+        {path3, hw::Topology::linear(5)}, {path3, melbourne},
+        {path4, melbourne},               {cycle4, melbourne},
+        {star3, melbourne},               {path3, kite},
+        {cycle4, cycle4},                 {star3, star3},
+    };
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto &[pattern, target] = cases[i];
+        const auto pruned = vf2AllEmbeddings(pattern, target);
+        const auto reference = referenceEmbeddings(pattern, target);
+        EXPECT_EQ(asSortedSet(pruned), asSortedSet(reference))
+            << "case " << i;
+    }
+}
+
+TEST(PlacementSearch, PlacementBeforeIsEspThenLexOrder)
+{
+    EXPECT_TRUE(placementBefore(0.9, {5, 4}, 0.8, {0, 1}));
+    EXPECT_FALSE(placementBefore(0.8, {0, 1}, 0.9, {5, 4}));
+    // Exact ESP tie: lexicographically smaller map ranks first,
+    // regardless of which argument comes first.
+    EXPECT_TRUE(placementBefore(0.5, {0, 2}, 0.5, {0, 3}));
+    EXPECT_FALSE(placementBefore(0.5, {0, 3}, 0.5, {0, 2}));
+    EXPECT_FALSE(placementBefore(0.5, {1, 2}, 0.5, {1, 2}));
+}
+
+TEST(TopPlacements, GoldenQaoa5Melbourne)
+{
+    // Pinned before the search rewrite (full rankedEmbeddings head at
+    // %.17g); the branch-and-bound path must reproduce it exactly.
+    const hw::Device device = hw::Device::melbourne(2);
+    const Placer placer(device);
+    const auto top =
+        placer.topPlacements(benchmarks::qaoa5().circuit, 4);
+    ASSERT_EQ(top.size(), 4u);
+    EXPECT_EQ(top[0].esp, 0.67771989704512359);
+    EXPECT_EQ(top[0].map, (std::vector{4, 3, 2, 1, 0}));
+    EXPECT_EQ(top[1].esp, 0.67690638918959456);
+    EXPECT_EQ(top[1].map, (std::vector{0, 1, 2, 3, 4}));
+    EXPECT_EQ(top[2].esp, 0.66326125851578177);
+    EXPECT_EQ(top[2].map, (std::vector{13, 1, 2, 3, 4}));
+    EXPECT_EQ(top[3].esp, 0.6631284535386871);
+    EXPECT_EQ(top[3].map, (std::vector{4, 3, 2, 1, 13}));
+}
+
+TEST(TopPlacements, GoldenQaoa7PathMelbourne)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const Placer placer(device);
+    const auto top = placer.topPlacements(
+        benchmarks::qaoaMaxcutPath(7).circuit, 4);
+    ASSERT_EQ(top.size(), 4u);
+    EXPECT_EQ(top[0].esp, 0.55807282166065075);
+    EXPECT_EQ(top[0].map, (std::vector{6, 8, 9, 10, 4, 3, 2}));
+    EXPECT_EQ(top[1].esp, 0.55796111214350863);
+    EXPECT_EQ(top[1].map, (std::vector{2, 3, 4, 10, 9, 8, 6}));
+    EXPECT_EQ(top[2].esp, 0.54371641452851904);
+    EXPECT_EQ(top[2].map, (std::vector{7, 8, 9, 10, 4, 3, 2}));
+    EXPECT_EQ(top[3].esp, 0.54317234450251706);
+    EXPECT_EQ(top[3].map, (std::vector{2, 3, 4, 10, 9, 8, 7}));
+}
+
+TEST(TopPlacements, MatchesRankedEmbeddingsHead)
+{
+    // Bound pruning must be lossless: for every K the branch-and-bound
+    // result equals the head of the exhaustive materialize-then-sort
+    // path, map for map and bit for bit.
+    const hw::Device device = hw::Device::melbourne(2);
+    const Placer placer(device);
+    const std::vector<Circuit> circuits = {
+        benchmarks::qaoa5().circuit,
+        benchmarks::qaoaMaxcutPath(6).circuit,
+        benchmarks::qaoa6().circuit,
+    };
+    for (std::size_t c = 0; c < circuits.size(); ++c) {
+        const auto ranked = placer.rankedEmbeddings(circuits[c]);
+        ASSERT_FALSE(ranked.empty()) << "circuit " << c;
+        for (std::size_t k : {std::size_t{1}, std::size_t{3},
+                              std::size_t{8}, ranked.size() + 5}) {
+            const auto top = placer.topPlacements(circuits[c], k);
+            ASSERT_EQ(top.size(), std::min(k, ranked.size()))
+                << "circuit " << c << " k=" << k;
+            for (std::size_t i = 0; i < top.size(); ++i) {
+                EXPECT_EQ(top[i].esp, ranked[i].esp)
+                    << "circuit " << c << " k=" << k << " i=" << i;
+                EXPECT_EQ(top[i].map, ranked[i].map)
+                    << "circuit " << c << " k=" << k << " i=" << i;
+            }
+        }
+    }
+}
+
+TEST(TopPlacements, EqualEspTiesOrderLexicographically)
+{
+    // On an ideal device every placement scores exactly 1.0, so the
+    // returned order is pure tie-break: lexicographic on the map,
+    // independent of enumeration order or pruning strength.
+    const hw::Device device = hw::Device::idealMelbourne();
+    const Placer placer(device);
+    Circuit c(3, 3);
+    c.cx(0, 1).cx(1, 2).measureAll();
+    const auto top = placer.topPlacements(c, 6);
+    ASSERT_EQ(top.size(), 6u);
+    for (std::size_t i = 0; i < top.size(); ++i)
+        EXPECT_EQ(top[i].esp, 1.0) << "i=" << i;
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_LT(top[i - 1].map, top[i].map) << "i=" << i;
+    // And the exhaustive path agrees on the same canonical order.
+    const auto ranked = placer.rankedEmbeddings(c);
+    ASSERT_GE(ranked.size(), top.size());
+    for (std::size_t i = 0; i < top.size(); ++i)
+        EXPECT_EQ(top[i].map, ranked[i].map) << "i=" << i;
+}
+
+TEST(TopPlacements, BoundPruningActuallyFires)
+{
+    // Effort counters: the search must visit fewer completions than
+    // the exhaustive enumeration produces, and report bound prunes.
+    const hw::Device device = hw::Device::melbourne(2);
+    const auto model = sharedEspModel(device);
+    const Circuit logical = benchmarks::qaoaMaxcutPath(7).circuit;
+    const InteractionGraph ig = interactionGraph(logical);
+    const hw::Topology pattern(ig.numQubits, ig.edges);
+    std::vector<int> pattern_index(std::size_t(ig.numQubits));
+    for (int q = 0; q < ig.numQubits; ++q)
+        pattern_index[std::size_t(q)] = q;
+    const GateTrace trace = EspModel::trace(logical.decomposed());
+    const PlacementCostModel cost(model, pattern, pattern_index, trace);
+    const EmbeddingScorer scorer = [&](const std::vector<int> &emb,
+                                       std::vector<int> &map_out,
+                                       double &esp_out) {
+        map_out = emb;
+        esp_out = model->espOfTrace(trace, emb);
+    };
+    PlacementSearchStats stats;
+    const auto top =
+        topKPlacements(pattern, cost, scorer, 4, 100000, &stats);
+    ASSERT_EQ(top.size(), 4u);
+    EXPECT_GT(stats.nodesVisited, 0u);
+    EXPECT_GT(stats.prunedBound, 0u);
+    // 304 embeddings exist (pre-rewrite count); the bound must cut
+    // well below full materialization.
+    EXPECT_LT(stats.completions, 304u);
 }
 
 // Brute-force optimality check: for a tiny 2-qubit program the
