@@ -161,6 +161,37 @@ BM_TopKPlacements(benchmark::State &state)
 }
 BENCHMARK(BM_TopKPlacements);
 
+/**
+ * A 127-qubit heavy-hex device with a spread (non-uniform) synthetic
+ * calibration. The spread matters: on a uniform-error device every
+ * placement scores identically and the branch-and-bound never prunes
+ * realistically.
+ */
+hw::Device
+heavyHex127Device()
+{
+    return hw::Device::synthetic("heavy-hex-127",
+                                 hw::Topology::heavyHex127(),
+                                 hw::CalibrationSpec{}, hw::NoiseSpec{},
+                                 7);
+}
+
+void
+BM_TopKPlacementsHeavyHex127(benchmark::State &state)
+{
+    // Large-topology acceptance kernel: K=4 placements of the 7-qubit
+    // QAOA path on a 127-qubit heavy-hex lattice. Exercises the
+    // on-demand distance provider and the masked-free search path at
+    // a scale where the dense O(n^2) precompute would dominate.
+    const hw::Device device = heavyHex127Device();
+    const transpile::Placer placer(device);
+    const auto logical = benchmarks::qaoaMaxcutPath(7).circuit;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(placer.topPlacements(logical, 4));
+    }
+}
+BENCHMARK(BM_TopKPlacementsHeavyHex127);
+
 void
 BM_RouteBv(benchmark::State &state)
 {
@@ -447,6 +478,19 @@ runCompileSweep()
                          placer.topPlacements(logical, 4));
                  },
                  10, 2));
+    }
+    {
+        // 127-qubit heavy-hex placement: the large-topology guard.
+        const hw::Device hex = heavyHex127Device();
+        const transpile::Placer placer(hex);
+        const auto logical = benchmarks::qaoaMaxcutPath(7).circuit;
+        emit("topk_heavyhex127_k4",
+             timeBestNs(
+                 [&] {
+                     benchmark::DoNotOptimize(
+                         placer.topPlacements(logical, 4));
+                 },
+                 5, 1));
     }
     {
         const transpile::Router router(

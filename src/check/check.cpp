@@ -83,6 +83,8 @@ checkErrorKindName(CheckErrorKind kind)
         return "measure-off-layout";
       case CheckErrorKind::MeasureRemapMismatch:
         return "measure-remap-mismatch";
+      case CheckErrorKind::QubitOutsideRegion:
+        return "qubit-outside-region";
     }
     return "unknown";
 }

@@ -37,6 +37,7 @@
 #include "circuit/circuit.hpp"
 #include "common/error.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 
 namespace qedm::check {
 
@@ -76,6 +77,7 @@ enum class CheckErrorKind
     EspUndefined,     ///< ESP recomputation hit an uncoupled gate
     MeasureOffLayout, ///< measure reads a qubit outside the final map
     MeasureRemapMismatch, ///< measure table != logical through final map
+    QubitOutsideRegion, ///< placement/gate/measure leaves the view
 };
 
 /** Stable kebab-case name for one CheckErrorKind. */
@@ -141,6 +143,13 @@ struct ProgramView
      * measures through the final map).
      */
     const circuit::Circuit *logical = nullptr;
+    /**
+     * Region the program was compiled under, when available.
+     * Optional: when set and not full, MappingChecker rejects any
+     * layout entry, gate operand (including SWAPs), or measurement
+     * that touches a physical qubit outside the allowed mask.
+     */
+    const hw::DeviceView *region = nullptr;
 };
 
 /** One static verifier pass over a compiled program. */

@@ -31,6 +31,53 @@ MappingChecker::run(const ProgramView &view) const
         checkSwapBookkeeping(physical, *view.initialMap,
                              *view.finalMap, view.swapCount);
     }
+    if (view.region != nullptr && !view.region->isFull())
+        checkRegion(view, *view.region);
+}
+
+void
+MappingChecker::checkRegion(const ProgramView &view,
+                            const hw::DeviceView &region) const
+{
+    auto inside = [&](int p) {
+        return p >= 0 && p < region.numQubits() && region.allowed(p);
+    };
+    auto checkMap = [&](const std::vector<int> &layout,
+                        const char *label) {
+        for (std::size_t l = 0; l < layout.size(); ++l) {
+            if (!inside(layout[l])) {
+                throw CheckError(
+                    name(), CheckErrorKind::QubitOutsideRegion,
+                    std::string(label) + " sends logical " +
+                        std::to_string(l) +
+                        " outside the allowed region",
+                    -1, {layout[l]});
+            }
+        }
+    };
+    if (view.initialMap != nullptr)
+        checkMap(*view.initialMap, "initial map");
+    if (view.finalMap != nullptr)
+        checkMap(*view.finalMap, "final map");
+
+    // Every operand of every gate — two-qubit gates, router SWAPs,
+    // and measures alike (checkCoupling skips measures, so the walk
+    // here must not).
+    const auto &gates = view.physical->gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const circuit::Gate &g = gates[i];
+        if (g.kind == circuit::OpKind::Barrier)
+            continue;
+        for (int q : g.qubits) {
+            if (!inside(q)) {
+                throw CheckError(
+                    name(), CheckErrorKind::QubitOutsideRegion,
+                    circuit::opName(g.kind) +
+                        " touches a qubit outside the allowed region",
+                    static_cast<int>(i), g.qubits);
+            }
+        }
+    }
 }
 
 void

@@ -52,6 +52,15 @@ class MappingChecker final : public CheckerPass
                               const std::vector<int> &initial_map,
                               const std::vector<int> &final_map,
                               int swap_count) const;
+
+    /**
+     * Check that every layout entry and every gate operand of
+     * @p physical — two-qubit gates, inserted SWAPs, and measures
+     * alike — stays inside @p region's allowed mask. Run only when
+     * the program view carries a non-full region.
+     */
+    void checkRegion(const ProgramView &view,
+                     const hw::DeviceView &region) const;
 };
 
 } // namespace qedm::check

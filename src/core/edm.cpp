@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <utility>
 
 #include "common/error.hpp"
 #include "resilience/fault_injector.hpp"
@@ -350,7 +351,7 @@ EdmResult::bestMemberByPst(Outcome correct) const
 }
 
 EdmPipeline::EdmPipeline(const hw::Device &device, EdmConfig config)
-    : device_(device), config_(config)
+    : device_(device), config_(std::move(config))
 {
     QEDM_REQUIRE(config_.totalShots > 0, "totalShots must be positive");
     QEDM_REQUIRE(config_.shotBatch > 0, "shotBatch must be positive");
@@ -402,6 +403,16 @@ EdmPipeline::run(const circuit::Circuit &logical,
     // any --jobs value.
     if (ensemble_config.scheduler == nullptr)
         ensemble_config.scheduler = scheduler;
+    // Fault-aware sizing: when the fault plan predicts probabilistic
+    // dropout, tell the builder so it over-provisions K and the
+    // ensemble *expected to survive* still has the configured size.
+    // Deliberate --fail-member injections are NOT over-provisioned —
+    // they exist to watch a member fail and the survivors absorb its
+    // share; padding them away would defeat the experiment. The
+    // fault-free path leaves the config untouched (bit-identical).
+    if (config_.resilience.active())
+        ensemble_config.expectedDropoutProb =
+            config_.resilience.faults.dropoutProb;
     const EnsembleBuilder builder(device_, ensemble_config);
     std::vector<transpile::CompiledProgram> programs =
         builder.build(logical);

@@ -1,6 +1,7 @@
 #include "core/ensemble.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <utility>
 
@@ -49,15 +50,23 @@ candidateBefore(const CandidateRecord &a, const CandidateRecord &b)
 
 EnsembleBuilder::EnsembleBuilder(const hw::Device &device,
                                  EnsembleConfig config)
-    : device_(device), config_(config)
+    : device_(device), config_(std::move(config)),
+      view_(config_.region.empty()
+                ? hw::DeviceView(device)
+                : hw::DeviceView(device, config_.region))
 {
     QEDM_REQUIRE(config_.size >= 1, "ensemble size must be >= 1");
+    QEDM_REQUIRE(config_.expectedDropoutProb >= 0.0 &&
+                     config_.expectedDropoutProb < 1.0,
+                 "expected dropout probability must be in [0, 1)");
+    QEDM_REQUIRE(config_.plannedDropouts >= 0,
+                 "planned dropout count must be non-negative");
 }
 
 std::vector<CompiledProgram>
 EnsembleBuilder::candidates(const circuit::Circuit &logical) const
 {
-    const transpile::Transpiler compiler(device_, config_.routeCost,
+    const transpile::Transpiler compiler(view_, config_.routeCost,
                                          config_.verifyPasses);
     std::shared_ptr<const CompiledProgram> cached;
     if (config_.compileCache != nullptr)
@@ -82,8 +91,8 @@ EnsembleBuilder::candidates(const circuit::Circuit &logical) const
     const hw::Topology pattern(static_cast<int>(used.size()),
                                pattern_edges);
 
-    const auto embeddings =
-        transpile::vf2AllEmbeddings(pattern, topo, config_.vf2Limit);
+    const auto embeddings = transpile::vf2AllEmbeddings(
+        pattern, topo, config_.vf2Limit, view_.maskPtr());
     QEDM_ASSERT(!embeddings.empty(),
                 "identity embedding must always exist");
 
@@ -91,7 +100,7 @@ EnsembleBuilder::candidates(const circuit::Circuit &logical) const
     // factors esp() multiplies on the materialized circuit, in the
     // same order, so the scores are bit-identical, without building
     // a circuit per candidate.
-    const auto model = transpile::sharedEspModel(device_);
+    const auto model = transpile::sharedEspModel(view_);
     const transpile::GateTrace trace =
         transpile::EspModel::trace(seed.physical.decomposed());
 
@@ -164,6 +173,7 @@ EnsembleBuilder::candidates(const circuit::Circuit &logical) const
             view.esp = member.esp;
             view.device = &device_;
             view.logical = &logical;
+            view.region = &view_;
             check::verifyProgram(view);
         }
         out[i] = std::move(member);
@@ -199,7 +209,17 @@ std::vector<CompiledProgram>
 EnsembleBuilder::build(const circuit::Circuit &logical) const
 {
     const std::vector<CompiledProgram> all = candidates(logical);
-    const std::size_t want = static_cast<std::size_t>(config_.size);
+    // Fault-aware sizing: when the fault plan predicts member dropout,
+    // over-provision K so the ensemble *expected to survive* still has
+    // config_.size members — size / (1 - p) against probabilistic
+    // dropout, plus one slot per deterministically-failed member.
+    std::size_t want = static_cast<std::size_t>(config_.size);
+    if (config_.expectedDropoutProb > 0.0 || config_.plannedDropouts > 0) {
+        const double p = std::min(config_.expectedDropoutProb, 0.9);
+        want = static_cast<std::size_t>(std::ceil(
+                   static_cast<double>(config_.size) / (1.0 - p))) +
+               static_cast<std::size_t>(config_.plannedDropouts);
+    }
 
     // Greedy top-K selection under the overlap cap. If the cap
     // starves the ensemble below K, it is relaxed progressively for

@@ -19,6 +19,7 @@
 #include "circuit/circuit.hpp"
 #include "common/rng.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 #include "runtime/scheduler.hpp"
 #include "transpile/compile_cache.hpp"
 #include "transpile/transpiler.hpp"
@@ -69,6 +70,27 @@ struct EnsembleConfig
      * means serial.
      */
     const runtime::JobScheduler *scheduler = nullptr;
+    /**
+     * Allowed-region mask: the physical qubits the ensemble may use
+     * (multi-programming / reliable-region scoping). Empty means the
+     * whole device — bit-identical to the pre-region behavior. When
+     * set, every member's placement, SWAPs, and measurements are
+     * confined to (and verified against) the induced subgraph.
+     */
+    std::vector<int> region;
+    /**
+     * Expected per-member dropout probability predicted by the fault
+     * plan (FaultConfig::dropoutProb). When positive, build()
+     * over-provisions K so the *expected surviving* ensemble still
+     * has `size` members. 0 (default) disables over-provisioning.
+     */
+    double expectedDropoutProb = 0.0;
+    /**
+     * Members the fault plan drops deterministically (--fail-member
+     * count). Each one costs exactly one member, so build() adds this
+     * many on top of the probabilistic over-provisioning.
+     */
+    int plannedDropouts = 0;
 };
 
 /** Builds mapping ensembles for one device. */
@@ -127,9 +149,14 @@ class EnsembleBuilder
 
     const EnsembleConfig &config() const { return config_; }
 
+    /** The device view the ensemble is scoped to (full when
+     *  config().region is empty). */
+    const hw::DeviceView &view() const { return view_; }
+
   private:
     const hw::Device &device_;
     EnsembleConfig config_;
+    hw::DeviceView view_;
 };
 
 } // namespace qedm::core

@@ -79,6 +79,7 @@ runExperiment(const hw::Device &device,
     EdmConfig edm_config;
     edm_config.ensemble.size = config.ensembleSize;
     edm_config.ensemble.compileCache = &compile_cache;
+    edm_config.ensemble.region = config.region;
     edm_config.totalShots = config.totalShots;
     edm_config.uniformityGuard = config.uniformityGuard;
     edm_config.verifyPasses = config.verifyPasses;

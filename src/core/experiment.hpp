@@ -94,6 +94,12 @@ struct ExperimentConfig
      * fault decisions from independent per-round streams.
      */
     resilience::ResilienceConfig resilience;
+    /**
+     * Allowed-region mask forwarded to EnsembleConfig::region: the
+     * physical qubits every round's placements, SWAPs, and
+     * measurements are confined to. Empty means the whole device.
+     */
+    std::vector<int> region;
 };
 
 /**

@@ -1,0 +1,58 @@
+#include "hw/device_view.hpp"
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace qedm::hw {
+
+DeviceView::DeviceView(const Device &device)
+    : device_(&device),
+      mask_(static_cast<std::size_t>(device.numQubits()), true),
+      full_(true),
+      numAllowed_(device.numQubits()),
+      fingerprint_(device.fingerprint())
+{
+}
+
+DeviceView::DeviceView(const Device &device, const std::vector<int> &allowed)
+    : device_(&device),
+      mask_(static_cast<std::size_t>(device.numQubits()), false)
+{
+    QEDM_REQUIRE(!allowed.empty(), "device view needs at least one qubit");
+    for (int q : allowed) {
+        QEDM_REQUIRE(q >= 0 && q < device.numQubits(),
+                     "region qubit index out of range");
+        mask_[static_cast<std::size_t>(q)] = true;
+    }
+    numAllowed_ = 0;
+    for (int q = 0; q < device.numQubits(); ++q) {
+        if (mask_[static_cast<std::size_t>(q)])
+            ++numAllowed_;
+    }
+    full_ = numAllowed_ == device.numQubits();
+    if (full_) {
+        fingerprint_ = device.fingerprint();
+        return;
+    }
+    Fingerprint fp(0x5EED'71E3ull);
+    fp.add(device.fingerprint()).add(numAllowed_);
+    for (int q = 0; q < device.numQubits(); ++q) {
+        if (mask_[static_cast<std::size_t>(q)])
+            fp.add(q);
+    }
+    fingerprint_ = fp.value();
+}
+
+std::vector<int>
+DeviceView::allowedQubits() const
+{
+    std::vector<int> out;
+    out.reserve(static_cast<std::size_t>(numAllowed_));
+    for (int q = 0; q < device_->numQubits(); ++q) {
+        if (mask_[static_cast<std::size_t>(q)])
+            out.push_back(q);
+    }
+    return out;
+}
+
+} // namespace qedm::hw

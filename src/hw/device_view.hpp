@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Region-scoped view of a device.
+ *
+ * A DeviceView pairs a Device with an allowed-qubit mask, letting the
+ * whole compile path (placement, routing, ESP scoring, checking) run
+ * against an induced subgraph of the chip — the substrate for
+ * multi-programming disjoint regions and for restricting work to the
+ * reliable part of a large topology. A full view (all qubits allowed)
+ * is behaviorally identical to the raw device and shares its
+ * fingerprint, so caches keyed on the view fingerprint keep hitting
+ * the same entries as before the refactor.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/device.hpp"
+
+namespace qedm::hw {
+
+/** A (device, allowed-qubit-mask) pair with its own fingerprint. */
+class DeviceView
+{
+  public:
+    /** Full view: every physical qubit allowed. */
+    explicit DeviceView(const Device &device);
+
+    /**
+     * Restricted view. @p allowed lists the physical qubits the
+     * compile path may use (non-empty, in range; duplicates ignored).
+     */
+    DeviceView(const Device &device, const std::vector<int> &allowed);
+
+    const Device &device() const { return *device_; }
+    const Topology &topology() const { return device_->topology(); }
+
+    /** Device qubit count (NOT the allowed count). */
+    int numQubits() const { return device_->numQubits(); }
+
+    /** True when every qubit is allowed. */
+    bool isFull() const { return full_; }
+
+    /** True when physical qubit @p q may be used. */
+    bool allowed(int q) const
+    {
+        return mask_[static_cast<std::size_t>(q)];
+    }
+
+    /** Number of allowed qubits. */
+    int numAllowed() const { return numAllowed_; }
+
+    /** Allowed physical qubits, ascending. */
+    std::vector<int> allowedQubits() const;
+
+    /** Allowed mask, one flag per physical qubit. */
+    const std::vector<bool> &mask() const { return mask_; }
+
+    /**
+     * Mask pointer for search kernels: nullptr for a full view (the
+     * unmasked code path is byte-for-byte the pre-view one), the mask
+     * otherwise.
+     */
+    const std::vector<bool> *maskPtr() const
+    {
+        return full_ ? nullptr : &mask_;
+    }
+
+    /**
+     * Content hash. Equals the device fingerprint for a full view;
+     * mixes the mask under a distinct salt otherwise. Compile-path
+     * caches must key on this, never on the raw device fingerprint,
+     * or a masked compile would poison full-device entries.
+     */
+    std::uint64_t fingerprint() const { return fingerprint_; }
+
+  private:
+    const Device *device_;
+    std::vector<bool> mask_;
+    bool full_;
+    int numAllowed_;
+    std::uint64_t fingerprint_;
+};
+
+} // namespace qedm::hw

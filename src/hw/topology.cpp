@@ -13,8 +13,8 @@ Topology::Topology(int num_qubits,
                    const std::vector<std::pair<int, int>> &edges)
     : numQubits_(num_qubits)
 {
-    QEDM_REQUIRE(num_qubits >= 1 && num_qubits <= 64,
-                 "topology qubit count must be in [1, 64]");
+    QEDM_REQUIRE(num_qubits >= 1 && num_qubits <= kMaxQubits,
+                 "topology qubit count must be in [1, 1024]");
     adj_.assign(num_qubits, {});
     std::set<std::pair<int, int>> seen;
     for (auto [a, b] : edges) {
@@ -35,28 +35,46 @@ Topology::Topology(int num_qubits,
                                                const Edge &y) {
         return std::pair(x.a, x.b) < std::pair(y.a, y.b);
     });
-    computeDistances();
+    adjEdge_.assign(static_cast<std::size_t>(num_qubits), {});
+    for (std::size_t i = 0; i < edges_.size(); ++i) {
+        adjEdge_[static_cast<std::size_t>(edges_[i].a)]
+            .emplace_back(edges_[i].b, static_cast<int>(i));
+        adjEdge_[static_cast<std::size_t>(edges_[i].b)]
+            .emplace_back(edges_[i].a, static_cast<int>(i));
+    }
+    for (auto &entries : adjEdge_)
+        std::sort(entries.begin(), entries.end());
+    if (numQubits_ <= kEagerDistanceMaxQubits)
+        computeDistances();
+}
+
+std::vector<int>
+Topology::bfsFrom(int src) const
+{
+    std::vector<int> dist(static_cast<std::size_t>(numQubits_), -1);
+    std::queue<int> q;
+    dist[static_cast<std::size_t>(src)] = 0;
+    q.push(src);
+    while (!q.empty()) {
+        const int u = q.front();
+        q.pop();
+        for (int v : adj_[static_cast<std::size_t>(u)]) {
+            if (dist[static_cast<std::size_t>(v)] < 0) {
+                dist[static_cast<std::size_t>(v)] =
+                    dist[static_cast<std::size_t>(u)] + 1;
+                q.push(v);
+            }
+        }
+    }
+    return dist;
 }
 
 void
 Topology::computeDistances()
 {
-    dist_.assign(numQubits_, std::vector<int>(numQubits_, -1));
-    for (int src = 0; src < numQubits_; ++src) {
-        std::queue<int> q;
-        dist_[src][src] = 0;
-        q.push(src);
-        while (!q.empty()) {
-            const int u = q.front();
-            q.pop();
-            for (int v : adj_[u]) {
-                if (dist_[src][v] < 0) {
-                    dist_[src][v] = dist_[src][u] + 1;
-                    q.push(v);
-                }
-            }
-        }
-    }
+    dist_.reserve(static_cast<std::size_t>(numQubits_));
+    for (int src = 0; src < numQubits_; ++src)
+        dist_.push_back(bfsFrom(src));
 }
 
 bool
@@ -83,19 +101,27 @@ Topology::distance(int a, int b) const
 {
     QEDM_REQUIRE(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_,
                  "qubit index out of range");
-    return dist_[a][b];
+    if (!dist_.empty())
+        return dist_[a][b];
+    return bfsFrom(a)[static_cast<std::size_t>(b)];
 }
 
 std::vector<int>
 Topology::shortestPath(int a, int b) const
 {
-    if (distance(a, b) < 0)
+    QEDM_REQUIRE(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_,
+                 "qubit index out of range");
+    // One BFS row from b serves every step of the walk; on small
+    // devices the eager matrix already holds it.
+    const std::vector<int> to_b = dist_.empty() ? bfsFrom(b) : dist_[b];
+    if (to_b[static_cast<std::size_t>(a)] < 0)
         return {};
     std::vector<int> path{a};
     int cur = a;
     while (cur != b) {
         for (int v : adj_[cur]) {
-            if (dist_[v][b] == dist_[cur][b] - 1) {
+            if (to_b[static_cast<std::size_t>(v)] ==
+                to_b[static_cast<std::size_t>(cur)] - 1) {
                 cur = v;
                 path.push_back(v);
                 break;
@@ -108,8 +134,10 @@ Topology::shortestPath(int a, int b) const
 bool
 Topology::isConnected() const
 {
+    const std::vector<int> from_zero =
+        dist_.empty() ? bfsFrom(0) : dist_[0];
     for (int q = 1; q < numQubits_; ++q) {
-        if (dist_[0][q] < 0)
+        if (from_zero[static_cast<std::size_t>(q)] < 0)
             return false;
     }
     return true;
@@ -145,12 +173,14 @@ Topology::edgeIndex(int a, int b) const
 {
     QEDM_REQUIRE(a >= 0 && a < numQubits_ && b >= 0 && b < numQubits_,
                  "qubit index out of range");
-    if (a > b)
-        std::swap(a, b);
-    for (std::size_t i = 0; i < edges_.size(); ++i) {
-        if (edges_[i].a == a && edges_[i].b == b)
-            return static_cast<int>(i);
-    }
+    // Binary search the per-vertex (neighbor, edge) table: O(log deg)
+    // against the old O(E) scan, which dominated Dijkstra inner loops
+    // on 127-qubit devices.
+    const auto &entries = adjEdge_[static_cast<std::size_t>(a)];
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), std::pair<int, int>{b, -1});
+    if (it != entries.end() && it->first == b)
+        return it->second;
     return -1;
 }
 
@@ -247,6 +277,71 @@ Topology::heavyHex27()
         {18, 21}, {19, 20}, {19, 22}, {21, 23}, {22, 25},
         {23, 24}, {24, 25}, {25, 26},
     });
+}
+
+Topology
+Topology::heavyHex(int rows, int cols)
+{
+    QEDM_REQUIRE(rows >= 3 && rows % 2 == 1,
+                 "heavy-hex rows must be odd and >= 3");
+    QEDM_REQUIRE(cols >= 3 && cols % 4 == 3,
+                 "heavy-hex cols must be congruent to 3 mod 4");
+    auto colRange = [&](int r) -> std::pair<int, int> {
+        if (r == 0)
+            return {0, cols - 2};
+        if (r == rows - 1)
+            return {1, cols - 1};
+        return {0, cols - 1};
+    };
+    // Assign ids row by row, each gap's bridge qubits right after the
+    // row above it — the numbering IBM publishes for Eagle/Osprey.
+    std::vector<std::vector<int>> row_id(
+        static_cast<std::size_t>(rows),
+        std::vector<int>(static_cast<std::size_t>(cols), -1));
+    std::vector<std::vector<int>> bridge_id(
+        static_cast<std::size_t>(rows - 1),
+        std::vector<int>(static_cast<std::size_t>(cols), -1));
+    int next = 0;
+    for (int r = 0; r < rows; ++r) {
+        const auto [lo, hi] = colRange(r);
+        for (int c = lo; c <= hi; ++c)
+            row_id[r][c] = next++;
+        if (r + 1 < rows) {
+            const auto [nlo, nhi] = colRange(r + 1);
+            const int offset = (r % 2 == 0) ? 0 : 2;
+            for (int c = offset; c < cols; c += 4) {
+                if (c >= lo && c <= hi && c >= nlo && c <= nhi)
+                    bridge_id[r][c] = next++;
+            }
+        }
+    }
+    std::vector<std::pair<int, int>> edges;
+    for (int r = 0; r < rows; ++r) {
+        const auto [lo, hi] = colRange(r);
+        for (int c = lo; c < hi; ++c)
+            edges.emplace_back(row_id[r][c], row_id[r][c + 1]);
+    }
+    for (int r = 0; r + 1 < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            if (bridge_id[r][c] >= 0) {
+                edges.emplace_back(row_id[r][c], bridge_id[r][c]);
+                edges.emplace_back(bridge_id[r][c], row_id[r + 1][c]);
+            }
+        }
+    }
+    return Topology(next, edges);
+}
+
+Topology
+Topology::heavyHex127()
+{
+    return heavyHex(7, 15);
+}
+
+Topology
+Topology::heavyHex433()
+{
+    return heavyHex(13, 27);
 }
 
 std::uint64_t

@@ -31,8 +31,23 @@ struct Edge
 class Topology
 {
   public:
+    /** Maximum supported device size. */
+    static constexpr int kMaxQubits = 1024;
+
     /**
-     * @param num_qubits number of physical qubits (1..64)
+     * Largest device for which the all-pairs hop-distance matrix is
+     * materialized eagerly at construction. Above this, distance(),
+     * shortestPath(), and isConnected() run a per-call BFS instead —
+     * O(V + E) per query, no O(V^2) memory — which is what makes
+     * 127/433-qubit heavy-hex topologies constructible. Hot-path
+     * consumers (placement, routing) should not query per-pair hop
+     * distances on large devices; they go through the
+     * transpile::DistanceProvider layer instead.
+     */
+    static constexpr int kEagerDistanceMaxQubits = 64;
+
+    /**
+     * @param num_qubits number of physical qubits (1..kMaxQubits)
      * @param edges undirected couplings (validated, deduplicated)
      */
     Topology(int num_qubits, const std::vector<std::pair<int, int>> &edges);
@@ -80,14 +95,30 @@ class Topology
     static Topology tokyo();
     /** The 27-qubit IBM Falcon heavy-hex graph (ibmq-montreal). */
     static Topology heavyHex27();
+    /**
+     * Generic heavy-hex lattice: @p rows rows of qubits (the first row
+     * drops its last column, the last row drops its first), joined by
+     * bridge qubits every 4 columns with the per-gap offset
+     * alternating 0/2 — the structure of IBM's Falcon/Eagle/Osprey
+     * family. rows must be odd and >= 3, cols ≡ 3 (mod 4).
+     */
+    static Topology heavyHex(int rows, int cols);
+    /** The 127-qubit IBM Eagle-class heavy-hex graph (7 x 15). */
+    static Topology heavyHex127();
+    /** The 433-qubit IBM Osprey-class heavy-hex graph (13 x 27). */
+    static Topology heavyHex433();
     /** @} */
 
   private:
     void computeDistances();
+    std::vector<int> bfsFrom(int src) const;
 
     int numQubits_;
     std::vector<Edge> edges_;
     std::vector<std::vector<int>> adj_;
+    /** Per-vertex (neighbor, edge index) pairs, sorted by neighbor. */
+    std::vector<std::vector<std::pair<int, int>>> adjEdge_;
+    /** All-pairs hop distances; empty above kEagerDistanceMaxQubits. */
     std::vector<std::vector<int>> dist_;
 };
 

@@ -13,7 +13,10 @@ std::shared_ptr<const CompiledProgram>
 CompileCache::getOrCompile(const Transpiler &compiler,
                            const circuit::Circuit &logical)
 {
-    const Key key{compiler.device().fingerprint(), logical.fingerprint(),
+    // Keyed on the VIEW fingerprint (== device fingerprint for a full
+    // view) so region-scoped compiles never collide with full-device
+    // entries of the same circuit.
+    const Key key{compiler.view().fingerprint(), logical.fingerprint(),
                   static_cast<int>(compiler.routeCost())};
     {
         std::lock_guard<std::mutex> lock(mutex_);

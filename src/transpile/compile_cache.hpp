@@ -7,9 +7,11 @@
  * valid for the calibration it was compiled against — exactly like
  * noise-adaptive compilers that recompile per calibration epoch
  * (Murali et al., ASPLOS'19). The cache therefore keys entries on
- * (device fingerprint, circuit fingerprint, route cost): calibration
- * drift yields a new device fingerprint, so stale programs are
- * unreachable by construction and eventually evicted by LRU. Repeated
+ * (device-view fingerprint, circuit fingerprint, route cost): a full
+ * view's fingerprint is the device fingerprint, a masked region gets
+ * its own key, and calibration drift yields a new fingerprint either
+ * way, so stale programs are unreachable by construction and
+ * eventually evicted by LRU. Repeated
  * compiles against an *unchanged* calibration — the four baselines of
  * one round, frozen-drift experiments, benches looping one workload —
  * hit.

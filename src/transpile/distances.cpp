@@ -2,22 +2,22 @@
 
 #include <cmath>
 #include <cstdint>
-#include <limits>
 #include <list>
 #include <map>
 #include <mutex>
 #include <queue>
 #include <utility>
 
+#include "common/error.hpp"
+
 namespace qedm::transpile {
 
-DistanceMatrix
-distanceMatrix(const hw::Device &device, RouteCost cost)
+namespace {
+
+std::vector<double>
+edgeCosts(const hw::Device &device, RouteCost cost)
 {
     const auto &topo = device.topology();
-    const int n = topo.numQubits();
-    constexpr double kUnreachable = 1e18;
-
     std::vector<double> edge_cost(topo.numEdges());
     for (std::size_t e = 0; e < topo.numEdges(); ++e) {
         if (cost == RouteCost::HopCount) {
@@ -27,31 +27,140 @@ distanceMatrix(const hw::Device &device, RouteCost cost)
             edge_cost[e] = -std::log(std::max(1.0 - err, 1e-12));
         }
     }
+    return edge_cost;
+}
 
-    std::vector<std::vector<double>> dist(
-        n, std::vector<double>(n, kUnreachable));
-    for (int src = 0; src < n; ++src) {
-        using Item = std::pair<double, int>;
-        std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-        dist[src][src] = 0.0;
-        pq.emplace(0.0, src);
-        while (!pq.empty()) {
-            const auto [d, u] = pq.top();
-            pq.pop();
-            if (d > dist[src][u])
+/**
+ * One Dijkstra row over the allowed subgraph. With a null mask this
+ * follows the exact traversal of distanceMatrix(), so full-view
+ * providers reproduce its doubles bit-for-bit.
+ */
+std::vector<double>
+dijkstraRow(const hw::Topology &topo, const std::vector<double> &edge_cost,
+            const std::vector<bool> *allowed, int src)
+{
+    const int n = topo.numQubits();
+    std::vector<double> dist(static_cast<std::size_t>(n),
+                             kUnreachableDistance);
+    if (allowed && !(*allowed)[static_cast<std::size_t>(src)])
+        return dist;
+    using Item = std::pair<double, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist[static_cast<std::size_t>(src)] = 0.0;
+    pq.emplace(0.0, src);
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[static_cast<std::size_t>(u)])
+            continue;
+        for (int v : topo.neighbors(u)) {
+            if (allowed && !(*allowed)[static_cast<std::size_t>(v)])
                 continue;
-            for (int v : topo.neighbors(u)) {
-                const int e = topo.edgeIndex(u, v);
-                const double nd =
-                    d + edge_cost[static_cast<std::size_t>(e)];
-                if (nd < dist[src][v]) {
-                    dist[src][v] = nd;
-                    pq.emplace(nd, v);
-                }
+            const int e = topo.edgeIndex(u, v);
+            const double nd = d + edge_cost[static_cast<std::size_t>(e)];
+            if (nd < dist[static_cast<std::size_t>(v)]) {
+                dist[static_cast<std::size_t>(v)] = nd;
+                pq.emplace(nd, v);
             }
         }
     }
     return dist;
+}
+
+} // namespace
+
+DistanceMatrix
+distanceMatrix(const hw::Device &device, RouteCost cost)
+{
+    const auto &topo = device.topology();
+    const int n = topo.numQubits();
+    const std::vector<double> edge_cost = edgeCosts(device, cost);
+    std::vector<std::vector<double>> dist;
+    dist.reserve(static_cast<std::size_t>(n));
+    for (int src = 0; src < n; ++src)
+        dist.push_back(dijkstraRow(topo, edge_cost, nullptr, src));
+    return dist;
+}
+
+DenseDistanceProvider::DenseDistanceProvider(const hw::DeviceView &view,
+                                             RouteCost cost)
+{
+    if (view.isFull()) {
+        matrix_ = distanceMatrix(view.device(), cost);
+        return;
+    }
+    const auto &topo = view.topology();
+    const std::vector<double> edge_cost = edgeCosts(view.device(), cost);
+    matrix_.reserve(static_cast<std::size_t>(topo.numQubits()));
+    for (int src = 0; src < topo.numQubits(); ++src)
+        matrix_.push_back(
+            dijkstraRow(topo, edge_cost, view.maskPtr(), src));
+}
+
+double
+DenseDistanceProvider::distance(int a, int b) const
+{
+    const int n = static_cast<int>(matrix_.size());
+    QEDM_REQUIRE(a >= 0 && a < n && b >= 0 && b < n,
+                 "qubit index out of range");
+    return matrix_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+}
+
+struct OnDemandDistanceProvider::Impl
+{
+    hw::Topology topo;
+    std::vector<double> edgeCost;
+    std::vector<bool> mask; ///< empty for a full view
+    mutable std::mutex mutex;
+    mutable std::vector<std::shared_ptr<const std::vector<double>>> rows;
+
+    Impl(const hw::DeviceView &view, RouteCost cost)
+        : topo(view.topology()),
+          edgeCost(edgeCosts(view.device(), cost)),
+          rows(static_cast<std::size_t>(view.numQubits()))
+    {
+        if (!view.isFull())
+            mask = view.mask();
+    }
+
+    std::shared_ptr<const std::vector<double>> row(int src) const
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto &slot = rows[static_cast<std::size_t>(src)];
+        if (!slot) {
+            slot = std::make_shared<const std::vector<double>>(
+                dijkstraRow(topo, edgeCost,
+                            mask.empty() ? nullptr : &mask, src));
+        }
+        return slot;
+    }
+};
+
+OnDemandDistanceProvider::OnDemandDistanceProvider(
+    const hw::DeviceView &view, RouteCost cost)
+    : impl_(std::make_shared<Impl>(view, cost))
+{
+}
+
+double
+OnDemandDistanceProvider::distance(int a, int b) const
+{
+    const int n = impl_->topo.numQubits();
+    QEDM_REQUIRE(a >= 0 && a < n && b >= 0 && b < n,
+                 "qubit index out of range");
+    return (*impl_->row(a))[static_cast<std::size_t>(b)];
+}
+
+std::size_t
+OnDemandDistanceProvider::rowsComputed() const
+{
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    std::size_t count = 0;
+    for (const auto &slot : impl_->rows) {
+        if (slot)
+            ++count;
+    }
+    return count;
 }
 
 namespace {
@@ -89,6 +198,49 @@ class DistanceRegistry
     std::list<Key> order_;
 };
 
+/**
+ * Bounded FIFO cache of distance providers, keyed on the VIEW
+ * fingerprint so restricted regions and the full device never share
+ * an entry.
+ */
+class ProviderRegistry
+{
+  public:
+    std::shared_ptr<const DistanceProvider>
+    get(const hw::DeviceView &view, RouteCost cost)
+    {
+        const Key key{view.fingerprint(), cost};
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = providers_.find(key);
+        if (it != providers_.end())
+            return it->second;
+        std::shared_ptr<const DistanceProvider> provider;
+        if (view.numQubits() <= kDenseDistanceMaxQubits) {
+            provider =
+                std::make_shared<const DenseDistanceProvider>(view, cost);
+        } else {
+            provider = std::make_shared<const OnDemandDistanceProvider>(
+                view, cost);
+        }
+        providers_.emplace(key, provider);
+        order_.push_back(key);
+        while (providers_.size() > kCapacity) {
+            providers_.erase(order_.front());
+            order_.pop_front();
+        }
+        return provider;
+    }
+
+  private:
+    using Key = std::pair<std::uint64_t, RouteCost>;
+
+    static constexpr std::size_t kCapacity = 64;
+
+    std::mutex mutex_;
+    std::map<Key, std::shared_ptr<const DistanceProvider>> providers_;
+    std::list<Key> order_;
+};
+
 } // namespace
 
 std::shared_ptr<const DistanceMatrix>
@@ -96,6 +248,13 @@ sharedDistanceMatrix(const hw::Device &device, RouteCost cost)
 {
     static DistanceRegistry registry;
     return registry.get(device, cost);
+}
+
+std::shared_ptr<const DistanceProvider>
+sharedDistanceProvider(const hw::DeviceView &view, RouteCost cost)
+{
+    static ProviderRegistry registry;
+    return registry.get(view, cost);
 }
 
 } // namespace qedm::transpile

@@ -2,6 +2,14 @@
  * @file
  * Shared distance matrices over the device coupling graph, used by
  * placement and routing heuristics.
+ *
+ * Consumers go through the DistanceProvider interface: a dense
+ * all-pairs matrix on small devices, an on-demand memoized
+ * per-source Dijkstra on large ones (127/433-qubit heavy-hex), both
+ * scoped to a DeviceView so masked regions never see distances
+ * through disallowed qubits. The raw distanceMatrix entry points
+ * remain for the dense implementation and equivalence tests; code
+ * elsewhere in src/ must not call them (lint rule dense-distance).
  */
 
 #pragma once
@@ -10,12 +18,24 @@
 #include <vector>
 
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 #include "transpile/router.hpp"
 
 namespace qedm::transpile {
 
 /** All-pairs shortest-path distances, row-major by source qubit. */
 using DistanceMatrix = std::vector<std::vector<double>>;
+
+/** Sentinel for disconnected (or mask-excluded) qubit pairs. */
+inline constexpr double kUnreachableDistance = 1e18;
+
+/**
+ * Largest device for which sharedDistanceProvider materializes the
+ * dense all-pairs matrix up front. Above this, rows are computed on
+ * demand and memoized per view — O(V + E log V) per new source
+ * instead of an eager O(V^2 log V) pass and O(V^2) memory.
+ */
+inline constexpr int kDenseDistanceMaxQubits = 64;
 
 /**
  * All-pairs shortest-path distances where each edge costs
@@ -25,13 +45,74 @@ using DistanceMatrix = std::vector<std::vector<double>>;
 DistanceMatrix distanceMatrix(const hw::Device &device, RouteCost cost);
 
 /**
+ * Pairwise distance oracle over a device view. Distances respect the
+ * view: paths may only traverse allowed qubits, and any pair touching
+ * a disallowed qubit reports kUnreachableDistance.
+ */
+class DistanceProvider
+{
+  public:
+    virtual ~DistanceProvider() = default;
+
+    DistanceProvider() = default;
+    DistanceProvider(const DistanceProvider &) = delete;
+    DistanceProvider &operator=(const DistanceProvider &) = delete;
+
+    /** Shortest-path cost from @p a to @p b under the view. */
+    virtual double distance(int a, int b) const = 0;
+};
+
+/**
+ * Eager dense implementation: the full all-pairs matrix, computed at
+ * construction. On a full view this is bit-identical to
+ * distanceMatrix() — same Dijkstra, same traversal order.
+ */
+class DenseDistanceProvider final : public DistanceProvider
+{
+  public:
+    DenseDistanceProvider(const hw::DeviceView &view, RouteCost cost);
+
+    double distance(int a, int b) const override;
+
+  private:
+    DistanceMatrix matrix_;
+};
+
+/**
+ * Lazy implementation for large devices: per-source rows are computed
+ * by a bounded Dijkstra over the allowed subgraph on first query and
+ * memoized for the lifetime of the provider. Thread-safe.
+ */
+class OnDemandDistanceProvider final : public DistanceProvider
+{
+  public:
+    OnDemandDistanceProvider(const hw::DeviceView &view, RouteCost cost);
+
+    double distance(int a, int b) const override;
+
+    /** Number of source rows materialized so far (for tests). */
+    std::size_t rowsComputed() const;
+
+  private:
+    struct Impl;
+    std::shared_ptr<Impl> impl_;
+};
+
+/**
+ * Memoized provider, keyed on (view fingerprint, cost metric) — NOT
+ * the device fingerprint, or a masked view would poison the
+ * full-device entry. Selects the dense implementation when the device
+ * has at most kDenseDistanceMaxQubits qubits and the on-demand one
+ * above that. Thread-safe; the returned provider is immutable from
+ * the caller's perspective and shareable across threads.
+ */
+std::shared_ptr<const DistanceProvider>
+sharedDistanceProvider(const hw::DeviceView &view, RouteCost cost);
+
+/**
  * Memoized distanceMatrix, keyed on (device fingerprint, cost metric).
- * Every route() call used to re-run all-pairs Dijkstra from scratch;
- * the matrix only depends on the coupling graph and the calibration
- * epoch, so ensemble members, rounds, and threads compiling against
- * the same device share one computation. Calibration drift changes the
- * fingerprint and misses the cache. Thread-safe; the returned matrix
- * is immutable and shareable across threads.
+ * Retained for the dense provider and direct matrix consumers in
+ * tests; new code should take a DistanceProvider.
  */
 std::shared_ptr<const DistanceMatrix>
 sharedDistanceMatrix(const hw::Device &device, RouteCost cost);

@@ -110,9 +110,8 @@ class EspModelRegistry
 {
   public:
     std::shared_ptr<const EspModel>
-    get(const hw::Device &device)
+    get(const hw::Device &device, std::uint64_t key)
     {
-        const std::uint64_t key = device.fingerprint();
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = models_.find(key);
         if (it != models_.end())
@@ -137,11 +136,29 @@ class EspModelRegistry
 
 } // namespace
 
+namespace {
+
+EspModelRegistry &
+espModelRegistry()
+{
+    static EspModelRegistry registry;
+    return registry;
+}
+
+} // namespace
+
 std::shared_ptr<const EspModel>
 sharedEspModel(const hw::Device &device)
 {
-    static EspModelRegistry registry;
-    return registry.get(device);
+    return espModelRegistry().get(device, device.fingerprint());
+}
+
+std::shared_ptr<const EspModel>
+sharedEspModel(const hw::DeviceView &view)
+{
+    // A full view's fingerprint IS the device fingerprint, so it
+    // shares the entry sharedEspModel(device) would populate.
+    return espModelRegistry().get(view.device(), view.fingerprint());
 }
 
 } // namespace qedm::transpile

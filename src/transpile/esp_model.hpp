@@ -36,6 +36,7 @@
 
 #include "circuit/circuit.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 
 namespace qedm::transpile {
 
@@ -138,5 +139,14 @@ class EspModel
  * shareable across threads.
  */
 std::shared_ptr<const EspModel> sharedEspModel(const hw::Device &device);
+
+/**
+ * View-scoped registry lookup, keyed on DeviceView::fingerprint().
+ * The factor tables themselves are mask-independent (whole-device
+ * calibration), but keying on the view keeps the one cache-keying
+ * rule uniform across the compile path; a full view shares the
+ * device-keyed entry bit-for-bit.
+ */
+std::shared_ptr<const EspModel> sharedEspModel(const hw::DeviceView &view);
 
 } // namespace qedm::transpile

@@ -17,7 +17,16 @@ using circuit::OpKind;
 
 LookaheadRouter::LookaheadRouter(const hw::Device &device,
                                  LookaheadConfig config)
-    : device_(device), config_(config)
+    : view_(device), config_(config)
+{
+    QEDM_REQUIRE(config_.window >= 1, "lookahead window must be >= 1");
+    QEDM_REQUIRE(config_.windowWeight >= 0.0,
+                 "lookahead weight must be non-negative");
+}
+
+LookaheadRouter::LookaheadRouter(hw::DeviceView view,
+                                 LookaheadConfig config)
+    : view_(std::move(view)), config_(config)
 {
     QEDM_REQUIRE(config_.window >= 1, "lookahead window must be >= 1");
     QEDM_REQUIRE(config_.windowWeight >= 0.0,
@@ -28,7 +37,7 @@ RouteResult
 LookaheadRouter::route(const Circuit &logical,
                        const std::vector<int> &initial_map) const
 {
-    const auto &topo = device_.topology();
+    const auto &topo = view_.topology();
     QEDM_REQUIRE(static_cast<int>(initial_map.size()) ==
                      logical.numQubits(),
                  "initial map must cover every logical qubit");
@@ -36,14 +45,15 @@ LookaheadRouter::route(const Circuit &logical,
     for (int p : initial_map) {
         QEDM_REQUIRE(p >= 0 && p < topo.numQubits(),
                      "initial map target out of range");
+        QEDM_REQUIRE(view_.allowed(p),
+                     "initial map target outside the region");
         QEDM_REQUIRE(distinct.insert(p).second,
                      "initial map targets must be distinct");
     }
 
     const Circuit flat = logical.decomposed();
     const CircuitDag dag(flat);
-    const auto shared_dist = sharedDistanceMatrix(device_, config_.cost);
-    const auto &dist = *shared_dist;
+    const auto dist = sharedDistanceProvider(view_, config_.cost);
 
     std::vector<int> map = initial_map;
     std::vector<int> occupant(topo.numQubits(), -1);
@@ -153,6 +163,8 @@ LookaheadRouter::route(const Circuit &logical,
             for (int lq : gateOf(node).qubits) {
                 const int pq = map[lq];
                 for (int nbr : topo.neighbors(pq)) {
+                    if (!view_.allowed(nbr))
+                        continue; // SWAPs stay inside the region
                     candidates.insert(
                         {std::min(pq, nbr), std::max(pq, nbr)});
                 }
@@ -164,15 +176,16 @@ LookaheadRouter::route(const Circuit &logical,
             double score = 0.0;
             for (std::size_t node : front_2q) {
                 const Gate &g = gateOf(node);
-                score += dist[trial_map[g.qubits[0]]]
-                             [trial_map[g.qubits[1]]];
+                score += dist->distance(trial_map[g.qubits[0]],
+                                        trial_map[g.qubits[1]]);
             }
             if (!ahead.empty()) {
                 double ahead_score = 0.0;
                 for (std::size_t node : ahead) {
                     const Gate &g = gateOf(node);
-                    ahead_score += dist[trial_map[g.qubits[0]]]
-                                       [trial_map[g.qubits[1]]];
+                    ahead_score +=
+                        dist->distance(trial_map[g.qubits[0]],
+                                       trial_map[g.qubits[1]]);
                 }
                 score += config_.windowWeight * ahead_score /
                          static_cast<double>(ahead.size());

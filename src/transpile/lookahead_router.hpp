@@ -15,6 +15,7 @@
 
 #include "circuit/circuit.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 #include "transpile/router.hpp"
 
 namespace qedm::transpile {
@@ -34,7 +35,16 @@ struct LookaheadConfig
 class LookaheadRouter
 {
   public:
+    /** Full-device routing (a full view; pre-view behavior). */
     explicit LookaheadRouter(const hw::Device &device,
+                             LookaheadConfig config = LookaheadConfig{});
+
+    /**
+     * Region-scoped routing: candidate SWAPs never touch a qubit
+     * outside the view. The caller keeps the viewed Device alive for
+     * the router's lifetime.
+     */
+    explicit LookaheadRouter(hw::DeviceView view,
                              LookaheadConfig config = LookaheadConfig{});
 
     /** Route @p logical from @p initial_map (same contract as
@@ -43,7 +53,7 @@ class LookaheadRouter
                       const std::vector<int> &initial_map) const;
 
   private:
-    const hw::Device &device_;
+    hw::DeviceView view_;
     LookaheadConfig config_;
 };
 

@@ -74,10 +74,11 @@ class TopKSearcher
     TopKSearcher(const hw::Topology &pattern,
                  const PlacementCostModel &cost, const EmbeddingScorer &scorer,
                  std::size_t k, std::size_t limit,
-                 PlacementSearchStats *stats)
+                 PlacementSearchStats *stats,
+                 const std::vector<bool> *allowed)
         : pattern_(pattern), target_(cost.espModel().topology()),
           cost_(cost), scorer_(scorer), k_(k), limit_(limit),
-          stats_(stats)
+          stats_(stats), allowed_(allowed)
     {
         buildFeasibility();
         buildOrder();
@@ -132,6 +133,11 @@ class TopKSearcher
     bool
     hostFeasible(int v, int t) const
     {
+        // Full-graph degree/signature tests stay admissible under the
+        // mask: a host viable in the induced subgraph has at least
+        // its induced degree in the full graph.
+        if (allowed_ && !(*allowed_)[static_cast<std::size_t>(t)])
+            return false;
         if (target_.degree(t) < pattern_.degree(v))
             return false;
         return signatureDominates(
@@ -286,6 +292,8 @@ class TopKSearcher
         for (int t : *candidates) {
             if (used_[static_cast<std::size_t>(t)])
                 continue;
+            if (allowed_ && !(*allowed_)[static_cast<std::size_t>(t)])
+                continue;
             if (target_.degree(t) < pattern_.degree(v))
                 continue;
             if (!signatureDominates(
@@ -326,6 +334,7 @@ class TopKSearcher
     std::size_t k_;
     std::size_t limit_;
     PlacementSearchStats *stats_;
+    const std::vector<bool> *allowed_;
 
     std::vector<std::vector<int>> targetSig_;
     std::vector<std::vector<int>> patternSig_;
@@ -356,7 +365,8 @@ placementBefore(double esp_a, const std::vector<int> &map_a,
 
 PlacementCostModel::PlacementCostModel(
     std::shared_ptr<const EspModel> model, const hw::Topology &pattern,
-    const std::vector<int> &pattern_index, const GateTrace &trace)
+    const std::vector<int> &pattern_index, const GateTrace &trace,
+    const std::vector<bool> *allowed)
     : model_(std::move(model))
 {
     const auto n = static_cast<std::size_t>(pattern.numQubits());
@@ -395,8 +405,11 @@ PlacementCostModel::PlacementCostModel(
     bestVertexLog_.assign(n, 0.0);
     for (int v = 0; v < pattern.numQubits(); ++v) {
         double best = -std::numeric_limits<double>::infinity();
-        for (int t = 0; t < model_->numQubits(); ++t)
+        for (int t = 0; t < model_->numQubits(); ++t) {
+            if (allowed && !(*allowed)[static_cast<std::size_t>(t)])
+                continue;
             best = std::max(best, vertexLog(v, t));
+        }
         bestVertexLog_[static_cast<std::size_t>(v)] = best;
     }
 }
@@ -405,14 +418,21 @@ std::vector<ScoredEmbedding>
 topKPlacements(const hw::Topology &pattern,
                const PlacementCostModel &cost_model,
                const EmbeddingScorer &scorer, std::size_t k,
-               std::size_t limit, PlacementSearchStats *stats)
+               std::size_t limit, PlacementSearchStats *stats,
+               const std::vector<bool> *allowed)
 {
     QEDM_REQUIRE(k > 0, "top-K placement search needs k >= 1");
     QEDM_REQUIRE(limit > 0, "enumeration limit must be positive");
     QEDM_REQUIRE(pattern.numQubits() <=
                      cost_model.espModel().numQubits(),
                  "pattern is larger than the target graph");
-    TopKSearcher searcher(pattern, cost_model, scorer, k, limit, stats);
+    QEDM_REQUIRE(!allowed ||
+                     allowed->size() ==
+                         static_cast<std::size_t>(
+                             cost_model.espModel().numQubits()),
+                 "allowed mask size must match the target graph");
+    TopKSearcher searcher(pattern, cost_model, scorer, k, limit, stats,
+                          allowed);
     return searcher.run();
 }
 

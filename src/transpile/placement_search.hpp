@@ -91,11 +91,16 @@ class PlacementCostModel
      *        terms are excluded from the bound, which stays admissible
      *        because every factor is <= 1)
      * @param trace ESP terms of the circuit over domain qubits
+     * @param allowed optional target-qubit mask; the per-vertex
+     *        optimistic bounds range over allowed targets only (a
+     *        tighter, still admissible bound for masked searches).
+     *        nullptr reproduces the unmasked bounds exactly.
      */
     PlacementCostModel(std::shared_ptr<const EspModel> model,
                        const hw::Topology &pattern,
                        const std::vector<int> &pattern_index,
-                       const GateTrace &trace);
+                       const GateTrace &trace,
+                       const std::vector<bool> *allowed = nullptr);
 
     const EspModel &espModel() const { return *model_; }
 
@@ -154,12 +159,16 @@ using EmbeddingScorer =
  * never drops a placement that belongs in the top K.
  *
  * @param stats optional search-effort counters
+ * @param allowed optional target-qubit mask; the search only maps
+ *        pattern vertices onto allowed targets. nullptr (default)
+ *        follows the exact unmasked enumeration and pruning order.
  */
 std::vector<ScoredEmbedding>
 topKPlacements(const hw::Topology &pattern,
                const PlacementCostModel &cost_model,
                const EmbeddingScorer &scorer, std::size_t k,
                std::size_t limit = 100000,
-               PlacementSearchStats *stats = nullptr);
+               PlacementSearchStats *stats = nullptr,
+               const std::vector<bool> *allowed = nullptr);
 
 } // namespace qedm::transpile

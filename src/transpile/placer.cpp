@@ -25,11 +25,12 @@ readoutSuccess(const hw::Device &device, int q)
 }
 
 /** Assign isolated logical qubits to the best remaining readout
- *  qubits, completing @p map in place. */
+ *  qubits inside the view, completing @p map in place. */
 void
-placeIsolated(const hw::Device &device, const std::vector<int> &isolated,
+placeIsolated(const hw::DeviceView &view, const std::vector<int> &isolated,
               std::vector<int> &map)
 {
+    const hw::Device &device = view.device();
     std::vector<bool> used(device.numQubits(), false);
     for (int p : map) {
         if (p >= 0)
@@ -39,7 +40,7 @@ placeIsolated(const hw::Device &device, const std::vector<int> &isolated,
         int best = -1;
         double best_score = -1.0;
         for (int p = 0; p < device.numQubits(); ++p) {
-            if (used[p])
+            if (used[p] || !view.allowed(p))
                 continue;
             const double score = readoutSuccess(device, p);
             if (score > best_score) {
@@ -72,11 +73,13 @@ struct PlacementProblem
 
 /** Empty optional when the circuit has no interacting qubits. */
 std::optional<PlacementProblem>
-buildProblem(const hw::Device &device, const circuit::Circuit &logical)
+buildProblem(const hw::DeviceView &view, const circuit::Circuit &logical)
 {
     const InteractionGraph ig = interactionGraph(logical);
-    QEDM_REQUIRE(ig.numQubits <= device.numQubits(),
+    QEDM_REQUIRE(ig.numQubits <= view.device().numQubits(),
                  "program needs more qubits than the device has");
+    QEDM_REQUIRE(ig.numQubits <= view.numAllowed(),
+                 "program needs more qubits than the region allows");
 
     PlacementProblem problem;
     problem.numQubits = ig.numQubits;
@@ -100,46 +103,48 @@ buildProblem(const hw::Device &device, const circuit::Circuit &logical)
         static_cast<int>(problem.active.size()), pattern_edges);
     problem.isolated = ig.isolatedQubits();
     problem.trace = EspModel::trace(logical.decomposed());
-    problem.model = sharedEspModel(device);
+    problem.model = sharedEspModel(view);
     return problem;
 }
 
 /** Full logical-to-physical map for one pattern embedding. */
 std::vector<int>
-completeMap(const hw::Device &device, const PlacementProblem &problem,
+completeMap(const hw::DeviceView &view, const PlacementProblem &problem,
             const std::vector<int> &embedding)
 {
     std::vector<int> map(problem.numQubits, -1);
     for (std::size_t i = 0; i < problem.active.size(); ++i)
         map[problem.active[i]] = embedding[i];
-    placeIsolated(device, problem.isolated, map);
+    placeIsolated(view, problem.isolated, map);
     return map;
 }
 
 } // namespace
 
-Placer::Placer(const hw::Device &device) : device_(device) {}
+Placer::Placer(const hw::Device &device) : view_(device) {}
+
+Placer::Placer(hw::DeviceView view) : view_(std::move(view)) {}
 
 std::vector<ScoredPlacement>
 Placer::topPlacements(const circuit::Circuit &logical, std::size_t k,
                       std::size_t limit) const
 {
-    const auto problem = buildProblem(device_, logical);
+    const auto problem = buildProblem(view_, logical);
     std::vector<ScoredPlacement> out;
     if (!problem)
         return out;
 
     const PlacementCostModel cost(problem->model, problem->pattern,
                                   problem->patternIndex,
-                                  problem->trace);
+                                  problem->trace, view_.maskPtr());
     const EmbeddingScorer scorer =
         [&](const std::vector<int> &embedding, std::vector<int> &map,
             double &esp) {
-            map = completeMap(device_, *problem, embedding);
+            map = completeMap(view_, *problem, embedding);
             esp = problem->model->espOfTrace(problem->trace, map);
         };
-    auto best =
-        topKPlacements(problem->pattern, cost, scorer, k, limit);
+    auto best = topKPlacements(problem->pattern, cost, scorer, k, limit,
+                               nullptr, view_.maskPtr());
     out.reserve(best.size());
     for (auto &scored : best)
         out.push_back(
@@ -151,16 +156,16 @@ std::vector<ScoredPlacement>
 Placer::rankedEmbeddings(const circuit::Circuit &logical,
                          std::size_t limit) const
 {
-    const auto problem = buildProblem(device_, logical);
+    const auto problem = buildProblem(view_, logical);
     std::vector<ScoredPlacement> out;
     if (!problem)
         return out;
 
-    const auto embeddings =
-        vf2AllEmbeddings(problem->pattern, device_.topology(), limit);
+    const auto embeddings = vf2AllEmbeddings(
+        problem->pattern, view_.topology(), limit, view_.maskPtr());
     out.reserve(embeddings.size());
     for (const auto &embedding : embeddings) {
-        std::vector<int> map = completeMap(device_, *problem, embedding);
+        std::vector<int> map = completeMap(view_, *problem, embedding);
         const double score =
             problem->model->espOfTrace(problem->trace, map);
         out.push_back(ScoredPlacement{std::move(map), score});
@@ -175,12 +180,15 @@ Placer::rankedEmbeddings(const circuit::Circuit &logical,
 std::vector<int>
 Placer::greedyPlace(const circuit::Circuit &logical) const
 {
+    const hw::Device &device = view_.device();
     const InteractionGraph ig = interactionGraph(logical);
-    QEDM_REQUIRE(ig.numQubits <= device_.numQubits(),
+    QEDM_REQUIRE(ig.numQubits <= device.numQubits(),
                  "program needs more qubits than the device has");
+    QEDM_REQUIRE(ig.numQubits <= view_.numAllowed(),
+                 "program needs more qubits than the region allows");
     const auto dist =
-        sharedDistanceMatrix(device_, RouteCost::Reliability);
-    const auto &topo = device_.topology();
+        sharedDistanceProvider(view_, RouteCost::Reliability);
+    const auto &topo = view_.topology();
 
     // Interacting qubits in order of decreasing degree.
     std::vector<int> order;
@@ -193,7 +201,7 @@ Placer::greedyPlace(const circuit::Circuit &logical) const
     });
 
     std::vector<int> map(ig.numQubits, -1);
-    std::vector<bool> used(device_.numQubits(), false);
+    std::vector<bool> used(device.numQubits(), false);
 
     for (int l : order) {
         // Placed interaction partners of l, with weights.
@@ -206,8 +214,8 @@ Placer::greedyPlace(const circuit::Circuit &logical) const
         }
         int best = -1;
         double best_cost = std::numeric_limits<double>::max();
-        for (int p = 0; p < device_.numQubits(); ++p) {
-            if (used[p])
+        for (int p = 0; p < device.numQubits(); ++p) {
+            if (used[p] || !view_.allowed(p))
                 continue;
             double cost = 0.0;
             if (partners.empty()) {
@@ -215,15 +223,15 @@ Placer::greedyPlace(const circuit::Circuit &logical) const
                 double link_quality = 0.0;
                 for (int nbr : topo.neighbors(p)) {
                     const int e = topo.edgeIndex(p, nbr);
-                    link_quality += 1.0 - device_.calibration()
+                    link_quality += 1.0 - device.calibration()
                                               .edge(std::size_t(e))
                                               .cxError;
                 }
-                cost = -(link_quality + readoutSuccess(device_, p));
+                cost = -(link_quality + readoutSuccess(device, p));
             } else {
                 for (const auto &[phys, w] : partners)
-                    cost += w * (*dist)[p][phys];
-                cost -= 0.01 * readoutSuccess(device_, p);
+                    cost += w * dist->distance(p, phys);
+                cost -= 0.01 * readoutSuccess(device, p);
             }
             if (cost < best_cost) {
                 best_cost = cost;
@@ -235,7 +243,7 @@ Placer::greedyPlace(const circuit::Circuit &logical) const
         map[l] = best;
         used[best] = true;
     }
-    placeIsolated(device_, ig.isolatedQubits(), map);
+    placeIsolated(view_, ig.isolatedQubits(), map);
     return map;
 }
 

@@ -19,6 +19,7 @@
 
 #include "circuit/circuit.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 
 namespace qedm::transpile {
 
@@ -31,11 +32,19 @@ struct ScoredPlacement
     double esp = 0.0;
 };
 
-/** Variation-aware placement engine for one device. */
+/** Variation-aware placement engine for one device view. */
 class Placer
 {
   public:
+    /** Full-device placement (a full view; pre-view behavior). */
     explicit Placer(const hw::Device &device);
+
+    /**
+     * Region-scoped placement: every produced map uses only the
+     * view's allowed qubits. The caller keeps the viewed Device alive
+     * for the placer's lifetime.
+     */
+    explicit Placer(hw::DeviceView view);
 
     /**
      * Best initial placement for @p logical: the highest-ESP VF2
@@ -75,8 +84,11 @@ class Placer
     std::vector<int>
     greedyPlace(const circuit::Circuit &logical) const;
 
+    /** The view placements are scoped to. */
+    const hw::DeviceView &view() const { return view_; }
+
   private:
-    const hw::Device &device_;
+    hw::DeviceView view_;
 };
 
 } // namespace qedm::transpile

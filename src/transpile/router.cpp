@@ -39,7 +39,12 @@ cxEdgeCost(const hw::Device &device, int edge_idx, RouteCost cost)
 } // namespace
 
 Router::Router(const hw::Device &device, RouteCost cost)
-    : device_(device), cost_(cost)
+    : view_(device), cost_(cost)
+{
+}
+
+Router::Router(hw::DeviceView view, RouteCost cost)
+    : view_(std::move(view)), cost_(cost)
 {
 }
 
@@ -47,7 +52,8 @@ RouteResult
 Router::route(const circuit::Circuit &logical,
               const std::vector<int> &initial_map) const
 {
-    const auto &topo = device_.topology();
+    const hw::Device &device = view_.device();
+    const auto &topo = view_.topology();
     QEDM_REQUIRE(static_cast<int>(initial_map.size()) ==
                      logical.numQubits(),
                  "initial map must cover every logical qubit");
@@ -55,6 +61,8 @@ Router::route(const circuit::Circuit &logical,
     for (int p : initial_map) {
         QEDM_REQUIRE(p >= 0 && p < topo.numQubits(),
                      "initial map target out of range");
+        QEDM_REQUIRE(view_.allowed(p),
+                     "initial map target outside the region");
         QEDM_REQUIRE(distinct.insert(p).second,
                      "initial map targets must be distinct");
     }
@@ -125,9 +133,11 @@ Router::route(const circuit::Circuit &logical,
                 for (int v : topo.neighbors(u)) {
                     if (v == dst)
                         continue; // la never moves onto lb's qubit
+                    if (!view_.allowed(v))
+                        continue; // SWAP chains stay inside the region
                     const int e = topo.edgeIndex(u, v);
                     const double nd =
-                        d + swapEdgeCost(device_, e, cost_);
+                        d + swapEdgeCost(device, e, cost_);
                     if (nd < dist[v]) {
                         dist[v] = nd;
                         prev[v] = u;
@@ -144,7 +154,7 @@ Router::route(const circuit::Circuit &logical,
                     continue;
                 const int e = topo.edgeIndex(u, dst);
                 const double total =
-                    dist[u] + cxEdgeCost(device_, e, cost_);
+                    dist[u] + cxEdgeCost(device, e, cost_);
                 if (total < best) {
                     best = total;
                     target = u;

@@ -15,6 +15,7 @@
 
 #include "circuit/circuit.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 
 namespace qedm::transpile {
 
@@ -36,23 +37,33 @@ struct RouteResult
     int swapCount = 0;
 };
 
-/** Router for one device. */
+/** Router for one device view. */
 class Router
 {
   public:
+    /** Full-device routing (a full view; pre-view behavior). */
     explicit Router(const hw::Device &device,
                     RouteCost cost = RouteCost::Reliability);
 
     /**
+     * Region-scoped routing: SWAP chains never leave the view's
+     * allowed subgraph. The caller keeps the viewed Device alive for
+     * the router's lifetime.
+     */
+    explicit Router(hw::DeviceView view,
+                    RouteCost cost = RouteCost::Reliability);
+
+    /**
      * Route @p logical starting from @p initial_map (logical ->
-     * physical, all distinct). Measures and 1-qubit gates follow the
-     * mapping current at their position in the gate list.
+     * physical, all distinct and inside the view). Measures and
+     * 1-qubit gates follow the mapping current at their position in
+     * the gate list.
      */
     RouteResult route(const circuit::Circuit &logical,
                       const std::vector<int> &initial_map) const;
 
   private:
-    const hw::Device &device_;
+    hw::DeviceView view_;
     RouteCost cost_;
 };
 

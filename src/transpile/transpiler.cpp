@@ -22,7 +22,12 @@ CompiledProgram::usedQubits() const
 
 Transpiler::Transpiler(const hw::Device &device, RouteCost cost,
                        bool verify)
-    : device_(device), cost_(cost), verify_(verify)
+    : view_(device), cost_(cost), verify_(verify)
+{
+}
+
+Transpiler::Transpiler(hw::DeviceView view, RouteCost cost, bool verify)
+    : view_(std::move(view)), cost_(cost), verify_(verify)
 {
 }
 
@@ -50,7 +55,7 @@ Transpiler::runPasses(const circuit::Circuit &logical,
     if (initial_map == nullptr) {
         passes.emplace_back(
             "place", [this](CompileContext &ctx, PassMetadata &meta) {
-                Placer placer(device_);
+                Placer placer(view_);
                 ctx.initialMap = placer.place(*ctx.logical);
                 meta.metrics["placedQubits"] =
                     static_cast<double>(ctx.initialMap.size());
@@ -58,7 +63,7 @@ Transpiler::runPasses(const circuit::Circuit &logical,
     }
     passes.emplace_back(
         "route", [this](CompileContext &ctx, PassMetadata &meta) {
-            Router router(device_, cost_);
+            Router router(view_, cost_);
             ctx.routed = router.route(*ctx.logical, ctx.initialMap);
             meta.metrics["swaps"] =
                 static_cast<double>(ctx.routed->swapCount);
@@ -68,7 +73,7 @@ Transpiler::runPasses(const circuit::Circuit &logical,
             ctx.out.initialMap = ctx.initialMap;
             ctx.out.finalMap = std::move(ctx.routed->finalMap);
             ctx.out.swapCount = ctx.routed->swapCount;
-            ctx.out.esp = esp(ctx.routed->physical, device_);
+            ctx.out.esp = esp(ctx.routed->physical, view_.device());
             ctx.out.physical = std::move(ctx.routed->physical);
             meta.metrics["esp"] = ctx.out.esp;
         });
@@ -81,8 +86,9 @@ Transpiler::runPasses(const circuit::Circuit &logical,
                 view.finalMap = &ctx.out.finalMap;
                 view.swapCount = ctx.out.swapCount;
                 view.esp = ctx.out.esp;
-                view.device = &device_;
+                view.device = &view_.device();
                 view.logical = ctx.logical;
+                view.region = &view_;
                 meta.metrics["passesRun"] = static_cast<double>(
                     check::verifyProgram(view));
             });

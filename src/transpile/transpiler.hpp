@@ -29,6 +29,7 @@
 #include "check/check.hpp"
 #include "circuit/circuit.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 #include "transpile/router.hpp"
 
 namespace qedm::transpile {
@@ -71,16 +72,28 @@ struct CompileTrace
     std::vector<PassMetadata> passes;
 };
 
-/** Variation-aware compiler for one device. */
+/** Variation-aware compiler for one device view. */
 class Transpiler
 {
   public:
     /**
+     * Full-device compiler (a full view; pre-view behavior).
+     *
      * @param verify run the qedm::check verifier passes after every
      *        compile (defaults to always-on in debug builds, off in
      *        release).
      */
     explicit Transpiler(const hw::Device &device,
+                        RouteCost cost = RouteCost::Reliability,
+                        bool verify = check::kDefaultVerify);
+
+    /**
+     * Region-scoped compiler: placement, routing, and measurements
+     * stay inside the view; the check pass rejects anything that
+     * leaves it. The caller keeps the viewed Device alive for the
+     * compiler's lifetime.
+     */
+    explicit Transpiler(hw::DeviceView view,
                         RouteCost cost = RouteCost::Reliability,
                         bool verify = check::kDefaultVerify);
 
@@ -96,7 +109,9 @@ class Transpiler
     compileWithPlacement(const circuit::Circuit &logical,
                          const std::vector<int> &initial_map) const;
 
-    const hw::Device &device() const { return device_; }
+    const hw::Device &device() const { return view_.device(); }
+    /** The view compilation is scoped to (full for the Device ctor). */
+    const hw::DeviceView &view() const { return view_; }
     RouteCost routeCost() const { return cost_; }
 
     /** True when the post-compile "check" pass is enabled. */
@@ -110,7 +125,7 @@ class Transpiler
     runPasses(const circuit::Circuit &logical,
               const std::vector<int> *initial_map) const;
 
-    const hw::Device &device_;
+    hw::DeviceView view_;
     RouteCost cost_;
     bool verify_;
 };

@@ -45,8 +45,9 @@ class Matcher
 {
   public:
     Matcher(const hw::Topology &pattern, const hw::Topology &target,
-            std::size_t limit)
-        : pattern_(pattern), target_(target), limit_(limit)
+            std::size_t limit, const std::vector<bool> *allowed)
+        : pattern_(pattern), target_(target), limit_(limit),
+          allowed_(allowed)
     {
         targetSig_.reserve(target_.numQubits());
         for (int t = 0; t < target_.numQubits(); ++t)
@@ -124,6 +125,12 @@ class Matcher
         for (int t : candidates) {
             if (used_[t])
                 continue;
+            // Mask filter. Degree/signature tests below keep using
+            // full-graph degrees: a host viable in the induced
+            // subgraph has at least its induced degree in the full
+            // graph, so they stay admissible under the mask.
+            if (allowed_ && !(*allowed_)[static_cast<std::size_t>(t)])
+                continue;
             if (target_.degree(t) < pattern_.degree(v))
                 continue;
             if (!signatureDominates(targetSig_[t], patternSig_[v]))
@@ -150,6 +157,7 @@ class Matcher
     const hw::Topology &pattern_;
     const hw::Topology &target_;
     std::size_t limit_;
+    const std::vector<bool> *allowed_;
     std::vector<std::vector<int>> targetSig_;
     std::vector<std::vector<int>> patternSig_;
     std::vector<int> order_;
@@ -162,12 +170,16 @@ class Matcher
 
 std::vector<std::vector<int>>
 vf2AllEmbeddings(const hw::Topology &pattern, const hw::Topology &target,
-                 std::size_t limit)
+                 std::size_t limit, const std::vector<bool> *allowed)
 {
     QEDM_REQUIRE(pattern.numQubits() <= target.numQubits(),
                  "pattern is larger than the target graph");
     QEDM_REQUIRE(limit > 0, "limit must be positive");
-    Matcher matcher(pattern, target, limit);
+    QEDM_REQUIRE(!allowed ||
+                     allowed->size() ==
+                         static_cast<std::size_t>(target.numQubits()),
+                 "allowed mask size must match the target graph");
+    Matcher matcher(pattern, target, limit, allowed);
     return matcher.run();
 }
 

@@ -26,11 +26,15 @@ namespace qedm::transpile {
  * @param pattern the (small) graph to embed
  * @param target the host graph
  * @param limit stop after this many embeddings
+ * @param allowed optional target-vertex mask; embeddings may only use
+ *        vertices with a true flag. nullptr (the default) allows every
+ *        vertex and follows the exact unmasked enumeration order.
  * @returns one vector per embedding; entry u is f(u)
  */
 std::vector<std::vector<int>>
 vf2AllEmbeddings(const hw::Topology &pattern, const hw::Topology &target,
-                 std::size_t limit = 100000);
+                 std::size_t limit = 100000,
+                 const std::vector<bool> *allowed = nullptr);
 
 /** True when at least one embedding exists. */
 bool vf2Embeds(const hw::Topology &pattern, const hw::Topology &target);

@@ -1,0 +1,15 @@
+// Seeded dense-distance violation: library code reaching for the
+// dense all-pairs matrix instead of sharedDistanceProvider.
+#include "transpile/distances.hpp"
+
+namespace fixture {
+
+double
+worstCaseDistance()
+{
+    const auto matrix = qedm::transpile::sharedDistanceMatrix(
+        someDevice(), qedm::transpile::RouteCost::Reliability);
+    return matrix->at(0, 1);
+}
+
+} // namespace fixture

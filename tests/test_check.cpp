@@ -426,5 +426,98 @@ TEST(PipelineHookTest, EdmRunWithVerifyPassesEnabled)
     EXPECT_FALSE(result.members.empty());
 }
 
+TEST(MappingCheckerTest, AcceptsProgramInsideRegion)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const hw::DeviceView region(device,
+                                {0, 1, 2, 3, 4, 5, 6, 13, 12});
+    const Transpiler compiler(region);
+    const CompiledProgram program =
+        compiler.compile(benchmarks::bv6().circuit);
+    ProgramView view = viewOf(program, device);
+    view.region = &region;
+    EXPECT_NO_THROW(MappingChecker{}.run(view));
+}
+
+TEST(MappingCheckerTest, RejectsLayoutOutsideRegion)
+{
+    // A program compiled against the full device escapes a mask that
+    // excludes one of its qubits; the region pass must reject it.
+    const hw::Device device = hw::Device::melbourne(2);
+    const CompiledProgram program = compiledBv6(device);
+    std::vector<int> partial;
+    for (int q = 0; q < device.numQubits(); ++q) {
+        if (q != program.initialMap[0])
+            partial.push_back(q);
+    }
+    const hw::DeviceView region(device, partial);
+    ProgramView view = viewOf(program, device);
+    view.region = &region;
+    try {
+        MappingChecker{}.run(view);
+        FAIL() << "out-of-region layout not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.pass(), "mapping");
+        EXPECT_EQ(err.kind(), CheckErrorKind::QubitOutsideRegion);
+        EXPECT_STREQ(checkErrorKindName(err.kind()),
+                     "qubit-outside-region");
+    }
+}
+
+TEST(MappingCheckerTest, RejectsGateEscapingRegion)
+{
+    // The maps stay inside the region but a gate (e.g. a routed SWAP
+    // leg) touches a disallowed qubit.
+    const hw::Device device = hw::Device::melbourne(2);
+    const hw::DeviceView region(device,
+                                {0, 1, 2, 3, 4, 5, 6, 13, 12});
+    const Transpiler compiler(region);
+    CompiledProgram program =
+        compiler.compile(benchmarks::bv6().circuit);
+    ASSERT_FALSE(region.allowed(8));
+    ASSERT_TRUE(device.topology().adjacent(7, 8));
+    program.physical.cx(7, 8);
+    ProgramView view = viewOf(program, device);
+    view.region = &region;
+    try {
+        MappingChecker{}.checkRegion(view, region);
+        FAIL() << "out-of-region gate not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.kind(), CheckErrorKind::QubitOutsideRegion);
+    }
+}
+
+TEST(MappingCheckerTest, RejectsMeasureEscapingRegion)
+{
+    // checkCoupling skips measures, so the region walk must not: a
+    // measurement on a disallowed qubit is an escape too.
+    const hw::Device device = hw::Device::melbourne(2);
+    const hw::DeviceView region(device,
+                                {0, 1, 2, 3, 4, 5, 6, 13, 12});
+    const Transpiler compiler(region);
+    CompiledProgram program =
+        compiler.compile(benchmarks::bv6().circuit);
+    ASSERT_FALSE(region.allowed(9));
+    program.physical.measure(9, 0);
+    ProgramView view = viewOf(program, device);
+    view.region = &region;
+    try {
+        MappingChecker{}.checkRegion(view, region);
+        FAIL() << "out-of-region measure not rejected";
+    } catch (const CheckError &err) {
+        EXPECT_EQ(err.kind(), CheckErrorKind::QubitOutsideRegion);
+    }
+}
+
+TEST(MappingCheckerTest, FullRegionViewIsNeverRejected)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const hw::DeviceView full(device);
+    const CompiledProgram program = compiledBv6(device);
+    ProgramView view = viewOf(program, device);
+    view.region = &full;
+    EXPECT_NO_THROW(MappingChecker{}.run(view));
+}
+
 } // namespace
 } // namespace qedm::check

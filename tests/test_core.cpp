@@ -445,5 +445,115 @@ TEST(PaperClaims, EdmMatchesBaselineWithoutCorrelatedErrors)
     EXPECT_LT(edm_pst, 2.0 * base_pst);
 }
 
+TEST(EnsembleBuilder, EmptyRegionIsBitIdenticalToNoRegion)
+{
+    const hw::Device device = testDevice();
+    const auto logical = benchmarks::bv6().circuit;
+    EnsembleConfig with_region;
+    std::vector<int> all;
+    for (int q = 0; q < device.numQubits(); ++q)
+        all.push_back(q);
+    with_region.region = all; // full region == no region
+    const EnsembleBuilder scoped(device, with_region);
+    const EnsembleBuilder unscoped(device);
+    const auto a = scoped.build(logical);
+    const auto b = unscoped.build(logical);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].initialMap, b[i].initialMap);
+        EXPECT_EQ(a[i].esp, b[i].esp); // bit-identical
+    }
+}
+
+TEST(EnsembleBuilder, RegionConfinesEveryMember)
+{
+    const hw::Device device = testDevice();
+    EnsembleConfig config;
+    config.region = {0, 1, 2, 3, 4, 5, 6, 13, 12, 11};
+    config.verifyPasses = true; // MappingChecker enforces the region
+    const EnsembleBuilder builder(device, config);
+    const auto members = builder.build(benchmarks::bv6().circuit);
+    ASSERT_FALSE(members.empty());
+    for (const auto &member : members) {
+        for (int q : member.usedQubits())
+            EXPECT_TRUE(builder.view().allowed(q))
+                << "member uses qubit " << q << " outside the region";
+    }
+}
+
+TEST(EnsembleBuilder, DisjointRegionsProduceDisjointPlacements)
+{
+    // Multi-programming: two builders on disjoint halves of the
+    // device must emit ensembles that never touch each other's
+    // qubits.
+    const hw::Device device = testDevice();
+    Circuit small(3, 3);
+    small.h(0).cx(0, 1).cx(1, 2).measureAll();
+    EnsembleConfig left_config;
+    left_config.region = {0, 1, 2, 3, 13, 12, 11};
+    EnsembleConfig right_config;
+    right_config.region = {4, 5, 6, 8, 9, 10};
+    const EnsembleBuilder left(device, left_config);
+    const EnsembleBuilder right(device, right_config);
+    const auto left_members = left.build(small);
+    const auto right_members = right.build(small);
+    ASSERT_FALSE(left_members.empty());
+    ASSERT_FALSE(right_members.empty());
+    std::set<int> left_qubits;
+    for (const auto &m : left_members) {
+        for (int q : m.usedQubits())
+            left_qubits.insert(q);
+    }
+    for (const auto &m : right_members) {
+        for (int q : m.usedQubits())
+            EXPECT_EQ(left_qubits.count(q), 0u)
+                << "regions overlap on qubit " << q;
+    }
+}
+
+TEST(EnsembleBuilder, RejectsBadRegions)
+{
+    const hw::Device device = testDevice();
+    EnsembleConfig config;
+    config.region = {0, 99};
+    EXPECT_THROW(EnsembleBuilder(device, config), UserError);
+}
+
+TEST(EdmPipeline, RegionScopedRunProducesResults)
+{
+    const hw::Device device = testDevice();
+    EdmConfig config;
+    config.totalShots = 1024;
+    config.verifyPasses = true;
+    config.ensemble.region = {0, 1, 2, 3, 4, 5, 6, 13, 12, 11};
+    const EdmPipeline pipeline(device, config);
+    Rng rng(9);
+    const auto result = pipeline.run(benchmarks::bv6().circuit, rng);
+    ASSERT_FALSE(result.members.empty());
+    for (const auto &member : result.members) {
+        for (const auto &g : member.program.physical.gates()) {
+            for (int q : g.qubits) {
+                EXPECT_TRUE(q <= 6 || q >= 11)
+                    << "member escaped the region via qubit " << q;
+            }
+        }
+    }
+}
+
+TEST(Experiment, RegionForwardsToEveryRound)
+{
+    const hw::Device device = testDevice();
+    ExperimentConfig config;
+    config.rounds = 2;
+    config.totalShots = 512;
+    config.ensembleSize = 2;
+    config.region = {0, 1, 2, 3, 4, 5, 6, 13, 12, 11};
+    config.verifyPasses = true; // checker rejects any escape
+    const auto summary = runExperiment(
+        device, benchmarks::bv6(), config, 11);
+    EXPECT_EQ(summary.rounds.size(), 2u);
+    EXPECT_GT(summary.median.edm.pst, 0.0);
+}
+
 } // namespace
 } // namespace qedm::core

@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "hw/calibration.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 #include "hw/noise_model.hpp"
 #include "hw/topology.hpp"
 
@@ -379,6 +380,125 @@ TEST(Device, WithNoiseAndCalibrationSwap)
     cal.qubit(0).error1q = 0.123;
     const Device swapped = d.withCalibration(cal);
     EXPECT_DOUBLE_EQ(swapped.calibration().qubit(0).error1q, 0.123);
+}
+
+TEST(Topology, HeavyHex127Shape)
+{
+    const Topology t = Topology::heavyHex127();
+    EXPECT_EQ(t.numQubits(), 127); // ibm_washington / Eagle count
+    EXPECT_TRUE(t.isConnected());
+    for (int q = 0; q < t.numQubits(); ++q)
+        EXPECT_LE(t.degree(q), 3);
+    // Heavy-hex is bipartite (hexagonal cells with degree-2 bridges),
+    // so it contains no odd cycle; a 2-coloring must succeed.
+    std::vector<int> color(static_cast<std::size_t>(t.numQubits()), -1);
+    std::vector<int> stack{0};
+    color[0] = 0;
+    while (!stack.empty()) {
+        const int v = stack.back();
+        stack.pop_back();
+        for (int u : t.neighbors(v)) {
+            if (color[u] == -1) {
+                color[u] = 1 - color[v];
+                stack.push_back(u);
+            }
+            EXPECT_NE(color[u], color[v]);
+        }
+    }
+}
+
+TEST(Topology, HeavyHex433Shape)
+{
+    const Topology t = Topology::heavyHex433();
+    EXPECT_EQ(t.numQubits(), 433); // ibm_seattle / Osprey count
+    EXPECT_TRUE(t.isConnected());
+    for (int q = 0; q < t.numQubits(); ++q)
+        EXPECT_LE(t.degree(q), 3);
+}
+
+TEST(Topology, HeavyHexRejectsBadDimensions)
+{
+    EXPECT_THROW(Topology::heavyHex(2, 7), UserError);  // even rows
+    EXPECT_THROW(Topology::heavyHex(5, 8), UserError);  // cols % 4 != 3
+    EXPECT_THROW(Topology::heavyHex(1, 7), UserError);  // too few rows
+}
+
+TEST(Topology, LazyDistancesMatchEagerBfs)
+{
+    // 127 qubits sits above kEagerDistanceMaxQubits, so distance()
+    // runs per-source BFS on demand; it must agree with the eager
+    // matrix a small topology would have produced. Compare against an
+    // independently-run BFS via shortestPath lengths.
+    const Topology t = Topology::heavyHex127();
+    ASSERT_GT(t.numQubits(), Topology::kEagerDistanceMaxQubits);
+    for (int a : {0, 17, 63, 126}) {
+        for (int b : {0, 5, 64, 126}) {
+            const auto path = t.shortestPath(a, b);
+            ASSERT_FALSE(path.empty());
+            EXPECT_EQ(t.distance(a, b),
+                      static_cast<int>(path.size()) - 1);
+            EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+        }
+    }
+}
+
+TEST(DeviceView, FullViewMatchesDevice)
+{
+    const Device d = Device::melbourne(3);
+    const DeviceView full(d);
+    EXPECT_TRUE(full.isFull());
+    EXPECT_EQ(full.numQubits(), d.numQubits());
+    EXPECT_EQ(full.numAllowed(), d.numQubits());
+    EXPECT_EQ(full.maskPtr(), nullptr);
+    EXPECT_EQ(full.fingerprint(), d.fingerprint());
+    for (int q = 0; q < d.numQubits(); ++q)
+        EXPECT_TRUE(full.allowed(q));
+}
+
+TEST(DeviceView, RestrictedViewMasksQubits)
+{
+    const Device d = Device::melbourne(3);
+    const DeviceView view(d, {0, 1, 2, 12, 13});
+    EXPECT_FALSE(view.isFull());
+    EXPECT_EQ(view.numAllowed(), 5);
+    EXPECT_NE(view.maskPtr(), nullptr);
+    EXPECT_TRUE(view.allowed(1));
+    EXPECT_FALSE(view.allowed(7));
+    EXPECT_NE(view.fingerprint(), d.fingerprint());
+    EXPECT_EQ(view.allowedQubits(),
+              (std::vector<int>{0, 1, 2, 12, 13}));
+}
+
+TEST(DeviceView, ExplicitFullRegionEqualsFullView)
+{
+    // Listing every qubit explicitly is detected as a full view, so it
+    // shares the device fingerprint (and hence all caches).
+    const Device d = Device::melbourne(3);
+    std::vector<int> all;
+    for (int q = 0; q < d.numQubits(); ++q)
+        all.push_back(q);
+    const DeviceView view(d, all);
+    EXPECT_TRUE(view.isFull());
+    EXPECT_EQ(view.maskPtr(), nullptr);
+    EXPECT_EQ(view.fingerprint(), d.fingerprint());
+}
+
+TEST(DeviceView, FingerprintDependsOnRegion)
+{
+    const Device d = Device::melbourne(3);
+    const DeviceView a(d, {0, 1, 2});
+    const DeviceView b(d, {0, 1, 3});
+    const DeviceView a_again(d, {2, 1, 0, 1}); // order/dups irrelevant
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.fingerprint(), a_again.fingerprint());
+}
+
+TEST(DeviceView, RejectsBadRegions)
+{
+    const Device d = Device::melbourne(3);
+    EXPECT_THROW(DeviceView(d, std::vector<int>{}), UserError);
+    EXPECT_THROW(DeviceView(d, {0, 14}), UserError);
+    EXPECT_THROW(DeviceView(d, {-1}), UserError);
 }
 
 } // namespace

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "benchmarks/benchmarks.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/edm.hpp"
 #include "core/experiment.hpp"
@@ -495,6 +496,70 @@ TEST(ResilientPipelineTest, ExperimentThreadsReportThrough)
     EXPECT_GT(summary.rounds[0].degradation.members.size(), 0u);
     EXPECT_EQ(summary.trialsLost, 0u);
     EXPECT_GT(summary.trialsReassigned, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fault-aware ensemble sizing.
+
+TEST(FaultAwareSizingTest, DropoutPredictionOverProvisionsK)
+{
+    // Expected dropout p = 0.25 on K = 4: the builder must provision
+    // ceil(4 / 0.75) = 6 members so the expected surviving ensemble
+    // still has 4.
+    const hw::Device device = hw::Device::melbourne(2);
+    core::EnsembleConfig config;
+    config.expectedDropoutProb = 0.25;
+    const core::EnsembleBuilder builder(device, config);
+    const auto members = builder.build(benchmarks::bv6().circuit);
+    EXPECT_EQ(members.size(), 6u);
+}
+
+TEST(FaultAwareSizingTest, PlannedDropoutsAddSlots)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    core::EnsembleConfig config;
+    config.plannedDropouts = 2;
+    const core::EnsembleBuilder builder(device, config);
+    const auto members = builder.build(benchmarks::bv6().circuit);
+    EXPECT_EQ(members.size(), 6u); // 4 + 2 deterministic losses
+}
+
+TEST(FaultAwareSizingTest, NoFaultPlanKeepsK)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const core::EnsembleBuilder builder(device);
+    EXPECT_EQ(builder.build(benchmarks::bv6().circuit).size(), 4u);
+}
+
+TEST(FaultAwareSizingTest, PipelineForwardsDropoutPrediction)
+{
+    // --faults dropout=0.25 through the pipeline: the run carries 6
+    // members, so even after expected losses the surviving ensemble
+    // averages K = 4. Forced --fail-member injections must NOT
+    // over-provision (they exist to watch a member fail).
+    ResilienceConfig predicted;
+    predicted.faults.dropoutProb = 0.25;
+    predicted.minTrialsPerMember = 1;
+    const EdmResult result = runFaulted(predicted, 1);
+    EXPECT_EQ(result.members.size(), 6u);
+
+    ResilienceConfig forced;
+    forced.faults.forcedDropouts = {1};
+    forced.minTrialsPerMember = 1;
+    const EdmResult forced_result = runFaulted(forced, 1);
+    EXPECT_EQ(forced_result.members.size(), 4u);
+}
+
+TEST(FaultAwareSizingTest, RejectsInvalidSizingConfig)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    core::EnsembleConfig bad_prob;
+    bad_prob.expectedDropoutProb = 1.0;
+    EXPECT_THROW(core::EnsembleBuilder(device, bad_prob), UserError);
+    core::EnsembleConfig bad_planned;
+    bad_planned.plannedDropouts = -1;
+    EXPECT_THROW(core::EnsembleBuilder(device, bad_planned),
+                 UserError);
 }
 
 TEST(DegradationReportTest, ToStringNamesMembersAndKinds)

@@ -17,8 +17,10 @@
 #include "benchmarks/benchmarks.hpp"
 #include "common/error.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 #include "sim/executor.hpp"
 #include "stats/metrics.hpp"
+#include "transpile/distances.hpp"
 #include "transpile/esp.hpp"
 #include "transpile/interaction_graph.hpp"
 #include "transpile/placement_search.hpp"
@@ -603,6 +605,211 @@ TEST(Placer, BruteForceOptimalityTwoQubits)
         }
     }
     EXPECT_NEAR(compiler.compile(c).esp, best, 1e-12);
+}
+
+/** Every seed topology, as a synthetic device with spread errors. */
+std::vector<hw::Device>
+seedTopologyDevices()
+{
+    std::vector<hw::Device> devices;
+    auto add = [&](const char *name, hw::Topology topo) {
+        devices.push_back(hw::Device::synthetic(
+            name, std::move(topo), hw::CalibrationSpec{},
+            hw::NoiseSpec{}, 17));
+    };
+    add("linear-6", hw::Topology::linear(6));
+    add("ring-8", hw::Topology::ring(8));
+    add("grid-3x4", hw::Topology::grid(3, 4));
+    add("full-5", hw::Topology::fullyConnected(5));
+    add("melbourne", hw::Topology::melbourne());
+    add("tokyo", hw::Topology::tokyo());
+    add("heavy-hex-27", hw::Topology::heavyHex27());
+    add("heavy-hex-127", hw::Topology::heavyHex127());
+    return devices;
+}
+
+TEST(DistanceProvider, DenseAndOnDemandAgreeOnEverySeedTopology)
+{
+    // The provider pair must be interchangeable: same doubles from the
+    // eager dense matrix and the lazy per-source Dijkstra, on every
+    // seed topology, for both cost metrics, on full and masked views.
+    // The set spans the selection threshold: heavy-hex-127 sits above
+    // kDenseDistanceMaxQubits, everything else below.
+    bool saw_small = false;
+    bool saw_large = false;
+    for (const hw::Device &device : seedTopologyDevices()) {
+        (device.numQubits() <= kDenseDistanceMaxQubits ? saw_small
+                                                       : saw_large) =
+            true;
+        const hw::DeviceView full(device);
+        // A contiguous half-device mask (index-contiguous is enough:
+        // distances through excluded qubits must go unreachable or
+        // reroute identically in both implementations).
+        std::vector<int> half;
+        for (int q = 0; q < device.numQubits() / 2 + 1; ++q)
+            half.push_back(q);
+        const hw::DeviceView masked(device, half);
+        for (const RouteCost cost :
+             {RouteCost::Reliability, RouteCost::HopCount}) {
+            for (const hw::DeviceView *view : {&full, &masked}) {
+                const DenseDistanceProvider dense(*view, cost);
+                const OnDemandDistanceProvider lazy(*view, cost);
+                for (int a = 0; a < device.numQubits(); ++a) {
+                    for (int b = 0; b < device.numQubits(); ++b) {
+                        EXPECT_EQ(dense.distance(a, b),
+                                  lazy.distance(a, b))
+                            << device.name() << " a=" << a
+                            << " b=" << b;
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(saw_small);
+    EXPECT_TRUE(saw_large);
+}
+
+TEST(DistanceProvider, SharedProviderSelectsByDeviceSize)
+{
+    const hw::Device small = hw::Device::melbourne(2);
+    const hw::DeviceView small_view(small);
+    ASSERT_LE(small.numQubits(), kDenseDistanceMaxQubits);
+    const auto small_provider =
+        sharedDistanceProvider(small_view, RouteCost::Reliability);
+    EXPECT_NE(dynamic_cast<const DenseDistanceProvider *>(
+                  small_provider.get()),
+              nullptr);
+    // The dense path must be bit-identical to the raw matrix.
+    const auto matrix =
+        distanceMatrix(small, RouteCost::Reliability);
+    for (int a = 0; a < small.numQubits(); ++a) {
+        for (int b = 0; b < small.numQubits(); ++b)
+            EXPECT_EQ(small_provider->distance(a, b), matrix[a][b]);
+    }
+
+    const hw::Device large = hw::Device::synthetic(
+        "heavy-hex-127", hw::Topology::heavyHex127(),
+        hw::CalibrationSpec{}, hw::NoiseSpec{}, 17);
+    const hw::DeviceView large_view(large);
+    const auto large_provider =
+        sharedDistanceProvider(large_view, RouteCost::Reliability);
+    EXPECT_NE(dynamic_cast<const OnDemandDistanceProvider *>(
+                  large_provider.get()),
+              nullptr);
+    // Memoized per view fingerprint: same view, same provider object.
+    EXPECT_EQ(large_provider.get(),
+              sharedDistanceProvider(large_view,
+                                     RouteCost::Reliability)
+                  .get());
+}
+
+TEST(DistanceProvider, OnDemandComputesOnlyQueriedRows)
+{
+    const hw::Device large = hw::Device::synthetic(
+        "heavy-hex-127", hw::Topology::heavyHex127(),
+        hw::CalibrationSpec{}, hw::NoiseSpec{}, 17);
+    const hw::DeviceView view(large);
+    const OnDemandDistanceProvider lazy(view, RouteCost::HopCount);
+    EXPECT_EQ(lazy.rowsComputed(), 0u);
+    lazy.distance(3, 99);
+    EXPECT_EQ(lazy.rowsComputed(), 1u);
+    lazy.distance(3, 4); // same source row, no new work
+    EXPECT_EQ(lazy.rowsComputed(), 1u);
+    lazy.distance(100, 3);
+    EXPECT_EQ(lazy.rowsComputed(), 2u);
+}
+
+TEST(DistanceProvider, MaskedPairsAreUnreachable)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const hw::DeviceView view(device, {0, 1, 2});
+    const DenseDistanceProvider dense(view, RouteCost::HopCount);
+    EXPECT_EQ(dense.distance(0, 7), kUnreachableDistance);
+    EXPECT_EQ(dense.distance(7, 0), kUnreachableDistance);
+    EXPECT_LT(dense.distance(0, 2), kUnreachableDistance);
+}
+
+TEST(TopPlacements, FullMaskIsBitIdenticalToNoMask)
+{
+    // Passing an all-true mask must follow the literal unmasked code
+    // path outcome: same placements, same scores, same order.
+    const hw::Device device = hw::Device::melbourne(2);
+    const auto logical = benchmarks::qaoaMaxcutPath(7).circuit;
+    const Placer unmasked(device);
+    const Placer masked{hw::DeviceView(
+        device, [&] {
+            std::vector<int> all;
+            for (int q = 0; q < device.numQubits(); ++q)
+                all.push_back(q);
+            return all;
+        }())};
+    const auto a = unmasked.topPlacements(logical, 4);
+    const auto b = masked.topPlacements(logical, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].map, b[i].map);
+        EXPECT_EQ(a[i].esp, b[i].esp); // bit-identical, not NEAR
+    }
+}
+
+TEST(TopPlacements, RegionMaskConfinesPlacements)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const hw::DeviceView view(device, {0, 1, 2, 3, 4, 5, 6, 13});
+    const auto logical = benchmarks::qaoaMaxcutPath(5).circuit;
+    const Placer placer(view);
+    const auto top = placer.topPlacements(logical, 4);
+    ASSERT_FALSE(top.empty());
+    for (const auto &placement : top) {
+        for (int p : placement.map)
+            EXPECT_TRUE(view.allowed(p)) << "physical qubit " << p;
+    }
+}
+
+TEST(Transpiler, RegionCompileStaysInsideAndVerifies)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const hw::DeviceView view(device, {0, 1, 2, 3, 4, 5, 6, 13, 12});
+    const Transpiler compiler(view, RouteCost::Reliability, true);
+    const auto program = compiler.compile(benchmarks::bv6().circuit);
+    for (const auto &g : program.physical.gates()) {
+        for (int q : g.qubits)
+            EXPECT_TRUE(view.allowed(q)) << "gate touches qubit " << q;
+    }
+    EXPECT_GT(program.esp, 0.0);
+}
+
+TEST(Transpiler, FullViewCompileMatchesDeviceCompile)
+{
+    const hw::Device device = hw::Device::melbourne(2);
+    const Transpiler by_device(device);
+    const Transpiler by_view{hw::DeviceView(device)};
+    const auto logical = benchmarks::bv6().circuit;
+    const auto a = by_device.compile(logical);
+    const auto b = by_view.compile(logical);
+    EXPECT_EQ(a.initialMap, b.initialMap);
+    EXPECT_EQ(a.finalMap, b.finalMap);
+    EXPECT_EQ(a.swapCount, b.swapCount);
+    EXPECT_EQ(a.esp, b.esp); // bit-identical
+    EXPECT_EQ(a.physical.toQasm(), b.physical.toQasm());
+}
+
+TEST(Vf2, MaskRestrictsEmbeddingTargets)
+{
+    const hw::Topology pattern = hw::Topology::linear(3);
+    const hw::Topology target = hw::Topology::melbourne();
+    std::vector<bool> allowed(14, false);
+    for (int q : {0, 1, 2, 3})
+        allowed[q] = true;
+    const auto all = vf2AllEmbeddings(pattern, target, 100000);
+    const auto masked =
+        vf2AllEmbeddings(pattern, target, 100000, &allowed);
+    EXPECT_LT(masked.size(), all.size());
+    ASSERT_FALSE(masked.empty());
+    for (const auto &embedding : masked) {
+        for (int p : embedding)
+            EXPECT_TRUE(allowed[p]);
+    }
 }
 
 } // namespace

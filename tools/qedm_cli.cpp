@@ -35,11 +35,22 @@
  * Fault schedules are a pure function of the seed and the fault
  * config, so a faulted run replays bit-identically at any --jobs.
  *
+ * Region flags (compile/candidates/run/experiment, anywhere on the
+ * line):
+ *   --region q0,q1,...           restrict placement, routing, and
+ *                                measurement to the listed physical
+ *                                qubits (an allowed-region mask)
+ *   --region-file <path>         same, reading whitespace- or
+ *                                newline-separated qubit indices
+ * Omitting both uses the whole device and is bit-identical to builds
+ * that predate the flags.
+ *
  * Exit code 0 on success, 1 on a usage/user error (including a
  * verifier rejection and an ensemble that lost every member).
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -52,6 +63,7 @@
 #include "core/edm.hpp"
 #include "core/experiment.hpp"
 #include "hw/device.hpp"
+#include "hw/device_view.hpp"
 #include "resilience/degradation.hpp"
 #include "stats/metrics.hpp"
 #include "transpile/transpiler.hpp"
@@ -108,13 +120,23 @@ cmdShow(const std::string &name)
     return 0;
 }
 
+/** The device view a subcommand operates on (full when no --region). */
+hw::DeviceView
+viewFor(const hw::Device &device, const std::vector<int> &region)
+{
+    return region.empty() ? hw::DeviceView(device)
+                          : hw::DeviceView(device, region);
+}
+
 int
-cmdCompile(const std::string &name, std::uint64_t seed, bool verify)
+cmdCompile(const std::string &name, std::uint64_t seed, bool verify,
+           const std::vector<int> &region)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
     const transpile::Transpiler compiler(
-        device, transpile::RouteCost::Reliability, verify);
+        viewFor(device, region), transpile::RouteCost::Reliability,
+        verify);
     const auto program = compiler.compile(b.circuit);
     std::cout << "device " << device.name() << " (seed " << seed
               << ")\nESP " << analysis::fmt(program.esp) << ", "
@@ -126,12 +148,14 @@ cmdCompile(const std::string &name, std::uint64_t seed, bool verify)
 }
 
 int
-cmdCandidates(const std::string &name, std::uint64_t seed, bool verify)
+cmdCandidates(const std::string &name, std::uint64_t seed, bool verify,
+              const std::vector<int> &region)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
     core::EnsembleConfig ensemble_config;
     ensemble_config.verifyPasses |= verify;
+    ensemble_config.region = region;
     const core::EnsembleBuilder builder(device, ensemble_config);
     const auto all = builder.candidates(b.circuit);
     analysis::Table table({"rank", "ESP", "qubits"});
@@ -171,6 +195,47 @@ parseCount(const std::string &flag, const std::string &value)
         throw UserError(flag + " expects a non-negative integer, got `" +
                         value + "`");
     return parsed;
+}
+
+/** Parse a `--region` spec: a comma list of physical qubit indices. */
+std::vector<int>
+parseRegionSpec(const std::string &spec)
+{
+    std::vector<int> region;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t comma = spec.find(',', start);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string entry = spec.substr(start, comma - start);
+        start = comma + 1;
+        if (entry.empty())
+            continue;
+        region.push_back(
+            static_cast<int>(parseCount("--region", entry)));
+    }
+    if (region.empty())
+        throw UserError("--region expects at least one qubit index");
+    return region;
+}
+
+/** Read a `--region-file`: whitespace-separated qubit indices. */
+std::vector<int>
+parseRegionFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UserError("--region-file: cannot open `" + path + "`");
+    std::vector<int> region;
+    std::string token;
+    while (in >> token) {
+        region.push_back(
+            static_cast<int>(parseCount("--region-file", token)));
+    }
+    if (region.empty())
+        throw UserError("--region-file `" + path +
+                        "` contains no qubit indices");
+    return region;
 }
 
 /**
@@ -221,7 +286,8 @@ parseFaultSpec(const std::string &spec)
 int
 cmdRun(const std::string &name, std::uint64_t seed,
        std::uint64_t shots, int jobs, bool verify,
-       const resilience::ResilienceConfig &resilience)
+       const resilience::ResilienceConfig &resilience,
+       const std::vector<int> &region)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
@@ -230,6 +296,7 @@ cmdRun(const std::string &name, std::uint64_t seed,
     config.jobs = jobs;
     config.verifyPasses |= verify;
     config.resilience = resilience;
+    config.ensemble.region = region;
     const core::EdmPipeline pipeline(device, config);
     Rng rng(seed * 1000 + 1);
     const auto result = pipeline.run(b.circuit, rng);
@@ -257,7 +324,8 @@ cmdRun(const std::string &name, std::uint64_t seed,
 int
 cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
               bool verify,
-              const resilience::ResilienceConfig &resilience)
+              const resilience::ResilienceConfig &resilience,
+              const std::vector<int> &region)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
@@ -265,6 +333,7 @@ cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
     config.jobs = jobs;
     config.verifyPasses |= verify;
     config.resilience = resilience;
+    config.region = region;
     const auto summary = core::runExperiment(device, b, config, seed);
     analysis::Table table({"policy", "median IST", "median PST"});
     table.addRow({"baseline (compile-time best)",
@@ -303,7 +372,8 @@ usage()
 {
     std::cerr << "usage: qedm_cli <list|show|compile|candidates|run|"
                  "experiment> [benchmark] [seed] [shots] [--jobs N] "
-                 "[--check] [--faults SPEC] [--fail-member M] "
+                 "[--check] [--region q0,q1,...] [--region-file PATH] "
+                 "[--faults SPEC] [--fail-member M] "
                  "[--retry-max N] [--member-deadline-ms MS] "
                  "[--min-trials-per-member N]\n";
     return 1;
@@ -321,6 +391,7 @@ main(int argc, char **argv)
         int jobs = 1;
         bool verify = qedm::check::kDefaultVerify;
         qedm::resilience::ResilienceConfig resilience;
+        std::vector<int> region;
         const auto flagValue = [&](int &i) -> std::string {
             if (i + 1 >= argc)
                 throw qedm::UserError(std::string(argv[i]) +
@@ -336,6 +407,10 @@ main(int argc, char **argv)
             if (arg == "--jobs") {
                 jobs = static_cast<int>(
                     parseCount("--jobs", flagValue(i)));
+            } else if (arg == "--region") {
+                region = parseRegionSpec(flagValue(i));
+            } else if (arg == "--region-file") {
+                region = parseRegionFile(flagValue(i));
             } else if (arg == "--faults") {
                 resilience.faults = parseFaultSpec(flagValue(i));
             } else if (arg == "--fail-member") {
@@ -373,13 +448,17 @@ main(int argc, char **argv)
         if (cmd == "show")
             return cmdShow(name);
         if (cmd == "compile")
-            return cmdCompile(name, seed, verify);
+            return cmdCompile(name, seed, verify, region);
         if (cmd == "candidates")
-            return cmdCandidates(name, seed, verify);
-        if (cmd == "run")
-            return cmdRun(name, seed, shots, jobs, verify, resilience);
-        if (cmd == "experiment")
-            return cmdExperiment(name, seed, jobs, verify, resilience);
+            return cmdCandidates(name, seed, verify, region);
+        if (cmd == "run") {
+            return cmdRun(name, seed, shots, jobs, verify, resilience,
+                          region);
+        }
+        if (cmd == "experiment") {
+            return cmdExperiment(name, seed, jobs, verify, resilience,
+                                 region);
+        }
         return usage();
     } catch (const qedm::resilience::EnsembleFailedError &e) {
         std::cerr << "error: " << e.what() << " ("

@@ -19,6 +19,13 @@
  *   - pragma-once:       every header starts with #pragma once;
  *   - naked-new:         no naked `new` (ownership goes through
  *                        containers and smart pointers);
+ *   - dense-distance:    no direct dense distance-matrix access
+ *                        (distanceMatrix / sharedDistanceMatrix) in
+ *                        library code outside src/transpile/distances —
+ *                        consumers go through sharedDistanceProvider,
+ *                        which picks a dense or on-demand
+ *                        implementation by device size, so a 433-qubit
+ *                        topology never allocates an O(n^2) matrix;
  *   - layering:          src/check (the static verifier layer) must
  *                        not include transpile/ headers — the checkers
  *                        validate the transpiler's *output* and must
@@ -192,6 +199,7 @@ struct RuleProfile
     bool stdoutDiscipline = false;
     bool pragmaOnce = true;
     bool nakedNew = true;
+    bool denseDistance = false;
 };
 
 /**
@@ -207,9 +215,12 @@ profileFor(const std::string &rel_path)
     if (underDir(rel_path, "src")) {
         profile.assertDiscipline = true;
         profile.stdoutDiscipline = true;
+        profile.denseDistance = true;
     }
     if (rel_path.rfind("src/common/rng", 0) == 0)
         profile.rngDiscipline = false; // the one sanctioned engine home
+    if (rel_path.rfind("src/transpile/distances", 0) == 0)
+        profile.denseDistance = false; // the provider's own home
     return profile;
 }
 
@@ -386,6 +397,20 @@ lintFile(const fs::path &path, const std::string &rel_path,
                 rel_path, lineno, "stdout-discipline",
                 "std::cout in library code; only tools/, bench/, and "
                 "examples/ write to stdout"});
+        }
+        if (profile.denseDistance) {
+            for (const char *token :
+                 {"distanceMatrix", "sharedDistanceMatrix"}) {
+                if (containsToken(line, token)) {
+                    out.push_back(Violation{
+                        rel_path, lineno, "dense-distance",
+                        std::string(token) +
+                            " accesses the dense all-pairs matrix "
+                            "directly; go through "
+                            "sharedDistanceProvider so large devices "
+                            "stay on the on-demand path"});
+                }
+            }
         }
         if (profile.nakedNew && containsToken(line, "new")) {
             out.push_back(Violation{
