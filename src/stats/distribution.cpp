@@ -85,6 +85,8 @@ Distribution::addProb(Outcome outcome, double p)
 double
 Distribution::total() const
 {
+    // canonical order: serial index-ascending sum over the
+    // contiguous probability vector — identical at every --jobs.
     return std::accumulate(p_.begin(), p_.end(), 0.0);
 }
 

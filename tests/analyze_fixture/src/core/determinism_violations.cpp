@@ -1,0 +1,46 @@
+// Seeded determinism violations for the analyzer self-test: the
+// `analyze_fixture` ctest case runs qedm_analyze over
+// tests/analyze_fixture and expects a nonzero exit with every
+// determinism-family rule firing. Never compiled; only scanned.
+
+#include <ctime>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace analyze_fixture {
+
+int
+hashOrderLeak(const std::unordered_map<int, double> &weights)
+{
+    int sum = 0;
+    for (const auto &[key, value] : weights) // unordered-iteration
+        sum += key + static_cast<int>(value);
+    return sum;
+}
+
+int
+hiddenCallState()
+{
+    static int calls = 0; // local-static
+    return ++calls;
+}
+
+double
+unorderedEspSum(const std::vector<double> &terms)
+{
+    // float-accumulate: no canonical-order comment within reach
+    // (this mention is too far above the call to count).
+    double bias = 1.0;
+    bias += 1.0;
+    bias += 2.0;
+    return std::accumulate(terms.begin(), terms.end(), 0.0);
+}
+
+unsigned
+wallClockSeed()
+{
+    return static_cast<unsigned>(std::time(nullptr)); // time-seed
+}
+
+} // namespace analyze_fixture

@@ -1,0 +1,15 @@
+// Clean file for the stale-baseline self-test: the paired
+// baseline.json suppresses a finding that no longer exists, so the
+// `analyze_stale_baseline` ctest case expects qedm_analyze to exit
+// nonzero with a [stale-baseline] finding — baselines may never rot
+// silently. Never compiled; only scanned.
+
+namespace analyze_stale {
+
+int
+answer()
+{
+    return 42;
+}
+
+} // namespace analyze_stale

@@ -1,0 +1,193 @@
+#include "qedm_analyze/baseline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "qedm_analyze/json.hpp"
+
+namespace qedm::analyze {
+
+namespace {
+
+std::uint64_t
+fnv1a(std::uint64_t h, const std::string &s)
+{
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ULL;
+    }
+    h ^= 0xff; // field separator so ("ab","c") != ("a","bc")
+    h *= 1099511628211ULL;
+    return h;
+}
+
+using Key = std::tuple<std::string, std::string, std::string, int>;
+
+Key
+keyOf(const BaselineEntry &e)
+{
+    return {e.rule, e.file, e.context, e.ordinal};
+}
+
+Key
+keyOf(const Finding &f)
+{
+    return {f.rule, f.file, f.context, f.ordinal};
+}
+
+} // namespace
+
+std::uint64_t
+fingerprintHash(const std::string &rule, const std::string &file,
+                const std::string &context, int ordinal)
+{
+    std::uint64_t h = 14695981039346656037ULL;
+    h = fnv1a(h, rule);
+    h = fnv1a(h, file);
+    h = fnv1a(h, context);
+    h = fnv1a(h, std::to_string(ordinal));
+    return h;
+}
+
+std::string
+fingerprintHex(const Finding &f)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fingerprintHash(
+                      f.rule, f.file, f.context, f.ordinal)));
+    return buf;
+}
+
+bool
+loadBaseline(const std::string &path, Baseline &out,
+             std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open baseline file " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string parse_error;
+    const auto root = parseJson(buffer.str(), parse_error);
+    if (!root) {
+        error = path + ": " + parse_error;
+        return false;
+    }
+    const JsonValue *version = root->get("version");
+    if (version == nullptr ||
+        version->kind != JsonValue::Kind::Number ||
+        version->number != 1.0) {
+        error = path + ": unsupported baseline version";
+        return false;
+    }
+    const JsonValue *entries = root->get("entries");
+    if (entries == nullptr ||
+        entries->kind != JsonValue::Kind::Array) {
+        error = path + ": missing entries array";
+        return false;
+    }
+    using StringField =
+        std::pair<const char *, std::string BaselineEntry::*>;
+    static const StringField kStringFields[] = {
+        {"rule", &BaselineEntry::rule},
+        {"file", &BaselineEntry::file},
+        {"context", &BaselineEntry::context},
+        {"justification", &BaselineEntry::justification}};
+    for (const auto &item : entries->array) {
+        BaselineEntry e;
+        for (const auto &[field, member] : kStringFields) {
+            const JsonValue *v = item->get(field);
+            if (v == nullptr || v->kind != JsonValue::Kind::String) {
+                error = path + ": entry missing string field '" +
+                        std::string(field) + "'";
+                return false;
+            }
+            e.*member = v->string;
+        }
+        if (const JsonValue *ord = item->get("ordinal");
+            ord != nullptr && ord->kind == JsonValue::Kind::Number)
+            e.ordinal = static_cast<int>(ord->number);
+        if (e.justification.empty() ||
+            e.justification.rfind("TODO", 0) == 0) {
+            error = path + ": entry for " + e.file + " [" + e.rule +
+                    "] has no justification; every suppression "
+                    "must say why the finding is safe";
+            return false;
+        }
+        out.entries.push_back(std::move(e));
+    }
+    return true;
+}
+
+std::string
+writeBaseline(const std::vector<Finding> &findings)
+{
+    std::vector<Finding> sorted = findings;
+    std::sort(sorted.begin(), sorted.end(), findingLess);
+    std::ostringstream out;
+    out << "{\n  \"version\": 1,\n  \"entries\": [";
+    bool first = true;
+    for (const Finding &f : sorted) {
+        if (f.rule == "stale-baseline")
+            continue; // never baseline the baseline's own hygiene
+        out << (first ? "" : ",") << "\n    {\n"
+            << "      \"rule\": \"" << jsonEscape(f.rule) << "\",\n"
+            << "      \"file\": \"" << jsonEscape(f.file) << "\",\n"
+            << "      \"context\": \"" << jsonEscape(f.context)
+            << "\",\n"
+            << "      \"ordinal\": " << f.ordinal << ",\n"
+            << "      \"fingerprint\": \"" << fingerprintHex(f)
+            << "\",\n"
+            << "      \"justification\": \"TODO: justify (found at "
+            << jsonEscape(f.file) << ":" << f.line << ")\"\n    }";
+        first = false;
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+std::vector<Finding>
+applyBaseline(const std::vector<Finding> &findings,
+              const Baseline &baseline, int &suppressed)
+{
+    std::map<Key, const BaselineEntry *> index;
+    std::map<Key, bool> used;
+    for (const BaselineEntry &e : baseline.entries) {
+        index[keyOf(e)] = &e;
+        used[keyOf(e)] = false;
+    }
+    std::vector<Finding> kept;
+    suppressed = 0;
+    for (const Finding &f : findings) {
+        const auto it = index.find(keyOf(f));
+        if (it != index.end()) {
+            used[it->first] = true;
+            ++suppressed;
+        } else {
+            kept.push_back(f);
+        }
+    }
+    for (const auto &[key, was_used] : used) {
+        if (was_used)
+            continue;
+        const BaselineEntry &e = *index[key];
+        kept.push_back(Finding{
+            e.file, 0, "stale-baseline",
+            "baseline entry [" + e.rule + "] with context '" +
+                e.context +
+                "' matches no current finding; the code it "
+                "suppressed has changed — delete or re-justify the "
+                "entry",
+            e.context, e.ordinal});
+    }
+    return kept;
+}
+
+} // namespace qedm::analyze

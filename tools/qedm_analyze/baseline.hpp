@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Suppression baselines for qedm_analyze. A baseline file lets a new
+ * rule land gated-on-new-findings: every existing finding is
+ * recorded once, with a human justification, and only *new* findings
+ * fail the build.
+ *
+ * Entries are fingerprinted by rule + file + token-context +
+ * ordinal, where the token-context is the normalized spelling of the
+ * flagged line's tokens (string literals collapsed). Line numbers
+ * are deliberately absent, so inserting code above a suppressed
+ * finding does not invalidate the entry; editing the flagged
+ * statement itself does — the suppression is re-reviewed exactly
+ * when the code it covers changes. The ordinal disambiguates
+ * identical statements in one file (0-based, line order).
+ *
+ * Staleness is an error in both directions: a finding without an
+ * entry fails the run, and an entry without a finding is reported as
+ * `stale-baseline` — baselines can only shrink by editing the file,
+ * never rot silently.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qedm_analyze/rule.hpp"
+
+namespace qedm::analyze {
+
+/** One suppression. */
+struct BaselineEntry
+{
+    std::string rule;
+    std::string file;
+    std::string context;
+    int ordinal = 0;
+    std::string justification;
+};
+
+struct Baseline
+{
+    std::vector<BaselineEntry> entries;
+};
+
+/** FNV-1a 64 over the fingerprint tuple; hex form is what SARIF's
+ *  partialFingerprints and the baseline tooling display. */
+std::uint64_t fingerprintHash(const std::string &rule,
+                              const std::string &file,
+                              const std::string &context,
+                              int ordinal);
+std::string fingerprintHex(const Finding &f);
+
+/**
+ * Load @p path. Returns false and fills @p error on parse errors,
+ * unknown versions, or entries missing a justification — a baseline
+ * nobody can read is worse than none.
+ */
+bool loadBaseline(const std::string &path, Baseline &out,
+                  std::string &error);
+
+/** Serialize @p findings as a fresh baseline (deterministic order,
+ *  justifications left as TODO markers for the author to fill). */
+std::string writeBaseline(const std::vector<Finding> &findings);
+
+/**
+ * Split @p findings against @p baseline: matched findings are
+ * suppressed (counted in @p suppressed), unmatched ones stay, and
+ * unmatched baseline entries append `stale-baseline` findings.
+ */
+std::vector<Finding> applyBaseline(const std::vector<Finding> &findings,
+                                   const Baseline &baseline,
+                                   int &suppressed);
+
+} // namespace qedm::analyze

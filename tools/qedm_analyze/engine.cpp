@@ -1,0 +1,204 @@
+#include "qedm_analyze/engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "qedm_analyze/include_graph.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace qedm::analyze {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+isHeaderPath(const std::string &rel_path)
+{
+    const std::size_t dot = rel_path.find_last_of('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = rel_path.substr(dot);
+    return ext == ".hpp" || ext == ".h";
+}
+
+bool
+isSourcePath(const std::string &rel_path)
+{
+    const std::size_t dot = rel_path.find_last_of('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = rel_path.substr(dot);
+    return ext == ".cpp" || ext == ".cc" || ext == ".hpp" ||
+           ext == ".h";
+}
+
+/** Per-file scan slot: findings and include edges produced by one
+ *  worker, merged in file order afterwards. */
+struct FileSlot
+{
+    std::vector<Finding> findings;
+    std::vector<IncludeEdge> includes;
+};
+
+void
+scanOne(const SourceFile &source, FileSlot &slot)
+{
+    FileScan scan;
+    scan.rel_path = source.rel_path;
+    scan.is_header = isHeaderPath(source.rel_path);
+    scan.tokens = tokenize(source.text);
+
+    collectIncludes(scan, slot.includes);
+
+    const RuleProfile profile = profileFor(scan.rel_path);
+    for (const auto &rule : RuleRegistry::instance().fileRules()) {
+        if (!rule->appliesTo(scan.rel_path, profile))
+            continue;
+        const std::size_t before = slot.findings.size();
+        rule->check(scan, slot.findings);
+        for (std::size_t i = before; i < slot.findings.size(); ++i) {
+            Finding &f = slot.findings[i];
+            if (f.rule.empty())
+                f.rule = rule->name();
+            if (f.context.empty())
+                f.context = lineContext(scan, f.line);
+        }
+    }
+}
+
+/** Assign ordinals: the n-th finding (line order) sharing one
+ *  (rule, file, context) triple gets ordinal n. */
+void
+assignOrdinals(std::vector<Finding> &findings)
+{
+    std::sort(findings.begin(), findings.end(), findingLess);
+    std::map<std::tuple<std::string, std::string, std::string>, int>
+        counts;
+    for (Finding &f : findings)
+        f.ordinal = counts[{f.rule, f.file, f.context}]++;
+}
+
+} // namespace
+
+Report
+analyzeSources(const std::vector<SourceFile> &sources,
+               const Baseline *baseline, int jobs)
+{
+    Report report;
+    report.files_scanned = static_cast<int>(sources.size());
+
+    std::vector<FileSlot> slots(sources.size());
+    runtime::ThreadPool pool(std::max(jobs, 1));
+    pool.parallelFor(sources.size(), [&](std::size_t i) {
+        scanOne(sources[i], slots[i]);
+    });
+
+    std::vector<Finding> findings;
+    std::vector<IncludeEdge> edges;
+    std::set<std::string> scanned;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        scanned.insert(sources[i].rel_path);
+        findings.insert(findings.end(), slots[i].findings.begin(),
+                        slots[i].findings.end());
+        edges.insert(edges.end(), slots[i].includes.begin(),
+                     slots[i].includes.end());
+    }
+    analyzeIncludeGraph(edges, scanned, findings);
+    assignOrdinals(findings);
+
+    if (baseline != nullptr) {
+        findings =
+            applyBaseline(findings, *baseline, report.suppressed);
+        std::sort(findings.begin(), findings.end(), findingLess);
+    }
+    report.findings = std::move(findings);
+    return report;
+}
+
+Report
+analyzeTree(const AnalyzeOptions &opts)
+{
+    Report report;
+    const fs::path root(opts.root);
+
+    std::vector<fs::path> scan_dirs;
+    for (const char *dir : {"src", "tools", "bench", "examples"}) {
+        if (fs::is_directory(root / dir))
+            scan_dirs.push_back(root / dir);
+    }
+    if (scan_dirs.empty()) {
+        report.error = "no src/, tools/, bench/, or examples/ under " +
+                       root.string();
+        return report;
+    }
+
+    std::vector<SourceFile> sources;
+    for (const fs::path &dir : scan_dirs) {
+        for (const auto &entry :
+             fs::recursive_directory_iterator(dir)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string rel =
+                fs::relative(entry.path(), root).generic_string();
+            if (!isSourcePath(rel))
+                continue;
+            std::ifstream in(entry.path(), std::ios::binary);
+            if (!in) {
+                report.error = "cannot open " + rel;
+                return report;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            sources.push_back(SourceFile{rel, buffer.str()});
+        }
+    }
+    // Directory iteration order is filesystem-dependent; the sorted
+    // list is what makes the parallel scan reproducible.
+    std::sort(sources.begin(), sources.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.rel_path < b.rel_path;
+              });
+
+    Baseline baseline;
+    const Baseline *baseline_ptr = nullptr;
+    if (opts.baseline != "none") {
+        std::string path = opts.baseline;
+        if (path.empty()) {
+            const fs::path auto_path =
+                root / "tools" / "analyze_baseline.json";
+            if (fs::exists(auto_path))
+                path = auto_path.string();
+        }
+        if (!path.empty()) {
+            std::string error;
+            if (!loadBaseline(path, baseline, error)) {
+                report.error = error;
+                return report;
+            }
+            baseline_ptr = &baseline;
+        }
+    }
+
+    return analyzeSources(sources, baseline_ptr, opts.jobs);
+}
+
+std::string
+renderText(const Report &report)
+{
+    std::ostringstream out;
+    for (const Finding &f : report.findings) {
+        out << f.file << ":" << f.line << ": [" << f.rule << "] "
+            << f.message << "\n";
+    }
+    out << "qedm_analyze: " << report.files_scanned << " files, "
+        << report.findings.size() << " finding(s), "
+        << report.suppressed << " baselined\n";
+    return out.str();
+}
+
+} // namespace qedm::analyze

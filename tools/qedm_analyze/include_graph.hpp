@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Cross-TU include-graph analysis: collects every quoted #include
+ * from the tokenized files into one graph and enforces
+ *
+ *   - layering: module-to-module includes must follow the DESIGN.md
+ *     layer DAG (common at the bottom; hw/circuit/stats above it;
+ *     check/sim/transpile in the middle; core on top; runtime,
+ *     resilience, and analysis as leaves off common/stats; the
+ *     driver trees tools/, bench/, and examples/ may include
+ *     anything). The allowed-edge table is explicit — adding a new
+ *     cross-module dependency is a reviewed change here, not an
+ *     accident;
+ *   - include-cycle: the quoted-include graph over the scanned files
+ *     must be acyclic (#pragma once merely hides a cycle; it does
+ *     not make one sound).
+ *
+ * Quoted includes resolve against src/ (the project convention) and
+ * against the including file's own directory; edges into unscanned
+ * files are ignored.
+ */
+
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "qedm_analyze/rule.hpp"
+
+namespace qedm::analyze {
+
+/** One quoted #include directive found in a scanned file. */
+struct IncludeEdge
+{
+    std::string from; ///< scanned file (path relative to the root)
+    int line = 0;
+    std::string target; ///< the include path as written
+};
+
+/** Extract quoted-include edges from one tokenized file. */
+void collectIncludes(const FileScan &scan,
+                     std::vector<IncludeEdge> &out);
+
+/** Run the layering and cycle rules over the whole graph. */
+void analyzeIncludeGraph(const std::vector<IncludeEdge> &edges,
+                         const std::set<std::string> &scanned,
+                         std::vector<Finding> &out);
+
+} // namespace qedm::analyze

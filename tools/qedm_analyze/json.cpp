@@ -1,0 +1,292 @@
+#include "qedm_analyze/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace qedm::analyze {
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::unique_ptr<JsonValue> parse()
+    {
+        auto v = value();
+        if (v) {
+            skipWs();
+            if (pos_ != text_.size()) {
+                fail("trailing content");
+                return nullptr;
+            }
+        }
+        return v;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(
+                   text_[pos_])) != 0)
+            ++pos_;
+    }
+
+    void fail(const std::string &what)
+    {
+        if (error_.empty()) {
+            error_ = what + " at byte " + std::to_string(pos_);
+        }
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    std::unique_ptr<JsonValue> value()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return nullptr;
+        }
+        const char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n')
+            return null();
+        if (c == '-' ||
+            std::isdigit(static_cast<unsigned char>(c)) != 0)
+            return number();
+        fail("unexpected character");
+        return nullptr;
+    }
+
+    std::unique_ptr<JsonValue> object()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return v;
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return nullptr;
+            }
+            auto key = string();
+            if (!key)
+                return nullptr;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return nullptr;
+            }
+            auto member = value();
+            if (!member)
+                return nullptr;
+            v->object.emplace_back(key->string, std::move(member));
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return v;
+            fail("expected ',' or '}'");
+            return nullptr;
+        }
+    }
+
+    std::unique_ptr<JsonValue> array()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return v;
+        while (true) {
+            auto element = value();
+            if (!element)
+                return nullptr;
+            v->array.push_back(std::move(element));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return v;
+            fail("expected ',' or ']'");
+            return nullptr;
+        }
+    }
+
+    std::unique_ptr<JsonValue> string()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::String;
+        ++pos_; // '"'
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_];
+            if (c == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    break;
+                const char e = text_[pos_];
+                switch (e) {
+                  case 'n': c = '\n'; break;
+                  case 't': c = '\t'; break;
+                  case 'r': c = '\r'; break;
+                  case 'b': c = '\b'; break;
+                  case 'f': c = '\f'; break;
+                  case 'u': {
+                    // Keep it simple: decode Basic Latin, replace
+                    // the rest with '?' (fingerprints are ASCII).
+                    unsigned code = 0;
+                    for (int k = 0; k < 4 && pos_ + 1 < text_.size();
+                         ++k) {
+                        ++pos_;
+                        const char h = text_[pos_];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code += static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code +=
+                                static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code +=
+                                static_cast<unsigned>(h - 'A' + 10);
+                    }
+                    c = code < 0x80 ? static_cast<char>(code) : '?';
+                    break;
+                  }
+                  default: c = e; break;
+                }
+            }
+            v->string += c;
+            ++pos_;
+        }
+        if (pos_ >= text_.size()) {
+            fail("unterminated string");
+            return nullptr;
+        }
+        ++pos_; // closing '"'
+        return v;
+    }
+
+    std::unique_ptr<JsonValue> number()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::Number;
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) != 0 ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        try {
+            v->number = std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            fail("malformed number");
+            return nullptr;
+        }
+        return v;
+    }
+
+    std::unique_ptr<JsonValue> boolean()
+    {
+        auto v = std::make_unique<JsonValue>();
+        v->kind = JsonValue::Kind::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v->boolean = true;
+            pos_ += 4;
+            return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            v->boolean = false;
+            pos_ += 5;
+            return v;
+        }
+        fail("malformed literal");
+        return nullptr;
+    }
+
+    std::unique_ptr<JsonValue> null()
+    {
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return std::make_unique<JsonValue>();
+        }
+        fail("malformed literal");
+        return nullptr;
+    }
+
+    const std::string &text_;
+    std::string &error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::get(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : object) {
+        if (k == key)
+            return v.get();
+    }
+    return nullptr;
+}
+
+std::unique_ptr<JsonValue>
+parseJson(const std::string &text, std::string &error)
+{
+    return Parser(text, error).parse();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace qedm::analyze

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal JSON support for qedm_analyze: a recursive-descent parser
+ * covering the subset the baseline file uses (objects, arrays,
+ * strings, integers, booleans, null) and an escaper for the SARIF
+ * and baseline writers. Deliberately tiny — the analyzer must stay
+ * free of external dependencies so the lint gate builds before
+ * anything else does.
+ */
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qedm::analyze {
+
+/** A parsed JSON value (tree-owning). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<std::unique_ptr<JsonValue>> array;
+    // Key order preserved for deterministic round-trips.
+    std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>>
+        object;
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *get(const std::string &key) const;
+};
+
+/**
+ * Parse @p text. Returns nullptr and fills @p error on malformed
+ * input (with a byte offset), never throws.
+ */
+std::unique_ptr<JsonValue> parseJson(const std::string &text,
+                                     std::string &error);
+
+/** Escape @p s for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace qedm::analyze

@@ -1,0 +1,358 @@
+#include "qedm_analyze/lexer.hpp"
+
+#include <cctype>
+
+namespace qedm::analyze {
+
+namespace {
+
+/**
+ * Cursor over the raw text that splices backslash-newline
+ * continuations (translation phase 2) while tracking physical line
+ * and column for diagnostics.
+ */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &text) : text_(text) { splice(); }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        // Peeking past a continuation is only needed for two-char
+        // operators; splice() guarantees pos_ itself never sits on
+        // one, and a continuation between the two chars of `::` or
+        // `//` is pathological enough to ignore.
+        const std::size_t p = pos_ + ahead;
+        return p < text_.size() ? text_[p] : '\0';
+    }
+    int line() const { return line_; }
+    int col() const { return col_; }
+
+    void advance()
+    {
+        if (atEnd())
+            return;
+        if (text_[pos_] == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        ++pos_;
+        splice();
+    }
+
+    /** Advance without splicing — raw string bodies take every
+     *  character literally, including backslash-newline. */
+    void advanceRaw()
+    {
+        if (atEnd())
+            return;
+        if (text_[pos_] == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        ++pos_;
+    }
+
+  private:
+    void splice()
+    {
+        while (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+               (text_[pos_ + 1] == '\n' ||
+                (text_[pos_ + 1] == '\r' && pos_ + 2 < text_.size() &&
+                 text_[pos_ + 2] == '\n'))) {
+            pos_ += text_[pos_ + 1] == '\r' ? 3 : 2;
+            ++line_;
+            col_ = 1;
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+};
+
+bool
+isStringPrefix(const std::string &ident)
+{
+    return ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+}
+
+bool
+isRawStringPrefix(const std::string &ident)
+{
+    return ident == "R" || ident == "u8R" || ident == "uR" ||
+           ident == "UR" || ident == "LR";
+}
+
+} // namespace
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Token>
+tokenize(const std::string &text)
+{
+    std::vector<Token> out;
+    Cursor cur(text);
+    bool at_line_start = true; // only whitespace seen on this line
+    bool in_directive = false; // inside a preprocessor logical line
+    bool want_header = false;  // directive was #include; next <>/"" is
+                               // a header-name
+    int directive_line = 0;
+
+    auto start_token = [&](TokKind kind) {
+        Token t;
+        t.kind = kind;
+        t.line = cur.line();
+        t.end_line = cur.line();
+        t.col = cur.col();
+        return t;
+    };
+
+    auto lex_string_body = [&](Token &t, char terminator) {
+        // cur sits on the opening quote
+        cur.advance();
+        while (!cur.atEnd() && cur.peek() != terminator &&
+               cur.peek() != '\n') {
+            if (cur.peek() == '\\') {
+                t.text += cur.peek();
+                cur.advance();
+                if (cur.atEnd())
+                    break;
+            }
+            t.text += cur.peek();
+            cur.advance();
+        }
+        if (!cur.atEnd() && cur.peek() == terminator)
+            cur.advance(); // closing quote
+        t.end_line = cur.line();
+    };
+
+    auto lex_raw_string = [&](Token &t) {
+        // cur sits on the opening quote of R"delim( ... )delim"
+        cur.advanceRaw();
+        std::string delim;
+        while (!cur.atEnd() && cur.peek() != '(' && cur.peek() != '\n')
+        {
+            delim += cur.peek();
+            cur.advanceRaw();
+        }
+        if (!cur.atEnd())
+            cur.advanceRaw(); // '('
+        const std::string close = ")" + delim + "\"";
+        std::string body;
+        while (!cur.atEnd()) {
+            body += cur.peek();
+            cur.advanceRaw();
+            if (body.size() >= close.size() &&
+                body.compare(body.size() - close.size(), close.size(),
+                             close) == 0) {
+                body.resize(body.size() - close.size());
+                break;
+            }
+        }
+        t.text = body;
+        t.end_line = cur.line();
+    };
+
+    while (!cur.atEnd()) {
+        const char c = cur.peek();
+
+        if (c == '\n') {
+            at_line_start = true;
+            in_directive = false;
+            want_header = false;
+            cur.advance();
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            cur.advance();
+            continue;
+        }
+
+        // Comments (legal inside directives too).
+        if (c == '/' && cur.peek(1) == '/') {
+            Token t = start_token(TokKind::Comment);
+            while (!cur.atEnd() && cur.peek() != '\n') {
+                t.text += cur.peek();
+                cur.advance();
+            }
+            t.end_line = cur.line();
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            Token t = start_token(TokKind::Comment);
+            t.text += cur.peek();
+            cur.advance();
+            t.text += cur.peek();
+            cur.advance();
+            // C++ block comments do not nest: the first */ closes.
+            while (!cur.atEnd()) {
+                if (cur.peek() == '*' && cur.peek(1) == '/') {
+                    t.text += "*/";
+                    cur.advance();
+                    cur.advance();
+                    break;
+                }
+                t.text += cur.peek();
+                cur.advance();
+            }
+            t.end_line = cur.line();
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Preprocessor directive at line start.
+        if (c == '#' && at_line_start) {
+            cur.advance();
+            while (!cur.atEnd() &&
+                   (cur.peek() == ' ' || cur.peek() == '\t'))
+                cur.advance();
+            Token t = start_token(TokKind::PPDirective);
+            while (!cur.atEnd() && isIdentChar(cur.peek())) {
+                t.text += cur.peek();
+                cur.advance();
+            }
+            in_directive = true;
+            directive_line = t.line;
+            want_header = t.text == "include" || t.text == "import" ||
+                          t.text == "include_next";
+            at_line_start = false;
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Header-name after #include: "path" or <path>.
+        if (want_header && in_directive && cur.line() >= directive_line &&
+            (c == '"' || c == '<')) {
+            const char term = c == '"' ? '"' : '>';
+            Token t = start_token(c == '"' ? TokKind::PPHeaderQuote
+                                           : TokKind::PPHeaderAngle);
+            cur.advance();
+            while (!cur.atEnd() && cur.peek() != term &&
+                   cur.peek() != '\n') {
+                t.text += cur.peek();
+                cur.advance();
+            }
+            if (!cur.atEnd() && cur.peek() == term)
+                cur.advance();
+            t.end_line = cur.line();
+            want_header = false;
+            at_line_start = false;
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        at_line_start = false;
+
+        // Identifiers — possibly a string-literal prefix.
+        if (std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+            c == '_') {
+            Token t = start_token(TokKind::Identifier);
+            while (!cur.atEnd() && isIdentChar(cur.peek())) {
+                t.text += cur.peek();
+                cur.advance();
+            }
+            if (!cur.atEnd() && cur.peek() == '"' &&
+                isRawStringPrefix(t.text)) {
+                t.kind = TokKind::RawString;
+                t.text.clear();
+                lex_raw_string(t);
+                out.push_back(std::move(t));
+                continue;
+            }
+            if (!cur.atEnd() && cur.peek() == '"' &&
+                isStringPrefix(t.text)) {
+                t.kind = TokKind::String;
+                t.text.clear();
+                lex_string_body(t, '"');
+                out.push_back(std::move(t));
+                continue;
+            }
+            if (!cur.atEnd() && cur.peek() == '\'' &&
+                isStringPrefix(t.text)) {
+                t.kind = TokKind::CharLit;
+                t.text.clear();
+                lex_string_body(t, '\'');
+                out.push_back(std::move(t));
+                continue;
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Numbers (pp-number: digits, separators, exponents, suffix
+        // letters, and a leading dot).
+        if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+            (c == '.' &&
+             std::isdigit(static_cast<unsigned char>(cur.peek(1))) !=
+                 0)) {
+            Token t = start_token(TokKind::Number);
+            while (!cur.atEnd()) {
+                const char d = cur.peek();
+                if (isIdentChar(d) || d == '.') {
+                    t.text += d;
+                    cur.advance();
+                    continue;
+                }
+                if (d == '\'' && isIdentChar(cur.peek(1))) {
+                    t.text += d; // digit separator
+                    cur.advance();
+                    continue;
+                }
+                if ((d == '+' || d == '-') && !t.text.empty()) {
+                    const char e = t.text.back();
+                    if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+                        t.text += d;
+                        cur.advance();
+                        continue;
+                    }
+                }
+                break;
+            }
+            t.end_line = cur.line();
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // String and char literals.
+        if (c == '"') {
+            Token t = start_token(TokKind::String);
+            lex_string_body(t, '"');
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (c == '\'') {
+            Token t = start_token(TokKind::CharLit);
+            lex_string_body(t, '\'');
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Punctuation; keep `::` and `->` whole for qualified-name
+        // and member matching.
+        Token t = start_token(TokKind::Punct);
+        t.text += c;
+        if ((c == ':' && cur.peek(1) == ':') ||
+            (c == '-' && cur.peek(1) == '>')) {
+            cur.advance();
+            t.text += cur.peek();
+        }
+        cur.advance();
+        t.end_line = t.line;
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+} // namespace qedm::analyze

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A real C++ tokenizer for qedm_analyze. One pass turns a source file
+ * into a token stream that every rule shares, replacing qedm_lint's
+ * per-rule comment-stripping regex scans:
+ *
+ *   - comments become Comment tokens (start and end line preserved,
+ *     so rules can look for adjacent justification comments);
+ *   - string/char literals become single tokens (their *contents*
+ *     can never trip an identifier rule), including raw strings
+ *     (`R"delim(...)delim"` with encoding prefixes) and escape
+ *     sequences;
+ *   - preprocessor directives are recognised at line start (after a
+ *     backslash-continuation-aware scan), with `#include` targets
+ *     emitted as dedicated header-name tokens — quoted and angled
+ *     forms distinguished — so the include-graph analyzer needs no
+ *     second parse;
+ *   - backslash-newline line continuations splice everywhere (as the
+ *     phase-2 translation the standard prescribes) while physical
+ *     line numbers stay exact for diagnostics;
+ *   - digit separators (1'000) never open char literals, and `::` is
+ *     a single punctuator so qualified-name matching is trivial.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qedm::analyze {
+
+enum class TokKind
+{
+    Identifier,  ///< identifiers and keywords (no keyword table needed)
+    Number,      ///< numeric literal, digit separators included
+    String,      ///< ordinary string literal (token text excludes quotes)
+    RawString,   ///< raw string literal (token text is the raw contents)
+    CharLit,     ///< character literal
+    Comment,     ///< // or /* */ comment, full text
+    Punct,       ///< punctuation; `::` and `->` are single tokens
+    PPDirective, ///< directive name token (`include`, `pragma`, ...)
+    PPHeaderQuote, ///< `"path"` after #include (text is the inner path)
+    PPHeaderAngle, ///< `<path>` after #include (text is the inner path)
+};
+
+struct Token
+{
+    TokKind kind = TokKind::Punct;
+    std::string text;
+    int line = 0;     ///< 1-based physical line of the token start
+    int end_line = 0; ///< last physical line (differs for block comments)
+    int col = 0;      ///< 1-based column of the token start
+};
+
+/** Tokenize one translation unit. Never throws on malformed input —
+ *  unterminated literals/comments simply end at EOF. */
+std::vector<Token> tokenize(const std::string &text);
+
+/** Is @p c an identifier character? */
+bool isIdentChar(char c);
+
+} // namespace qedm::analyze

@@ -1,0 +1,73 @@
+#include "qedm_analyze/sarif.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "qedm_analyze/baseline.hpp"
+#include "qedm_analyze/json.hpp"
+
+namespace qedm::analyze {
+
+std::string
+renderSarif(const std::vector<Finding> &findings)
+{
+    std::vector<Finding> sorted = findings;
+    std::sort(sorted.begin(), sorted.end(), findingLess);
+
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"qedm_analyze\",\n"
+        << "          \"informationUri\": "
+           "\"https://github.com/qedm/qedm\",\n"
+        << "          \"version\": \"1.0.0\",\n"
+        << "          \"rules\": [";
+    const auto &docs = RuleRegistry::instance().allRuleDocs();
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+        out << (i == 0 ? "" : ",") << "\n            {\n"
+            << "              \"id\": \"" << jsonEscape(docs[i].first)
+            << "\",\n"
+            << "              \"shortDescription\": { \"text\": \""
+            << jsonEscape(docs[i].second) << "\" }\n"
+            << "            }";
+    }
+    out << "\n          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"columnKind\": \"utf16CodeUnits\",\n"
+        << "      \"results\": [";
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        const Finding &f = sorted[i];
+        out << (i == 0 ? "" : ",") << "\n        {\n"
+            << "          \"ruleId\": \"" << jsonEscape(f.rule)
+            << "\",\n"
+            << "          \"level\": \"error\",\n"
+            << "          \"message\": { \"text\": \""
+            << jsonEscape(f.message) << "\" },\n"
+            << "          \"locations\": [\n"
+            << "            {\n"
+            << "              \"physicalLocation\": {\n"
+            << "                \"artifactLocation\": { \"uri\": \""
+            << jsonEscape(f.file) << "\" },\n"
+            << "                \"region\": { \"startLine\": "
+            << (f.line > 0 ? f.line : 1) << " }\n"
+            << "              }\n"
+            << "            }\n"
+            << "          ],\n"
+            << "          \"partialFingerprints\": {\n"
+            << "            \"qedmTokenContext/v1\": \""
+            << fingerprintHex(f) << "\"\n"
+            << "          }\n"
+            << "        }";
+    }
+    out << "\n      ]\n    }\n  ]\n}\n";
+    return out.str();
+}
+
+} // namespace qedm::analyze

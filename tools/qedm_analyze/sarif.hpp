@@ -1,0 +1,26 @@
+/**
+ * @file
+ * SARIF 2.1.0 output for qedm_analyze, so findings flow into code
+ * scanning UIs (GitHub's SARIF upload, VS Code SARIF viewers)
+ * unchanged. One run object: the tool driver lists every registered
+ * rule with its description; each result carries ruleId, level,
+ * message, the physical location (relative URI + line region), and a
+ * partialFingerprints entry with the same rule+file+token-context
+ * hash the baseline uses, so external dedup agrees with ours.
+ * Rendering is fully deterministic — findings are pre-sorted and the
+ * writer is serial — which is what makes `--jobs N` byte-identical.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qedm_analyze/rule.hpp"
+
+namespace qedm::analyze {
+
+/** Render @p findings as a SARIF 2.1.0 log (one run). */
+std::string renderSarif(const std::vector<Finding> &findings);
+
+} // namespace qedm::analyze
