@@ -85,6 +85,12 @@ checkErrorKindName(CheckErrorKind kind)
         return "measure-remap-mismatch";
       case CheckErrorKind::QubitOutsideRegion:
         return "qubit-outside-region";
+      case CheckErrorKind::JournalHeaderInvalid:
+        return "journal-header-invalid";
+      case CheckErrorKind::JournalCorruptRecord:
+        return "journal-corrupt-record";
+      case CheckErrorKind::JournalFingerprintMismatch:
+        return "journal-fingerprint-mismatch";
     }
     return "unknown";
 }

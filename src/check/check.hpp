@@ -78,6 +78,9 @@ enum class CheckErrorKind
     MeasureOffLayout, ///< measure reads a qubit outside the final map
     MeasureRemapMismatch, ///< measure table != logical through final map
     QubitOutsideRegion, ///< placement/gate/measure leaves the view
+    JournalHeaderInvalid, ///< journal magic/version/header unreadable
+    JournalCorruptRecord, ///< mid-stream record failed its checksum
+    JournalFingerprintMismatch, ///< journal was written by another run
 };
 
 /** Stable kebab-case name for one CheckErrorKind. */

@@ -4,9 +4,12 @@
 #include <optional>
 #include <utility>
 
+#include <mutex>
+
 #include "common/error.hpp"
 #include "resilience/fault_injector.hpp"
 #include "runtime/retry.hpp"
+#include "runtime/watchdog.hpp"
 #include "sim/executor.hpp"
 
 namespace qedm::core {
@@ -43,6 +46,13 @@ makeUnits(const std::vector<std::uint64_t> &splits, std::uint64_t batch)
  */
 constexpr std::uint64_t kStreamFaults = 0xFA171D05ull;
 
+/**
+ * Stream key under a unit's (member, batch) node for its retry-backoff
+ * jitter draws. The unit's execution RNG is the node itself, so the
+ * jitter domain sits one level down at a constant key.
+ */
+constexpr std::uint64_t kStreamRetryJitter = 0xBAC0FFull;
+
 /** A resilient work unit; limit < shots when the dropout lands here. */
 struct ResilientUnit
 {
@@ -58,6 +68,10 @@ struct UnitResult
     std::optional<stats::Counts> counts;
     int attempts = 1;
     bool exhausted = false;
+    /** Abandoned by the live wall-clock watchdog (never executed). */
+    bool abandoned = false;
+    /** Restored from a journal instead of executed (crash resume). */
+    bool restored = false;
 };
 
 /** Per-member counts + keep mask + report from a faulted execution. */
@@ -68,24 +82,34 @@ struct ResilientOutcome
     resilience::DegradationReport report;
 };
 
-/** Primary failure cause, by severity: dropout > deadline > retries. */
+/** Primary failure cause, by severity:
+ *  dropout > virtual deadline > wall clock > retries. */
 resilience::FaultKind
 memberCause(const resilience::MemberFaultPlan &plan,
-            std::uint64_t abandon_batch)
+            std::uint64_t abandon_batch, std::uint64_t wall_batch)
 {
     if (plan.dropsOut)
         return resilience::FaultKind::QubitDropout;
     if (abandon_batch != resilience::FaultEvent::kNoBatch)
         return resilience::FaultKind::DeadlineAbandoned;
+    if (wall_batch != resilience::FaultEvent::kNoBatch)
+        return resilience::FaultKind::WallClockAbandoned;
     return resilience::FaultKind::RetryExhausted;
 }
 
 /**
- * The faulted execution path. Every fault decision is a pure function
- * of SeedSequence streams and the static batch plan (deadlines run on
- * virtual time, never the wall clock), so a faulted run — including
- * its fault log and degradation report — is bit-identical at any
- * --jobs value.
+ * The faulted execution path. Every *injected* fault decision is a
+ * pure function of SeedSequence streams and the static batch plan
+ * (virtual-time deadlines), so a faulted run — including its fault log
+ * and degradation report — is bit-identical at any --jobs value.
+ *
+ * The wall-clock watchdog is the one deliberately nondeterministic
+ * input: live fires depend on real elapsed time. Determinism is
+ * restored by canonicalizing each member's fire to the *minimum*
+ * abandoned batch index and excluding every contribution (counts,
+ * fault events, retries) from batches at or past it — even ones that
+ * happened to execute out of order — and by recording fires so a
+ * replay can force the identical cut through forcedWallAbandons.
  */
 ResilientOutcome
 runResilient(const hw::Device &device, const EdmConfig &config,
@@ -123,6 +147,23 @@ runResilient(const hw::Device &device, const EdmConfig &config,
         return stale_execs[m] ? *stale_execs[m] : executor;
     };
 
+    // Wall-fire bookkeeping. wall_fire[m] is the canonical cut point:
+    // the minimum batch index wall-abandoned for member m. Forced
+    // entries (recorded fires from a resumed or replayed journal)
+    // apply at plan time; live watchdog fires are collected during
+    // execution and filtered out of every merge below.
+    std::vector<std::uint64_t> wall_fire(
+        count, resilience::FaultEvent::kNoBatch);
+    for (const resilience::WallAbandon &w : res.forcedWallAbandons) {
+        QEDM_REQUIRE(w.member < count,
+                     "forced wall abandon names a member outside the "
+                     "ensemble");
+        wall_fire[w.member] = std::min(wall_fire[w.member], w.batch);
+    }
+    std::optional<runtime::Watchdog> watchdog;
+    if (res.wallDeadlineMs > 0.0)
+        watchdog.emplace(res.effectiveClock(), res.wallDeadlineMs, count);
+
     // Static batch plan: deadline abandonment (cumulative virtual time
     // exceeding the member budget) and dropout truncation are decided
     // up front, so the schedule is independent of execution order.
@@ -144,6 +185,8 @@ runResilient(const hw::Device &device, const EdmConfig &config,
                     abandon_batch[m] = b;
                 continue;
             }
+            if (b >= wall_fire[m])
+                continue; // replaying a recorded wall-clock cut
             if (plans[m].dropsOut && done >= plans[m].dropoutTrial)
                 continue; // batch lies entirely after the dropout
             std::uint64_t limit = batch_shots;
@@ -158,37 +201,94 @@ runResilient(const hw::Device &device, const EdmConfig &config,
     // Execute one wave of units; each unit owns the RNG stream keyed
     // by (member, batch) and retries within its own result slot.
     const runtime::RetryPolicy policy{res.retryMax + 1,
-                                      res.backoffBaseMs, 2.0};
+                                      res.backoffBaseMs, 2.0,
+                                      res.backoffJitter};
+    const auto batchKey = [&](const ResilientUnit &unit) {
+        return resilience::BatchKey{
+            config.journalRound, resilience::JournalStage::Members,
+            static_cast<std::uint32_t>(unit.member), unit.batch};
+    };
+    std::mutex wall_mutex;
     const auto runWave = [&](const std::vector<ResilientUnit> &wave,
                              std::vector<UnitResult> &results) {
         scheduler.parallelFor(wave.size(), [&](std::size_t u) {
             const ResilientUnit &unit = wave[u];
+            if (config.replay != nullptr) {
+                // Crash resume: completed units restore their durable
+                // outcome instead of executing (no watchdog charge —
+                // that wall time was spent before the crash).
+                const resilience::BatchRecord *rec =
+                    config.replay->findBatch(batchKey(unit));
+                if (rec != nullptr) {
+                    results[u].counts = rec->counts;
+                    results[u].attempts = rec->attempts;
+                    results[u].exhausted = rec->exhausted;
+                    results[u].restored = true;
+                    return;
+                }
+            }
+            if (watchdog && watchdog->expired(unit.member)) {
+                // The member's wall budget is blown: abandon instead
+                // of executing. Which batch observes the fire first is
+                // racy; contributions are canonicalized to the minimum
+                // abandoned batch when waves are recorded, and the
+                // fire is journaled so replays can force the same cut.
+                results[u].abandoned = true;
+                const std::lock_guard<std::mutex> lock(wall_mutex);
+                if (unit.batch < wall_fire[unit.member]) {
+                    wall_fire[unit.member] = unit.batch;
+                    if (config.journal != nullptr) {
+                        config.journal->recordWallAbandon(
+                            config.journalRound,
+                            {unit.member, unit.batch});
+                    }
+                }
+                return;
+            }
+            const double start_ms =
+                watchdog ? watchdog->timeSource().nowMs() : 0.0;
             const SeedSequence node =
                 seq.child(unit.member).child(unit.batch);
             const runtime::RetryOutcome attempt_log =
-                runtime::retryWithBackoff(policy, [&](int attempt) {
-                    if (injector.transientFails(unit.member, unit.batch,
-                                                attempt)) {
-                        throw runtime::TransientError(
-                            "injected transient batch failure");
-                    }
-                    Rng unit_rng = node.rng();
-                    const sim::Executor &exec = executorFor(unit.member);
-                    if (unit.limit < unit.shots) {
-                        const std::uint64_t limit = unit.limit;
-                        results[u].counts = exec.run(
-                            *member_tapes[unit.member], unit.shots,
-                            unit_rng, [limit](std::uint64_t trial) {
-                                return trial < limit;
-                            });
-                    } else {
-                        results[u].counts =
-                            exec.run(*member_tapes[unit.member],
-                                     unit.shots, unit_rng);
-                    }
-                });
+                runtime::retryWithBackoff(
+                    policy,
+                    [&](int attempt) {
+                        if (injector.transientFails(unit.member,
+                                                    unit.batch,
+                                                    attempt)) {
+                            throw runtime::TransientError(
+                                "injected transient batch failure");
+                        }
+                        Rng unit_rng = node.rng();
+                        const sim::Executor &exec =
+                            executorFor(unit.member);
+                        if (unit.limit < unit.shots) {
+                            const std::uint64_t limit = unit.limit;
+                            results[u].counts = exec.run(
+                                *member_tapes[unit.member], unit.shots,
+                                unit_rng, [limit](std::uint64_t trial) {
+                                    return trial < limit;
+                                });
+                        } else {
+                            results[u].counts =
+                                exec.run(*member_tapes[unit.member],
+                                         unit.shots, unit_rng);
+                        }
+                    },
+                    res.effectiveClock(),
+                    node.child(kStreamRetryJitter));
+            if (watchdog) {
+                watchdog->charge(unit.member,
+                                 watchdog->timeSource().nowMs() - start_ms);
+            }
             results[u].attempts = attempt_log.attempts;
             results[u].exhausted = !attempt_log.succeeded;
+            if (config.journal != nullptr) {
+                config.journal->recordBatch(
+                    batchKey(unit),
+                    {results[u].attempts, results[u].exhausted,
+                     results[u].counts});
+            }
         });
     };
 
@@ -202,11 +302,16 @@ runResilient(const hw::Device &device, const EdmConfig &config,
 
     // Fold a wave back in fixed unit order: counts into the member
     // histograms, failed attempts into the deterministic fault log.
+    // Units at or past a member's wall fire contribute nothing — not
+    // counts, events, or retries — even when they executed before the
+    // fire was observed, so the live cut matches the replayed one.
     const auto recordWave = [&](const std::vector<ResilientUnit> &wave,
                                 const std::vector<UnitResult> &results) {
         for (std::size_t u = 0; u < wave.size(); ++u) {
             const ResilientUnit &unit = wave[u];
             const UnitResult &r = results[u];
+            if (r.abandoned || unit.batch >= wall_fire[unit.member])
+                continue;
             const int failed_attempts =
                 r.exhausted ? r.attempts : r.attempts - 1;
             for (int a = 0; a < failed_attempts; ++a) {
@@ -273,7 +378,7 @@ runResilient(const hw::Device &device, const EdmConfig &config,
         out.kept[m] = completed[m] >= floor;
         resilience::MemberDegradation deg;
         deg.member = m;
-        deg.cause = memberCause(plans[m], abandon_batch[m]);
+        deg.cause = memberCause(plans[m], abandon_batch[m], wall_fire[m]);
         deg.plannedShots = splits[m];
         deg.completedShots = completed[m];
         deg.kept = out.kept[m];
@@ -327,6 +432,16 @@ runResilient(const hw::Device &device, const EdmConfig &config,
         report.retriesTotal += r;
     QEDM_ASSERT(used + report.trialsLost == budget,
                 "degraded reallocation lost track of the trial budget");
+
+    // Wall-clock fires last, in member order: the canonical cut point
+    // per member, identical whether the fire was live or forced.
+    for (std::size_t m = 0; m < count; ++m) {
+        if (wall_fire[m] != resilience::FaultEvent::kNoBatch) {
+            report.faults.push_back(
+                {resilience::FaultKind::WallClockAbandoned, m,
+                 wall_fire[m], -1});
+        }
+    }
     return out;
 }
 
@@ -450,10 +565,27 @@ EdmPipeline::run(const circuit::Circuit &logical,
             units.size());
         scheduler->parallelFor(units.size(), [&](std::size_t u) {
             const ShotUnit &unit = units[u];
+            const resilience::BatchKey key{
+                config_.journalRound, resilience::JournalStage::Members,
+                static_cast<std::uint32_t>(unit.member), unit.batch};
+            if (config_.replay != nullptr) {
+                const resilience::BatchRecord *rec =
+                    config_.replay->findBatch(key);
+                if (rec != nullptr) {
+                    QEDM_REQUIRE(rec->counts.has_value(),
+                                 "journal holds a lost batch for a "
+                                 "fault-free run");
+                    unit_counts[u] = rec->counts;
+                    return;
+                }
+            }
             Rng unit_rng =
                 seq.child(unit.member).child(unit.batch).rng();
             unit_counts[u] =
                 executor.run(*tapes[unit.member], unit.shots, unit_rng);
+            if (config_.journal != nullptr)
+                config_.journal->recordBatch(key,
+                                             {1, false, unit_counts[u]});
         });
 
         // Merge batches back per member in fixed (member, batch) order.
@@ -545,14 +677,15 @@ EdmPipeline::run(const circuit::Circuit &logical,
 
 stats::Distribution
 EdmPipeline::runSingle(const transpile::CompiledProgram &program,
-                       Rng &rng) const
+                       Rng &rng, resilience::JournalStage stage) const
 {
-    return runSingle(program, SeedSequence(rng()));
+    return runSingle(program, SeedSequence(rng()), stage);
 }
 
 stats::Distribution
 EdmPipeline::runSingle(const transpile::CompiledProgram &program,
-                       const SeedSequence &seq) const
+                       const SeedSequence &seq,
+                       resilience::JournalStage stage) const
 {
     const sim::Executor executor(device_);
     const std::shared_ptr<const sim::ExecutionTape> tape =
@@ -570,8 +703,23 @@ EdmPipeline::runSingle(const transpile::CompiledProgram &program,
     if (scheduler == nullptr)
         scheduler = &owned.emplace(config_.jobs);
     scheduler->parallelFor(units.size(), [&](std::size_t u) {
+        const resilience::BatchKey key{config_.journalRound, stage, 0,
+                                       units[u].batch};
+        if (config_.replay != nullptr) {
+            const resilience::BatchRecord *rec =
+                config_.replay->findBatch(key);
+            if (rec != nullptr) {
+                QEDM_REQUIRE(rec->counts.has_value(),
+                             "journal holds a lost batch for a "
+                             "baseline run");
+                unit_counts[u] = rec->counts;
+                return;
+            }
+        }
         Rng unit_rng = seq.child(units[u].batch).rng();
         unit_counts[u] = executor.run(*tape, units[u].shots, unit_rng);
+        if (config_.journal != nullptr)
+            config_.journal->recordBatch(key, {1, false, unit_counts[u]});
     });
 
     stats::Counts counts = std::move(*unit_counts.front());

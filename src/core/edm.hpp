@@ -25,6 +25,7 @@
 #include "core/ensemble.hpp"
 #include "hw/device.hpp"
 #include "resilience/degradation.hpp"
+#include "resilience/journal.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/execution_tape.hpp"
 #include "stats/distribution.hpp"
@@ -93,6 +94,17 @@ struct EdmConfig
      * exists on the hot path.
      */
     resilience::ResilienceConfig resilience;
+    /**
+     * Crash-safe journaling (resilience/journal.hpp). When @ref journal
+     * is set, every completed work unit's outcome is durably recorded
+     * before the run proceeds; when @ref replay is set, units found in
+     * it are restored instead of executed (crash resume). Neither is
+     * owned. @ref journalRound keys this pipeline execution's records
+     * inside a multi-round experiment.
+     */
+    resilience::Journal *journal = nullptr;
+    const resilience::JournalReplay *replay = nullptr;
+    std::uint32_t journalRound = 0;
 };
 
 /** One executed ensemble member. */
@@ -150,15 +162,21 @@ class EdmPipeline
 
     /**
      * Run @p program for all totalShots trials (the single-mapping
-     * baselines). Consumes one draw from @p rng.
+     * baselines). Consumes one draw from @p rng. @p stage keys the
+     * journal records of this run (the two baselines of a round must
+     * not collide).
      */
     stats::Distribution
-    runSingle(const transpile::CompiledProgram &program, Rng &rng) const;
+    runSingle(const transpile::CompiledProgram &program, Rng &rng,
+              resilience::JournalStage stage =
+                  resilience::JournalStage::BaselineEst) const;
 
     /** Same, rooted at an explicit stream node. */
     stats::Distribution
     runSingle(const transpile::CompiledProgram &program,
-              const SeedSequence &seq) const;
+              const SeedSequence &seq,
+              resilience::JournalStage stage =
+                  resilience::JournalStage::BaselineEst) const;
 
     /** Merge explicitly with a chosen rule (ablation hook). */
     static stats::Distribution

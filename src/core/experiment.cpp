@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "common/hash.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/execution_tape.hpp"
 #include "stats/metrics.hpp"
@@ -42,7 +43,69 @@ constexpr std::uint64_t kStreamPipeline = 1;
 constexpr std::uint64_t kStreamBaselineEst = 2;
 constexpr std::uint64_t kStreamBaselinePost = 3;
 
+/** Pack a round's four policy outcomes into a journal RoundRecord. */
+resilience::RoundRecord
+packRound(const RoundOutcome &out)
+{
+    resilience::RoundRecord rec;
+    rec.policy = {out.baselineEst.ist, out.baselineEst.pst,
+                  out.baselinePost.ist, out.baselinePost.pst,
+                  out.edm.ist,          out.edm.pst,
+                  out.wedm.ist,         out.wedm.pst};
+    rec.degradation = out.degradation;
+    return rec;
+}
+
+/** Restore a committed round from its journal record, bit-exactly. */
+RoundOutcome
+unpackRound(const resilience::RoundRecord &rec)
+{
+    RoundOutcome out;
+    out.baselineEst = {rec.policy[0], rec.policy[1]};
+    out.baselinePost = {rec.policy[2], rec.policy[3]};
+    out.edm = {rec.policy[4], rec.policy[5]};
+    out.wedm = {rec.policy[6], rec.policy[7]};
+    out.degradation = rec.degradation;
+    return out;
+}
+
 } // namespace
+
+resilience::JournalFingerprint
+experimentFingerprint(const hw::Device &device,
+                      const benchmarks::Benchmark &benchmark,
+                      const ExperimentConfig &config, std::uint64_t seed)
+{
+    // Everything that shapes the summary goes in; operational knobs
+    // (jobs, wallDeadlineMs, backoff pacing) deliberately stay out so
+    // a journal can be resumed under different machine conditions.
+    Fingerprint fp(0x4a4f55524e414cull); // "JOURNAL"
+    fp.add(std::string_view(benchmark.name));
+    fp.add(config.rounds);
+    fp.add(config.totalShots);
+    fp.add(config.ensembleSize);
+    fp.add(config.calibrationDrift);
+    fp.add(config.uniformityGuard);
+    const resilience::FaultConfig &faults = config.resilience.faults;
+    fp.add(faults.dropoutProb);
+    fp.add(faults.stalenessProb);
+    fp.add(faults.stalenessSeverity);
+    fp.add(faults.transientProb);
+    fp.add(faults.slowProb);
+    fp.add(faults.slowFactor);
+    fp.add(faults.batchMsPerShot);
+    fp.addRange(faults.forcedDropouts);
+    fp.add(config.resilience.retryMax);
+    fp.add(config.resilience.memberDeadlineMs);
+    fp.add(config.resilience.minTrialsPerMember);
+    fp.addRange(config.region);
+
+    resilience::JournalFingerprint id;
+    id.config = fp.value();
+    id.device = device.fingerprint();
+    id.seedRoot = seed;
+    return id;
+}
 
 double
 ExperimentSummary::edmIstGain() const
@@ -66,6 +129,10 @@ runExperiment(const hw::Device &device,
               const ExperimentConfig &config, std::uint64_t seed)
 {
     QEDM_REQUIRE(config.rounds >= 1, "need at least one round");
+    if (config.replay != nullptr) {
+        config.replay->requireMatches(
+            experimentFingerprint(device, benchmark, config, seed));
+    }
     const SeedSequence root(seed);
 
     // One pool serves both the round fan-out and the nested
@@ -94,6 +161,40 @@ runExperiment(const hw::Device &device,
     const Outcome correct = benchmark.expected;
     scheduler.parallelFor(
         static_cast<std::size_t>(config.rounds), [&](std::size_t round) {
+            // Committed rounds restore from the journal without
+            // compiling or executing anything (the round record is the
+            // commit point; its policy doubles are stored bit-exactly).
+            if (config.replay != nullptr && !config.replayFaultsOnly) {
+                const resilience::RoundRecord *rec =
+                    config.replay->findRound(
+                        static_cast<std::uint32_t>(round));
+                if (rec != nullptr) {
+                    summary.rounds[round] = unpackRound(*rec);
+                    return;
+                }
+            }
+
+            EdmConfig round_config = edm_config;
+            round_config.journalRound =
+                static_cast<std::uint32_t>(round);
+            round_config.journal = config.journal;
+            if (config.replay != nullptr) {
+                // Recorded wall-clock fires become forced faults so
+                // the resumed or replayed round makes the same cut the
+                // live watchdog made.
+                round_config.resilience.forcedWallAbandons =
+                    config.replay->wallAbandons(
+                        static_cast<std::uint32_t>(round));
+                if (config.replayFaultsOnly) {
+                    // Re-execute everything; the only journal input is
+                    // the forced fires, and the live watchdog is off
+                    // so no *new* nondeterminism can creep in.
+                    round_config.resilience.wallDeadlineMs = 0.0;
+                } else {
+                    round_config.replay = config.replay;
+                }
+            }
+
             const SeedSequence seq =
                 root.child(static_cast<std::uint64_t>(round));
 
@@ -105,7 +206,7 @@ runExperiment(const hw::Device &device,
             }
             const hw::Device &round_device =
                 drifted ? *drifted : device;
-            const EdmPipeline pipeline(round_device, edm_config);
+            const EdmPipeline pipeline(round_device, round_config);
 
             const EdmResult result = pipeline.run(
                 benchmark.circuit, seq.child(kStreamPipeline));
@@ -119,7 +220,8 @@ runExperiment(const hw::Device &device,
             // mapping (ensemble member 0 by construction).
             out.baselineEst = score(
                 pipeline.runSingle(result.members.front().program,
-                                   seq.child(kStreamBaselineEst)),
+                                   seq.child(kStreamBaselineEst),
+                                   resilience::JournalStage::BaselineEst),
                 correct);
 
             // Baseline-post: all trials on the member that showed the
@@ -129,11 +231,20 @@ runExperiment(const hw::Device &device,
                 out.baselinePost = out.baselineEst;
             } else {
                 out.baselinePost = score(
-                    pipeline.runSingle(result.members[best].program,
-                                       seq.child(kStreamBaselinePost)),
+                    pipeline.runSingle(
+                        result.members[best].program,
+                        seq.child(kStreamBaselinePost),
+                        resilience::JournalStage::BaselinePost),
                     correct);
             }
             summary.rounds[round] = out;
+
+            // Commit the round: after this record lands, a resumed run
+            // restores the round wholesale and never recompiles it.
+            if (config.journal != nullptr) {
+                config.journal->recordRound(
+                    static_cast<std::uint32_t>(round), packRound(out));
+            }
         });
 
     summary.median.baselineEst =

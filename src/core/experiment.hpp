@@ -100,7 +100,41 @@ struct ExperimentConfig
      * measurements are confined to. Empty means the whole device.
      */
     std::vector<int> region;
+    /**
+     * Crash-safe journal to record into (resilience/journal.hpp).
+     * Every completed work unit and every committed round is durably
+     * recorded before execution proceeds. Not owned.
+     */
+    resilience::Journal *journal = nullptr;
+    /**
+     * Parsed journal to resume from: committed rounds are restored
+     * without recompiling or re-executing, completed batches restore
+     * their recorded outcome, and recorded wall-clock fires are forced
+     * so the resumed summary is bit-identical to an uninterrupted run.
+     * Not owned. The caller must have validated the fingerprint
+     * (runExperiment re-validates).
+     */
+    const resilience::JournalReplay *replay = nullptr;
+    /**
+     * Replay-faults mode: ignore the journal's batch and round records
+     * and re-execute everything, but force its recorded wall-clock
+     * abandonments and disable the live watchdog — a watchdog-hit run
+     * then reproduces bit-identically at any jobs value.
+     */
+    bool replayFaultsOnly = false;
 };
+
+/**
+ * Identity triple binding a journal to one experiment invocation:
+ * everything that shapes the summary (benchmark, rounds, budgets,
+ * fault model, region, device calibration epoch, seed) and nothing
+ * operational (jobs, wall deadline, backoff pacing) — a journal
+ * recorded at --jobs 8 resumes at --jobs 1 and vice versa.
+ */
+resilience::JournalFingerprint
+experimentFingerprint(const hw::Device &device,
+                      const benchmarks::Benchmark &benchmark,
+                      const ExperimentConfig &config, std::uint64_t seed);
 
 /**
  * Run the full EDM experiment for one benchmark on @p device.

@@ -26,8 +26,21 @@
 
 #include "common/error.hpp"
 #include "resilience/fault_injector.hpp"
+#include "runtime/clock.hpp"
 
 namespace qedm::resilience {
+
+/**
+ * One wall-clock abandonment fact: member was cut off from batch
+ * @p batch onward. Recorded when the live watchdog fires; replayed as
+ * a forced fault so the nondeterministic wall-clock decision becomes
+ * reproducible (see runtime/watchdog.hpp).
+ */
+struct WallAbandon
+{
+    std::size_t member = 0;
+    std::uint64_t batch = 0;
+};
 
 /** Resilience knobs for one pipeline execution. */
 struct ResilienceConfig
@@ -49,13 +62,47 @@ struct ResilienceConfig
      * discarded instead of merged (0 = keep any non-empty partial).
      */
     std::uint64_t minTrialsPerMember = 0;
+    /**
+     * Symmetric jitter fraction applied to retry backoff delays,
+     * drawn from the unit's own seed stream (see RetryPolicy).
+     */
+    double backoffJitter = 0.0;
+    /**
+     * Wall-clock budget per member (ms); unlike memberDeadlineMs this
+     * runs on real time via the watchdog and is inherently
+     * nondeterministic — fires are recorded so replay/resume can force
+     * them. 0 = no watchdog.
+     */
+    double wallDeadlineMs = 0.0;
+    /**
+     * Time source for the watchdog and retry backoff; null means the
+     * real steadyClock(). Tests inject a ManualClock here.
+     */
+    const runtime::Clock *clock = nullptr;
+    /**
+     * Wall abandonments to re-apply as forced faults (from a journal
+     * being resumed or replayed). Each entry cuts its member off from
+     * the given batch onward, exactly as the recorded live fire did.
+     */
+    std::vector<WallAbandon> forcedWallAbandons;
 
     /**
      * True when the resilient execution path must run. Faults are the
-     * only failure source in simulation, so the retry/deadline knobs
-     * are inert — and cost nothing — without an enabled fault model.
+     * only simulated failure source, but the wall watchdog and forced
+     * wall abandons also require per-unit bookkeeping, so any of the
+     * three routes execution through the resilient path.
      */
-    bool active() const { return faults.any(); }
+    bool active() const
+    {
+        return faults.any() || wallDeadlineMs > 0.0 ||
+               !forcedWallAbandons.empty();
+    }
+
+    /** The effective time source (injected or real). */
+    const runtime::Clock &effectiveClock() const
+    {
+        return clock != nullptr ? *clock : runtime::steadyClock();
+    }
 };
 
 /** Outcome of one failed or degraded ensemble member. */

@@ -38,6 +38,8 @@ faultKindName(FaultKind kind)
         return "slow-member";
       case FaultKind::DeadlineAbandoned:
         return "deadline-abandoned";
+      case FaultKind::WallClockAbandoned:
+        return "wall-clock-abandoned";
     }
     return "unknown";
 }

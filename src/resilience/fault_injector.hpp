@@ -48,6 +48,7 @@ enum class FaultKind
     RetryExhausted,       ///< a batch failed every allowed attempt
     SlowMember,           ///< member flagged slow (virtual time)
     DeadlineAbandoned,    ///< member abandoned at the trial deadline
+    WallClockAbandoned,   ///< member abandoned by the wall watchdog
 };
 
 /** Stable diagnostic name ("qubit-dropout", ...). */

@@ -1,0 +1,32 @@
+#include "runtime/clock.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace qedm::runtime {
+
+double
+SteadyClock::nowMs() const
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+SteadyClock::sleepMs(double ms) const
+{
+    if (ms <= 0.0)
+        return;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(ms));
+}
+
+const Clock &
+steadyClock()
+{
+    static const SteadyClock clock_registry;
+    return clock_registry;
+}
+
+} // namespace qedm::runtime

@@ -1,28 +1,38 @@
 #include "runtime/retry.hpp"
 
-#include <chrono>
-#include <thread>
-
 namespace qedm::runtime {
 
 RetryOutcome
 retryWithBackoff(const RetryPolicy &policy,
-                 const std::function<void(int)> &body)
+                 const std::function<void(int)> &body, const Clock &clock,
+                 const SeedSequence &jitter)
 {
     QEDM_REQUIRE(policy.maxAttempts >= 1,
                  "retry policy needs at least one attempt");
     QEDM_REQUIRE(policy.backoffBaseMs >= 0.0,
                  "backoff base must be non-negative");
+    QEDM_REQUIRE(policy.jitterFraction >= 0.0 &&
+                     policy.jitterFraction <= 1.0,
+                 "jitter fraction must be in [0, 1]");
     RetryOutcome outcome;
     double next_backoff = policy.backoffBaseMs;
     for (int attempt = 0; attempt < policy.maxAttempts; ++attempt) {
         if (attempt > 0) {
-            outcome.totalBackoffMs += next_backoff;
-            if (next_backoff > 0.0) {
-                std::this_thread::sleep_for(
-                    std::chrono::duration<double, std::milli>(
-                        next_backoff));
+            double delay = next_backoff;
+            if (policy.jitterFraction > 0.0) {
+                // One child stream per retry index: the scale factor
+                // is a pure function of (jitter stream, attempt), so
+                // identical units replay identical schedules and
+                // distinct units stay decorrelated.
+                Rng rng =
+                    jitter.child(static_cast<std::uint64_t>(attempt))
+                        .rng();
+                delay *= rng.uniform(1.0 - policy.jitterFraction,
+                                     1.0 + policy.jitterFraction);
             }
+            outcome.totalBackoffMs += delay;
+            if (delay > 0.0)
+                clock.sleepMs(delay);
             next_backoff *= policy.backoffFactor;
         }
         ++outcome.attempts;
@@ -35,6 +45,13 @@ retryWithBackoff(const RetryPolicy &policy,
         }
     }
     return outcome;
+}
+
+RetryOutcome
+retryWithBackoff(const RetryPolicy &policy,
+                 const std::function<void(int)> &body)
+{
+    return retryWithBackoff(policy, body, steadyClock(), SeedSequence(0));
 }
 
 } // namespace qedm::runtime

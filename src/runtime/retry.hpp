@@ -7,9 +7,12 @@
  * are retried a bounded number of times with exponential backoff, and
  * only then surfaced as a permanent loss for the degradation policy to
  * absorb. The primitive is deliberately deterministic: backoff delays
- * are a pure function of the attempt index (no jitter drawn from
- * shared state), so a faulted run replays bit-identically at any
- * --jobs value.
+ * are a pure function of the attempt index plus — when a jitter
+ * fraction is configured — a SeedSequence child stream keyed by the
+ * attempt, never of shared mutable state, so a faulted run's retry
+ * schedule replays bit-identically at any --jobs value. Sleeping goes
+ * through an injectable runtime::Clock, so tests observe exact backoff
+ * schedules on a ManualClock without real sleeps.
  *
  * A body signals "retry me" by throwing TransientError; any other
  * exception is considered permanent and propagates immediately.
@@ -21,6 +24,8 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
+#include "runtime/clock.hpp"
 
 namespace qedm::runtime {
 
@@ -44,6 +49,13 @@ struct RetryPolicy
      */
     double backoffBaseMs = 0.0;
     double backoffFactor = 2.0;
+    /**
+     * Symmetric jitter fraction in [0, 1]: retry k's delay is scaled
+     * by a factor drawn uniformly from [1 - jitter, 1 + jitter] off
+     * the jitter stream's child(k). 0 = no jitter (and no stream
+     * draws, so legacy schedules are unchanged bit-for-bit).
+     */
+    double jitterFraction = 0.0;
 };
 
 /** What happened across the attempts of one unit. */
@@ -63,11 +75,21 @@ struct RetryOutcome
 };
 
 /**
- * Run body(attempt) until it completes or the policy is exhausted.
- * TransientError triggers a retry (after the scheduled backoff);
- * every other exception propagates. Never throws on exhaustion — the
- * caller decides how to degrade (see resilience/degradation.hpp).
+ * Run body(attempt) until it completes or the policy is exhausted,
+ * sleeping the scheduled backoff on @p clock between attempts. Jitter
+ * (when the policy enables it) is drawn from @p jitter's child(k)
+ * stream for retry k — a pure function of the caller-chosen stream
+ * node, so schedules are reproducible and independent across units.
+ * TransientError triggers a retry; every other exception propagates.
+ * Never throws on exhaustion — the caller decides how to degrade
+ * (see resilience/degradation.hpp).
  */
+RetryOutcome retryWithBackoff(const RetryPolicy &policy,
+                              const std::function<void(int)> &body,
+                              const Clock &clock,
+                              const SeedSequence &jitter);
+
+/** Legacy entry point: real clock, no jitter. */
 RetryOutcome retryWithBackoff(const RetryPolicy &policy,
                               const std::function<void(int)> &body);
 

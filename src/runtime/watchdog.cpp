@@ -1,0 +1,44 @@
+#include "runtime/watchdog.hpp"
+
+#include "common/error.hpp"
+
+namespace qedm::runtime {
+
+Watchdog::Watchdog(const Clock &clock, double budget_ms,
+                   std::size_t members)
+    : clock_(clock), budget_(budget_ms), spent_(members, 0.0)
+{
+    QEDM_REQUIRE(budget_ms > 0.0,
+                 "watchdog budget must be positive; use no watchdog "
+                 "for an unlimited member");
+}
+
+bool
+Watchdog::expired(std::size_t member) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    QEDM_ASSERT(member < spent_.size(),
+                "watchdog query outside the monitored member range");
+    return spent_[member] > budget_;
+}
+
+void
+Watchdog::charge(std::size_t member, double elapsed_ms) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    QEDM_ASSERT(member < spent_.size(),
+                "watchdog charge outside the monitored member range");
+    if (elapsed_ms > 0.0)
+        spent_[member] += elapsed_ms;
+}
+
+double
+Watchdog::spentMs(std::size_t member) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    QEDM_ASSERT(member < spent_.size(),
+                "watchdog query outside the monitored member range");
+    return spent_[member];
+}
+
+} // namespace qedm::runtime

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Wall-clock watchdog for member-batch execution.
+ *
+ * The resilience layer's per-member deadlines run on deterministic
+ * virtual time, which is what makes them replayable — but a production
+ * runner also needs protection against *real* hangs: a member whose
+ * batches burn wall time far past their budget must be abandoned
+ * instead of stalling the ensemble barrier. The Watchdog arms per
+ * member-batch: before a batch executes, the caller asks whether the
+ * member's cumulative wall spend has blown its budget; after the batch
+ * it charges the elapsed time back. When the watchdog fires, the
+ * caller abandons the member from that batch on through the existing
+ * degradation path and *records* the abandonment (journal +
+ * DegradationReport), so the inherently nondeterministic wall-clock
+ * decision becomes a durable fact that `--replay-faults` re-applies as
+ * a forced fault — the replayed run is then bit-identical at any
+ * --jobs value despite wall time never repeating.
+ *
+ * The clock is injectable (runtime::Clock) so tests drive the watchdog
+ * on a ManualClock and never wait for real time.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "runtime/clock.hpp"
+
+namespace qedm::runtime {
+
+/** Per-member wall-clock budget monitor. Thread-safe. */
+class Watchdog
+{
+  public:
+    /**
+     * @param clock     time source (not owned; must outlive this)
+     * @param budget_ms wall-clock budget per member; must be > 0
+     * @param members   number of members monitored
+     */
+    Watchdog(const Clock &clock, double budget_ms, std::size_t members);
+
+    const Clock &timeSource() const { return clock_; }
+    double budgetMs() const { return budget_; }
+
+    /**
+     * Arm for one batch of @p member: true when the member's budget is
+     * already exhausted and the batch must be abandoned instead of
+     * executed (the caller records the abandonment).
+     */
+    bool expired(std::size_t member) const;
+
+    /** Charge @p elapsed_ms of wall time to @p member. */
+    void charge(std::size_t member, double elapsed_ms) const;
+
+    /** Wall time charged to @p member so far. */
+    double spentMs(std::size_t member) const;
+
+  private:
+    const Clock &clock_;
+    double budget_;
+    mutable std::mutex mutex_;
+    mutable std::vector<double> spent_;
+};
+
+} // namespace qedm::runtime

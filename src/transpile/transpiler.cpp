@@ -1,11 +1,11 @@
 #include "transpile/transpiler.hpp"
 
-#include <chrono>
 #include <functional>
 #include <optional>
 #include <set>
 #include <utility>
 
+#include "runtime/clock.hpp"
 #include "transpile/esp.hpp"
 #include "transpile/placer.hpp"
 
@@ -104,12 +104,10 @@ Transpiler::runPasses(const circuit::Circuit &logical,
     for (auto &[name, pass] : passes) {
         PassMetadata meta;
         meta.name = name;
-        const auto start = std::chrono::steady_clock::now();
+        const runtime::Clock &clock_src = runtime::steadyClock();
+        const double start_ms = clock_src.nowMs();
         pass(ctx, meta);
-        meta.milliseconds =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - start)
-                .count();
+        meta.milliseconds = clock_src.nowMs() - start_ms;
         trace.passes.push_back(std::move(meta));
     }
     trace.program = std::move(ctx.out);

@@ -3,6 +3,7 @@
 // tests/analyze_fixture and expects a nonzero exit with every
 // determinism-family rule firing. Never compiled; only scanned.
 
+#include <chrono>
 #include <ctime>
 #include <numeric>
 #include <unordered_map>
@@ -41,6 +42,15 @@ unsigned
 wallClockSeed()
 {
     return static_cast<unsigned>(std::time(nullptr)); // time-seed
+}
+
+double
+rawWallClockRead()
+{
+    // wall-clock: result-bearing code must read time through the
+    // injectable runtime::Clock, never steady_clock directly.
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
 }
 
 } // namespace analyze_fixture

@@ -184,6 +184,38 @@ TEST(Rules, TimeSeed)
               0);
 }
 
+TEST(Rules, WallClock)
+{
+    // Raw steady_clock reads are banned in result-bearing code: wall
+    // time must flow through the injectable runtime::Clock so
+    // watchdog decisions stay recordable and replayable.
+    EXPECT_EQ(
+        countRule(findingsFor(
+                      "src/core/a.cpp",
+                      "auto t = std::chrono::steady_clock::now();\n"),
+                  "wall-clock"),
+        1);
+    // The sanctioned Clock implementation is the one exemption.
+    EXPECT_EQ(
+        countRule(findingsFor(
+                      "src/runtime/clock.cpp",
+                      "auto t = std::chrono::steady_clock::now();\n"),
+                  "wall-clock"),
+        0);
+    // Driver trees are exempt, and unrelated now() calls are not the
+    // steady clock.
+    EXPECT_EQ(
+        countRule(findingsFor(
+                      "tools/a.cpp",
+                      "auto t = std::chrono::steady_clock::now();\n"),
+                  "wall-clock"),
+        0);
+    EXPECT_EQ(countRule(findingsFor("src/a.cpp",
+                                    "auto t = calendar.now();\n"),
+                        "wall-clock"),
+              0);
+}
+
 TEST(Rules, AssertDiscipline)
 {
     EXPECT_EQ(countRule(findingsFor("src/a.cpp", "assert(x > 0);\n"),
@@ -562,7 +594,7 @@ TEST(Sarif, StructureIsValid210)
          {"rng-discipline", "time-seed", "assert-discipline",
           "stdout-discipline", "pragma-once", "naked-new",
           "dense-distance", "unordered-iteration", "local-static",
-          "float-accumulate", "layering", "include-cycle",
+          "float-accumulate", "wall-clock", "layering", "include-cycle",
           "stale-baseline"}) {
         EXPECT_NE(std::find(rule_ids.begin(), rule_ids.end(),
                             expected),

@@ -23,7 +23,9 @@
 #include "hw/device.hpp"
 #include "resilience/degradation.hpp"
 #include "resilience/fault_injector.hpp"
+#include "runtime/clock.hpp"
 #include "runtime/retry.hpp"
+#include "runtime/watchdog.hpp"
 #include "sim/execution_tape.hpp"
 #include "sim/executor.hpp"
 
@@ -169,6 +171,110 @@ TEST(RetryTest, BackoffScheduleIsDeterministic)
         throw runtime::TransientError("down");
     });
     EXPECT_DOUBLE_EQ(outcome.totalBackoffMs, 0.0);
+}
+
+TEST(RetryTest, BackoffSleepsOnTheInjectedClock)
+{
+    // 10ms, 20ms, 40ms of backoff between four failing attempts, all
+    // of it virtual: the manual clock advances, no real time passes.
+    const runtime::ManualClock clock;
+    runtime::RetryPolicy policy;
+    policy.maxAttempts = 4;
+    policy.backoffBaseMs = 10.0;
+    const auto outcome = runtime::retryWithBackoff(
+        policy, [](int) { throw runtime::TransientError("down"); },
+        clock, SeedSequence(0));
+    EXPECT_FALSE(outcome.succeeded);
+    EXPECT_DOUBLE_EQ(outcome.totalBackoffMs, 70.0);
+    EXPECT_DOUBLE_EQ(clock.nowMs(), 70.0);
+}
+
+TEST(RetryTest, JitterIsAPureFunctionOfTheStream)
+{
+    const runtime::ManualClock clock;
+    runtime::RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.backoffBaseMs = 10.0;
+    policy.jitterFraction = 0.5;
+
+    const auto run = [&](std::uint64_t seed) {
+        return runtime::retryWithBackoff(
+            policy,
+            [](int) { throw runtime::TransientError("down"); }, clock,
+            SeedSequence(seed));
+    };
+    const auto a = run(11);
+    const auto b = run(11);
+    const auto c = run(12);
+
+    // Same stream: the same schedule, bit for bit. Different stream:
+    // a different one (with overwhelming probability), but always
+    // inside the +/-50% envelope of the un-jittered 150ms total.
+    EXPECT_EQ(a.totalBackoffMs, b.totalBackoffMs);
+    EXPECT_NE(a.totalBackoffMs, c.totalBackoffMs);
+    for (const auto &o : {a, b, c}) {
+        EXPECT_GE(o.totalBackoffMs, 75.0);
+        EXPECT_LE(o.totalBackoffMs, 225.0);
+    }
+}
+
+TEST(RetryTest, ZeroJitterDrawsNothingFromTheStream)
+{
+    // jitterFraction == 0 must leave legacy schedules untouched no
+    // matter what stream is handed in.
+    const runtime::ManualClock clock;
+    runtime::RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.backoffBaseMs = 4.0;
+    const auto a = runtime::retryWithBackoff(
+        policy, [](int) { throw runtime::TransientError("down"); },
+        clock, SeedSequence(1));
+    const auto b = runtime::retryWithBackoff(
+        policy, [](int) { throw runtime::TransientError("down"); },
+        clock, SeedSequence(999));
+    EXPECT_DOUBLE_EQ(a.totalBackoffMs, 12.0);
+    EXPECT_DOUBLE_EQ(b.totalBackoffMs, 12.0);
+}
+
+TEST(RetryTest, RejectsInvalidPolicies)
+{
+    const runtime::ManualClock clock;
+    runtime::RetryPolicy bad;
+    bad.jitterFraction = 1.5;
+    EXPECT_THROW(runtime::retryWithBackoff(
+                     bad, [](int) {}, clock, SeedSequence(0)),
+                 Error);
+}
+
+// ---------------------------------------------------------------------
+// Watchdog: wall-clock budget bookkeeping on an injectable clock.
+
+TEST(WatchdogTest, FiresOnlyPastTheBudget)
+{
+    const runtime::ManualClock clock;
+    const runtime::Watchdog watchdog(clock, 100.0, 2);
+    EXPECT_FALSE(watchdog.expired(0));
+    watchdog.charge(0, 100.0); // exactly on budget: not expired yet
+    EXPECT_FALSE(watchdog.expired(0));
+    watchdog.charge(0, 0.5);
+    EXPECT_TRUE(watchdog.expired(0));
+    EXPECT_DOUBLE_EQ(watchdog.spentMs(0), 100.5);
+
+    // Budgets are per member: member 1 is untouched.
+    EXPECT_FALSE(watchdog.expired(1));
+    EXPECT_DOUBLE_EQ(watchdog.spentMs(1), 0.0);
+}
+
+TEST(WatchdogTest, ChargesAccumulate)
+{
+    const runtime::ManualClock clock;
+    const runtime::Watchdog watchdog(clock, 50.0, 1);
+    for (int i = 0; i < 5; ++i)
+        watchdog.charge(0, 10.0);
+    EXPECT_FALSE(watchdog.expired(0));
+    watchdog.charge(0, 10.0);
+    EXPECT_TRUE(watchdog.expired(0));
+    EXPECT_DOUBLE_EQ(watchdog.spentMs(0), 60.0);
 }
 
 // ---------------------------------------------------------------------

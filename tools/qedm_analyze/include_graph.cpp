@@ -23,12 +23,17 @@ allowedDeps()
         {"circuit", {"common"}},
         {"hw", {"common"}},
         {"runtime", {"common"}},
-        {"resilience", {"common", "runtime"}},
+        // resilience reaches down to stats (journaled batch counts)
+        // and check (structured journal-corruption errors); see the
+        // crash-safe journal design in DESIGN.md.
+        {"resilience", {"common", "runtime", "stats", "check"}},
         {"analysis", {"common", "stats"}},
         {"check", {"common", "circuit", "hw"}},
         {"sim", {"common", "circuit", "hw", "stats"}},
         {"variational", {"common", "circuit", "hw", "stats"}},
-        {"transpile", {"common", "circuit", "hw", "check"}},
+        // transpile uses runtime for the injectable wall clock that
+        // times its passes (runtime/clock.hpp).
+        {"transpile", {"common", "circuit", "hw", "check", "runtime"}},
         {"benchmarks", {"common", "circuit", "sim"}},
         {"core",
          {"common", "stats", "circuit", "hw", "check", "sim",

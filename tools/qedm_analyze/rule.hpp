@@ -79,6 +79,19 @@ struct RuleProfile
     bool unorderedIteration = false;
     bool localStatic = false;
     bool floatAccumulate = false;
+    /**
+     * Reject std::chrono::steady_clock::now() in result-bearing code:
+     * wall time must flow through the injectable runtime::Clock so
+     * watchdog decisions are recordable and replayable.
+     */
+    bool wallClock = false;
+    /**
+     * Non-empty exempts the file from the wall-clock rule *with a
+     * stated justification* (shown nowhere, but the requirement keeps
+     * carve-outs deliberate). Only the sanctioned clock/watchdog
+     * modules set this.
+     */
+    std::string wallClockExemptReason;
 };
 
 /** Per-directory rule profile for @p rel_path (see rules.cpp). */

@@ -216,6 +216,51 @@ class TimeSeedRule final : public FileRule
     }
 };
 
+/**
+ * Library code must not read std::chrono::steady_clock directly: wall
+ * time is inherently nondeterministic, so every read has to flow
+ * through the injectable runtime::Clock interface, where tests
+ * substitute a ManualClock and the watchdog's record/replay contract
+ * can make timing decisions reproducible. Only the sanctioned clock
+ * and watchdog modules (non-empty wallClockExemptReason in
+ * profileFor) may touch the real clock.
+ */
+class WallClockRule final : public FileRule
+{
+  public:
+    WallClockRule()
+        : FileRule("wall-clock",
+                   "steady_clock reads outside runtime/clock must go "
+                   "through the injectable runtime::Clock so timing "
+                   "decisions stay recordable and replayable")
+    {
+    }
+    bool appliesTo(const std::string &,
+                   const RuleProfile &p) const override
+    {
+        return p.wallClock && p.wallClockExemptReason.empty();
+    }
+    void check(const FileScan &scan,
+               std::vector<Finding> &out) const override
+    {
+        const auto code = codeTokens(scan);
+        for (std::size_t i = 0; i + 2 < code.size(); ++i) {
+            const Token &t = scan.tokens[code[i]];
+            if (isIdent(t, "steady_clock") &&
+                isPunct(scan.tokens[code[i + 1]], "::") &&
+                isIdent(scan.tokens[code[i + 2]], "now")) {
+                out.push_back(Finding{
+                    scan.rel_path, t.line, {},
+                    "steady_clock::now is a raw wall-clock read; use "
+                    "the injectable runtime::Clock (runtime/clock.hpp) "
+                    "so timing decisions stay recordable and "
+                    "replayable",
+                    {}, 0});
+            }
+        }
+    }
+};
+
 class AssertDisciplineRule final : public FileRule
 {
   public:
@@ -708,6 +753,7 @@ profileFor(const std::string &rel_path)
         p.stdoutDiscipline = true;
         p.denseDistance = true;
         p.localStatic = true;
+        p.wallClock = true;
     }
     if (underDir(rel_path, "src/core") ||
         underDir(rel_path, "src/transpile") ||
@@ -725,6 +771,11 @@ profileFor(const std::string &rel_path)
     }
     if (rel_path.rfind("src/transpile/distances", 0) == 0)
         p.denseDistance = false; // the provider's own home
+    if (rel_path.rfind("src/runtime/clock", 0) == 0) {
+        p.wallClockExemptReason =
+            "the sanctioned Clock implementation: the one place the "
+            "real steady_clock is read";
+    }
     return p;
 }
 
@@ -732,6 +783,7 @@ RuleRegistry::RuleRegistry()
 {
     add(std::make_unique<RngDisciplineRule>());
     add(std::make_unique<TimeSeedRule>());
+    add(std::make_unique<WallClockRule>());
     add(std::make_unique<AssertDisciplineRule>());
     add(std::make_unique<StdoutDisciplineRule>());
     add(std::make_unique<PragmaOnceRule>());

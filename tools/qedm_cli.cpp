@@ -45,13 +45,33 @@
  * Omitting both uses the whole device and is bit-identical to builds
  * that predate the flags.
  *
+ * Crash-safety flags (experiment only, anywhere on the line):
+ *   --journal <path>         record every completed batch and round
+ *                            into a crash-safe journal (fsync'd,
+ *                            checksummed, append-only)
+ *   --resume <path>          resume a crashed journaled run: committed
+ *                            rounds and batches are restored, recorded
+ *                            wall-clock fires are forced, and the
+ *                            summary is bit-identical to an
+ *                            uninterrupted run at any --jobs
+ *   --replay-faults <path>   re-execute everything but force the
+ *                            journal's recorded wall-clock fires (and
+ *                            disable the live watchdog), reproducing a
+ *                            watchdog-hit run bit-identically
+ *   --wall-deadline-ms <ms>  real wall-clock budget per member per
+ *                            round; the watchdog abandons a member
+ *                            that blows it and records the fire
+ * Journal progress notes print to stderr; stdout stays diffable.
+ *
  * Exit code 0 on success, 1 on a usage/user error (including a
- * verifier rejection and an ensemble that lost every member).
+ * verifier rejection, an ensemble that lost every member, and a
+ * corrupt or mismatched journal).
  */
 
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -65,6 +85,7 @@
 #include "hw/device.hpp"
 #include "hw/device_view.hpp"
 #include "resilience/degradation.hpp"
+#include "resilience/journal.hpp"
 #include "stats/metrics.hpp"
 #include "transpile/transpiler.hpp"
 
@@ -325,7 +346,10 @@ int
 cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
               bool verify,
               const resilience::ResilienceConfig &resilience,
-              const std::vector<int> &region)
+              const std::vector<int> &region,
+              const std::string &journal_path,
+              const std::string &resume_path,
+              const std::string &replay_path)
 {
     const auto b = lookup(name);
     const hw::Device device = hw::Device::melbourne(seed);
@@ -334,6 +358,38 @@ cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
     config.verifyPasses |= verify;
     config.resilience = resilience;
     config.region = region;
+
+    // Journal wiring. Progress notes go to stderr so stdout stays
+    // byte-diffable against an uninterrupted run's output.
+    std::optional<resilience::JournalReplay> replay;
+    std::optional<resilience::Journal> journal;
+    if (!resume_path.empty()) {
+        replay.emplace(resilience::JournalReplay::load(resume_path));
+        replay->requireMatches(
+            core::experimentFingerprint(device, b, config, seed));
+        if (replay->truncatedTail())
+            std::cerr << "journal: discarded a torn tail record\n";
+        std::cerr << "journal: resuming from " << resume_path << " ("
+                  << replay->roundCount() << " committed round(s), "
+                  << replay->batchCount() << " recorded batch(es))\n";
+        journal.emplace(resilience::Journal::resume(
+            resume_path, replay->validBytes()));
+        config.replay = &*replay;
+        config.journal = &*journal;
+    } else if (!replay_path.empty()) {
+        replay.emplace(resilience::JournalReplay::load(replay_path));
+        config.replay = &*replay;
+        config.replayFaultsOnly = true;
+        std::cerr << "journal: replaying recorded wall-clock faults "
+                     "from "
+                  << replay_path << "\n";
+    } else if (!journal_path.empty()) {
+        journal.emplace(resilience::Journal::create(
+            journal_path,
+            core::experimentFingerprint(device, b, config, seed)));
+        config.journal = &*journal;
+    }
+
     const auto summary = core::runExperiment(device, b, config, seed);
     analysis::Table table({"policy", "median IST", "median PST"});
     table.addRow({"baseline (compile-time best)",
@@ -352,7 +408,11 @@ cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
               << analysis::fmt(summary.edmIstGain(), 2)
               << "x, WEDM gain "
               << analysis::fmt(summary.wedmIstGain(), 2) << "x\n";
-    if (resilience.active()) {
+    // Replay mode injects forced wall faults per round inside
+    // runExperiment, so the CLI-level config alone cannot tell whether
+    // degradation reporting ran; treat replay as resilience-active so
+    // the replayed stdout matches the live run's byte-for-byte.
+    if (resilience.active() || !replay_path.empty()) {
         std::cout << "resilience: " << summary.degradedRounds << "/"
                   << summary.rounds.size() << " rounds degraded, "
                   << summary.trialsLost << " trial(s) lost, "
@@ -375,7 +435,9 @@ usage()
                  "[--check] [--region q0,q1,...] [--region-file PATH] "
                  "[--faults SPEC] [--fail-member M] "
                  "[--retry-max N] [--member-deadline-ms MS] "
-                 "[--min-trials-per-member N]\n";
+                 "[--min-trials-per-member N] "
+                 "[--journal PATH | --resume PATH | "
+                 "--replay-faults PATH] [--wall-deadline-ms MS]\n";
     return 1;
 }
 
@@ -392,6 +454,7 @@ main(int argc, char **argv)
         bool verify = qedm::check::kDefaultVerify;
         qedm::resilience::ResilienceConfig resilience;
         std::vector<int> region;
+        std::string journal_path, resume_path, replay_path;
         const auto flagValue = [&](int &i) -> std::string {
             if (i + 1 >= argc)
                 throw qedm::UserError(std::string(argv[i]) +
@@ -427,9 +490,26 @@ main(int argc, char **argv)
                 resilience.minTrialsPerMember =
                     static_cast<std::uint64_t>(parseCount(
                         "--min-trials-per-member", flagValue(i)));
+            } else if (arg == "--wall-deadline-ms") {
+                resilience.wallDeadlineMs =
+                    parseDouble("--wall-deadline-ms", flagValue(i));
+            } else if (arg == "--journal") {
+                journal_path = flagValue(i);
+            } else if (arg == "--resume") {
+                resume_path = flagValue(i);
+            } else if (arg == "--replay-faults") {
+                replay_path = flagValue(i);
             } else {
                 pos.push_back(arg);
             }
+        }
+        const int journal_modes = (journal_path.empty() ? 0 : 1) +
+                                  (resume_path.empty() ? 0 : 1) +
+                                  (replay_path.empty() ? 0 : 1);
+        if (journal_modes > 1) {
+            throw qedm::UserError(
+                "--journal, --resume, and --replay-faults are mutually "
+                "exclusive (--resume already appends to its journal)");
         }
         if (pos.empty())
             return usage();
@@ -451,13 +531,20 @@ main(int argc, char **argv)
             return cmdCompile(name, seed, verify, region);
         if (cmd == "candidates")
             return cmdCandidates(name, seed, verify, region);
+        if (cmd != "experiment" &&
+            (journal_modes > 0 || resilience.wallDeadlineMs > 0.0)) {
+            throw qedm::UserError(
+                "--journal/--resume/--replay-faults/--wall-deadline-ms "
+                "apply to the experiment subcommand only");
+        }
         if (cmd == "run") {
             return cmdRun(name, seed, shots, jobs, verify, resilience,
                           region);
         }
         if (cmd == "experiment") {
             return cmdExperiment(name, seed, jobs, verify, resilience,
-                                 region);
+                                 region, journal_path, resume_path,
+                                 replay_path);
         }
         return usage();
     } catch (const qedm::resilience::EnsembleFailedError &e) {
