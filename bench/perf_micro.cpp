@@ -403,6 +403,24 @@ runSimKernelSweep()
                                           program.physical));
                               },
                               3));
+        // Batched-engine width sweep (BM_BatchedShotsBv6): the same
+        // noisy shot loop at explicit SoA lane widths, so the guard
+        // catches a regression that only hits one batching regime
+        // (B=1 exercises the per-batch overhead, 256 the width cap).
+        for (const std::size_t width : {std::size_t(1),
+                                        std::size_t(16),
+                                        std::size_t(64),
+                                        std::size_t(256)}) {
+            sim::Executor batched(device);
+            batched.setSimBatch(width);
+            emit("batched_shots_bv6_1024_b" + std::to_string(width),
+                 timeBestNs(
+                     [&] {
+                         benchmark::DoNotOptimize(
+                             batched.run(program.physical, 1024, rng));
+                     },
+                     5));
+        }
     }
     {
         // Coherent-only device: the tape is deterministic, so this

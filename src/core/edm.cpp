@@ -141,6 +141,7 @@ runResilient(const hw::Device &device, const EdmConfig &config,
             member_tapes[m] = std::make_shared<const sim::ExecutionTape>(
                 sim::ExecutionTape::build(stale, programs[m].physical));
             stale_execs[m].emplace(stale);
+            stale_execs[m]->setSimBatch(config.simBatch);
         }
     }
     const auto executorFor = [&](std::size_t m) -> const sim::Executor & {
@@ -533,7 +534,8 @@ EdmPipeline::run(const circuit::Circuit &logical,
         builder.build(logical);
     QEDM_ASSERT(!programs.empty(), "ensemble builder returned nothing");
 
-    const sim::Executor executor(device_);
+    sim::Executor executor(device_);
+    executor.setSimBatch(config_.simBatch);
     const std::vector<std::uint64_t> splits =
         splitShots(config_.totalShots, programs.size());
 
@@ -687,7 +689,8 @@ EdmPipeline::runSingle(const transpile::CompiledProgram &program,
                        const SeedSequence &seq,
                        resilience::JournalStage stage) const
 {
-    const sim::Executor executor(device_);
+    sim::Executor executor(device_);
+    executor.setSimBatch(config_.simBatch);
     const std::shared_ptr<const sim::ExecutionTape> tape =
         config_.tapeCache != nullptr
             ? config_.tapeCache->get(device_, program.physical)

@@ -28,6 +28,7 @@
 #include "resilience/journal.hpp"
 #include "runtime/scheduler.hpp"
 #include "sim/execution_tape.hpp"
+#include "sim/executor.hpp"
 #include "stats/distribution.hpp"
 #include "stats/metrics.hpp"
 
@@ -78,6 +79,15 @@ struct EdmConfig
      * jobs value; changing shotBatch changes which streams are drawn.
      */
     std::uint64_t shotBatch = 2048;
+    /**
+     * Trajectory-engine lane width: shots per SoA batch inside the
+     * simulator (sim::Executor::setSimBatch). 0 = scalar per-shot
+     * path, 1+ = batched. NOT part of the result's identity — every
+     * width replays the §12 draw-order contract bit-identically; this
+     * only tunes throughput (the executor clamps to an L1-friendly
+     * width internally).
+     */
+    std::size_t simBatch = sim::Executor::kDefaultSimBatch;
     /** Optional shared tape cache (not owned; must outlive run()). */
     sim::TapeCache *tapeCache = nullptr;
     /**

@@ -77,8 +77,9 @@ experimentFingerprint(const hw::Device &device,
                       const ExperimentConfig &config, std::uint64_t seed)
 {
     // Everything that shapes the summary goes in; operational knobs
-    // (jobs, wallDeadlineMs, backoff pacing) deliberately stay out so
-    // a journal can be resumed under different machine conditions.
+    // (jobs, simBatch, wallDeadlineMs, backoff pacing) deliberately
+    // stay out so a journal can be resumed under different machine
+    // conditions.
     Fingerprint fp(0x4a4f55524e414cull); // "JOURNAL"
     fp.add(std::string_view(benchmark.name));
     fp.add(config.rounds);
@@ -149,6 +150,7 @@ runExperiment(const hw::Device &device,
     edm_config.ensemble.region = config.region;
     edm_config.totalShots = config.totalShots;
     edm_config.uniformityGuard = config.uniformityGuard;
+    edm_config.simBatch = config.simBatch;
     edm_config.verifyPasses = config.verifyPasses;
     edm_config.scheduler = &scheduler;
     edm_config.tapeCache = &tape_cache;

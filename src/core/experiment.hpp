@@ -83,6 +83,12 @@ struct ExperimentConfig
      */
     int jobs = 1;
     /**
+     * Trajectory-engine lane width forwarded to every round's
+     * EdmConfig::simBatch (0 = scalar per-shot path). Throughput
+     * only — results are bit-identical at every width.
+     */
+    std::size_t simBatch = sim::Executor::kDefaultSimBatch;
+    /**
      * Run the qedm::check static verifiers over every compiled
      * program of every round (forwarded to EdmConfig::verifyPasses).
      * Always-on in debug builds; opt-in in release.

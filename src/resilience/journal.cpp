@@ -47,6 +47,7 @@ fnv1a(std::uint8_t type, const std::uint8_t *data, std::size_t n)
 class Writer
 {
   public:
+    void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
     void u8(std::uint8_t v) { buf_.push_back(v); }
     void u32(std::uint32_t v)
     {
@@ -301,6 +302,7 @@ Journal::append(std::uint8_t type, const std::vector<std::uint8_t> &payload)
 {
     QEDM_ASSERT(payload.size() < kMaxPayload, "journal record too large");
     Writer frame;
+    frame.reserve(4 + 1 + payload.size() + 8);
     frame.u32(static_cast<std::uint32_t>(payload.size()));
     frame.u8(type);
     for (const std::uint8_t byte : payload)

@@ -1,0 +1,561 @@
+#include "sim/batched_statevector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/kernel_shapes.hpp"
+
+namespace qedm::sim {
+
+namespace {
+
+using kernels::kOne;
+using kernels::kZero;
+
+const std::array<Complex, 4> kIdentity1q = {kOne, kZero, kZero, kOne};
+
+} // namespace
+
+BatchedStateVector::BatchedStateVector(int num_qubits,
+                                       std::size_t lanes)
+    : numQubits_(num_qubits),
+      dim_(std::size_t(1) << num_qubits),
+      lanes_(lanes)
+{
+    QEDM_REQUIRE(num_qubits >= 1 && num_qubits <= 24,
+                 "state vector qubit count must be in [1, 24]");
+    QEDM_REQUIRE(lanes >= 1, "batch needs at least one lane");
+    re_.assign(dim_ * lanes_, 0.0);
+    im_.assign(dim_ * lanes_, 0.0);
+    norms_.assign(lanes_, 1.0);
+    prob_.resize(lanes_);
+    r_.resize(lanes_);
+    acc_.resize(lanes_);
+    inv_.resize(lanes_);
+    coef_.resize(8 * lanes_);
+    scratch_.resize(8 * lanes_);
+    lobuf_.resize((dim_ / 2) * lanes_);
+    pendN1_.resize(lanes_);
+    pick_.resize(lanes_);
+    decided_.resize(lanes_);
+    mats_.resize(lanes_);
+    std::fill(re_.begin(), re_.begin() + lanes_, 1.0);
+}
+
+void
+BatchedStateVector::reset()
+{
+    std::fill(re_.begin(), re_.end(), 0.0);
+    std::fill(im_.begin(), im_.end(), 0.0);
+    std::fill(re_.begin(), re_.begin() + lanes_, 1.0);
+    std::fill(norms_.begin(), norms_.end(), 1.0);
+    normsValid_ = true;
+    pendingValid_ = false;
+}
+
+Complex
+BatchedStateVector::amplitude(std::size_t basis,
+                              std::size_t lane) const
+{
+    QEDM_REQUIRE(basis < dim_ && lane < lanes_,
+                 "amplitude index out of range");
+    return {re_[basis * lanes_ + lane], im_[basis * lanes_ + lane]};
+}
+
+void
+BatchedStateVector::apply1q(const std::array<Complex, 4> &m, int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    const std::size_t mask = std::size_t(1) << q;
+    switch (kernels::classify1q(m)) {
+      case kernels::Mat2Shape::Diagonal:
+        applyDiag1q(m[0], m[3], q);
+        return;
+      case kernels::Mat2Shape::AntiDiagonal:
+        laneKernels().apply1qAntiDiag(re_.data(), im_.data(), dim_,
+                                      lanes_, mask, m[1], m[2]);
+        break;
+      case kernels::Mat2Shape::General:
+        laneKernels().apply1qGeneral(re_.data(), im_.data(), dim_,
+                                     lanes_, mask, m);
+        break;
+    }
+    normsValid_ = false;
+    pendingValid_ = false;
+}
+
+void
+BatchedStateVector::applyDiag1q(Complex d0, Complex d1, int q)
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    if (d0 == kOne && d1 == kOne)
+        return; // identity: amplitudes (and the norm cache) unchanged
+    const std::size_t mask = std::size_t(1) << q;
+    if (d0 == kOne) {
+        laneKernels().applyDiagPhase(re_.data(), im_.data(), dim_,
+                                     lanes_, mask, d1);
+    } else {
+        laneKernels().applyDiagBoth(re_.data(), im_.data(), dim_,
+                                    lanes_, mask, d0, d1);
+    }
+    normsValid_ = false;
+    pendingValid_ = false;
+}
+
+void
+BatchedStateVector::apply2q(const std::array<Complex, 16> &m, int q0,
+                            int q1)
+{
+    QEDM_REQUIRE(q0 >= 0 && q0 < numQubits_ && q1 >= 0 &&
+                     q1 < numQubits_ && q0 != q1,
+                 "invalid two-qubit operands");
+    const std::size_t m0 = std::size_t(1) << q0;
+    const std::size_t m1 = std::size_t(1) << q1;
+    // Same bit-interleaved group construction as the scalar engine:
+    // groups are visited in ascending base order.
+    const std::size_t groups = dim_ >> 2;
+    const std::size_t mlo = (m0 < m1 ? m0 : m1) - 1;
+    const std::size_t mhi = (m0 < m1 ? m1 : m0) - 1;
+    const auto groupBase = [mlo, mhi](std::size_t g) {
+        const std::size_t x = ((g & ~mlo) << 1) | (g & mlo);
+        return ((x & ~mhi) << 1) | (x & mhi);
+    };
+    const std::size_t lanes = lanes_;
+
+    int col[4];
+    Complex coeff[4];
+    if (kernels::decomposeMonomial4(m, col, coeff)) {
+        const bool identity_012 =
+            col[0] == 0 && col[1] == 1 && col[2] == 2 &&
+            coeff[0] == kOne && coeff[1] == kOne && coeff[2] == kOne;
+        if (identity_012 && col[3] == 3) {
+            // Controlled phase (CZ family): only |11> rows move.
+            if (coeff[3] == kOne)
+                return; // identity
+            const double cr = coeff[3].real();
+            const double ci = coeff[3].imag();
+            for (std::size_t g = 0; g < groups; ++g) {
+                const std::size_t row =
+                    (groupBase(g) | m0 | m1) * lanes;
+                double *rr = re_.data() + row;
+                double *ii = im_.data() + row;
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    const double ar = rr[l], ai = ii[l];
+                    rr[l] = ar * cr - ai * ci;
+                    ii[l] = ar * ci + ai * cr;
+                }
+            }
+            normsValid_ = false;
+            pendingValid_ = false;
+            return;
+        }
+        bool permutation = true;
+        for (int r = 0; r < 4; ++r)
+            permutation = permutation && coeff[r] == kOne;
+        if (permutation) {
+            // Transpositions (CX, SWAP): swap two rows per group.
+            int a = -1, b = -1;
+            int moved = 0;
+            for (int r = 0; r < 4; ++r) {
+                if (col[r] != r) {
+                    ++moved;
+                    if (a < 0)
+                        a = r;
+                    else
+                        b = r;
+                }
+            }
+            if (moved == 0)
+                return; // identity permutation
+            if (moved == 2 && col[a] == b && col[b] == a) {
+                const std::size_t off_a =
+                    (a & 2 ? m0 : 0) | (a & 1 ? m1 : 0);
+                const std::size_t off_b =
+                    (b & 2 ? m0 : 0) | (b & 1 ? m1 : 0);
+                for (std::size_t g = 0; g < groups; ++g) {
+                    const std::size_t base = groupBase(g);
+                    const std::size_t ra = (base | off_a) * lanes;
+                    const std::size_t rb = (base | off_b) * lanes;
+                    std::swap_ranges(re_.begin() + ra,
+                                     re_.begin() + ra + lanes,
+                                     re_.begin() + rb);
+                    std::swap_ranges(im_.begin() + ra,
+                                     im_.begin() + ra + lanes,
+                                     im_.begin() + rb);
+                }
+                normsValid_ = false;
+                pendingValid_ = false;
+                return;
+            }
+        }
+        // General monomial: one scaled row gather per output row.
+        for (std::size_t g = 0; g < groups; ++g) {
+            const std::size_t base = groupBase(g);
+            const std::size_t idx[4] = {base, base | m1, base | m0,
+                                        base | m0 | m1};
+            for (int r = 0; r < 4; ++r) {
+                const double *sr = re_.data() + idx[r] * lanes;
+                const double *si = im_.data() + idx[r] * lanes;
+                std::copy(sr, sr + lanes,
+                          scratch_.data() + std::size_t(r) * lanes);
+                std::copy(si, si + lanes,
+                          scratch_.data() +
+                              (std::size_t(r) + 4) * lanes);
+            }
+            for (int r = 0; r < 4; ++r) {
+                const double cr = coeff[r].real();
+                const double ci = coeff[r].imag();
+                const double *vr =
+                    scratch_.data() + std::size_t(col[r]) * lanes;
+                const double *vi =
+                    scratch_.data() +
+                    (std::size_t(col[r]) + 4) * lanes;
+                double *dr = re_.data() + idx[r] * lanes;
+                double *di = im_.data() + idx[r] * lanes;
+                for (std::size_t l = 0; l < lanes; ++l) {
+                    dr[l] = cr * vr[l] - ci * vi[l];
+                    di[l] = cr * vi[l] + ci * vr[l];
+                }
+            }
+        }
+        normsValid_ = false;
+        pendingValid_ = false;
+        return;
+    }
+
+    // Dense 4x4: reference accumulation order, per lane.
+    for (std::size_t g = 0; g < groups; ++g) {
+        const std::size_t base = groupBase(g);
+        const std::size_t idx[4] = {base, base | m1, base | m0,
+                                    base | m0 | m1};
+        for (int k = 0; k < 4; ++k) {
+            const double *sr = re_.data() + idx[k] * lanes;
+            const double *si = im_.data() + idx[k] * lanes;
+            std::copy(sr, sr + lanes,
+                      scratch_.data() + std::size_t(k) * lanes);
+            std::copy(si, si + lanes,
+                      scratch_.data() + (std::size_t(k) + 4) * lanes);
+        }
+        for (int r = 0; r < 4; ++r) {
+            double *dr = re_.data() + idx[r] * lanes;
+            double *di = im_.data() + idx[r] * lanes;
+            for (std::size_t l = 0; l < lanes; ++l) {
+                double accre = 0.0;
+                double accim = 0.0;
+                for (int c = 0; c < 4; ++c) {
+                    const double mr = m[r * 4 + c].real();
+                    const double mi = m[r * 4 + c].imag();
+                    const double vr =
+                        scratch_[std::size_t(c) * lanes + l];
+                    const double vi =
+                        scratch_[(std::size_t(c) + 4) * lanes + l];
+                    accre += mr * vr - mi * vi;
+                    accim += mr * vi + mi * vr;
+                }
+                dr[l] = accre;
+                di[l] = accim;
+            }
+        }
+    }
+    normsValid_ = false;
+    pendingValid_ = false;
+}
+
+void
+BatchedStateVector::applyMatLanes(
+    const std::array<Complex, 4> *const *mats, int q)
+{
+    bool all_identity = true;
+    bool uniform = true;
+    for (std::size_t l = 0; l < lanes_; ++l) {
+        if (*mats[l] != kIdentity1q)
+            all_identity = false;
+        if (*mats[l] != *mats[0])
+            uniform = false;
+    }
+    if (all_identity)
+        return; // every lane's scalar twin skips without invalidating
+    if (uniform) {
+        apply1q(*mats[0], q); // exact structured dispatch, all lanes
+        return;
+    }
+    for (int k = 0; k < 4; ++k) {
+        double *cre = coef_.data() + std::size_t(k) * lanes_;
+        double *cim = coef_.data() + (std::size_t(k) + 4) * lanes_;
+        for (std::size_t l = 0; l < lanes_; ++l) {
+            cre[l] = (*mats[l])[k].real();
+            cim[l] = (*mats[l])[k].imag();
+        }
+    }
+    LaneMat2 lm;
+    for (int k = 0; k < 4; ++k) {
+        lm.re[k] = coef_.data() + std::size_t(k) * lanes_;
+        lm.im[k] = coef_.data() + (std::size_t(k) + 4) * lanes_;
+    }
+    laneKernels().apply1qPerLane(re_.data(), im_.data(), dim_, lanes_,
+                                 std::size_t(1) << q, lm);
+    normsValid_ = false;
+    pendingValid_ = false;
+}
+
+void
+BatchedStateVector::applyPauli1qLanes(const std::int8_t *idx, int q)
+{
+    // Depolarizing hits are rare; skip the matrix gather (and the
+    // identity scan in applyMatLanes) when no lane drew one. The
+    // scalar twin of every lane skips without touching the state.
+    bool any = false;
+    for (std::size_t l = 0; l < lanes_; ++l)
+        any = any || idx[l] >= 0;
+    if (!any)
+        return;
+    for (std::size_t l = 0; l < lanes_; ++l)
+        mats_[l] = idx[l] < 0 ? &kIdentity1q : &pauliMatrix1q(idx[l]);
+    applyMatLanes(mats_.data(), q);
+}
+
+void
+BatchedStateVector::applyPauli2qLanes(const std::int8_t *idx, int q0,
+                                      int q1)
+{
+    bool any = false;
+    for (std::size_t l = 0; l < lanes_; ++l)
+        any = any || idx[l] >= 0;
+    if (!any)
+        return;
+    // The scalar twin applies the pair as two 1q applications
+    // (control first); mirror that as two lane-masked fixups.
+    for (std::size_t l = 0; l < lanes_; ++l) {
+        mats_[l] = idx[l] < 0 ? &kIdentity1q
+                              : &twoQubitPauliRef(idx[l]).first;
+    }
+    applyMatLanes(mats_.data(), q0);
+    for (std::size_t l = 0; l < lanes_; ++l) {
+        mats_[l] = idx[l] < 0 ? &kIdentity1q
+                              : &twoQubitPauliRef(idx[l]).second;
+    }
+    applyMatLanes(mats_.data(), q1);
+}
+
+void
+BatchedStateVector::applyKraus1qLanes(const Kraus1q &kraus, int q,
+                                      const double *u,
+                                      std::size_t nextMask,
+                                      Complex nextD1)
+{
+    QEDM_REQUIRE(!kraus.empty(), "empty Kraus set");
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    const std::size_t mask = std::size_t(1) << q;
+    const LaneKernels &lk = laneKernels();
+
+    // The dominant first operator is diag(1, d): its probability can
+    // ride along with a norm sweep instead of costing its own.
+    // have_p0: prob_ already holds p_0 — either left by the previous
+    // site's chained renormalization (pending hit) or produced by the
+    // fused fresh-norm sweep below. Both reproduce krausProbDiag's
+    // pair-order chain exactly.
+    const bool p0_diag_phase =
+        kraus.size() > 1 &&
+        kernels::classify1q(kraus[0]) ==
+            kernels::Mat2Shape::Diagonal &&
+        kraus[0][0] == kOne;
+    bool have_p0 = false;
+    if (p0_diag_phase) {
+        if (pendingValid_ && normsValid_ && pendingMask_ == mask &&
+            pendingD1_ == kraus[0][3]) {
+            have_p0 = true;
+        } else if (!normsValid_) {
+            lk.normsProbDiag(re_.data(), im_.data(), dim_, lanes_,
+                             mask, kraus[0][3], norms_.data(),
+                             prob_.data(), pendN1_.data(),
+                             lobuf_.data());
+            normsValid_ = true;
+            have_p0 = true;
+        }
+    }
+    pendingValid_ = false;
+
+    // Scalar rule per lane: r = u * norm, then incremental Born
+    // accumulation in ascending operator order, first k with r < acc.
+    const double *n = normLanes();
+    for (std::size_t l = 0; l < lanes_; ++l)
+        r_[l] = u[l] * n[l];
+    std::fill(pick_.begin(), pick_.end(), kraus.size() - 1);
+    if (kraus.size() > 1) {
+        std::fill(acc_.begin(), acc_.end(), 0.0);
+        std::fill(decided_.begin(), decided_.end(), 0);
+        std::size_t undecided = lanes_;
+        for (std::size_t k = 0; k + 1 < kraus.size() && undecided > 0;
+             ++k) {
+            // p_k for every lane; computing it for already-decided
+            // lanes is redundant work, never a different decision.
+            if (k == 0 && have_p0) {
+                // prob_ already holds p_0 from a fused sweep.
+            } else
+            switch (kernels::classify1q(kraus[k])) {
+              case kernels::Mat2Shape::Diagonal:
+                lk.krausProbDiag(re_.data(), im_.data(), dim_, lanes_,
+                                 mask, kraus[k][0], kraus[k][3],
+                                 prob_.data());
+                break;
+              case kernels::Mat2Shape::AntiDiagonal:
+                lk.krausProbAntiDiag(re_.data(), im_.data(), dim_,
+                                     lanes_, mask, kraus[k][1],
+                                     kraus[k][2], prob_.data());
+                break;
+              case kernels::Mat2Shape::General:
+                lk.krausProbGeneral(re_.data(), im_.data(), dim_,
+                                    lanes_, mask, kraus[k],
+                                    prob_.data());
+                break;
+            }
+            for (std::size_t l = 0; l < lanes_; ++l) {
+                if (decided_[l])
+                    continue;
+                acc_[l] += prob_[l];
+                if (r_[l] < acc_[l]) {
+                    pick_[l] = k;
+                    decided_[l] = 1;
+                    --undecided;
+                }
+            }
+        }
+    }
+
+    bool uniform = true;
+    for (std::size_t l = 1; l < lanes_; ++l)
+        uniform = uniform && pick_[l] == pick_[0];
+    if (uniform && pick_[0] == 0 && have_p0) {
+        // Every lane confirmed the dominant diag(1, d) pick whose
+        // Born probability rode along with an earlier sweep — and so
+        // did its post-apply norm (pendN1_). Nothing has been applied
+        // yet, so the whole site collapses to ONE sweep that folds
+        // the deferred diagonal into the renormalization; `(a*d)*inv`
+        // rounds exactly as the two stores the scalar path performs.
+        // The same sweep seeds the next site's probability and norm.
+        for (std::size_t l = 0; l < lanes_; ++l)
+            QEDM_REQUIRE(pendN1_[l] > 0.0,
+                         "cannot normalize a zero state");
+        lk.invSqrt(pendN1_.data(), lanes_, inv_.data());
+        if (nextMask != 0) {
+            lk.normalizeProbDiag(re_.data(), im_.data(), dim_, lanes_,
+                                 inv_.data(), mask, kraus[0][3],
+                                 nextMask, nextD1, norms_.data(),
+                                 prob_.data(), pendN1_.data(),
+                                 lobuf_.data());
+            pendingMask_ = nextMask;
+            pendingD1_ = nextD1;
+            pendingValid_ = true;
+        } else {
+            // No chain hint: the lighter fused kernel folds the
+            // deferred diagonal into the renormalization without the
+            // probability/norm riders nobody would read.
+            lk.normalizeFused(re_.data(), im_.data(), dim_, lanes_,
+                              inv_.data(), mask, kraus[0][3],
+                              norms_.data());
+            pendingValid_ = false;
+        }
+        normsValid_ = true;
+        return;
+    }
+    if (uniform) {
+        // The dominant pick is the diagonal no-event operator; its
+        // application is element-local, so one fused sweep produces
+        // both the applied amplitudes and the fresh linear-order norms
+        // the following renormalization needs (saving a whole sweep
+        // on the hottest path).
+        const std::array<Complex, 4> &km = kraus[pick_[0]];
+        if (kernels::classify1q(km) == kernels::Mat2Shape::Diagonal &&
+            !(km[0] == kOne && km[3] == kOne)) {
+            if (km[0] == kOne) {
+                lk.applyDiagPhaseNorm(re_.data(), im_.data(), dim_,
+                                      lanes_, mask, km[3],
+                                      norms_.data());
+            } else {
+                lk.applyDiagBothNorm(re_.data(), im_.data(), dim_,
+                                     lanes_, mask, km[0], km[3],
+                                     norms_.data());
+            }
+            normsValid_ = true;
+        } else {
+            apply1q(km, q);
+        }
+    } else {
+        for (std::size_t l = 0; l < lanes_; ++l)
+            mats_[l] = &kraus[pick_[l]];
+        applyMatLanes(mats_.data(), q);
+    }
+    normalizeLanes(nextMask, nextD1);
+}
+
+void
+BatchedStateVector::sampleMeasurementLanes(const double *u,
+                                           std::size_t *out)
+{
+    const double *n = normLanes();
+    for (std::size_t l = 0; l < lanes_; ++l) {
+        r_[l] = u[l] * n[l];
+        out[l] = dim_ - 1;
+    }
+    std::fill(acc_.begin(), acc_.end(), 0.0);
+    std::fill(decided_.begin(), decided_.end(), 0);
+    std::size_t undecided = lanes_;
+    for (std::size_t i = 0; i < dim_ && undecided > 0; ++i) {
+        const double *rr = re_.data() + i * lanes_;
+        const double *ii = im_.data() + i * lanes_;
+        for (std::size_t l = 0; l < lanes_; ++l) {
+            if (decided_[l])
+                continue;
+            acc_[l] += rr[l] * rr[l] + ii[l] * ii[l];
+            if (r_[l] < acc_[l]) {
+                out[l] = i;
+                decided_[l] = 1;
+                --undecided;
+            }
+        }
+    }
+}
+
+const double *
+BatchedStateVector::normLanes() const
+{
+    if (!normsValid_) {
+        laneKernels().computeNorms(re_.data(), im_.data(), dim_,
+                                   lanes_, norms_.data());
+        normsValid_ = true;
+    }
+    return norms_.data();
+}
+
+void
+BatchedStateVector::normalizeLanes(std::size_t nextMask,
+                                   Complex nextD1)
+{
+    const double *n = normLanes();
+    for (std::size_t l = 0; l < lanes_; ++l)
+        QEDM_REQUIRE(n[l] > 0.0, "cannot normalize a zero state");
+    laneKernels().invSqrt(n, lanes_, inv_.data());
+    // Fused scale + post-scale norm accumulation, refreshing the
+    // cache with exactly what a fresh sweep would produce. With a
+    // chain hint, the same sweep also accumulates the next site's
+    // diag(1, nextD1) Born probability into prob_ (consumed by the
+    // next applyKraus1qLanes only if the state stays untouched).
+    if (nextMask != 0) {
+        laneKernels().normalizeProbDiag(
+            re_.data(), im_.data(), dim_, lanes_, inv_.data(), 0,
+            Complex(0.0, 0.0), nextMask, nextD1, norms_.data(),
+            prob_.data(), pendN1_.data(), lobuf_.data());
+        pendingMask_ = nextMask;
+        pendingD1_ = nextD1;
+        pendingValid_ = true;
+    } else {
+        laneKernels().normalizeFused(re_.data(), im_.data(), dim_,
+                                     lanes_, inv_.data(), 0,
+                                     Complex(0.0, 0.0), norms_.data());
+        pendingValid_ = false;
+    }
+    normsValid_ = true;
+}
+
+} // namespace qedm::sim

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Batched structure-of-arrays trajectory engine.
+ *
+ * Evolves a batch of B shots through one tape walk: amplitudes are
+ * laid out `[amp_index][lane]` as separate re/im planes, shared
+ * unitary factors apply one matrix to every lane with vectorized
+ * butterfly sweeps (sim/lane_kernels.hpp), and per-shot stochastic
+ * divergence — sampled Pauli errors, Born-rule Kraus picks — applies
+ * as lane-masked fixups with per-lane coefficients.
+ *
+ * Bit-identity contract (DESIGN.md §17): for every lane, the
+ * floating-point chain equals the scalar StateVector's chain for that
+ * shot — same structured-kernel dispatch (shared via
+ * sim/kernel_shapes.hpp), same butterfly iteration order, same
+ * summation order in norms and Born probabilities. Where a lane-masked
+ * fixup applies a general 2x2 in place of a structured kernel (or of
+ * no-op, for untouched lanes), the identity/zero coefficients perturb
+ * only the *sign of zeros*, which no probability, norm, or sampling
+ * comparison can observe. Per-lane norms share one validity flag:
+ * conservative invalidation is safe because the cache, when valid, is
+ * bit-identical to a fresh sweep.
+ *
+ * This class never draws randomness — every decision input arrives
+ * pre-sampled (sim/shot_plan.hpp); qedm_analyze's `rng-in-kernel`
+ * rule keeps it that way.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/channels.hpp"
+#include "sim/lane_kernels.hpp"
+
+namespace qedm::sim {
+
+/** B trajectory states over n qubits, evolved in lock-step. */
+class BatchedStateVector
+{
+  public:
+    /** |0...0> in every lane; @p num_qubits in [1, 24], lanes >= 1. */
+    BatchedStateVector(int num_qubits, std::size_t lanes);
+
+    int numQubits() const { return numQubits_; }
+    std::size_t dim() const { return dim_; }
+    std::size_t lanes() const { return lanes_; }
+
+    /** Reset every lane to |0...0>. */
+    void reset();
+
+    /** Amplitude of @p basis in @p lane (testing/inspection). */
+    Complex amplitude(std::size_t basis, std::size_t lane) const;
+
+    /** Apply one 1-qubit unitary to every lane (structured-shape
+     *  dispatch identical to StateVector::apply1q). */
+    void apply1q(const std::array<Complex, 4> &m, int q);
+
+    /** diag(d0, d1) on every lane (identity and phase-only fast
+     *  paths identical to StateVector::applyDiag1q). */
+    void applyDiag1q(Complex d0, Complex d1, int q);
+
+    /** Apply one 2-qubit unitary to every lane (monomial/permutation
+     *  dispatch identical to StateVector::apply2q). */
+    void apply2q(const std::array<Complex, 16> &m, int q0, int q1);
+
+    /**
+     * Lane-masked 1-qubit depolarizing fixup: lane l applies Pauli
+     * pauliMatrix1q(idx[l]), or nothing when idx[l] < 0. Whole-batch
+     * uniform outcomes collapse to the shared structured kernel.
+     */
+    void applyPauli1qLanes(const std::int8_t *idx, int q);
+
+    /** Lane-masked 2-qubit depolarizing fixup: lane l applies the
+     *  twoQubitPauliRef(idx[l]) pair to (q0, q1); idx[l] < 0 none. */
+    void applyPauli2qLanes(const std::int8_t *idx, int q0, int q1);
+
+    /**
+     * Trajectory Kraus step on every lane: lane l picks operator k by
+     * the scalar rule r = u[l] * norm_l, acc += p_k in ascending k,
+     * then applies its pick and renormalizes. u holds one pre-sampled
+     * raw uniform per lane (shot_plan.hpp).
+     *
+     * When the caller knows the next Kraus site follows immediately
+     * (no unitary or fixup in between) and its first operator is
+     * diag(1, nextD1) on qubit bit @p nextMask, passing that hint
+     * lets the closing renormalization sweep also accumulate the next
+     * site's Born probability (lane_kernels normalizeProbDiag). The
+     * hint is advisory: a wrong or stale hint costs a redundant
+     * sweep, never a different result — the cached probability is
+     * only consumed when the state provably has not changed since.
+     */
+    void applyKraus1qLanes(const Kraus1q &kraus, int q,
+                           const double *u, std::size_t nextMask = 0,
+                           Complex nextD1 = Complex(0.0, 0.0));
+
+    /**
+     * Sample a full-register outcome per lane with the scalar linear
+     * Born scan (r = u[l] * norm_l, first index with r < cumulative).
+     */
+    void sampleMeasurementLanes(const double *u, std::size_t *out);
+
+  private:
+    /** Per-lane squared norms, from the cache or a fresh sweep. */
+    const double *normLanes() const;
+    /** Per-lane renormalization (scalar normalize(), per lane); a
+     *  nonzero nextMask chains the next site's diag(1, nextD1) Born
+     *  probability into the same sweep (see applyKraus1qLanes). */
+    void normalizeLanes(std::size_t nextMask = 0,
+                        Complex nextD1 = Complex(0.0, 0.0));
+    /** Per-lane 2x2 from gathered matrices (nullptr = identity). */
+    void applyMatLanes(const std::array<Complex, 4> *const *mats,
+                       int q);
+
+    int numQubits_;
+    std::size_t dim_;
+    std::size_t lanes_;
+    std::vector<double> re_; ///< [amp][lane]
+    std::vector<double> im_; ///< [amp][lane]
+    /** Per-lane squared norms; valid only under normsValid_, and then
+     *  bit-identical to a fresh per-lane sweep. */
+    mutable std::vector<double> norms_;
+    mutable bool normsValid_ = true;
+    // Per-batch scratch (sized once; no per-op allocation).
+    std::vector<double> prob_, r_, acc_, inv_, coef_, scratch_;
+    std::vector<double> lobuf_; ///< [mask][lane] pair-order replay
+    std::vector<std::size_t> pick_;
+    std::vector<std::uint8_t> decided_;
+    std::vector<const std::array<Complex, 4> *> mats_;
+    /** Speculative post-apply norms rider: whenever prob_ holds a
+     *  diag(1, d1) Born probability, pendN1_ holds the linear-order
+     *  norm the state would have after applying that operator, so a
+     *  confirmed pick renormalizes without any fresh sweep. */
+    std::vector<double> pendN1_;
+    /** When valid, prob_ holds the Born probability of diag(1,
+     *  pendingD1_) on bit pendingMask_ for the CURRENT state (and
+     *  pendN1_ its post-apply norm), accumulated by the last chained
+     *  normalizeLanes sweep. Any state mutation outside that flow
+     *  clears it. */
+    std::size_t pendingMask_ = 0;
+    Complex pendingD1_{0.0, 0.0};
+    bool pendingValid_ = false;
+};
+
+} // namespace qedm::sim

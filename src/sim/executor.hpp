@@ -27,6 +27,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 
@@ -64,6 +65,19 @@ class Executor
                       Rng &rng) const;
 
     /**
+     * Batched-engine width: stochastic tapes whose draw structure is
+     * state-independent (sim/shot_plan.hpp) evolve this many shots
+     * per tape walk on the SoA engine, bit-identical to the scalar
+     * loop. 0 forces the scalar per-shot path (the pre-batching
+     * reference); widths are additionally capped so the amplitude
+     * planes stay memory-sane for large registers. Configure before
+     * sharing the Executor across threads.
+     */
+    static constexpr std::size_t kDefaultSimBatch = 64;
+    void setSimBatch(std::size_t width) { simBatch_ = width; }
+    std::size_t simBatch() const { return simBatch_; }
+
+    /**
      * Per-trial continuation gate — the resilience layer's fault
      * hook. The gate is invoked with the 0-based index of the next
      * trial before it executes; returning false aborts the remaining
@@ -96,6 +110,7 @@ class Executor
 
   private:
     hw::Device device_;
+    std::size_t simBatch_ = kDefaultSimBatch;
 };
 
 /**

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Structured-matrix classification shared by the simulation engines.
+ *
+ * The scalar StateVector and the batched SoA engine must dispatch the
+ * *same* matrix to the *same* kernel shape — the bit-identity contract
+ * between them (DESIGN.md §17) leans on the dispatch being common code
+ * rather than two copies that could drift. Detection costs a handful
+ * of comparisons against the 2^n-amplitude sweep it specializes.
+ */
+
+#pragma once
+
+#include <array>
+
+#include "circuit/op.hpp"
+
+namespace qedm::sim::kernels {
+
+using circuit::Complex;
+
+inline constexpr Complex kZero(0.0);
+inline constexpr Complex kOne(1.0);
+
+/** Classification of a 2x2 matrix into kernel shapes. */
+enum class Mat2Shape
+{
+    General,
+    Diagonal,     ///< m[1] == m[2] == 0 (Z/S/T/Rz/phase, damping K0)
+    AntiDiagonal, ///< m[0] == m[3] == 0 (X/Y, damping K1)
+};
+
+inline Mat2Shape
+classify1q(const std::array<Complex, 4> &m)
+{
+    if (m[1] == kZero && m[2] == kZero)
+        return Mat2Shape::Diagonal;
+    if (m[0] == kZero && m[3] == kZero)
+        return Mat2Shape::AntiDiagonal;
+    return Mat2Shape::General;
+}
+
+/**
+ * Monomial (one nonzero per row, distinct columns) decomposition of a
+ * 4x4 matrix: covers CX, CZ, SWAP, diagonal phases, and Pauli tensor
+ * products. @returns false for matrices with any denser row.
+ */
+inline bool
+decomposeMonomial4(const std::array<Complex, 16> &m, int col[4],
+                   Complex coeff[4])
+{
+    int used = 0;
+    for (int r = 0; r < 4; ++r) {
+        int nz = -1;
+        for (int c = 0; c < 4; ++c) {
+            if (m[r * 4 + c] != kZero) {
+                if (nz >= 0)
+                    return false;
+                nz = c;
+            }
+        }
+        if (nz < 0 || (used & (1 << nz)))
+            return false;
+        used |= 1 << nz;
+        col[r] = nz;
+        coeff[r] = m[r * 4 + nz];
+    }
+    return true;
+}
+
+/** Is @p m the exact 2x2 identity? (Identity factors are skipped by
+ *  both engines without touching amplitudes or the norm cache.) */
+inline bool
+isIdentity1q(const std::array<Complex, 4> &m)
+{
+    return m[0] == kOne && m[1] == kZero && m[2] == kZero &&
+           m[3] == kOne;
+}
+
+} // namespace qedm::sim::kernels

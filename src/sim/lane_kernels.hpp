@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Vectorized lane-sweep kernels for the batched SoA trajectory engine.
+ *
+ * BatchedStateVector stores B shots' amplitudes structure-of-arrays
+ * (`[amp_index][lane]`, separate real/imaginary planes), so every
+ * kernel here is a sweep whose innermost loop runs over the lane
+ * dimension — contiguous, independent per-lane IEEE chains that
+ * vectorize without reassociation.
+ *
+ * Two implementations of the same source (lane_kernels_impl.hpp) are
+ * compiled into the binary: a baseline-ISA build and (unless
+ * QEDM_NO_SIMD) an AVX2 build whose hot loops use explicit 4-lane
+ * intrinsics. Selection happens once at runtime from CPU capability;
+ * both paths are bit-identical because every lane's floating-point
+ * chain is elementwise (vmulpd/vaddpd/vsubpd are IEEE-identical to
+ * their scalar forms and neither build enables FMA contraction), so
+ * the choice can never leak into results — see DESIGN.md §17.
+ *
+ * These translation units must never draw randomness: all stochastic
+ * decisions are pre-sampled into the per-shot plan (sim/shot_plan.hpp)
+ * before the batch walk starts. qedm_analyze's `rng-in-kernel` rule
+ * enforces this.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "circuit/op.hpp"
+
+namespace qedm::sim {
+
+using circuit::Complex;
+
+/**
+ * Per-lane 2x2 coefficients, SoA: entry k of the matrix for lane l is
+ * Complex(re[k][l], im[k][l]). Used for lane-masked fixups (per-shot
+ * Pauli errors, divergent Kraus picks) where each lane applies its own
+ * matrix — identity coefficients for untouched lanes.
+ */
+struct LaneMat2
+{
+    const double *re[4];
+    const double *im[4];
+};
+
+/**
+ * The sweep-kernel dispatch table. All `re`/`im` planes are
+ * `[amp][lane]` with row stride @p lanes; @p dim is the number of
+ * amplitude rows and @p mask the target-qubit bit (butterfly stride).
+ * Accumulating kernels produce per-lane sums whose addend order equals
+ * the scalar StateVector's sweep order, so each lane's result is the
+ * identical double.
+ */
+struct LaneKernels
+{
+    /** lo' = m0*lo + m1*hi, hi' = m2*lo + m3*hi (dense 2x2). */
+    void (*apply1qGeneral)(double *re, double *im, std::size_t dim,
+                           std::size_t lanes, std::size_t mask,
+                           const std::array<Complex, 4> &m);
+    /** lo' = m1*hi, hi' = m2*lo (X/Y, damping K1). */
+    void (*apply1qAntiDiag)(double *re, double *im, std::size_t dim,
+                            std::size_t lanes, std::size_t mask,
+                            Complex m1, Complex m2);
+    /** lo *= d0, hi *= d1. */
+    void (*applyDiagBoth)(double *re, double *im, std::size_t dim,
+                          std::size_t lanes, std::size_t mask,
+                          Complex d0, Complex d1);
+    /** hi *= d1 only (pure phase, d0 == 1). */
+    void (*applyDiagPhase)(double *re, double *im, std::size_t dim,
+                           std::size_t lanes, std::size_t mask,
+                           Complex d1);
+    /** Dense 2x2 with per-lane coefficients (lane-masked fixups). */
+    void (*apply1qPerLane)(double *re, double *im, std::size_t dim,
+                           std::size_t lanes, std::size_t mask,
+                           const LaneMat2 &m);
+    /** out[l] = || diag(m0,m3) psi_l ||^2, scalar-order addends. */
+    void (*krausProbDiag)(const double *re, const double *im,
+                          std::size_t dim, std::size_t lanes,
+                          std::size_t mask, Complex m0, Complex m3,
+                          double *out);
+    /** out[l] for the anti-diagonal operator (m1 upper, m2 lower). */
+    void (*krausProbAntiDiag)(const double *re, const double *im,
+                              std::size_t dim, std::size_t lanes,
+                              std::size_t mask, Complex m1, Complex m2,
+                              double *out);
+    /** out[l] for a dense 2x2 operator. */
+    void (*krausProbGeneral)(const double *re, const double *im,
+                             std::size_t dim, std::size_t lanes,
+                             std::size_t mask,
+                             const std::array<Complex, 4> &m,
+                             double *out);
+    /** out[l] = sum_amp re^2 + im^2 in ascending amp order. */
+    void (*computeNorms)(const double *re, const double *im,
+                         std::size_t dim, std::size_t lanes,
+                         double *out);
+    /** Scale lane l by inv[l], accumulating the post-scale norm into
+     *  post[l] in the same fused sweep the scalar normalize() uses.
+     *  A nonzero @p applyMask first multiplies the rows it selects by
+     *  @p applyD1 — the deferred diag(1, applyD1) pick of the current
+     *  site when no chain hint follows; `(a * applyD1) * inv` rounds
+     *  exactly like the two separate stores of apply-then-normalize,
+     *  so deferral is bit-invisible. */
+    void (*normalizeFused)(double *re, double *im, std::size_t dim,
+                           std::size_t lanes, const double *inv,
+                           std::size_t applyMask, Complex applyD1,
+                           double *post);
+    /**
+     * hi *= d1 fused with a fresh linear-order norm sweep into out
+     * (diagonal scaling is element-local, so one pass produces both
+     * the applyDiagPhase amplitudes and the computeNorms sums). The
+     * hot Kraus-site sequence apply-then-norm collapses to one sweep.
+     */
+    void (*applyDiagPhaseNorm)(double *re, double *im, std::size_t dim,
+                               std::size_t lanes, std::size_t mask,
+                               Complex d1, double *out);
+    /** lo *= d0, hi *= d1 fused with the fresh norm sweep. */
+    void (*applyDiagBothNorm)(double *re, double *im, std::size_t dim,
+                              std::size_t lanes, std::size_t mask,
+                              Complex d0, Complex d1, double *out);
+    /** inv[l] = 1.0 / sqrt(n[l]). Both sqrt and divide are correctly
+     *  rounded per IEEE 754, so the vector form is bit-identical to
+     *  the scalar expression. */
+    void (*invSqrt)(const double *n, std::size_t lanes, double *inv);
+    /**
+     * Fresh linear-order norms fused with the Born probability of a
+     * diag(1, d1) Kraus operator on qubit bit @p mask, in one sweep.
+     * The probability chain replays the scalar pair order — lo then
+     * hi per (base, off) — by buffering each lo addend in @p lobuf
+     * ([mask][lanes]) until its hi partner arrives; the lo addend is
+     * the very |amp|^2 double the norm chain adds, so no extra work.
+     * @p n1 additionally receives the linear-order norm the state
+     * would have AFTER applying diag(1, d1) — the same addends the
+     * probability chain uses, accumulated in computeNorms order — so
+     * a subsequent pick of that operator can renormalize without a
+     * fresh norm sweep (the deferred-apply fast path).
+     */
+    void (*normsProbDiag)(const double *re, const double *im,
+                          std::size_t dim, std::size_t lanes,
+                          std::size_t mask, Complex d1, double *norms,
+                          double *prob, double *n1, double *lobuf);
+    /**
+     * The single-sweep steady state of a chained Kraus walk: multiply
+     * rows selected by @p applyMask by @p applyD1 (the deferred
+     * diag(1, applyD1) pick of the CURRENT site; applyMask 0 = no
+     * deferred apply), scale everything by inv, accumulate the linear
+     * post-scale norm into post, and accumulate the NEXT site's
+     * diag(1, d1) Born probability (pair order via the lobuf replay)
+     * plus its speculative post-apply norm @p n1 (linear order).
+     * `(a * applyD1) * inv` rounds exactly like the two separate
+     * stores the scalar path performs, so deferral is bit-invisible.
+     */
+    void (*normalizeProbDiag)(double *re, double *im, std::size_t dim,
+                              std::size_t lanes, const double *inv,
+                              std::size_t applyMask, Complex applyD1,
+                              std::size_t mask, Complex d1,
+                              double *post, double *prob, double *n1,
+                              double *lobuf);
+};
+
+/** The active kernel table (AVX2 when available, else baseline). */
+const LaneKernels &laneKernels();
+
+/** True when laneKernels() currently dispatches to the AVX2 build. */
+bool laneKernelsSimd();
+
+/**
+ * Test hook: force the baseline build regardless of CPU capability
+ * (used by the scalar-vs-SIMD equivalence tests). Not meant to be
+ * toggled while batched runs are in flight.
+ */
+void forceScalarLaneKernels(bool force);
+
+} // namespace qedm::sim

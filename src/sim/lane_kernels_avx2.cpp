@@ -1,0 +1,11 @@
+/**
+ * @file
+ * AVX2 build of the lane kernels: the same source as the scalar build
+ * (lane_kernels_impl.hpp) compiled with -mavx2 -ffp-contract=off, so
+ * the hot loops run 4-lane intrinsic butterflies. Excluded from the
+ * build entirely under -DQEDM_NO_SIMD=ON; selected at runtime only
+ * when the CPU reports AVX2 (lane_kernels.cpp).
+ */
+
+#define QEDM_LANE_NS lane_avx2
+#include "sim/lane_kernels_impl.hpp"

@@ -1,0 +1,10 @@
+/**
+ * @file
+ * Baseline-ISA build of the lane kernels: compiled with the project's
+ * default flags (no AVX2), so this translation unit is the scalar
+ * fallback — and the bit-identity reference — for machines and builds
+ * without SIMD support. See lane_kernels_impl.hpp.
+ */
+
+#define QEDM_LANE_NS lane_scalar
+#include "sim/lane_kernels_impl.hpp"

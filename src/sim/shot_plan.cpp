@@ -1,0 +1,85 @@
+#include "sim/shot_plan.hpp"
+
+namespace qedm::sim {
+
+bool
+batchEligible(const ExecutionTape &tape, const hw::Calibration &cal)
+{
+    if (!tape.stochastic)
+        return false; // the deterministic fast path stays dedicated
+    for (const TapeMeasure &m : tape.measures) {
+        const auto &qc = cal.qubit(m.phys);
+        // A half-zero readout channel draws only when the measured bit
+        // selects the nonzero probability — a state-dependent draw
+        // structure pre-sampling cannot reproduce.
+        if ((qc.readoutP01 > 0.0) != (qc.readoutP10 > 0.0))
+            return false;
+    }
+    return true;
+}
+
+void
+BatchPlan::presample(const ExecutionTape &tape,
+                     const hw::Calibration &cal, std::size_t lanes,
+                     Rng &rng)
+{
+    lanes_ = lanes;
+    std::size_t kraus_sites = 0;
+    std::size_t depol_sites = 0;
+    for (const TapeOp &op : tape.ops) {
+        kraus_sites += op.preRelaxation.size() + op.relaxation.size();
+        if (op.depolProb > 0.0)
+            ++depol_sites;
+    }
+    std::size_t readout_sites = 0;
+    for (const TapeMeasure &m : tape.measures) {
+        kraus_sites += m.relaxation.size();
+        if (cal.qubit(m.phys).readoutP01 > 0.0)
+            ++readout_sites;
+    }
+    krausU_.resize(kraus_sites * lanes);
+    pauli_.resize(depol_sites * lanes);
+    measureU_.resize(lanes);
+    readoutU_.resize(readout_sites * lanes);
+    pairFlip_.resize(tape.pairReadout.size() * lanes);
+
+    // Shot-major replay of the scalar loop's exact call sequence:
+    // every rng method below is the method the scalar loop calls at
+    // the same stream position, so recorded values and the final
+    // stream state match the scalar run bit for bit.
+    for (std::size_t shot = 0; shot < lanes; ++shot) {
+        std::size_t ks = 0;
+        std::size_t ds = 0;
+        for (const TapeOp &op : tape.ops) {
+            for (std::size_t i = 0; i < op.preRelaxation.size(); ++i)
+                krausU_[ks++ * lanes + shot] = rng.uniform();
+            if (op.depolProb > 0.0) {
+                std::int8_t idx = -1;
+                if (rng.bernoulli(op.depolProb)) {
+                    idx = static_cast<std::int8_t>(
+                        rng.uniformInt(op.l1 < 0 ? 3 : 15));
+                }
+                pauli_[ds++ * lanes + shot] = idx;
+            }
+            for (std::size_t i = 0; i < op.relaxation.size(); ++i)
+                krausU_[ks++ * lanes + shot] = rng.uniform();
+        }
+        for (const TapeMeasure &m : tape.measures) {
+            for (std::size_t i = 0; i < m.relaxation.size(); ++i)
+                krausU_[ks++ * lanes + shot] = rng.uniform();
+        }
+        measureU_[shot] = rng.uniform();
+        std::size_t rs = 0;
+        for (const TapeMeasure &m : tape.measures) {
+            if (cal.qubit(m.phys).readoutP01 > 0.0)
+                readoutU_[rs++ * lanes + shot] = rng.uniform();
+        }
+        for (std::size_t p = 0; p < tape.pairReadout.size(); ++p) {
+            pairFlip_[p * lanes + shot] =
+                rng.bernoulli(tape.pairReadout[p].jointFlipProb) ? 1
+                                                                 : 0;
+        }
+    }
+}
+
+} // namespace qedm::sim

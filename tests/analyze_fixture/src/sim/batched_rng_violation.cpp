@@ -1,0 +1,28 @@
+// Seeded rng-in-kernel violations: a batched-kernel TU that names the
+// Rng type and calls draw methods mid-walk. The `analyze_fixture`
+// ctest case expects qedm_analyze to reject this tree. Never
+// compiled; only scanned.
+
+namespace analyze_fixture {
+
+class Rng; // rng-in-kernel: the type has no business here
+
+double
+drawInsideKernel(Rng &rng)
+{
+    return 0.0; // the parameter above already fired
+}
+
+template <typename Plan>
+double
+memberDraws(Plan *plan, Plan &other)
+{
+    double acc = plan->uniform();   // rng-in-kernel
+    acc += other.bernoulli(0.5);    // rng-in-kernel
+    acc += plan->uniformInt(8);     // rng-in-kernel
+    // A plain identifier spelled like a draw stays legal:
+    const bool uniform = acc > 0.0;
+    return uniform ? acc : -acc;
+}
+
+} // namespace analyze_fixture

@@ -92,6 +92,14 @@ struct RuleProfile
      * modules set this.
      */
     std::string wallClockExemptReason;
+    /**
+     * Ban randomness from the batched trajectory kernels: those TUs
+     * must consume pre-sampled draws (sim/shot_plan.hpp), never the
+     * Rng itself. A draw inside a kernel would break the DESIGN.md
+     * §12 draw-order contract between the scalar and batched paths —
+     * silently, since both would still look "random".
+     */
+    bool rngInKernel = false;
 };
 
 /** Per-directory rule profile for @p rel_path (see rules.cpp). */

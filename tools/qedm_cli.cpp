@@ -15,6 +15,10 @@
  * N worker threads (0 = all hardware threads, default 1). Results are
  * bit-identical for every N.
  *
+ * `--sim-batch B` sets the trajectory engine's SoA lane width
+ * (0 = scalar per-shot path). Throughput only — results are
+ * bit-identical at every width.
+ *
  * `--check` (anywhere on the line) runs the qedm::check static
  * verifier passes over every compiled program: compile/candidates
  * verify the transpiler output, run/experiment verify every ensemble
@@ -306,7 +310,7 @@ parseFaultSpec(const std::string &spec)
 
 int
 cmdRun(const std::string &name, std::uint64_t seed,
-       std::uint64_t shots, int jobs, bool verify,
+       std::uint64_t shots, int jobs, long sim_batch, bool verify,
        const resilience::ResilienceConfig &resilience,
        const std::vector<int> &region)
 {
@@ -315,6 +319,8 @@ cmdRun(const std::string &name, std::uint64_t seed,
     core::EdmConfig config;
     config.totalShots = shots;
     config.jobs = jobs;
+    if (sim_batch >= 0)
+        config.simBatch = static_cast<std::size_t>(sim_batch);
     config.verifyPasses |= verify;
     config.resilience = resilience;
     config.ensemble.region = region;
@@ -344,7 +350,7 @@ cmdRun(const std::string &name, std::uint64_t seed,
 
 int
 cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
-              bool verify,
+              long sim_batch, bool verify,
               const resilience::ResilienceConfig &resilience,
               const std::vector<int> &region,
               const std::string &journal_path,
@@ -355,6 +361,8 @@ cmdExperiment(const std::string &name, std::uint64_t seed, int jobs,
     const hw::Device device = hw::Device::melbourne(seed);
     core::ExperimentConfig config;
     config.jobs = jobs;
+    if (sim_batch >= 0)
+        config.simBatch = static_cast<std::size_t>(sim_batch);
     config.verifyPasses |= verify;
     config.resilience = resilience;
     config.region = region;
@@ -432,7 +440,8 @@ usage()
 {
     std::cerr << "usage: qedm_cli <list|show|compile|candidates|run|"
                  "experiment> [benchmark] [seed] [shots] [--jobs N] "
-                 "[--check] [--region q0,q1,...] [--region-file PATH] "
+                 "[--sim-batch B] [--check] "
+                 "[--region q0,q1,...] [--region-file PATH] "
                  "[--faults SPEC] [--fail-member M] "
                  "[--retry-max N] [--member-deadline-ms MS] "
                  "[--min-trials-per-member N] "
@@ -451,6 +460,7 @@ main(int argc, char **argv)
         // positionals.
         std::vector<std::string> pos;
         int jobs = 1;
+        long sim_batch = -1; // -1 = keep the EdmConfig default
         bool verify = qedm::check::kDefaultVerify;
         qedm::resilience::ResilienceConfig resilience;
         std::vector<int> region;
@@ -470,6 +480,8 @@ main(int argc, char **argv)
             if (arg == "--jobs") {
                 jobs = static_cast<int>(
                     parseCount("--jobs", flagValue(i)));
+            } else if (arg == "--sim-batch") {
+                sim_batch = parseCount("--sim-batch", flagValue(i));
             } else if (arg == "--region") {
                 region = parseRegionSpec(flagValue(i));
             } else if (arg == "--region-file") {
@@ -538,13 +550,13 @@ main(int argc, char **argv)
                 "apply to the experiment subcommand only");
         }
         if (cmd == "run") {
-            return cmdRun(name, seed, shots, jobs, verify, resilience,
-                          region);
+            return cmdRun(name, seed, shots, jobs, sim_batch, verify,
+                          resilience, region);
         }
         if (cmd == "experiment") {
-            return cmdExperiment(name, seed, jobs, verify, resilience,
-                                 region, journal_path, resume_path,
-                                 replay_path);
+            return cmdExperiment(name, seed, jobs, sim_batch, verify,
+                                 resilience, region, journal_path,
+                                 resume_path, replay_path);
         }
         return usage();
     } catch (const qedm::resilience::EnsembleFailedError &e) {
