@@ -176,6 +176,16 @@ heavyHex127Device()
                                  7);
 }
 
+/** The 433-qubit Osprey-class equivalent of heavyHex127Device(). */
+hw::Device
+heavyHex433Device()
+{
+    return hw::Device::synthetic("heavy-hex-433",
+                                 hw::Topology::heavyHex433(),
+                                 hw::CalibrationSpec{}, hw::NoiseSpec{},
+                                 7);
+}
+
 void
 BM_TopKPlacementsHeavyHex127(benchmark::State &state)
 {
@@ -498,11 +508,61 @@ runCompileSweep()
                  10, 2));
     }
     {
-        // 127-qubit heavy-hex placement: the large-topology guard.
+        // 127-qubit heavy-hex placement: the large-topology guard,
+        // then the same search fanned out over 4 and 8 workers. On a
+        // many-core host the parallel entries track scaling; on a
+        // single-core runner they bound the fan-out overhead (which
+        // must stay a small constant factor, never a blowup). Either
+        // way they double as a determinism smoke check: every jobs
+        // value must return byte-identical placements.
         const hw::Device hex = heavyHex127Device();
         const transpile::Placer placer(hex);
         const auto logical = benchmarks::qaoaMaxcutPath(7).circuit;
         emit("topk_heavyhex127_k4",
+             timeBestNs(
+                 [&] {
+                     benchmark::DoNotOptimize(
+                         placer.topPlacements(logical, 4));
+                 },
+                 5, 1));
+        const auto serial_top = placer.topPlacements(logical, 4);
+        const auto same = [](const auto &a, const auto &b) {
+            if (a.size() != b.size())
+                return false;
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (a[i].map != b[i].map || a[i].esp != b[i].esp)
+                    return false;
+            }
+            return true;
+        };
+        for (const int jobs : {4, 8}) {
+            const runtime::JobScheduler sched(jobs);
+            transpile::Placer parallel_placer(hex);
+            parallel_placer.setScheduler(&sched);
+            emit("topk_heavyhex127_k4_j" + std::to_string(jobs),
+                 timeBestNs(
+                     [&] {
+                         benchmark::DoNotOptimize(
+                             parallel_placer.topPlacements(logical,
+                                                           4));
+                     },
+                     5, 1));
+            if (!same(parallel_placer.topPlacements(logical, 4),
+                      serial_top)) {
+                std::cerr << "FATAL: parallel placement diverged at "
+                             "jobs="
+                          << jobs << "\n";
+                std::exit(1);
+            }
+        }
+    }
+    {
+        // 433-qubit heavy-hex placement: the Osprey-class scale
+        // target (must stay far under a second).
+        const hw::Device hex = heavyHex433Device();
+        const transpile::Placer placer(hex);
+        const auto logical = benchmarks::qaoaMaxcutPath(7).circuit;
+        emit("topk_heavyhex433_k4",
              timeBestNs(
                  [&] {
                      benchmark::DoNotOptimize(
@@ -531,6 +591,20 @@ runCompileSweep()
                  [&] {
                      benchmark::DoNotOptimize(
                          builder.candidates(logical));
+                 },
+                 5, 1));
+        // The same materialization fanned over 4 workers — tracks
+        // parallel scoring/materialization cost (scaling on many-core
+        // hosts, bounded fan-out overhead on single-core runners).
+        const runtime::JobScheduler sched(4);
+        core::EnsembleConfig config;
+        config.scheduler = &sched;
+        const core::EnsembleBuilder parallel_builder(device, config);
+        emit("ensemble_candidates_bv6_j4",
+             timeBestNs(
+                 [&] {
+                     benchmark::DoNotOptimize(
+                         parallel_builder.candidates(logical));
                  },
                  5, 1));
     }

@@ -66,8 +66,9 @@ EnsembleBuilder::EnsembleBuilder(const hw::Device &device,
 std::vector<CompiledProgram>
 EnsembleBuilder::candidates(const circuit::Circuit &logical) const
 {
-    const transpile::Transpiler compiler(view_, config_.routeCost,
-                                         config_.verifyPasses);
+    transpile::Transpiler compiler(view_, config_.routeCost,
+                                   config_.verifyPasses);
+    compiler.setScheduler(config_.scheduler);
     std::shared_ptr<const CompiledProgram> cached;
     if (config_.compileCache != nullptr)
         cached = config_.compileCache->getOrCompile(compiler, logical);
@@ -104,9 +105,14 @@ EnsembleBuilder::candidates(const circuit::Circuit &logical) const
     const transpile::GateTrace trace =
         transpile::EspModel::trace(seed.physical.decomposed());
 
-    std::vector<CandidateRecord> records;
-    records.reserve(embeddings.size());
-    for (const auto &embedding : embeddings) {
+    // Record building is embarrassingly parallel: each embedding's
+    // relabeling and trace score depend only on immutable shared
+    // state, and every worker writes a pre-assigned slot. The sort
+    // below imposes the canonical total order, so the result is
+    // bit-identical at any --jobs.
+    std::vector<CandidateRecord> records(embeddings.size());
+    auto score = [&](std::size_t idx) {
+        const auto &embedding = embeddings[idx];
         // Full physical-to-physical relabeling: used qubits move via
         // the embedding; the rest fill the remaining slots (their
         // placement is irrelevant, no gate touches them).
@@ -132,7 +138,13 @@ EnsembleBuilder::candidates(const circuit::Circuit &logical) const
         rec.usedSet = embedding;
         std::sort(rec.usedSet.begin(), rec.usedSet.end());
         rec.esp = model->espOfTrace(trace, rec.relabel);
-        records.push_back(std::move(rec));
+        records[idx] = std::move(rec);
+    };
+    if (config_.scheduler != nullptr) {
+        config_.scheduler->parallelFor(embeddings.size(), score);
+    } else {
+        for (std::size_t idx = 0; idx < embeddings.size(); ++idx)
+            score(idx);
     }
     std::sort(records.begin(), records.end(), candidateBefore);
 

@@ -44,6 +44,17 @@ Topology::Topology(int num_qubits,
     }
     for (auto &entries : adjEdge_)
         std::sort(entries.begin(), entries.end());
+    adjWords_ = (static_cast<std::size_t>(numQubits_) + 63) / 64;
+    adjBits_.assign(static_cast<std::size_t>(numQubits_) * adjWords_,
+                    0);
+    for (const Edge &e : edges_) {
+        adjBits_[static_cast<std::size_t>(e.a) * adjWords_ +
+                 (static_cast<std::size_t>(e.b) >> 6)] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(e.b) & 63);
+        adjBits_[static_cast<std::size_t>(e.b) * adjWords_ +
+                 (static_cast<std::size_t>(e.a) >> 6)] |=
+            std::uint64_t{1} << (static_cast<std::size_t>(e.a) & 63);
+    }
     if (numQubits_ <= kEagerDistanceMaxQubits)
         computeDistances();
 }
@@ -88,6 +99,13 @@ Topology::neighbors(int q) const
 {
     QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
     return adj_[q];
+}
+
+const std::vector<std::pair<int, int>> &
+Topology::neighborEdges(int q) const
+{
+    QEDM_REQUIRE(q >= 0 && q < numQubits_, "qubit index out of range");
+    return adjEdge_[static_cast<std::size_t>(q)];
 }
 
 int

@@ -62,6 +62,15 @@ class Topology
     /** Neighbors of qubit @p q, ascending. */
     const std::vector<int> &neighbors(int q) const;
 
+    /**
+     * (neighbor, edge index) pairs of qubit @p q, sorted by neighbor —
+     * the same vertices neighbors(q) yields, in the same order, with
+     * the incident edge index attached. Hot loops that need both (the
+     * placement search charges an edge factor per coupling it uses)
+     * iterate this instead of calling edgeIndex() per neighbor.
+     */
+    const std::vector<std::pair<int, int>> &neighborEdges(int q) const;
+
     /** Structural content hash (vertex count + edge list). */
     std::uint64_t fingerprint() const;
 
@@ -82,6 +91,29 @@ class Topology
 
     /** Canonical index of edge (a, b); -1 when not an edge. */
     int edgeIndex(int a, int b) const;
+
+    /** @name Adjacency bitset rows
+     * One bit per (vertex, vertex) pair, packed 64 per word and built
+     * at construction (O(V*V/64) memory — 24 KiB at 433 qubits). Hot
+     * search loops (VF2 enumeration, placement branch-and-bound) probe
+     * these instead of the O(log deg) edgeIndex() binary search. */
+    /** @{ */
+    /** Words per adjacency row: (numQubits() + 63) / 64. */
+    std::size_t adjacencyWords() const { return adjWords_; }
+    /** Bitset over the neighbors of @p q (adjacencyWords() words). */
+    const std::uint64_t *adjacencyRow(int q) const
+    {
+        return adjBits_.data() +
+               static_cast<std::size_t>(q) * adjWords_;
+    }
+    /** Branch-free coupling probe; same answer as adjacent(a, b). */
+    bool adjacentBit(int a, int b) const
+    {
+        return (adjacencyRow(a)[static_cast<std::size_t>(b) >> 6] >>
+                (static_cast<std::size_t>(b) & 63)) &
+               1U;
+    }
+    /** @} */
 
     /** @name Standard graph factories */
     /** @{ */
@@ -118,6 +150,9 @@ class Topology
     std::vector<std::vector<int>> adj_;
     /** Per-vertex (neighbor, edge index) pairs, sorted by neighbor. */
     std::vector<std::vector<std::pair<int, int>>> adjEdge_;
+    /** Flat adjacency bitset: numQubits rows of adjWords_ words. */
+    std::vector<std::uint64_t> adjBits_;
+    std::size_t adjWords_ = 0;
     /** All-pairs hop distances; empty above kEagerDistanceMaxQubits. */
     std::vector<std::vector<int>> dist_;
 };

@@ -1,5 +1,6 @@
 #include "transpile/distances.hpp"
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <list>
@@ -108,10 +109,22 @@ DenseDistanceProvider::distance(int a, int b) const
 
 struct OnDemandDistanceProvider::Impl
 {
+    /**
+     * Row fills are guarded by source-sharded locks (src mod
+     * kLockShards), not one global mutex: concurrent workers filling
+     * different rows — the common shape once placement search and
+     * ensemble materialization fan out over the scheduler — only
+     * contend when they hash to the same shard, and a worker holding
+     * one shard never blocks Dijkstra work under another. Each row is
+     * computed exactly once (the shard lock covers its slot's
+     * check-and-fill), so results are independent of fill order.
+     */
+    static constexpr std::size_t kLockShards = 16;
+
     hw::Topology topo;
     std::vector<double> edgeCost;
     std::vector<bool> mask; ///< empty for a full view
-    mutable std::mutex mutex;
+    mutable std::array<std::mutex, kLockShards> shards;
     mutable std::vector<std::shared_ptr<const std::vector<double>>> rows;
 
     Impl(const hw::DeviceView &view, RouteCost cost)
@@ -125,7 +138,8 @@ struct OnDemandDistanceProvider::Impl
 
     std::shared_ptr<const std::vector<double>> row(int src) const
     {
-        std::lock_guard<std::mutex> lock(mutex);
+        std::lock_guard<std::mutex> lock(
+            shards[static_cast<std::size_t>(src) % kLockShards]);
         auto &slot = rows[static_cast<std::size_t>(src)];
         if (!slot) {
             slot = std::make_shared<const std::vector<double>>(
@@ -154,7 +168,11 @@ OnDemandDistanceProvider::distance(int a, int b) const
 std::size_t
 OnDemandDistanceProvider::rowsComputed() const
 {
-    std::lock_guard<std::mutex> lock(impl_->mutex);
+    // Take every shard (ascending, deadlock-free) so the count is a
+    // consistent snapshot across concurrent row fills.
+    std::array<std::unique_lock<std::mutex>, Impl::kLockShards> locks;
+    for (std::size_t s = 0; s < Impl::kLockShards; ++s)
+        locks[s] = std::unique_lock<std::mutex>(impl_->shards[s]);
     std::size_t count = 0;
     for (const auto &slot : impl_->rows) {
         if (slot)

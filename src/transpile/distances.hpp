@@ -81,7 +81,10 @@ class DenseDistanceProvider final : public DistanceProvider
 /**
  * Lazy implementation for large devices: per-source rows are computed
  * by a bounded Dijkstra over the allowed subgraph on first query and
- * memoized for the lifetime of the provider. Thread-safe.
+ * memoized for the lifetime of the provider. Thread-safe; row fills
+ * are guarded by source-sharded locks, so parallel workers querying
+ * different sources fill their rows concurrently instead of
+ * serializing on one global mutex.
  */
 class OnDemandDistanceProvider final : public DistanceProvider
 {

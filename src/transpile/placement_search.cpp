@@ -1,11 +1,14 @@
 #include "transpile/placement_search.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
 #include <limits>
-#include <queue>
+#include <utility>
 
 #include "common/error.hpp"
+#include "runtime/scheduler.hpp"
 
 namespace qedm::transpile {
 namespace {
@@ -19,17 +22,50 @@ namespace {
  */
 constexpr double kBoundSlack = 1e-9;
 
-/** Descending degrees of a vertex's neighbors (its "signature"). */
-std::vector<int>
-neighborSignature(const hw::Topology &graph, int v)
+/** Floor under exact scores before taking the threshold log. */
+constexpr double kEspLogFloor = 1e-300;
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/**
+ * Flattened per-vertex neighbor-degree signatures (descending): one
+ * shared data array plus offsets, instead of one heap vector per
+ * vertex — a 127-qubit target used to cost 127 allocations per
+ * search construction.
+ */
+struct SignatureTable
 {
-    std::vector<int> sig;
-    sig.reserve(graph.neighbors(v).size());
-    for (int u : graph.neighbors(v))
-        sig.push_back(graph.degree(u));
-    std::sort(sig.begin(), sig.end(), std::greater<>());
-    return sig;
-}
+    std::vector<int> data;
+    std::vector<int> off; ///< size numQubits + 1
+
+    explicit SignatureTable(const hw::Topology &graph)
+    {
+        const int n = graph.numQubits();
+        off.resize(static_cast<std::size_t>(n) + 1, 0);
+        for (int v = 0; v < n; ++v)
+            off[static_cast<std::size_t>(v) + 1] =
+                off[static_cast<std::size_t>(v)] + graph.degree(v);
+        data.resize(
+            static_cast<std::size_t>(off[static_cast<std::size_t>(n)]));
+        for (int v = 0; v < n; ++v) {
+            int *out = data.data() + off[static_cast<std::size_t>(v)];
+            const auto &nbrs = graph.neighbors(v);
+            for (std::size_t i = 0; i < nbrs.size(); ++i)
+                out[i] = graph.degree(nbrs[i]);
+            std::sort(out, out + nbrs.size(), std::greater<>());
+        }
+    }
+
+    const int *begin(int v) const
+    {
+        return data.data() + off[static_cast<std::size_t>(v)];
+    }
+    int size(int v) const
+    {
+        return off[static_cast<std::size_t>(v) + 1] -
+               off[static_cast<std::size_t>(v)];
+    }
+};
 
 /**
  * Necessary condition for hosting a pattern vertex with signature
@@ -38,19 +74,19 @@ neighborSignature(const hw::Topology &graph, int v)
  * condition on the sorted lists). Never rejects a viable host.
  */
 bool
-signatureDominates(const std::vector<int> &target_sig,
-                   const std::vector<int> &pattern_sig)
+signatureDominates(const int *target_sig, int target_n,
+                   const int *pattern_sig, int pattern_n)
 {
-    if (target_sig.size() < pattern_sig.size())
+    if (target_n < pattern_n)
         return false;
-    for (std::size_t i = 0; i < pattern_sig.size(); ++i) {
+    for (int i = 0; i < pattern_n; ++i) {
         if (target_sig[i] < pattern_sig[i])
             return false;
     }
     return true;
 }
 
-/** Heap entry: a completed, exactly-scored placement. */
+/** A completed, exactly-scored placement kept by a worker heap. */
 struct HeapEntry
 {
     double esp;
@@ -58,91 +94,146 @@ struct HeapEntry
     std::vector<int> embedding;
 };
 
-/** Orders the bounded heap so the *worst* kept placement is on top. */
-struct BetterFirst
+/** The canonical strict total order: placementBefore extended with an
+ *  embedding tie-break, so merges never depend on insertion order. */
+bool
+entryBefore(double esp_a, const std::vector<int> &map_a,
+            const std::vector<int> &emb_a, double esp_b,
+            const std::vector<int> &map_b,
+            const std::vector<int> &emb_b)
 {
-    bool operator()(const HeapEntry &a, const HeapEntry &b) const
-    {
-        return placementBefore(a.esp, a.map, b.esp, b.map);
-    }
-};
+    if (esp_a != esp_b)
+        return esp_a > esp_b;
+    if (map_a != map_b)
+        return map_a < map_b;
+    return emb_a < emb_b;
+}
 
-/** Branch-and-bound VF2 state for one search. */
-class TopKSearcher
+} // namespace
+
+/**
+ * Everything shared and immutable across workers of one search:
+ * feasibility bitsets, the matching order with its flattened back
+ * edges, suffix bounds, and dense log-score lookup tables. Built once
+ * per plan (typically once per circuit) and only read afterwards.
+ */
+struct PlacementSearchPlan::Impl
 {
-  public:
-    TopKSearcher(const hw::Topology &pattern,
-                 const PlacementCostModel &cost, const EmbeddingScorer &scorer,
-                 std::size_t k, std::size_t limit,
-                 PlacementSearchStats *stats,
-                 const std::vector<bool> *allowed)
-        : pattern_(pattern), target_(cost.espModel().topology()),
-          cost_(cost), scorer_(scorer), k_(k), limit_(limit),
-          stats_(stats), allowed_(allowed)
+    const hw::Topology &pattern;
+    const hw::Topology &target;
+
+    int numPattern;
+    int numTarget;
+    std::size_t words; ///< 64-bit words per target bitset row
+    std::size_t targetEdges;
+
+    /** Per pattern vertex: hosts passing allowed+degree+signature. */
+    std::vector<std::uint64_t> feasible;
+    /** Per pattern vertex: hosts passing allowed+degree only (tells
+     *  the prunedSignature counter apart from plain misfits). */
+    std::vector<std::uint64_t> degreeOk;
+    std::vector<int> feasibleCount;
+
+    std::vector<int> order;
+    std::vector<int> posOf;
+    /** Flattened back edges: for depth d, entries [backOff[d],
+     *  backOff[d+1]) of backVertex/backEdge. */
+    std::vector<int> backOff;
+    std::vector<int> backVertex;
+    std::vector<int> backEdge;
+    std::vector<double> suffixBound;
+    /** Best claimable at each depth alone (the suffix summand). */
+    std::vector<double> depthBest;
+    /**
+     * Anchor-conditioned refinement of depthBest: entry
+     * [d * numTarget + h] bounds what depth d can claim when its
+     * anchor vertex is hosted on h — the vertex must then land on a
+     * neighbor of h, so the max ranges over feasible neighbors of h
+     * (charging the anchor edge exactly) instead of the whole device.
+     * Only anchored depths have meaningful rows.
+     */
+    std::vector<double> anchorBound;
+
+    /** vertexLogTab[v * numTarget + t] = cost.vertexLog(v, t). */
+    std::vector<double> vertexLogTab;
+    /** edgeLogTab[e * numEdges(target) + de] = cost.edgeLog(e, de). */
+    std::vector<double> edgeLogTab;
+
+    /** Root work items: feasible hosts of order[0], best optimistic
+     *  vertex score first (warms the bound early), ties ascending. */
+    std::vector<int> rootCandidates;
+
+    Impl(const hw::Topology &pattern_graph,
+         const PlacementCostModel &cost,
+         const std::vector<bool> *allowed)
+        : pattern(pattern_graph), target(cost.espModel().topology()),
+          numPattern(pattern_graph.numQubits()),
+          numTarget(target.numQubits()),
+          words((static_cast<std::size_t>(target.numQubits()) + 63) /
+                64),
+          targetEdges(target.numEdges())
     {
-        buildFeasibility();
+        buildFeasibility(allowed);
         buildOrder();
+        buildTables(cost);
         buildBounds();
-        map_.assign(static_cast<std::size_t>(pattern_.numQubits()), -1);
-        used_.assign(static_cast<std::size_t>(target_.numQubits()),
-                     false);
+        buildRoots();
     }
 
-    std::vector<ScoredEmbedding>
-    run()
+    bool feasibleBit(int v, int t) const
     {
-        if (pattern_.numQubits() > 0)
-            recurse(0, 0.0);
-        std::vector<ScoredEmbedding> out;
-        out.reserve(heap_.size());
-        while (!heap_.empty()) {
-            HeapEntry entry = heap_.top();
-            heap_.pop();
-            out.push_back(ScoredEmbedding{std::move(entry.embedding),
-                                          std::move(entry.map),
-                                          entry.esp});
-        }
-        std::reverse(out.begin(), out.end()); // heap pops worst-first
-        return out;
+        return (feasible[static_cast<std::size_t>(v) * words +
+                         (static_cast<std::size_t>(t) >> 6)] >>
+                (static_cast<std::size_t>(t) & 63)) &
+               1U;
+    }
+
+    bool degreeOkBit(int v, int t) const
+    {
+        return (degreeOk[static_cast<std::size_t>(v) * words +
+                         (static_cast<std::size_t>(t) >> 6)] >>
+                (static_cast<std::size_t>(t) & 63)) &
+               1U;
     }
 
   private:
-    /** Per-target signatures and per-pattern-vertex feasible hosts. */
     void
-    buildFeasibility()
+    buildFeasibility(const std::vector<bool> *allowed)
     {
-        targetSig_.reserve(
-            static_cast<std::size_t>(target_.numQubits()));
-        for (int t = 0; t < target_.numQubits(); ++t)
-            targetSig_.push_back(neighborSignature(target_, t));
-        patternSig_.reserve(
-            static_cast<std::size_t>(pattern_.numQubits()));
-        feasibleCount_.assign(
-            static_cast<std::size_t>(pattern_.numQubits()), 0);
-        for (int v = 0; v < pattern_.numQubits(); ++v) {
-            patternSig_.push_back(neighborSignature(pattern_, v));
+        const SignatureTable tsig(target);
+        const SignatureTable psig(pattern);
+        const auto np = static_cast<std::size_t>(numPattern);
+        feasible.assign(np * words, 0);
+        degreeOk.assign(np * words, 0);
+        feasibleCount.assign(np, 0);
+        for (int v = 0; v < numPattern; ++v) {
+            std::uint64_t *feas =
+                feasible.data() + static_cast<std::size_t>(v) * words;
+            std::uint64_t *deg =
+                degreeOk.data() + static_cast<std::size_t>(v) * words;
             int count = 0;
-            for (int t = 0; t < target_.numQubits(); ++t) {
-                if (hostFeasible(v, t))
-                    ++count;
+            for (int t = 0; t < numTarget; ++t) {
+                // Full-graph degree/signature tests stay admissible
+                // under the mask: a host viable in the induced
+                // subgraph has at least its induced degree in the
+                // full graph.
+                if (allowed &&
+                    !(*allowed)[static_cast<std::size_t>(t)])
+                    continue;
+                if (target.degree(t) < pattern.degree(v))
+                    continue;
+                const std::uint64_t bit =
+                    std::uint64_t{1}
+                    << (static_cast<std::size_t>(t) & 63);
+                deg[static_cast<std::size_t>(t) >> 6] |= bit;
+                if (!signatureDominates(tsig.begin(t), tsig.size(t),
+                                        psig.begin(v), psig.size(v)))
+                    continue;
+                feas[static_cast<std::size_t>(t) >> 6] |= bit;
+                ++count;
             }
-            feasibleCount_[static_cast<std::size_t>(v)] = count;
+            feasibleCount[static_cast<std::size_t>(v)] = count;
         }
-    }
-
-    bool
-    hostFeasible(int v, int t) const
-    {
-        // Full-graph degree/signature tests stay admissible under the
-        // mask: a host viable in the induced subgraph has at least
-        // its induced degree in the full graph.
-        if (allowed_ && !(*allowed_)[static_cast<std::size_t>(t)])
-            return false;
-        if (target_.degree(t) < pattern_.degree(v))
-            return false;
-        return signatureDominates(
-            targetSig_[static_cast<std::size_t>(t)],
-            patternSig_[static_cast<std::size_t>(v)]);
     }
 
     /**
@@ -154,203 +245,575 @@ class TopKSearcher
     void
     buildOrder()
     {
-        const auto n = static_cast<std::size_t>(pattern_.numQubits());
-        order_.reserve(n);
-        posOf_.assign(n, -1);
+        const auto n = static_cast<std::size_t>(numPattern);
+        order.reserve(n);
+        posOf.assign(n, -1);
         std::vector<bool> placed(n, false);
         for (std::size_t step = 0; step < n; ++step) {
             int best = -1;
             int best_connected = -1;
             int best_feasible = std::numeric_limits<int>::max();
             int best_degree = -1;
-            for (int v = 0; v < pattern_.numQubits(); ++v) {
+            for (int v = 0; v < numPattern; ++v) {
                 const auto vi = static_cast<std::size_t>(v);
                 if (placed[vi])
                     continue;
                 int connected = 0;
-                for (int u : pattern_.neighbors(v)) {
+                for (int u : pattern.neighbors(v)) {
                     if (placed[static_cast<std::size_t>(u)])
                         ++connected;
                 }
-                const int feasible = feasibleCount_[vi];
-                const int degree = pattern_.degree(v);
+                const int feasible_hosts = feasibleCount[vi];
+                const int degree = pattern.degree(v);
                 const bool better =
                     connected > best_connected ||
                     (connected == best_connected &&
-                     (feasible < best_feasible ||
-                      (feasible == best_feasible &&
+                     (feasible_hosts < best_feasible ||
+                      (feasible_hosts == best_feasible &&
                        degree > best_degree)));
                 if (better) {
                     best = v;
                     best_connected = connected;
-                    best_feasible = feasible;
+                    best_feasible = feasible_hosts;
                     best_degree = degree;
                 }
             }
             placed[static_cast<std::size_t>(best)] = true;
-            posOf_[static_cast<std::size_t>(best)] =
+            posOf[static_cast<std::size_t>(best)] =
                 static_cast<int>(step);
-            order_.push_back(best);
+            order.push_back(best);
         }
 
         // Edges to already-placed neighbors, charged when the later
-        // endpoint is placed.
-        backEdges_.assign(n, {});
-        for (const auto &edge : pattern_.edges()) {
-            const int pa = posOf_[static_cast<std::size_t>(edge.a)];
-            const int pb = posOf_[static_cast<std::size_t>(edge.b)];
+        // endpoint is placed; flattened depth-major.
+        std::vector<std::vector<std::pair<int, int>>> back(n);
+        for (const auto &edge : pattern.edges()) {
+            const int pa = posOf[static_cast<std::size_t>(edge.a)];
+            const int pb = posOf[static_cast<std::size_t>(edge.b)];
             const int later = std::max(pa, pb);
             const int earlier_vertex = pa < pb ? edge.a : edge.b;
-            const int e = pattern_.edgeIndex(edge.a, edge.b);
-            backEdges_[static_cast<std::size_t>(later)].push_back(
-                {earlier_vertex, e});
+            const int e = pattern.edgeIndex(edge.a, edge.b);
+            back[static_cast<std::size_t>(later)].emplace_back(
+                earlier_vertex, e);
+        }
+        backOff.assign(n + 1, 0);
+        for (std::size_t d = 0; d < n; ++d)
+            backOff[d + 1] =
+                backOff[d] + static_cast<int>(back[d].size());
+        backVertex.resize(static_cast<std::size_t>(backOff[n]));
+        backEdge.resize(static_cast<std::size_t>(backOff[n]));
+        for (std::size_t d = 0; d < n; ++d) {
+            int at = backOff[d];
+            for (const auto &[vertex, edge] : back[d]) {
+                backVertex[static_cast<std::size_t>(at)] = vertex;
+                backEdge[static_cast<std::size_t>(at)] = edge;
+                ++at;
+            }
         }
     }
 
-    /** Optimistic log-ESP still claimable from depth d onward. */
+    /**
+     * Optimistic log-ESP still claimable from depth d onward,
+     * tightened to the feasible subgraph: the per-vertex optimistic
+     * term maximizes over that vertex's *feasible* hosts only, and
+     * the per-edge term over device edges whose endpoints can host
+     * the pattern edge's endpoints. Still admissible — every
+     * completion maps vertices to feasible hosts and charges edges
+     * between them — but far tighter than the whole-device best
+     * factors on a spread calibration, so the bound fires earlier.
+     * An infeasible vertex (no hosts) yields -inf and prunes the
+     * whole search, which is exact: no completion exists.
+     */
     void
     buildBounds()
     {
-        const std::size_t n = order_.size();
-        suffixBound_.assign(n + 1, 0.0);
-        std::vector<double> at_depth(n, 0.0);
-        for (std::size_t d = 0; d < n; ++d) {
-            at_depth[d] = cost_.bestVertexLog(order_[d]);
-            for (const auto &[vertex, edge] : backEdges_[d]) {
-                (void)vertex;
-                at_depth[d] += cost_.bestEdgeLog(edge);
+        const std::size_t n = order.size();
+        const auto nt = static_cast<std::size_t>(numTarget);
+        std::vector<double> best_vlog(n, kNegInf);
+        for (int v = 0; v < numPattern; ++v) {
+            double best = kNegInf;
+            for (int t = 0; t < numTarget; ++t) {
+                if (feasibleBit(v, t))
+                    best = std::max(
+                        best,
+                        vertexLogTab[static_cast<std::size_t>(v) * nt +
+                                     static_cast<std::size_t>(t)]);
             }
+            best_vlog[static_cast<std::size_t>(v)] = best;
+        }
+        const std::size_t ne = target.numEdges();
+        std::vector<double> best_elog(pattern.numEdges(), kNegInf);
+        for (std::size_t e = 0; e < pattern.numEdges(); ++e) {
+            const int va = pattern.edges()[e].a;
+            const int vb = pattern.edges()[e].b;
+            double best = kNegInf;
+            for (std::size_t de = 0; de < ne; ++de) {
+                const int a = target.edges()[de].a;
+                const int b = target.edges()[de].b;
+                if ((feasibleBit(va, a) && feasibleBit(vb, b)) ||
+                    (feasibleBit(va, b) && feasibleBit(vb, a)))
+                    best = std::max(best, edgeLogTab[e * ne + de]);
+            }
+            best_elog[e] = best;
+        }
+        suffixBound.assign(n + 1, 0.0);
+        depthBest.assign(n, 0.0);
+        for (std::size_t d = 0; d < n; ++d) {
+            depthBest[d] =
+                best_vlog[static_cast<std::size_t>(order[d])];
+            for (int i = backOff[d]; i < backOff[d + 1]; ++i)
+                depthBest[d] += best_elog[static_cast<std::size_t>(
+                    backEdge[static_cast<std::size_t>(i)])];
         }
         for (std::size_t d = n; d-- > 0;)
-            suffixBound_[d] = suffixBound_[d + 1] + at_depth[d];
+            suffixBound[d] = suffixBound[d + 1] + depthBest[d];
+
+        // Anchor-conditioned per-depth bounds: for each anchored
+        // depth and each possible anchor host h, the vertex lands on
+        // a feasible neighbor of h over the incident device edge, so
+        // maximize vertexLog + first-back-edge log over exactly those
+        // pairs; remaining back edges keep their static best. -inf
+        // when h has no feasible neighbor — the branch is hopeless.
+        anchorBound.assign(n * nt, kNegInf);
+        for (std::size_t d = 1; d < n; ++d) {
+            if (backOff[d] == backOff[d + 1])
+                continue;
+            const int v = order[d];
+            const std::size_t e0 = static_cast<std::size_t>(
+                backEdge[static_cast<std::size_t>(backOff[d])]);
+            double static_rest = 0.0;
+            for (int i = backOff[d] + 1; i < backOff[d + 1]; ++i)
+                static_rest += best_elog[static_cast<std::size_t>(
+                    backEdge[static_cast<std::size_t>(i)])];
+            double *row = anchorBound.data() + d * nt;
+            for (int h = 0; h < numTarget; ++h) {
+                double best = kNegInf;
+                for (const auto &[u, de] : target.neighborEdges(h)) {
+                    if (!feasibleBit(v, u))
+                        continue;
+                    best = std::max(
+                        best,
+                        vertexLogTab[static_cast<std::size_t>(v) * nt +
+                                     static_cast<std::size_t>(u)] +
+                            edgeLogTab[e0 * ne +
+                                       static_cast<std::size_t>(de)]);
+                }
+                row[static_cast<std::size_t>(h)] = best + static_rest;
+            }
+        }
     }
 
-    /** Log of the K-th best exact ESP (the prune threshold). */
-    double
-    threshold() const
+    /** Dense (v, t) and (pattern edge, device edge) log tables, so
+     *  the inner loop is two array reads instead of recomputing the
+     *  count-weighted sums per node. Same doubles: each entry is the
+     *  exact expression vertexLog/edgeLog evaluates. */
+    void
+    buildTables(const PlacementCostModel &cost)
     {
-        if (heap_.size() < k_)
-            return -std::numeric_limits<double>::infinity();
-        constexpr double kFloor = 1e-300;
-        return std::log(std::max(heap_.top().esp, kFloor));
+        const auto nt = static_cast<std::size_t>(numTarget);
+        vertexLogTab.resize(static_cast<std::size_t>(numPattern) * nt);
+        for (int v = 0; v < numPattern; ++v) {
+            for (int t = 0; t < numTarget; ++t)
+                vertexLogTab[static_cast<std::size_t>(v) * nt +
+                             static_cast<std::size_t>(t)] =
+                    cost.vertexLog(v, t);
+        }
+        const std::size_t ne = target.numEdges();
+        edgeLogTab.resize(pattern.numEdges() * ne);
+        for (std::size_t e = 0; e < pattern.numEdges(); ++e) {
+            for (std::size_t de = 0; de < ne; ++de)
+                edgeLogTab[e * ne + de] =
+                    cost.edgeLog(static_cast<int>(e),
+                                 static_cast<int>(de));
+        }
     }
 
     void
-    complete()
+    buildRoots()
     {
+        if (order.empty())
+            return;
+        const int v0 = order.front();
+        rootCandidates.reserve(
+            static_cast<std::size_t>(feasibleCount[static_cast<
+                std::size_t>(v0)]));
+        for (int t = 0; t < numTarget; ++t) {
+            if (feasibleBit(v0, t))
+                rootCandidates.push_back(t);
+        }
+        const double *vlog =
+            vertexLogTab.data() +
+            static_cast<std::size_t>(v0) *
+                static_cast<std::size_t>(numTarget);
+        std::sort(rootCandidates.begin(), rootCandidates.end(),
+                  [vlog](int a, int b) {
+                      const double la =
+                          vlog[static_cast<std::size_t>(a)];
+                      const double lb =
+                          vlog[static_cast<std::size_t>(b)];
+                      if (la != lb)
+                          return la > lb;
+                      return a < b;
+                  });
+    }
+};
+
+namespace {
+
+using PlanImpl = PlacementSearchPlan::Impl;
+
+/**
+ * The bound every worker prunes against: an atomic-max over the log of
+ * each worker's local K-th best score. Any worker's local K-th best is
+ * a lower bound on the global K-th best (the union holds at least K
+ * placements at least that good), so pruning against a published value
+ * — however stale — never drops a true top-K member. Only ever rises.
+ */
+class MonotonicBound
+{
+  public:
+    double get() const { return log_.load(std::memory_order_relaxed); }
+
+    void
+    raise(double value)
+    {
+        double cur = log_.load(std::memory_order_relaxed);
+        while (cur < value &&
+               !log_.compare_exchange_weak(cur, value,
+                                           std::memory_order_relaxed))
+            ;
+    }
+
+  private:
+    std::atomic<double> log_{kNegInf};
+};
+
+/** Bounded best-K list kept sorted under the canonical total order;
+ *  the worst kept entry is back(). */
+class BoundedBest
+{
+  public:
+    explicit BoundedBest(std::size_t k) : k_(k)
+    {
+        entries_.reserve(k + 1);
+    }
+
+    bool full() const { return entries_.size() == k_; }
+    double worstEsp() const { return entries_.back().esp; }
+
+    /** True when a candidate with this score/map/embedding belongs in
+     *  the list right now. */
+    bool
+    admits(double esp, const std::vector<int> &map,
+           const std::vector<int> &embedding) const
+    {
+        if (!full())
+            return true;
+        const HeapEntry &w = entries_.back();
+        return entryBefore(esp, map, embedding, w.esp, w.map,
+                           w.embedding);
+    }
+
+    void
+    insert(double esp, std::vector<int> map,
+           std::vector<int> embedding)
+    {
+        std::size_t pos = entries_.size();
+        while (pos > 0 &&
+               entryBefore(esp, map, embedding, entries_[pos - 1].esp,
+                           entries_[pos - 1].map,
+                           entries_[pos - 1].embedding))
+            --pos;
+        entries_.insert(entries_.begin() + static_cast<std::ptrdiff_t>(
+                                               pos),
+                        HeapEntry{esp, std::move(map),
+                                  std::move(embedding)});
+        if (entries_.size() > k_)
+            entries_.pop_back();
+    }
+
+    std::vector<HeapEntry> take() { return std::move(entries_); }
+
+  private:
+    std::size_t k_;
+    std::vector<HeapEntry> entries_; ///< sorted best-first
+};
+
+/**
+ * One search worker: private partial map, private best-K list, and a
+ * cached prune threshold refreshed from the shared bound. The serial
+ * driver runs every root through one worker (the classic DFS); the
+ * parallel driver gives each root work item a fresh worker and merges.
+ */
+class Worker
+{
+  public:
+    Worker(const PlanImpl &plan, const EmbeddingScorer &scorer,
+           std::size_t k, std::size_t limit, MonotonicBound &bound,
+           PlacementSearchStats *stats)
+        : plan_(plan), scorer_(scorer), limit_(limit), bound_(bound),
+          stats_(stats), best_(k),
+          map_(static_cast<std::size_t>(plan.numPattern), -1),
+          used_(static_cast<std::size_t>(plan.numTarget), 0),
+          candDelta_(static_cast<std::size_t>(plan.numPattern) *
+                     static_cast<std::size_t>(plan.numTarget)),
+          candHost_(static_cast<std::size_t>(plan.numPattern) *
+                    static_cast<std::size_t>(plan.numTarget))
+    {
+    }
+
+    /** Explore the whole branch rooted at hosting order[0] on @p t.
+     *  The completion budget (limit) is per root branch. */
+    void
+    searchRoot(int t)
+    {
+        completions_ = 0;
+        if (stats_ != nullptr)
+            ++stats_->nodesVisited;
+        if (plan_.suffixBound[0] < threshold() - kBoundSlack) {
+            if (stats_ != nullptr)
+                ++stats_->prunedBound;
+            return;
+        }
+        const int v = plan_.order.front();
+        const auto vi = static_cast<std::size_t>(v);
+        const double delta =
+            plan_.vertexLogTab[vi * static_cast<std::size_t>(
+                                        plan_.numTarget) +
+                               static_cast<std::size_t>(t)];
+        map_[vi] = t;
+        used_[static_cast<std::size_t>(t)] = 1;
+        recurse(1, delta);
+        map_[vi] = -1;
+        used_[static_cast<std::size_t>(t)] = 0;
+    }
+
+    std::vector<HeapEntry> take() { return best_.take(); }
+
+  private:
+    /** Current prune threshold: the worker's own K-th best and the
+     *  shared bound, whichever is tighter. Cheap enough per node — a
+     *  relaxed load and a max — that no log() is ever taken here. */
+    double
+    threshold() const
+    {
+        return std::max(localThr_, bound_.get());
+    }
+
+    void
+    refreshThreshold()
+    {
+        if (!best_.full())
+            return;
+        localThr_ =
+            std::log(std::max(best_.worstEsp(), kEspLogFloor));
+        bound_.raise(localThr_);
+    }
+
+    void
+    complete(double partial)
+    {
+        ++completions_;
         if (stats_ != nullptr)
             ++stats_->completions;
-        ++completions_;
+        // Leaf bound: partial (+ slack) upper-bounds the exact log
+        // score — isolated-qubit factors only lower it — so a leaf
+        // that cannot reach the K-th best skips the exact scorer.
+        if (partial < threshold() - kBoundSlack)
+            return;
         std::vector<int> canonical_map;
         double esp = 0.0;
         scorer_(map_, canonical_map, esp);
-        if (heap_.size() == k_ &&
-            !placementBefore(esp, canonical_map, heap_.top().esp,
-                             heap_.top().map))
+        if (!best_.admits(esp, canonical_map, map_))
             return;
-        heap_.push(HeapEntry{esp, std::move(canonical_map), map_});
-        if (heap_.size() > k_)
-            heap_.pop();
+        best_.insert(esp, std::move(canonical_map), map_);
+        refreshThreshold();
     }
 
+    /** Host pattern vertex @p v on target @p t and explore deeper. */
+    // qedm:hot
+    void
+    descend(std::size_t depth, int v, int t, double next_partial)
+    {
+        map_[static_cast<std::size_t>(v)] = t;
+        used_[static_cast<std::size_t>(t)] = 1;
+        recurse(depth + 1, next_partial);
+        map_[static_cast<std::size_t>(v)] = -1;
+        used_[static_cast<std::size_t>(t)] = 0;
+    }
+
+    /**
+     * Collect the viable hosts for the vertex at @p depth into this
+     * depth's scratch slice, sorted by descending log-score delta
+     * (ties: host ascending). Exploring locally-best children first
+     * warms the prune threshold early; the final top-K is exact
+     * either way, so the output does not depend on this order.
+     */
+    // qedm:hot
+    int
+    gatherChildren(std::size_t depth, int v, int anchor_host,
+                   const double *vlog, double *cand_delta,
+                   int *cand_host)
+    {
+        int nc = 0;
+        const auto insert = [&](int t, double delta) {
+            int pos = nc;
+            while (pos > 0 && cand_delta[pos - 1] < delta) {
+                cand_delta[pos] = cand_delta[pos - 1];
+                cand_host[pos] = cand_host[pos - 1];
+                --pos;
+            }
+            cand_delta[pos] = delta;
+            cand_host[pos] = t;
+            ++nc;
+        };
+        const std::size_t ne = plan_.targetEdges;
+        if (anchor_host < 0) {
+            // Start of a disconnected pattern component: every unused
+            // feasible host, no back edges to charge.
+            const std::uint64_t *row =
+                plan_.feasible.data() +
+                static_cast<std::size_t>(v) * plan_.words;
+            for (std::size_t w = 0; w < plan_.words; ++w) {
+                std::uint64_t bits = row[w];
+                while (bits != 0) {
+                    const int t = static_cast<int>(
+                        (w << 6) + static_cast<std::size_t>(
+                                       std::countr_zero(bits)));
+                    bits &= bits - 1;
+                    if (used_[static_cast<std::size_t>(t)] != 0)
+                        continue;
+                    insert(t, vlog[static_cast<std::size_t>(t)]);
+                }
+            }
+            return nc;
+        }
+        // Connected expansion: candidates are the neighbors of the
+        // first already-placed pattern neighbor, iterated with their
+        // incident device edge so the first back edge charges its
+        // factor without an edgeIndex lookup.
+        for (const auto &[t, device_edge] :
+             plan_.target.neighborEdges(anchor_host)) {
+            if (used_[static_cast<std::size_t>(t)] != 0)
+                continue;
+            if (!plan_.feasibleBit(v, t)) {
+                if (stats_ != nullptr && plan_.degreeOkBit(v, t))
+                    ++stats_->prunedSignature;
+                continue;
+            }
+            double delta = vlog[static_cast<std::size_t>(t)];
+            int i = plan_.backOff[depth];
+            delta += plan_.edgeLogTab[static_cast<std::size_t>(
+                                          plan_.backEdge[static_cast<
+                                              std::size_t>(i)]) *
+                                          ne +
+                                      static_cast<std::size_t>(
+                                          device_edge)];
+            bool viable = true;
+            for (++i; i < plan_.backOff[depth + 1]; ++i) {
+                const int mapped = map_[static_cast<std::size_t>(
+                    plan_.backVertex[static_cast<std::size_t>(i)])];
+                const int de = plan_.target.edgeIndex(mapped, t);
+                if (de < 0) {
+                    viable = false;
+                    break;
+                }
+                delta += plan_.edgeLogTab[static_cast<std::size_t>(
+                                              plan_.backEdge[
+                                                  static_cast<
+                                                      std::size_t>(
+                                                      i)]) *
+                                              ne +
+                                          static_cast<std::size_t>(
+                                              de)];
+            }
+            if (viable)
+                insert(t, delta);
+        }
+        return nc;
+    }
+
+    // qedm:hot
     void
     recurse(std::size_t depth, double partial)
     {
         if (completions_ >= limit_)
             return;
-        if (depth == order_.size()) {
-            complete();
+        if (depth == plan_.order.size()) {
+            complete(partial);
             return;
         }
         if (stats_ != nullptr)
             ++stats_->nodesVisited;
-        if (partial + suffixBound_[depth] <
+        // Prune against the anchor-conditioned bound when this depth
+        // is anchored (its host must neighbor the anchor's), falling
+        // back to the static per-depth best otherwise. Both are
+        // admissible; the conditioned one is far tighter.
+        const std::size_t nt =
+            static_cast<std::size_t>(plan_.numTarget);
+        int anchor_host = -1;
+        double avail;
+        if (plan_.backOff[depth] < plan_.backOff[depth + 1]) {
+            const int anchor = plan_.backVertex[
+                static_cast<std::size_t>(plan_.backOff[depth])];
+            anchor_host = map_[static_cast<std::size_t>(anchor)];
+            avail = plan_.anchorBound[depth * nt +
+                                      static_cast<std::size_t>(
+                                          anchor_host)];
+        } else {
+            avail = plan_.depthBest[depth];
+        }
+        if (partial + avail + plan_.suffixBound[depth + 1] <
             threshold() - kBoundSlack) {
             if (stats_ != nullptr)
                 ++stats_->prunedBound;
             return;
         }
-        const int v = order_[depth];
-        const auto vi = static_cast<std::size_t>(v);
-
-        // Candidates: neighbors of an already-mapped pattern neighbor
-        // when one exists, else every target vertex.
-        const std::vector<int> *candidates = nullptr;
-        std::vector<int> all;
-        if (!backEdges_[depth].empty()) {
-            const int anchor = backEdges_[depth].front().first;
-            candidates =
-                &target_.neighbors(map_[static_cast<std::size_t>(
-                    anchor)]);
-        } else {
-            all.resize(static_cast<std::size_t>(target_.numQubits()));
-            for (int t = 0; t < target_.numQubits(); ++t)
-                all[static_cast<std::size_t>(t)] = t;
-            candidates = &all;
-        }
-
-        for (int t : *candidates) {
-            if (used_[static_cast<std::size_t>(t)])
-                continue;
-            if (allowed_ && !(*allowed_)[static_cast<std::size_t>(t)])
-                continue;
-            if (target_.degree(t) < pattern_.degree(v))
-                continue;
-            if (!signatureDominates(
-                    targetSig_[static_cast<std::size_t>(t)],
-                    patternSig_[vi])) {
-                if (stats_ != nullptr)
-                    ++stats_->prunedSignature;
-                continue;
-            }
-            bool feasible = true;
-            double delta = cost_.vertexLog(v, t);
-            for (const auto &[vertex, edge] : backEdges_[depth]) {
-                const int mapped =
-                    map_[static_cast<std::size_t>(vertex)];
-                const int device_edge = target_.edgeIndex(mapped, t);
-                if (device_edge < 0) {
-                    feasible = false;
-                    break;
-                }
-                delta += cost_.edgeLog(edge, device_edge);
-            }
-            if (!feasible)
-                continue;
-            map_[vi] = t;
-            used_[static_cast<std::size_t>(t)] = true;
-            recurse(depth + 1, partial + delta);
-            map_[vi] = -1;
-            used_[static_cast<std::size_t>(t)] = false;
+        const int v = plan_.order[depth];
+        const double *vlog =
+            plan_.vertexLogTab.data() +
+            static_cast<std::size_t>(v) *
+                static_cast<std::size_t>(plan_.numTarget);
+        // Per-depth scratch slice — recursion below this depth uses
+        // deeper slices, so the candidate list survives the loop.
+        const std::size_t base = (depth - 1) * nt;
+        double *cand_delta = candDelta_.data() + base;
+        int *cand_host = candHost_.data() + base;
+        const int nc = gatherChildren(depth, v, anchor_host, vlog,
+                                      cand_delta, cand_host);
+        for (int j = 0; j < nc; ++j) {
+            descend(depth, v, cand_host[j], partial + cand_delta[j]);
             if (completions_ >= limit_)
                 return;
         }
     }
 
-    const hw::Topology &pattern_;
-    const hw::Topology &target_;
-    const PlacementCostModel &cost_;
+    const PlanImpl &plan_;
     const EmbeddingScorer &scorer_;
-    std::size_t k_;
     std::size_t limit_;
+    MonotonicBound &bound_;
     PlacementSearchStats *stats_;
-    const std::vector<bool> *allowed_;
-
-    std::vector<std::vector<int>> targetSig_;
-    std::vector<std::vector<int>> patternSig_;
-    std::vector<int> feasibleCount_;
-    std::vector<int> order_;
-    std::vector<int> posOf_;
-    /** Per depth: (earlier pattern vertex, pattern edge index). */
-    std::vector<std::vector<std::pair<int, int>>> backEdges_;
-    std::vector<double> suffixBound_;
-
+    BoundedBest best_;
     std::vector<int> map_;
-    std::vector<bool> used_;
+    std::vector<std::uint8_t> used_;
+    /** Depth-sliced candidate scratch (numPattern x numTarget). */
+    std::vector<double> candDelta_;
+    std::vector<int> candHost_;
+    double localThr_ = kNegInf;
     std::uint64_t completions_ = 0;
-    std::priority_queue<HeapEntry, std::vector<HeapEntry>, BetterFirst>
-        heap_;
 };
+
+std::vector<ScoredEmbedding>
+toScored(std::vector<HeapEntry> entries)
+{
+    std::vector<ScoredEmbedding> out;
+    out.reserve(entries.size());
+    for (HeapEntry &entry : entries)
+        out.push_back(ScoredEmbedding{std::move(entry.embedding),
+                                      std::move(entry.map),
+                                      entry.esp});
+    return out;
+}
 
 } // namespace
 
@@ -414,15 +877,10 @@ PlacementCostModel::PlacementCostModel(
     }
 }
 
-std::vector<ScoredEmbedding>
-topKPlacements(const hw::Topology &pattern,
-               const PlacementCostModel &cost_model,
-               const EmbeddingScorer &scorer, std::size_t k,
-               std::size_t limit, PlacementSearchStats *stats,
-               const std::vector<bool> *allowed)
+PlacementSearchPlan::PlacementSearchPlan(
+    const hw::Topology &pattern, const PlacementCostModel &cost_model,
+    const std::vector<bool> *allowed)
 {
-    QEDM_REQUIRE(k > 0, "top-K placement search needs k >= 1");
-    QEDM_REQUIRE(limit > 0, "enumeration limit must be positive");
     QEDM_REQUIRE(pattern.numQubits() <=
                      cost_model.espModel().numQubits(),
                  "pattern is larger than the target graph");
@@ -431,9 +889,86 @@ topKPlacements(const hw::Topology &pattern,
                          static_cast<std::size_t>(
                              cost_model.espModel().numQubits()),
                  "allowed mask size must match the target graph");
-    TopKSearcher searcher(pattern, cost_model, scorer, k, limit, stats,
-                          allowed);
-    return searcher.run();
+    impl_ = std::make_unique<Impl>(pattern, cost_model, allowed);
+}
+
+PlacementSearchPlan::~PlacementSearchPlan() = default;
+PlacementSearchPlan::PlacementSearchPlan(
+    PlacementSearchPlan &&) noexcept = default;
+PlacementSearchPlan &
+PlacementSearchPlan::operator=(PlacementSearchPlan &&) noexcept =
+    default;
+
+std::vector<ScoredEmbedding>
+topKPlacements(const PlacementSearchPlan &plan,
+               const EmbeddingScorer &scorer, std::size_t k,
+               std::size_t limit, PlacementSearchStats *stats,
+               const runtime::JobScheduler *scheduler)
+{
+    QEDM_REQUIRE(k > 0, "top-K placement search needs k >= 1");
+    QEDM_REQUIRE(limit > 0, "enumeration limit must be positive");
+
+    const PlanImpl &impl = *plan.impl_;
+    MonotonicBound bound;
+    const std::size_t roots = impl.rootCandidates.size();
+
+    if (scheduler == nullptr || !scheduler->parallel() || roots <= 1) {
+        // Sequential: one worker walks every root branch in order,
+        // carrying its best-K list (the classic DFS shape).
+        Worker worker(impl, scorer, k, limit, bound, stats);
+        for (int t : impl.rootCandidates)
+            worker.searchRoot(t);
+        return toScored(worker.take());
+    }
+
+    // Parallel: one work item per root-frontier host. Workers write
+    // pre-assigned slots; stats sum in item order after the fan-out.
+    std::vector<std::vector<HeapEntry>> slots(roots);
+    std::vector<PlacementSearchStats> item_stats(
+        stats != nullptr ? roots : 0);
+    scheduler->parallelFor(roots, [&](std::size_t i) {
+        Worker worker(impl, scorer, k, limit, bound,
+                      stats != nullptr ? &item_stats[i] : nullptr);
+        worker.searchRoot(impl.rootCandidates[i]);
+        slots[i] = worker.take();
+    });
+    if (stats != nullptr) {
+        for (const PlacementSearchStats &s : item_stats) {
+            stats->nodesVisited += s.nodesVisited;
+            stats->completions += s.completions;
+            stats->prunedBound += s.prunedBound;
+            stats->prunedSignature += s.prunedSignature;
+        }
+    }
+
+    // Deterministic merge: every surviving entry sorted under the
+    // canonical total order, truncated to K — bit-identical to the
+    // sequential worker's list regardless of bound-publication timing.
+    std::vector<HeapEntry> merged;
+    for (auto &slot : slots) {
+        for (HeapEntry &entry : slot)
+            merged.push_back(std::move(entry));
+    }
+    std::sort(merged.begin(), merged.end(),
+              [](const HeapEntry &a, const HeapEntry &b) {
+                  return entryBefore(a.esp, a.map, a.embedding, b.esp,
+                                     b.map, b.embedding);
+              });
+    if (merged.size() > k)
+        merged.resize(k);
+    return toScored(std::move(merged));
+}
+
+std::vector<ScoredEmbedding>
+topKPlacements(const hw::Topology &pattern,
+               const PlacementCostModel &cost_model,
+               const EmbeddingScorer &scorer, std::size_t k,
+               std::size_t limit, PlacementSearchStats *stats,
+               const std::vector<bool> *allowed,
+               const runtime::JobScheduler *scheduler)
+{
+    const PlacementSearchPlan plan(pattern, cost_model, allowed);
+    return topKPlacements(plan, scorer, k, limit, stats, scheduler);
 }
 
 } // namespace qedm::transpile

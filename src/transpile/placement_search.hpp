@@ -26,10 +26,22 @@
  * float drift between the additive bound and the exact product can
  * never prune a placement the exact ordering would keep.
  *
+ * Parallel search (DESIGN.md §18): the root frontier — the feasible
+ * hosts of the first pattern vertex in the matching order — is
+ * partitioned into one work item per root host and fanned out over a
+ * runtime::JobScheduler. Workers keep private top-K heaps and share
+ * the pruning bound through a monotonic atomic: each worker publishes
+ * the log of its own K-th best score, which is a lower bound on the
+ * global K-th best, so a stale read only prunes less and admissibility
+ * is schedule-independent. The per-worker heaps are merged under the
+ * canonical total order, so the result is bit-identical at every
+ * --jobs value (and to the sequential search).
+ *
  * Determinism contract: results are ordered by descending ESP with
- * exact ties broken lexicographically on the mapping vector, so the
- * top-K set and its order are independent of enumeration order,
- * thread count, and pruning strength.
+ * exact ties broken lexicographically on the mapping vector and then
+ * on the embedding, a strict total order — the top-K set and its
+ * order are independent of enumeration order, thread count, and
+ * pruning strength.
  */
 
 #pragma once
@@ -42,6 +54,10 @@
 
 #include "hw/topology.hpp"
 #include "transpile/esp_model.hpp"
+
+namespace qedm::runtime {
+class JobScheduler;
+}
 
 namespace qedm::transpile {
 
@@ -64,7 +80,15 @@ struct ScoredEmbedding
     double esp = 0.0;
 };
 
-/** Search effort counters (observability for benches and tests). */
+/**
+ * Search effort counters (observability for benches and tests).
+ *
+ * Sequential searches count exactly and reproducibly. Parallel
+ * searches sum per-worker counters in work-item order, so the totals
+ * are well-defined but depend on bound-publication timing between
+ * workers — effort counters may differ run to run at jobs > 1 even
+ * though the returned placements never do.
+ */
 struct PlacementSearchStats
 {
     std::uint64_t nodesVisited = 0;
@@ -146,22 +170,35 @@ class PlacementCostModel
  * Exact scorer for one completed embedding: returns the canonical
  * mapping vector and the exact (product-form) ESP. Callers close over
  * whatever completion logic they need (isolated-qubit placement, full
- * physical relabeling, ...).
+ * physical relabeling, ...). Must be safe to call concurrently when a
+ * parallel scheduler is passed to topKPlacements — pure functions of
+ * the embedding and immutable captured state qualify.
  */
 using EmbeddingScorer =
     std::function<void(const std::vector<int> &embedding,
                        std::vector<int> &map_out, double &esp_out)>;
 
+class PlacementSearchPlan;
+
 /**
  * The K best embeddings of @p pattern into the device graph of the
- * cost model, best first under placementBefore. Explores at most
- * @p limit completed embeddings (the VF2 enumeration cap); pruning
- * never drops a placement that belongs in the top K.
+ * cost model, best first under placementBefore (ties beyond the map
+ * broken on the embedding — a strict total order). Pruning never
+ * drops a placement that belongs in the top K.
  *
- * @param stats optional search-effort counters
+ * @param limit blowup guard: at most @p limit completed embeddings
+ *        are explored *per root branch* (per root-frontier host of
+ *        the first pattern vertex). The per-branch scope makes the
+ *        cap schedule-independent, so a binding limit prunes the same
+ *        subtrees at every --jobs value.
+ * @param stats optional search-effort counters (see
+ *        PlacementSearchStats for parallel-run semantics)
  * @param allowed optional target-qubit mask; the search only maps
  *        pattern vertices onto allowed targets. nullptr (default)
  *        follows the exact unmasked enumeration and pruning order.
+ * @param scheduler optional parallel fan-out; nullptr or jobs == 1
+ *        searches sequentially. The returned placements are
+ *        bit-identical either way.
  */
 std::vector<ScoredEmbedding>
 topKPlacements(const hw::Topology &pattern,
@@ -169,6 +206,61 @@ topKPlacements(const hw::Topology &pattern,
                const EmbeddingScorer &scorer, std::size_t k,
                std::size_t limit = 100000,
                PlacementSearchStats *stats = nullptr,
-               const std::vector<bool> *allowed = nullptr);
+               const std::vector<bool> *allowed = nullptr,
+               const runtime::JobScheduler *scheduler = nullptr);
+
+/**
+ * Precompiled search state for one (pattern, cost model, mask)
+ * triple: feasibility bitsets, the matching order with flattened back
+ * edges, dense log tables, admissible suffix bounds, and the sorted
+ * root frontier. Building this is a double-digit-microsecond pass on
+ * a 127-qubit device — noticeable when the same circuit is re-placed
+ * every calibration cycle — so callers that search repeatedly (the
+ * Placer's per-circuit memo, benches) build the plan once and pass it
+ * to the plan-taking topKPlacements overload below.
+ *
+ * The plan holds references into @p pattern and @p cost_model (and
+ * the cost model's EspModel); both must outlive it. It is immutable
+ * after construction and safe to share across threads.
+ */
+class PlacementSearchPlan
+{
+  public:
+    /** Validates and precompiles; same requirements as
+     *  topKPlacements (pattern fits the target, mask sized right). */
+    PlacementSearchPlan(const hw::Topology &pattern,
+                        const PlacementCostModel &cost_model,
+                        const std::vector<bool> *allowed = nullptr);
+    ~PlacementSearchPlan();
+
+    PlacementSearchPlan(PlacementSearchPlan &&) noexcept;
+    PlacementSearchPlan &operator=(PlacementSearchPlan &&) noexcept;
+    PlacementSearchPlan(const PlacementSearchPlan &) = delete;
+    PlacementSearchPlan &operator=(const PlacementSearchPlan &) =
+        delete;
+
+    struct Impl;
+
+  private:
+    std::unique_ptr<Impl> impl_;
+
+    friend std::vector<ScoredEmbedding>
+    topKPlacements(const PlacementSearchPlan &plan,
+                   const EmbeddingScorer &scorer, std::size_t k,
+                   std::size_t limit, PlacementSearchStats *stats,
+                   const runtime::JobScheduler *scheduler);
+};
+
+/**
+ * topKPlacements against a prebuilt plan: identical results to the
+ * plan-free overload (same search, same doubles, same order), minus
+ * the per-call plan construction.
+ */
+std::vector<ScoredEmbedding>
+topKPlacements(const PlacementSearchPlan &plan,
+               const EmbeddingScorer &scorer, std::size_t k,
+               std::size_t limit = 100000,
+               PlacementSearchStats *stats = nullptr,
+               const runtime::JobScheduler *scheduler = nullptr);
 
 } // namespace qedm::transpile

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <utility>
@@ -115,36 +117,84 @@ completeMap(const hw::DeviceView &view, const PlacementProblem &problem,
     std::vector<int> map(problem.numQubits, -1);
     for (std::size_t i = 0; i < problem.active.size(); ++i)
         map[problem.active[i]] = embedding[i];
-    placeIsolated(view, problem.isolated, map);
+    if (!problem.isolated.empty())
+        placeIsolated(view, problem.isolated, map);
     return map;
 }
 
+/**
+ * One memoized placement problem: the circuit-derived pieces plus the
+ * cost model and precompiled search plan built over them. The members
+ * reference each other (cost reads problem, plan reads both), so they
+ * live and die together; once constructed the whole bundle is
+ * immutable and safe to share across threads.
+ */
+struct CachedSearch
+{
+    PlacementProblem problem;
+    PlacementCostModel cost;
+    PlacementSearchPlan plan;
+
+    CachedSearch(PlacementProblem prob, const std::vector<bool> *mask)
+        : problem(std::move(prob)),
+          cost(problem.model, problem.pattern, problem.patternIndex,
+               problem.trace, mask),
+          plan(problem.pattern, cost, mask)
+    {
+    }
+};
+
 } // namespace
 
-Placer::Placer(const hw::Device &device) : view_(device) {}
+struct Placer::Cache
+{
+    std::mutex mutex;
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<const CachedSearch> entry;
+};
 
-Placer::Placer(hw::DeviceView view) : view_(std::move(view)) {}
+Placer::Placer(const hw::Device &device)
+    : view_(device), cache_(std::make_shared<Cache>())
+{
+}
+
+Placer::Placer(hw::DeviceView view)
+    : view_(std::move(view)), cache_(std::make_shared<Cache>())
+{
+}
 
 std::vector<ScoredPlacement>
 Placer::topPlacements(const circuit::Circuit &logical, std::size_t k,
                       std::size_t limit) const
 {
-    const auto problem = buildProblem(view_, logical);
-    std::vector<ScoredPlacement> out;
-    if (!problem)
-        return out;
+    const std::uint64_t fp = logical.fingerprint();
+    std::shared_ptr<const CachedSearch> search;
+    {
+        std::lock_guard<std::mutex> lock(cache_->mutex);
+        if (cache_->entry && cache_->fingerprint == fp)
+            search = cache_->entry;
+    }
+    if (!search) {
+        auto problem = buildProblem(view_, logical);
+        if (!problem)
+            return {};
+        search = std::make_shared<const CachedSearch>(
+            std::move(*problem), view_.maskPtr());
+        std::lock_guard<std::mutex> lock(cache_->mutex);
+        cache_->fingerprint = fp;
+        cache_->entry = search;
+    }
 
-    const PlacementCostModel cost(problem->model, problem->pattern,
-                                  problem->patternIndex,
-                                  problem->trace, view_.maskPtr());
+    const PlacementProblem &problem = search->problem;
     const EmbeddingScorer scorer =
         [&](const std::vector<int> &embedding, std::vector<int> &map,
             double &esp) {
-            map = completeMap(view_, *problem, embedding);
-            esp = problem->model->espOfTrace(problem->trace, map);
+            map = completeMap(view_, problem, embedding);
+            esp = problem.model->espOfTrace(problem.trace, map);
         };
-    auto best = topKPlacements(problem->pattern, cost, scorer, k, limit,
-                               nullptr, view_.maskPtr());
+    auto best = topKPlacements(search->plan, scorer, k, limit, nullptr,
+                               scheduler_);
+    std::vector<ScoredPlacement> out;
     out.reserve(best.size());
     for (auto &scored : best)
         out.push_back(

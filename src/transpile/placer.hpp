@@ -15,11 +15,16 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "circuit/circuit.hpp"
 #include "hw/device.hpp"
 #include "hw/device_view.hpp"
+
+namespace qedm::runtime {
+class JobScheduler;
+}
 
 namespace qedm::transpile {
 
@@ -61,11 +66,25 @@ class Placer
      * beat the current K-th best, so the full embedding list is never
      * materialized. Empty when the interaction graph does not embed.
      *
+     * When a scheduler is attached (setScheduler) the root frontier
+     * fans out over it; results are bit-identical at every --jobs.
+     * @p limit caps completions per root branch (see topKPlacements).
+     *
      * Ties in ESP order lexicographically on the mapping vector.
      */
     std::vector<ScoredPlacement>
     topPlacements(const circuit::Circuit &logical, std::size_t k,
                   std::size_t limit = 20000) const;
+
+    /**
+     * Attach a job scheduler for parallel placement search. The
+     * caller keeps @p scheduler alive for the placer's lifetime;
+     * nullptr (the default state) searches sequentially.
+     */
+    void setScheduler(const runtime::JobScheduler *scheduler)
+    {
+        scheduler_ = scheduler;
+    }
 
     /**
      * All VF2 embeddings of the circuit's interaction graph, scored
@@ -88,7 +107,21 @@ class Placer
     const hw::DeviceView &view() const { return view_; }
 
   private:
+    /**
+     * Per-circuit memo (keyed on the circuit fingerprint) of the
+     * placement problem — interaction pattern, gate trace, cost
+     * model, precompiled search plan. Re-placing the same circuit
+     * every calibration cycle is the dominant call shape, and problem
+     * construction would otherwise cost more than the pruned search
+     * itself. Mutex-guarded (topPlacements stays safe to call
+     * concurrently); shared across Placer copies, which is sound
+     * because entries are immutable once published.
+     */
+    struct Cache;
+
     hw::DeviceView view_;
+    const runtime::JobScheduler *scheduler_ = nullptr;
+    std::shared_ptr<Cache> cache_;
 };
 
 } // namespace qedm::transpile

@@ -1,6 +1,8 @@
 #include "transpile/vf2.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 
 #include "common/error.hpp"
 
@@ -40,21 +42,58 @@ signatureDominates(const std::vector<int> &target_sig,
     return true;
 }
 
-/** Recursive VF2-style state. */
+/**
+ * Recursive VF2-style state. The degree/signature/mask host filters
+ * are folded into one feasibility bitset per pattern vertex at
+ * construction, and coupling checks probe the target's adjacency
+ * bitset rows — the per-node work is bit probes, no allocation, and
+ * the candidate enumeration order (hence the result order) is exactly
+ * the pre-bitset code's.
+ */
 class Matcher
 {
   public:
     Matcher(const hw::Topology &pattern, const hw::Topology &target,
             std::size_t limit, const std::vector<bool> *allowed)
         : pattern_(pattern), target_(target), limit_(limit),
-          allowed_(allowed)
+          words_((static_cast<std::size_t>(target.numQubits()) + 63) /
+                 64)
     {
-        targetSig_.reserve(target_.numQubits());
+        // Per-vertex feasibility: allowed-mask, degree, and signature
+        // dominance combined into one bitset row. Degree/signature
+        // tests use full-graph degrees even under the mask: a host
+        // viable in the induced subgraph has at least its induced
+        // degree in the full graph, so the filter stays admissible.
+        std::vector<std::vector<int>> target_sig;
+        target_sig.reserve(
+            static_cast<std::size_t>(target_.numQubits()));
         for (int t = 0; t < target_.numQubits(); ++t)
-            targetSig_.push_back(neighborSignature(target_, t));
-        patternSig_.reserve(pattern_.numQubits());
-        for (int v = 0; v < pattern_.numQubits(); ++v)
-            patternSig_.push_back(neighborSignature(pattern_, v));
+            target_sig.push_back(neighborSignature(target_, t));
+        feasible_.assign(static_cast<std::size_t>(
+                             pattern_.numQubits()) *
+                             words_,
+                         0);
+        for (int v = 0; v < pattern_.numQubits(); ++v) {
+            const std::vector<int> psig =
+                neighborSignature(pattern_, v);
+            std::uint64_t *row =
+                feasible_.data() +
+                static_cast<std::size_t>(v) * words_;
+            for (int t = 0; t < target_.numQubits(); ++t) {
+                if (allowed &&
+                    !(*allowed)[static_cast<std::size_t>(t)])
+                    continue;
+                if (target_.degree(t) < pattern_.degree(v))
+                    continue;
+                if (!signatureDominates(
+                        target_sig[static_cast<std::size_t>(t)],
+                        psig))
+                    continue;
+                row[static_cast<std::size_t>(t) >> 6] |=
+                    std::uint64_t{1}
+                    << (static_cast<std::size_t>(t) & 63);
+            }
+        }
         // Match high-degree pattern vertices first, preferring vertices
         // connected to already-matched ones (VF2 candidate ordering).
         order_.reserve(pattern_.numQubits());
@@ -84,7 +123,8 @@ class Matcher
             order_.push_back(best);
         }
         map_.assign(pattern_.numQubits(), -1);
-        used_.assign(target_.numQubits(), false);
+        used_.assign(static_cast<std::size_t>(target_.numQubits()),
+                     0);
     }
 
     std::vector<std::vector<int>>
@@ -95,6 +135,35 @@ class Matcher
     }
 
   private:
+    bool
+    feasibleBit(int v, int t) const
+    {
+        return (feasible_[static_cast<std::size_t>(v) * words_ +
+                          (static_cast<std::size_t>(t) >> 6)] >>
+                (static_cast<std::size_t>(t) & 63)) &
+               1U;
+    }
+
+    /** Try target @p t as the host of pattern vertex @p v. */
+    // qedm:hot
+    void
+    tryHost(std::size_t depth, int v, int t)
+    {
+        if (used_[static_cast<std::size_t>(t)] != 0)
+            return;
+        if (!feasibleBit(v, t))
+            return;
+        for (int u : pattern_.neighbors(v)) {
+            if (map_[u] >= 0 && !target_.adjacentBit(map_[u], t))
+                return;
+        }
+        map_[v] = t;
+        used_[static_cast<std::size_t>(t)] = 1;
+        recurse(depth + 1);
+        map_[v] = -1;
+        used_[static_cast<std::size_t>(t)] = 0;
+    }
+
     void
     recurse(std::size_t depth)
     {
@@ -105,9 +174,9 @@ class Matcher
             return;
         }
         const int v = order_[depth];
-        // Candidates: neighbors of already-mapped pattern neighbors,
-        // or any unused target vertex when v has none mapped yet.
-        std::vector<int> candidates;
+        // Candidates: neighbors of the first already-mapped pattern
+        // neighbor, or every feasible target vertex (ascending, the
+        // order the dense scan used) when v has none mapped yet.
         int mapped_neighbor = -1;
         for (int u : pattern_.neighbors(v)) {
             if (map_[u] >= 0) {
@@ -116,53 +185,38 @@ class Matcher
             }
         }
         if (mapped_neighbor >= 0) {
-            candidates = target_.neighbors(map_[mapped_neighbor]);
+            for (int t : target_.neighbors(map_[mapped_neighbor])) {
+                tryHost(depth, v, t);
+                if (results_.size() >= limit_)
+                    return;
+            }
         } else {
-            candidates.resize(target_.numQubits());
-            for (int t = 0; t < target_.numQubits(); ++t)
-                candidates[t] = t;
-        }
-        for (int t : candidates) {
-            if (used_[t])
-                continue;
-            // Mask filter. Degree/signature tests below keep using
-            // full-graph degrees: a host viable in the induced
-            // subgraph has at least its induced degree in the full
-            // graph, so they stay admissible under the mask.
-            if (allowed_ && !(*allowed_)[static_cast<std::size_t>(t)])
-                continue;
-            if (target_.degree(t) < pattern_.degree(v))
-                continue;
-            if (!signatureDominates(targetSig_[t], patternSig_[v]))
-                continue;
-            bool feasible = true;
-            for (int u : pattern_.neighbors(v)) {
-                if (map_[u] >= 0 && !target_.adjacent(map_[u], t)) {
-                    feasible = false;
-                    break;
+            const std::uint64_t *row =
+                feasible_.data() +
+                static_cast<std::size_t>(v) * words_;
+            for (std::size_t w = 0; w < words_; ++w) {
+                std::uint64_t bits = row[w];
+                while (bits != 0) {
+                    const int t = static_cast<int>(
+                        (w << 6) + static_cast<std::size_t>(
+                                       std::countr_zero(bits)));
+                    bits &= bits - 1;
+                    tryHost(depth, v, t);
+                    if (results_.size() >= limit_)
+                        return;
                 }
             }
-            if (!feasible)
-                continue;
-            map_[v] = t;
-            used_[t] = true;
-            recurse(depth + 1);
-            map_[v] = -1;
-            used_[t] = false;
-            if (results_.size() >= limit_)
-                return;
         }
     }
 
     const hw::Topology &pattern_;
     const hw::Topology &target_;
     std::size_t limit_;
-    const std::vector<bool> *allowed_;
-    std::vector<std::vector<int>> targetSig_;
-    std::vector<std::vector<int>> patternSig_;
+    std::size_t words_;
+    std::vector<std::uint64_t> feasible_;
     std::vector<int> order_;
     std::vector<int> map_;
-    std::vector<bool> used_;
+    std::vector<std::uint8_t> used_;
     std::vector<std::vector<int>> results_;
 };
 

@@ -1,0 +1,34 @@
+// Seeded hot-path-alloc violations: a src/transpile TU whose
+// `// qedm:hot` function allocates on the per-node path. The
+// `analyze_fixture` ctest case expects qedm_analyze to reject this
+// tree. Never compiled; only scanned.
+
+namespace analyze_fixture {
+
+// qedm:hot
+int
+hotRecurse(int depth)
+{
+    std::vector<int> children;     // hot-path-alloc: per-node vector
+    int *scratch = new int(depth); // hot-path-alloc (and naked-new)
+    const int out = *scratch + static_cast<int>(children.size());
+    delete scratch;
+    return out;
+}
+
+// Allocation outside a marked function stays legal for this rule
+// (plan/worker construction is exactly where buffers belong):
+std::vector<int>
+coldSetup(int n)
+{
+    return std::vector<int>(static_cast<unsigned long>(n), 0);
+}
+
+// qedm:hot
+int
+hotButClean(int a, int b)
+{
+    return a < b ? a : b;
+}
+
+} // namespace analyze_fixture

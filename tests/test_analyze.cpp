@@ -426,6 +426,61 @@ TEST(Rules, FloatAccumulate)
               0);
 }
 
+TEST(Rules, HotPathAlloc)
+{
+    // Allocation inside a `// qedm:hot` function fires — both naked
+    // new and std container construction.
+    EXPECT_EQ(countRule(findingsFor("src/transpile/a.cpp",
+                                    "// qedm:hot\n"
+                                    "int f() {\n"
+                                    "    std::vector<int> v;\n"
+                                    "    int *p = new int(1);\n"
+                                    "    return *p;\n"
+                                    "}\n"),
+                        "hot-path-alloc"),
+              2);
+    EXPECT_EQ(countRule(findingsFor("src/transpile/a.cpp",
+                                    "// qedm:hot\n"
+                                    "void f() {\n"
+                                    "    auto p = "
+                                    "std::make_shared<int>(3);\n"
+                                    "    std::map<int, int> m;\n"
+                                    "}\n"),
+                        "hot-path-alloc"),
+              2);
+    // The same allocation in an unmarked function stays legal.
+    EXPECT_EQ(countRule(findingsFor("src/transpile/a.cpp",
+                                    "int f() {\n"
+                                    "    std::vector<int> v;\n"
+                                    "    return 0;\n"
+                                    "}\n"),
+                        "hot-path-alloc"),
+              0);
+    // The marker covers only the next function definition.
+    EXPECT_EQ(countRule(findingsFor("src/transpile/a.cpp",
+                                    "// qedm:hot\n"
+                                    "int f(int x) { return x; }\n"
+                                    "int g() { return *new int(0); "
+                                    "}\n"),
+                        "hot-path-alloc"),
+              0);
+    // Member access on an existing container is not construction.
+    EXPECT_EQ(countRule(findingsFor("src/transpile/a.cpp",
+                                    "// qedm:hot\n"
+                                    "int f(const Buf &b) {\n"
+                                    "    return b.sizes[0];\n"
+                                    "}\n"),
+                        "hot-path-alloc"),
+              0);
+    // Outside src/transpile the profile leaves the rule off.
+    EXPECT_EQ(countRule(findingsFor("src/core/a.cpp",
+                                    "// qedm:hot\n"
+                                    "int f() { return *new int(0); "
+                                    "}\n"),
+                        "hot-path-alloc"),
+              0);
+}
+
 // ---------------------------------------------------------------------
 // Include-graph rules
 

@@ -100,6 +100,14 @@ struct RuleProfile
      * silently, since both would still look "random".
      */
     bool rngInKernel = false;
+    /**
+     * Ban heap allocation inside functions marked `// qedm:hot`: the
+     * placement-search and VF2 inner loops preallocate every buffer
+     * when the search plan/worker is built (DESIGN.md §18), so an
+     * allocation on the per-node path is a throughput regression at
+     * 127/433-qubit scale, not a style nit.
+     */
+    bool hotPathAlloc = false;
 };
 
 /** Per-directory rule profile for @p rel_path (see rules.cpp). */

@@ -24,7 +24,12 @@
  *                          values in the ESP/merge paths must carry a
  *                          `canonical order` comment within the three
  *                          preceding lines documenting why the
- *                          summation order is parallelism-invariant.
+ *                          summation order is parallelism-invariant;
+ *   - hot-path-alloc:      functions marked `// qedm:hot` (the
+ *                          placement-search/VF2 per-node loops) must
+ *                          not allocate — no new, make_unique/
+ *                          make_shared, or allocating std container
+ *                          construction.
  */
 
 #include "qedm_analyze/rule.hpp"
@@ -809,6 +814,118 @@ class FloatAccumulateRule final : public FileRule
     }
 };
 
+/**
+ * Functions annotated `// qedm:hot` are the per-node inner loops of
+ * the placement search and the VF2 matcher: everything they need is
+ * preallocated when the search plan or worker is built, so the
+ * recursion itself never touches the allocator (DESIGN.md §18). The
+ * marker covers the next function definition after the comment — the
+ * first `{` past the marker line, brace-matched to its close. Inside
+ * that body, flag `new`, std::make_unique/make_shared, and
+ * construction of allocating std containers (spelling `std::vector`
+ * etc. — uses of an already-built container go through its variable
+ * name and stay legal).
+ */
+class HotPathAllocRule final : public FileRule
+{
+  public:
+    HotPathAllocRule()
+        : FileRule("hot-path-alloc",
+                   "functions marked `// qedm:hot` must not allocate: "
+                   "no new, make_unique/make_shared, or allocating "
+                   "std container construction on the per-node path")
+    {
+    }
+    bool appliesTo(const std::string &,
+                   const RuleProfile &p) const override
+    {
+        return p.hotPathAlloc;
+    }
+    void check(const FileScan &scan,
+               std::vector<Finding> &out) const override
+    {
+        static const char *const kAllocators[] = {
+            "vector",        "map",
+            "set",           "multimap",
+            "multiset",      "unordered_map",
+            "unordered_set", "unordered_multimap",
+            "unordered_multiset", "string",
+            "deque",         "list",
+            "function",      "make_unique",
+            "make_shared"};
+        const auto code = codeTokens(scan);
+        // A marker is a comment whose entire content is `qedm:hot` —
+        // prose that merely mentions the marker is not one.
+        const auto isMarker = [](const Token &t) {
+            if (t.kind != TokKind::Comment)
+                return false;
+            std::string body = t.text;
+            if (body.rfind("//", 0) == 0)
+                body = body.substr(2);
+            else if (body.rfind("/*", 0) == 0) {
+                body = body.substr(2);
+                if (body.size() >= 2 &&
+                    body.compare(body.size() - 2, 2, "*/") == 0)
+                    body = body.substr(0, body.size() - 2);
+            }
+            const auto first = body.find_first_not_of(" \t\r\n");
+            if (first == std::string::npos)
+                return false;
+            const auto last = body.find_last_not_of(" \t\r\n");
+            return body.substr(first, last - first + 1) == "qedm:hot";
+        };
+        std::vector<int> markers;
+        for (const Token &t : scan.tokens) {
+            if (isMarker(t))
+                markers.push_back(t.end_line);
+        }
+        for (const int marker : markers) {
+            // The marked function body: first `{` past the marker,
+            // brace-matched.
+            std::size_t open = code.size();
+            for (std::size_t i = 0; i < code.size(); ++i) {
+                if (scan.tokens[code[i]].line > marker &&
+                    isPunct(scan.tokens[code[i]], "{")) {
+                    open = i;
+                    break;
+                }
+            }
+            if (open == code.size())
+                continue;
+            int depth = 0;
+            for (std::size_t i = open; i < code.size(); ++i) {
+                const Token &t = scan.tokens[code[i]];
+                if (isPunct(t, "{")) {
+                    ++depth;
+                    continue;
+                }
+                if (isPunct(t, "}")) {
+                    if (--depth == 0)
+                        break;
+                    continue;
+                }
+                std::string hit;
+                if (isIdent(t, "new"))
+                    hit = "new";
+                for (const char *name : kAllocators) {
+                    if (stdQualified(scan, code, i, name))
+                        hit = std::string("std::") + name;
+                }
+                if (!hit.empty()) {
+                    out.push_back(Finding{
+                        scan.rel_path, t.line, {},
+                        hit +
+                            " allocates inside a `qedm:hot` "
+                            "function; preallocate in the search "
+                            "plan/worker and reuse scratch buffers "
+                            "(DESIGN.md §18)",
+                        {}, 0});
+                }
+            }
+        }
+    }
+};
+
 } // namespace
 
 RuleProfile
@@ -843,6 +960,10 @@ profileFor(const std::string &rel_path)
         rel_path.rfind("src/sim/lane_kernels", 0) == 0) {
         p.rngInKernel = true;
     }
+    // The `// qedm:hot` inner loops of the placement search and VF2
+    // matcher are preallocated by design (DESIGN.md §18).
+    if (underDir(rel_path, "src/transpile"))
+        p.hotPathAlloc = true;
     if (rel_path.rfind("src/transpile/distances", 0) == 0)
         p.denseDistance = false; // the provider's own home
     if (rel_path.rfind("src/runtime/clock", 0) == 0) {
@@ -867,6 +988,7 @@ RuleRegistry::RuleRegistry()
     add(std::make_unique<UnorderedIterationRule>());
     add(std::make_unique<LocalStaticRule>());
     add(std::make_unique<FloatAccumulateRule>());
+    add(std::make_unique<HotPathAllocRule>());
     document("layering",
              "module includes must follow the DESIGN.md layer DAG");
     document("include-cycle",
